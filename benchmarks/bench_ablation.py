@@ -1,0 +1,112 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **in-place engine vs naive product graph** — the paper's motivation for
+  compMaxCard: same guarantee, no O(|V1|²|V2|²) product materialisation;
+* **Appendix-B partitioning** on/off;
+* **Appendix-B SCC compression** on/off (on a cycle-rich data graph);
+* **Ramsey-based CliqueRemoval vs min-degree greedy** for the WIS substrate.
+
+Quality is asserted alongside time so a speed win can't silently trade
+away correctness.
+"""
+
+import random
+
+import pytest
+
+from repro.core.comp_max_card import comp_max_card
+from repro.core.naive import naive_comp_max_card
+from repro.core.optimize import comp_max_card_compressed, comp_max_card_partitioned
+from repro.core.phom import check_phom_mapping
+from repro.datasets.synthetic import generate_workload
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import Graph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.wis.greedy import greedy_independent_set
+from repro.wis.removal import clique_removal
+
+
+@pytest.fixture(scope="module")
+def synthetic_pair():
+    workload = generate_workload(40, 10.0, num_copies=1, seed=17)
+    return workload.pattern, workload.copies[0], workload.matrix_for(0)
+
+
+@pytest.fixture(scope="module")
+def cyclic_pair():
+    """A data graph made of interconnected cycles: compression's best case."""
+    rng = random.Random(5)
+    g2 = DiGraph()
+    for block in range(12):
+        size = rng.randint(3, 6)
+        nodes = [f"b{block}n{i}" for i in range(size)]
+        for i, node in enumerate(nodes):
+            g2.add_edge(node, nodes[(i + 1) % size])
+        if block:
+            g2.add_edge(f"b{block - 1}n0", nodes[0])
+    g1 = DiGraph.from_edges([("p0", "p1"), ("p1", "p2"), ("p0", "p3")])
+    mat = SimilarityMatrix()
+    for v in g1.nodes():
+        for u in g2.nodes():
+            if rng.random() < 0.4:
+                mat.set(v, u, rng.uniform(0.75, 1.0))
+    return g1, g2, mat
+
+
+class TestEngineVsNaive:
+    def test_inplace_engine(self, benchmark, synthetic_pair):
+        g1, g2, mat = synthetic_pair
+        result = benchmark(comp_max_card, g1, g2, mat, 0.75)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.75) == []
+
+    def test_naive_product_graph(self, benchmark, synthetic_pair):
+        g1, g2, mat = synthetic_pair
+        result = benchmark(naive_comp_max_card, g1, g2, mat, 0.75)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.75) == []
+
+
+class TestPartitioning:
+    def test_without_partitioning(self, benchmark, synthetic_pair):
+        g1, g2, mat = synthetic_pair
+        result = benchmark(comp_max_card, g1, g2, mat, 0.75)
+        assert result.qual_card >= 0.0
+
+    def test_with_partitioning(self, benchmark, synthetic_pair):
+        g1, g2, mat = synthetic_pair
+        result = benchmark(comp_max_card_partitioned, g1, g2, mat, 0.75)
+        assert result.qual_card >= 0.0
+
+
+class TestCompression:
+    def test_without_compression(self, benchmark, cyclic_pair):
+        g1, g2, mat = cyclic_pair
+        result = benchmark(comp_max_card, g1, g2, mat, 0.75)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.75) == []
+
+    def test_with_compression(self, benchmark, cyclic_pair):
+        g1, g2, mat = cyclic_pair
+        result = benchmark(comp_max_card_compressed, g1, g2, mat, 0.75)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.75) == []
+        assert result.stats["bags"] < g2.num_nodes()
+
+
+class TestWISSubstrate:
+    @pytest.fixture(scope="class")
+    def wis_graph(self):
+        rng = random.Random(11)
+        graph = Graph()
+        for i in range(150):
+            graph.add_node(i)
+        for i in range(150):
+            for j in range(i + 1, 150):
+                if rng.random() < 0.15:
+                    graph.add_edge(i, j)
+        return graph
+
+    def test_clique_removal(self, benchmark, wis_graph):
+        iset, _ = benchmark(clique_removal, wis_graph)
+        assert wis_graph.is_independent_set(iset)
+
+    def test_greedy_baseline(self, benchmark, wis_graph):
+        iset = benchmark(greedy_independent_set, wis_graph)
+        assert wis_graph.is_independent_set(iset)

@@ -1,0 +1,23 @@
+"""EXP-AR bench: empirical approximation ratios vs the exact optimum.
+
+Quantifies how far inside the Theorem 5.1 guarantee the algorithms land
+in practice (the paper reports no optimality gaps — it has no exact
+baseline; this is the added measurement EXPERIMENTS.md describes).
+"""
+
+from conftest import run_once
+
+from repro.experiments.approx_ratio import measure_ratios, render
+
+
+def test_approx_ratio_sweep(benchmark, bench_scale):
+    instances = 10 if bench_scale.name == "smoke" else 40
+    summaries = run_once(benchmark, measure_ratios, num_instances=instances)
+    print()
+    print(render(summaries, instances))
+    by_name = {s.algorithm: s for s in summaries}
+    # Empirically near-optimal, far above the worst-case scale.
+    assert by_name["compMaxCard"].mean >= 0.9
+    assert by_name["compMaxSim"].mean >= 0.9
+    for summary in summaries:
+        assert summary.minimum >= summary.theoretical_floor * 0.5

@@ -1,0 +1,70 @@
+"""Microbenchmarks of the core machinery.
+
+Not tied to a paper table; these keep the substrate honest: closure-index
+construction, workspace setup, a single compMaxCard run, the exact
+decision procedure, and graph simulation, at a fixed synthetic size.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.simulation import graph_simulation
+from repro.core.comp_max_card import comp_max_card, comp_max_card_injective
+from repro.core.comp_max_sim import comp_max_sim
+from repro.core.decision import is_phom
+from repro.core.workspace import MatchingWorkspace
+from repro.datasets.synthetic import generate_workload
+from repro.graph.closure import ReachabilityIndex
+from repro.graph.generators import random_digraph
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(60, 10.0, num_copies=1, seed=42)
+
+
+@pytest.fixture(scope="module")
+def pair(workload):
+    return workload.pattern, workload.copies[0], workload.matrix_for(0)
+
+
+def test_reachability_index_build(benchmark):
+    graph = random_digraph(400, 1600, random.Random(0))
+    index = benchmark(ReachabilityIndex, graph)
+    assert index.num_nodes() == 400
+
+
+def test_workspace_build(benchmark, pair):
+    g1, g2, mat = pair
+    workspace = benchmark(MatchingWorkspace, g1, g2, mat, 0.75)
+    assert workspace.num_candidate_pairs() > 0
+
+
+def test_comp_max_card_run(benchmark, pair):
+    g1, g2, mat = pair
+    result = benchmark(comp_max_card, g1, g2, mat, 0.75)
+    assert result.qual_card > 0.0
+
+
+def test_comp_max_card_injective_run(benchmark, pair):
+    g1, g2, mat = pair
+    result = benchmark(comp_max_card_injective, g1, g2, mat, 0.75)
+    assert result.qual_card > 0.0
+
+
+def test_comp_max_sim_run(benchmark, pair):
+    g1, g2, mat = pair
+    result = benchmark(comp_max_sim, g1, g2, mat, 0.75)
+    assert result.qual_sim > 0.0
+
+
+def test_exact_decision_run(benchmark, pair):
+    g1, g2, mat = pair
+    assert benchmark(is_phom, g1, g2, mat, 0.75)
+
+
+def test_graph_simulation_run(benchmark, pair):
+    g1, g2, mat = pair
+    result = benchmark(graph_simulation, g1, g2, mat, 0.75)
+    assert 0.0 <= result.coverage <= 1.0

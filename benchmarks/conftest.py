@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Benchmarks default to the 'smoke' preset so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; export ``REPRO_BENCH_SCALE=default``
+(or ``paper``) to regenerate the EXPERIMENTS.md numbers at larger scale.
+Heavy end-to-end benchmarks run exactly once per measurement
+(``benchmark.pedantic`` with one round) — they are experiments, not
+microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import SCALES
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The experiment preset benchmarks run at."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    return SCALES[name]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Measure one full execution of an end-to-end experiment."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Anatomy of the approximation machinery, on one instance.
+
+Walks through everything Section 5 and the appendices build: the product
+graph and its complement (the AFP-reduction to WIS), the naive
+product-graph algorithm, the in-place compMaxCard engine, the exact
+optimum (maximum clique of the product graph), and the two Appendix-B
+optimizations — comparing quality and cost side by side.
+
+Run: ``python examples/algorithm_anatomy.py``
+"""
+
+import time
+
+from repro.core import (
+    comp_max_card,
+    comp_max_card_compressed,
+    comp_max_card_partitioned,
+    exact_comp_max_card,
+    naive_comp_max_card,
+    product_graph,
+    wis_instance,
+)
+from repro.datasets import generate_workload
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def main() -> None:
+    workload = generate_workload(18, 20.0, num_copies=1, seed=3, relabel_percent=25.0)
+    g1, g2 = workload.pattern, workload.copies[0]
+    mat = workload.matrix_for(0)
+    xi = 0.6
+    print(
+        f"instance: G1 |V|={g1.num_nodes()} |E|={g1.num_edges()}, "
+        f"G2 |V|={g2.num_nodes()} |E|={g2.num_edges()}"
+    )
+
+    print("\n== The product graph of the AFP-reduction (Theorem 5.1) ==")
+    product = product_graph(g1, g2, mat, xi)
+    complement = wis_instance(g1, g2, mat, xi)
+    print(f"  product graph:   {product.num_nodes()} nodes, {product.num_edges()} edges")
+    print(f"  complement (Gc): {complement.num_nodes()} nodes, {complement.num_edges()} edges")
+    print("  cliques of the product graph == p-hom mappings (Claim 2)")
+
+    print("\n== Algorithms ==")
+    rows = []
+    for name, fn in [
+        ("naive (product + ISRemoval)", naive_comp_max_card),
+        ("compMaxCard (in-place)", comp_max_card),
+        ("compMaxCard + partitioning", comp_max_card_partitioned),
+        ("compMaxCard + compression", comp_max_card_compressed),
+        ("exact optimum (max clique)", exact_comp_max_card),
+    ]:
+        result, seconds = timed(fn, g1, g2, mat, xi)
+        rows.append((name, result.qual_card, seconds))
+    width = max(len(name) for name, *_ in rows)
+    for name, quality, seconds in rows:
+        print(f"  {name:<{width}s}  qualCard = {quality:5.3f}   {seconds * 1e3:8.2f} ms")
+
+    optimum = rows[-1][1]
+    print(
+        f"\nAll approximations are within the O(log²(n1·n2)/(n1·n2)) guarantee "
+        f"of the optimum ({optimum:.3f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

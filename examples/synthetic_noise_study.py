@@ -1,0 +1,45 @@
+"""Synthetic noise study — the paper's Exp-2 (Figures 5(b) and 6(b)) in miniature.
+
+Generates the Section 6 synthetic workload (random pattern, noisy copies
+with edges stretched into paths and subgraphs attached, grouped random
+label similarity), sweeps the noise rate, and reports accuracy and time
+for the four p-hom algorithms plus graph simulation.
+
+Run: ``python examples/synthetic_noise_study.py``
+"""
+
+from repro.baselines import SimulationMatcher, default_matchers
+from repro.datasets import generate_workload
+from repro.experiments import DEFAULT_MATCH_THRESHOLD, MatchTrial, run_cell
+
+M = 60  # pattern nodes (the paper uses 500; this is a demo)
+COPIES = 5
+XI = 0.75
+
+
+def main() -> None:
+    matchers = default_matchers() + [SimulationMatcher()]
+    print(f"pattern m={M}, {COPIES} noisy copies per noise level, xi={XI}\n")
+    header = f"{'noise%':>7s} | " + " | ".join(f"{m.name:>16s}" for m in matchers)
+    print(header)
+    print("-" * len(header))
+    for noise in (2.0, 6.0, 10.0, 14.0, 18.0):
+        workload = generate_workload(M, noise, num_copies=COPIES, seed=42)
+        trials = [
+            MatchTrial(workload.pattern, workload.copies[i], workload.matrix_for(i))
+            for i in range(COPIES)
+        ]
+        cells = []
+        for matcher in matchers:
+            cell = run_cell(matcher, trials, XI, DEFAULT_MATCH_THRESHOLD)
+            cells.append(f"{cell.accuracy_percent:5.0f}% {cell.avg_seconds*1e3:6.1f}ms")
+        print(f"{noise:7.0f} | " + " | ".join(f"{c:>16s}" for c in cells))
+
+    print(
+        "\nAccuracy columns show the paper's Figure 5(b) shape (p-hom stays high,\n"
+        "graph simulation at 0%), and the timing columns Figure 6(b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

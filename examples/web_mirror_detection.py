@@ -1,0 +1,66 @@
+"""Web mirror detection — the paper's Exp-1 in miniature.
+
+Generates a simulated site archive (online store), extracts degree
+skeletons, computes shingle similarity between page contents, and asks
+every matcher whether the later versions are mirrors (versions) of the
+oldest one.  This is the pipeline behind Table 3.
+
+Run: ``python examples/web_mirror_detection.py``
+"""
+
+from repro.baselines import (
+    FloodingMatcher,
+    MCSMatcher,
+    PHomMatcher,
+    SimulationMatcher,
+)
+from repro.datasets import degree_skeleton, generate_archive, paper_sites
+from repro.similarity import shingle_similarity_matrix
+
+XI = 0.75
+MATCH_THRESHOLD = 0.75
+SCALE = 0.05  # keep the demo quick; see repro.experiments for full runs
+
+
+def main() -> None:
+    profile = paper_sites()["site1"]
+    print(f"Generating a {profile.description!r} archive (scale={SCALE}) ...")
+    archive = generate_archive(profile, num_versions=6, scale=SCALE, seed=7)
+    pattern = degree_skeleton(archive.pattern, alpha=0.2)
+    print(
+        f"pattern skeleton: {pattern.num_nodes()} nodes, {pattern.num_edges()} edges "
+        f"(full site: {archive.pattern.num_nodes()} nodes)"
+    )
+
+    matchers = [
+        PHomMatcher("cardinality", False),
+        PHomMatcher("cardinality", True),
+        PHomMatcher("similarity", False),
+        SimulationMatcher(),
+        FloodingMatcher(),
+        MCSMatcher(budget_seconds=5.0),
+    ]
+
+    header = f"{'version':>8s} | " + " | ".join(f"{m.name:>15s}" for m in matchers)
+    print()
+    print(header)
+    print("-" * len(header))
+    for version in archive.later_versions():
+        skeleton = degree_skeleton(version, alpha=0.2)
+        mat = shingle_similarity_matrix(pattern, skeleton)
+        cells = []
+        for matcher in matchers:
+            outcome = matcher.run(pattern, skeleton, mat, XI)
+            verdict = "match" if outcome.matched(MATCH_THRESHOLD) else "-"
+            cells.append(f"{verdict:>9s} {outcome.quality:4.2f}")
+        print(f"{version.name.split('/')[-1]:>8s} | " + " | ".join(f"{c:>15s}" for c in cells))
+
+    print(
+        "\nEdge-to-path matching (compMaxCard) keeps matching as the site is "
+        "edited,\nwhile edge-to-edge methods (graphSimulation, cdkMCS) lose "
+        "the versions whose\nnavigation was restructured."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (`pip install -e .`).
+
+The environment ships setuptools without the `wheel` package, so PEP 517
+editable builds (which require bdist_wheel) fail; this shim lets pip fall
+back to `setup.py develop`.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro — reproduction of "Graph Homomorphism Revisited for Graph Matching".
+
+Fan, Li, Ma, Wang, Wu.  PVLDB 3(1): 1161-1172, VLDB 2010.
+
+The package implements p-homomorphism (p-hom) and 1-1 p-hom graph matching
+with node-similarity thresholds and edge-to-path mappings, the maximum
+cardinality / maximum overall similarity optimization problems (CPH,
+CPH^{1-1}, SPH, SPH^{1-1}), the paper's approximation algorithms with their
+O(log²(n1·n2)/(n1·n2)) quality guarantee, the NP-hardness reductions, the
+baselines the paper compares against (graph simulation, maximum common
+subgraph, similarity flooding), and the full experimental harness for
+Table 2, Table 3 and Figures 5–6.
+
+Quickstart::
+
+    from repro import DiGraph, SimilarityMatrix, comp_max_card
+
+    pattern = DiGraph.from_edges([("A", "books"), ("books", "textbooks")])
+    data = DiGraph.from_edges([("B", "books"), ("books", "school")])
+    mat = SimilarityMatrix.from_pairs({("A", "B"): 0.7, ("books", "books"): 1.0,
+                                       ("textbooks", "school"): 0.6})
+    result = comp_max_card(pattern, data, mat, xi=0.5)
+    print(result.mapping, result.qual_card)
+"""
+
+from repro.graph import DiGraph, Graph
+from repro.similarity import (
+    SimilarityMatrix,
+    label_equality_matrix,
+    label_group_matrix,
+    shingle_similarity_matrix,
+)
+from repro.core import (
+    MatchQuality,
+    PHomResult,
+    check_phom_mapping,
+    comp_max_card,
+    comp_max_card_injective,
+    comp_max_sim,
+    comp_max_sim_injective,
+    find_phom_mapping,
+    is_phom,
+    is_phom_injective,
+    match,
+    qual_card,
+    qual_sim,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiGraph",
+    "Graph",
+    "SimilarityMatrix",
+    "label_equality_matrix",
+    "label_group_matrix",
+    "shingle_similarity_matrix",
+    "MatchQuality",
+    "PHomResult",
+    "check_phom_mapping",
+    "comp_max_card",
+    "comp_max_card_injective",
+    "comp_max_sim",
+    "comp_max_sim_injective",
+    "find_phom_mapping",
+    "is_phom",
+    "is_phom_injective",
+    "match",
+    "qual_card",
+    "qual_sim",
+    "__version__",
+]

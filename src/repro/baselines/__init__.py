@@ -1,0 +1,54 @@
+"""The methods the paper compares against, plus the matcher registry.
+
+Graph simulation [17], subgraph isomorphism / maximum common subgraph
+([9], [1] — the cdkMCS stand-in), and vertex-similarity matching via
+similarity flooding [21] and Blondel et al. [6].  The
+:class:`~repro.baselines.matchers.Matcher` wrappers give every method the
+uniform interface the experiment harness drives.
+"""
+
+from repro.baselines.simulation import SimulationResult, graph_simulation, simulates
+from repro.baselines.bounded_simulation import (
+    BoundedSimulationResult,
+    bounded_simulates,
+    bounded_simulation,
+)
+from repro.baselines.subgraph_iso import (
+    find_subgraph_isomorphism,
+    is_subgraph_isomorphic,
+)
+from repro.baselines.mcs import MCSResult, maximum_common_subgraph, modular_product
+from repro.baselines.matchers import (
+    FloodingMatcher,
+    MCSMatcher,
+    MatchOutcome,
+    Matcher,
+    PHomMatcher,
+    SimulationMatcher,
+    VertexSimilarityMatcher,
+    default_matchers,
+    paper_table3_matchers,
+)
+
+__all__ = [
+    "SimulationResult",
+    "graph_simulation",
+    "simulates",
+    "BoundedSimulationResult",
+    "bounded_simulation",
+    "bounded_simulates",
+    "find_subgraph_isomorphism",
+    "is_subgraph_isomorphic",
+    "MCSResult",
+    "maximum_common_subgraph",
+    "modular_product",
+    "MatchOutcome",
+    "Matcher",
+    "PHomMatcher",
+    "SimulationMatcher",
+    "MCSMatcher",
+    "FloodingMatcher",
+    "VertexSimilarityMatcher",
+    "default_matchers",
+    "paper_table3_matchers",
+]

@@ -1,0 +1,47 @@
+"""Complexity artefacts: the paper's reductions as runnable code.
+
+3SAT and X3C instances with brute-force solvers, the Theorem 4.1
+NP-hardness reductions (3SAT → p-hom on DAGs; X3C → 1-1 p-hom with a tree
+pattern), and the approximation-factor-preserving reductions between WIS
+and the optimization problems (Theorems 4.3 and 5.1).
+"""
+
+from repro.complexity.sat import ThreeSatInstance, brute_force_sat, random_3sat
+from repro.complexity.x3c import X3CInstance, brute_force_x3c, random_x3c
+from repro.complexity.reductions import (
+    PHomInstance,
+    assignment_to_mapping,
+    cover_to_mapping,
+    mapping_to_assignment,
+    mapping_to_cover,
+    reduce_3sat_to_phom,
+    reduce_x3c_to_injective_phom,
+)
+from repro.complexity.afp import (
+    pairs_to_mapping,
+    sph_solution_to_wis,
+    wis_instance,
+    wis_solution_to_sph,
+    wis_to_sph,
+)
+
+__all__ = [
+    "ThreeSatInstance",
+    "brute_force_sat",
+    "random_3sat",
+    "X3CInstance",
+    "brute_force_x3c",
+    "random_x3c",
+    "PHomInstance",
+    "reduce_3sat_to_phom",
+    "assignment_to_mapping",
+    "mapping_to_assignment",
+    "reduce_x3c_to_injective_phom",
+    "cover_to_mapping",
+    "mapping_to_cover",
+    "wis_to_sph",
+    "sph_solution_to_wis",
+    "wis_solution_to_sph",
+    "wis_instance",
+    "pairs_to_mapping",
+]

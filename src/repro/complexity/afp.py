@@ -1,0 +1,72 @@
+"""AFP-reductions between WIS and the p-hom optimization problems.
+
+Approximation-factor-preserving reductions (Section 4 / Appendix A):
+
+* **WIS → SPH** (Theorem 4.3, the hardness direction): an undirected,
+  node-weighted graph becomes the instance ``G1`` = its arbitrarily
+  directed version, ``G2`` = the same nodes with **no edges**, identity
+  similarity, ``ξ = 1``.  A set of nodes is independent iff the identity
+  pairs over it form a p-hom mapping from the induced subgraph — since
+  ``G2`` has no paths at all, no two adjacent pattern nodes can both be
+  matched.  This transfers WIS's O(1/n^{1-ε}) inapproximability to SPH
+  (and with unit weights to CPH, and unchanged to the 1-1 variants since
+  the identity mapping is injective).
+
+* **SPH → WIS** (Theorem 5.1, the algorithmic direction): the product
+  graph's complement with weights ``w(v)·mat(v, u)``; implemented in
+  :func:`repro.core.product.wis_instance` and re-exported here so the
+  complexity story lives in one namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.product import pairs_to_mapping, wis_instance
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import Graph
+from repro.similarity.matrix import SimilarityMatrix
+
+__all__ = [
+    "wis_to_sph",
+    "sph_solution_to_wis",
+    "wis_solution_to_sph",
+    "wis_instance",
+    "pairs_to_mapping",
+]
+
+Node = Hashable
+
+
+def wis_to_sph(graph: Graph) -> tuple[DiGraph, DiGraph, SimilarityMatrix, float]:
+    """Function ``f`` of the WIS → SPH AFP-reduction (Theorem 4.3).
+
+    Returns ``(G1, G2, mat, ξ)``.  Node weights carry over to ``G1`` so
+    that ``qualSim`` of a solution equals the weight of the independent
+    set (up to the fixed normalisation by total weight).
+    """
+    graph1 = DiGraph(name="wis-G1")
+    for node in graph.nodes():
+        graph1.add_node(node, weight=graph.weight(node))
+    for left, right in graph.edges():
+        graph1.add_edge(left, right)  # arbitrary orientation, per the proof
+
+    graph2 = DiGraph(name="wis-G2")
+    for node in graph.nodes():
+        graph2.add_node(node, weight=graph.weight(node))
+    # E2 = ∅: the only p-hom mappings are over independent sets.
+
+    mat = SimilarityMatrix()
+    for node in graph.nodes():
+        mat.set(node, node, 1.0)
+    return graph1, graph2, mat, 1.0
+
+
+def sph_solution_to_wis(mapping: dict[Node, Node]) -> set[Node]:
+    """Function ``g``: a p-hom mapping of the reduced instance -> node set."""
+    return set(mapping)
+
+
+def wis_solution_to_sph(independent_set: Iterable[Node]) -> dict[Node, Node]:
+    """The ⇐ direction used in the proof of Claim 1: IS -> identity mapping."""
+    return {node: node for node in independent_set}

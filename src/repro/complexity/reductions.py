@@ -1,0 +1,237 @@
+"""The NP-hardness reductions of Theorem 4.1, as executable constructions.
+
+Appendix A proves:
+
+* (a) deciding ``G1 ≾(e,p) G2`` is NP-hard even for DAGs, by reduction
+  from **3SAT** (the construction of paper Fig. 7); and
+* (b) deciding ``G1 ≾¹⁻¹(e,p) G2`` is NP-hard even when ``G1`` is a tree
+  and ``G2`` a DAG, by reduction from **X3C** (paper Fig. 8).
+
+Both constructions are implemented verbatim, together with the solution
+extractors (mapping -> satisfying assignment / exact cover) and the
+forward encoders (assignment / cover -> mapping).  The property tests
+verify, on random small instances, that the brute-force solver of the
+source problem and the exact p-hom decision procedure agree through the
+reduction — an end-to-end check of both the reduction and the decision
+procedure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.complexity.sat import ThreeSatInstance
+from repro.complexity.x3c import X3CInstance
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+__all__ = [
+    "PHomInstance",
+    "reduce_3sat_to_phom",
+    "assignment_to_mapping",
+    "mapping_to_assignment",
+    "reduce_x3c_to_injective_phom",
+    "cover_to_mapping",
+    "mapping_to_cover",
+]
+
+Node = Hashable
+
+
+@dataclass
+class PHomInstance:
+    """A (1-1) p-hom decision instance: (G1, G2, mat, ξ)."""
+
+    graph1: DiGraph
+    graph2: DiGraph
+    mat: SimilarityMatrix
+    xi: float
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.1(a): 3SAT -> p-hom, both graphs DAGs
+# ----------------------------------------------------------------------
+def _variable_node(i: int) -> str:
+    return f"X{i}"
+
+
+def _clause_node(j: int) -> str:
+    return f"C{j}"
+
+
+def _truth_node(i: int, value: bool) -> str:
+    return f"{'XT' if value else 'XF'}{i}"
+
+
+def _clause_value_node(j: int, rho: tuple[tuple[int, bool], ...]) -> str:
+    bits = "".join("1" if value else "0" for _, value in rho)
+    return f"val{j}_{bits}"
+
+
+def reduce_3sat_to_phom(instance: ThreeSatInstance) -> PHomInstance:
+    """Build the Fig. 7 instance: φ satisfiable iff ``G1 ≾(e,p) G2``.
+
+    ``G1`` encodes the formula: a root ``R1`` over variable nodes ``Xi``,
+    each clause node ``Cj`` fed by the variables occurring in it.  ``G2``
+    encodes the satisfying assignments: root ``R2`` over ``T``/``F`` over
+    truth nodes ``XTi``/``XFi``, and one value node per clause per
+    *satisfying* local assignment, wired from the truth nodes it agrees
+    with.  ``mat`` permits ``Xi -> XTi/XFi`` and ``Cj`` to any of its value
+    nodes; ``ξ = 1``.
+    """
+    graph1 = DiGraph(name="3sat-G1")
+    graph1.add_node("R1")
+    for i in range(1, instance.num_variables + 1):
+        graph1.add_edge("R1", _variable_node(i))
+    for j, clause in enumerate(instance.clauses, start=1):
+        for variable in sorted({abs(literal) for literal in clause}):
+            graph1.add_edge(_variable_node(variable), _clause_node(j))
+
+    graph2 = DiGraph(name="3sat-G2")
+    graph2.add_edge("R2", "T")
+    graph2.add_edge("R2", "F")
+    for i in range(1, instance.num_variables + 1):
+        graph2.add_edge("T", _truth_node(i, True))
+        graph2.add_edge("F", _truth_node(i, False))
+
+    mat = SimilarityMatrix()
+    mat.set("R1", "R2", 1.0)
+    for i in range(1, instance.num_variables + 1):
+        mat.set(_variable_node(i), _truth_node(i, True), 1.0)
+        mat.set(_variable_node(i), _truth_node(i, False), 1.0)
+
+    for j, clause in enumerate(instance.clauses, start=1):
+        variables = sorted({abs(literal) for literal in clause})
+        for values in itertools.product((False, True), repeat=len(variables)):
+            rho = tuple(zip(variables, values))
+            local = dict(rho)
+            if not any(local[abs(literal)] == (literal > 0) for literal in clause):
+                continue  # only satisfying local assignments become nodes
+            value_node = _clause_value_node(j, rho)
+            graph2.add_node(value_node)
+            mat.set(_clause_node(j), value_node, 1.0)
+            for variable, value in rho:
+                graph2.add_edge(_truth_node(variable, value), value_node)
+
+    return PHomInstance(graph1, graph2, mat, xi=1.0)
+
+
+def assignment_to_mapping(
+    instance: ThreeSatInstance,
+    assignment: dict[int, bool],
+) -> dict[Node, Node]:
+    """The ⇐ direction of the proof: a satisfying assignment as a mapping."""
+    if not instance.evaluate(assignment):
+        raise InputError("assignment does not satisfy the instance")
+    mapping: dict[Node, Node] = {"R1": "R2"}
+    for i in range(1, instance.num_variables + 1):
+        mapping[_variable_node(i)] = _truth_node(i, assignment[i])
+    for j, clause in enumerate(instance.clauses, start=1):
+        variables = sorted({abs(literal) for literal in clause})
+        rho = tuple((variable, assignment[variable]) for variable in variables)
+        mapping[_clause_node(j)] = _clause_value_node(j, rho)
+    return mapping
+
+
+def mapping_to_assignment(
+    instance: ThreeSatInstance,
+    mapping: dict[Node, Node],
+) -> dict[int, bool]:
+    """The ⇒ direction: read the assignment off a total p-hom mapping."""
+    assignment: dict[int, bool] = {}
+    for i in range(1, instance.num_variables + 1):
+        image = mapping.get(_variable_node(i))
+        if image == _truth_node(i, True):
+            assignment[i] = True
+        elif image == _truth_node(i, False):
+            assignment[i] = False
+        else:
+            raise InputError(f"mapping does not place variable x{i} on XT{i}/XF{i}")
+    return assignment
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.1(b): X3C -> 1-1 p-hom, G1 a tree, G2 a DAG
+# ----------------------------------------------------------------------
+def _chosen_triple_node(i: int) -> str:
+    return f"C'{i}"
+
+
+def _chosen_element_node(i: int, k: int) -> str:
+    return f"X'{i},{k}"
+
+
+def _collection_node(j: int) -> str:
+    return f"S{j}"
+
+
+def _element_node(element: int) -> str:
+    return f"e{element}"
+
+
+def reduce_x3c_to_injective_phom(instance: X3CInstance) -> PHomInstance:
+    """Build the Fig. 8 instance: exact cover iff ``G1 ≾¹⁻¹(e,p) G2``.
+
+    ``G1`` is the shape of a solution: a root over ``q`` triple slots, each
+    with three element slots.  ``G2`` is the collection itself: the root
+    over one node per available triple, each over its three (shared)
+    element nodes.  ``mat`` lets any slot match any triple/element;
+    injectivity forces the chosen triples to be pairwise disjoint and
+    jointly exhaustive.
+    """
+    graph1 = DiGraph(name="x3c-G1")
+    graph1.add_node("R1")
+    for i in range(1, instance.q + 1):
+        graph1.add_edge("R1", _chosen_triple_node(i))
+        for k in range(1, 4):
+            graph1.add_edge(_chosen_triple_node(i), _chosen_element_node(i, k))
+
+    graph2 = DiGraph(name="x3c-G2")
+    graph2.add_node("R2")
+    for j, triple in enumerate(instance.triples, start=1):
+        graph2.add_edge("R2", _collection_node(j))
+        for element in sorted(triple):
+            graph2.add_edge(_collection_node(j), _element_node(element))
+
+    mat = SimilarityMatrix()
+    mat.set("R1", "R2", 1.0)
+    for i in range(1, instance.q + 1):
+        for j in range(1, len(instance.triples) + 1):
+            mat.set(_chosen_triple_node(i), _collection_node(j), 1.0)
+        for k in range(1, 4):
+            for element in instance.universe:
+                mat.set(_chosen_element_node(i, k), _element_node(element), 1.0)
+
+    return PHomInstance(graph1, graph2, mat, xi=1.0)
+
+
+def cover_to_mapping(
+    instance: X3CInstance,
+    chosen: tuple[int, ...],
+) -> dict[Node, Node]:
+    """The ⇐ direction: an exact cover (triple indices) as a 1-1 mapping."""
+    if not instance.is_exact_cover(chosen):
+        raise InputError("chosen triples are not an exact cover")
+    mapping: dict[Node, Node] = {"R1": "R2"}
+    for i, index in enumerate(chosen, start=1):
+        mapping[_chosen_triple_node(i)] = _collection_node(index + 1)
+        for k, element in enumerate(sorted(instance.triples[index]), start=1):
+            mapping[_chosen_element_node(i, k)] = _element_node(element)
+    return mapping
+
+
+def mapping_to_cover(
+    instance: X3CInstance,
+    mapping: dict[Node, Node],
+) -> tuple[int, ...]:
+    """The ⇒ direction: read the exact cover off a total 1-1 mapping."""
+    chosen: list[int] = []
+    for i in range(1, instance.q + 1):
+        image = mapping.get(_chosen_triple_node(i))
+        if image is None or not str(image).startswith("S"):
+            raise InputError(f"mapping does not place slot {i} on a collection node")
+        chosen.append(int(str(image)[1:]) - 1)
+    return tuple(chosen)

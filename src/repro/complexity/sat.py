@@ -1,0 +1,82 @@
+"""3SAT instances: representation, generation, brute-force solving.
+
+The substrate for the Theorem 4.1(a) reduction: an instance
+``φ = C1 ∧ ... ∧ Cn`` over variables ``x1..xm`` where each clause has
+exactly three literals.  Variables are numbered from 1; a literal is a
+signed variable index (``-3`` means ``¬x3``), the classic DIMACS
+convention.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.utils.errors import InputError
+
+__all__ = ["ThreeSatInstance", "random_3sat", "brute_force_sat"]
+
+
+@dataclass(frozen=True)
+class ThreeSatInstance:
+    """A 3SAT formula: clauses of exactly three nonzero literals."""
+
+    num_variables: int
+    clauses: tuple[tuple[int, int, int], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.num_variables < 1:
+            raise InputError("a 3SAT instance needs at least one variable")
+        for clause in self.clauses:
+            if len(clause) != 3:
+                raise InputError(f"clause {clause!r} does not have exactly 3 literals")
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.num_variables:
+                    raise InputError(f"literal {literal!r} out of range in {clause!r}")
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """True when ``assignment`` (variable -> truth value) satisfies φ."""
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(literal)] == (literal > 0) for literal in clause
+            ):
+                return False
+        return True
+
+    def variables_of(self, clause_index: int) -> tuple[int, int, int]:
+        """The variable indices of one clause (the x_{p_{j,k}} of the paper)."""
+        clause = self.clauses[clause_index]
+        return tuple(abs(literal) for literal in clause)  # type: ignore[return-value]
+
+
+def random_3sat(
+    num_variables: int,
+    num_clauses: int,
+    rng: random.Random,
+) -> ThreeSatInstance:
+    """A uniform random 3SAT instance (three distinct variables per clause)."""
+    if num_variables < 3:
+        raise InputError("random 3SAT needs at least 3 variables for distinct picks")
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_variables + 1), 3)
+        clause = tuple(
+            var if rng.random() < 0.5 else -var for var in variables
+        )
+        clauses.append(clause)
+    return ThreeSatInstance(num_variables, tuple(clauses))
+
+
+def brute_force_sat(instance: ThreeSatInstance) -> dict[int, bool] | None:
+    """A satisfying assignment by exhaustive search, or None.
+
+    Exponential — the tests use it on ≤ ~15 variables as the ground truth
+    the reduction must agree with.
+    """
+    variables = range(1, instance.num_variables + 1)
+    for values in itertools.product((False, True), repeat=instance.num_variables):
+        assignment = dict(zip(variables, values))
+        if instance.evaluate(assignment):
+            return assignment
+    return None

@@ -1,0 +1,77 @@
+"""Exact Cover by 3-Sets (X3C): the substrate of the Theorem 4.1(b) reduction.
+
+Given ``X`` with ``|X| = 3q`` and a collection ``S`` of 3-element subsets
+of ``X``, decide whether some sub-collection ``S' ⊆ S`` partitions ``X``
+(every element in exactly one member of ``S'``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.utils.errors import InputError
+
+__all__ = ["X3CInstance", "random_x3c", "brute_force_x3c"]
+
+
+@dataclass(frozen=True)
+class X3CInstance:
+    """An X3C instance over elements ``0 .. 3q-1``."""
+
+    q: int
+    triples: tuple[frozenset[int], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise InputError("q must be at least 1")
+        universe = set(range(3 * self.q))
+        for triple in self.triples:
+            if len(triple) != 3:
+                raise InputError(f"{set(triple)!r} is not a 3-element subset")
+            if not triple <= universe:
+                raise InputError(f"{set(triple)!r} leaves the universe 0..{3*self.q - 1}")
+
+    @property
+    def universe(self) -> frozenset[int]:
+        """The ground set X."""
+        return frozenset(range(3 * self.q))
+
+    def is_exact_cover(self, chosen: tuple[int, ...]) -> bool:
+        """True when the chosen triple indices partition X."""
+        covered: set[int] = set()
+        for index in chosen:
+            triple = self.triples[index]
+            if covered & triple:
+                return False
+            covered |= triple
+        return covered == set(self.universe)
+
+
+def random_x3c(q: int, num_triples: int, rng: random.Random, plant: bool = True) -> X3CInstance:
+    """A random X3C instance; with ``plant`` a solution is guaranteed.
+
+    Planting shuffles the universe into q disjoint triples and hides them
+    among random ones, so the tests can generate both satisfiable and
+    (probably) unsatisfiable instances.
+    """
+    triples: list[frozenset[int]] = []
+    if plant:
+        elements = list(range(3 * q))
+        rng.shuffle(elements)
+        for i in range(q):
+            triples.append(frozenset(elements[3 * i : 3 * i + 3]))
+    while len(triples) < num_triples:
+        triples.append(frozenset(rng.sample(range(3 * q), 3)))
+    rng.shuffle(triples)
+    return X3CInstance(q, tuple(triples))
+
+
+def brute_force_x3c(instance: X3CInstance) -> tuple[int, ...] | None:
+    """Find an exact cover by exhaustive search over q-subsets, or None."""
+    indices = range(len(instance.triples))
+    for chosen in itertools.combinations(indices, instance.q):
+        if instance.is_exact_cover(chosen):
+            return chosen
+    return None

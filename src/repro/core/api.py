@@ -1,0 +1,110 @@
+"""High-level matching facade.
+
+One entry point, :func:`match`, wires together the metric choice
+(cardinality vs overall similarity), the 1-1 constraint, the Appendix-B
+optimizations, and the match decision rule used throughout the paper's
+experiments (a graph matches when the mapping quality reaches a
+threshold — 0.75 in Section 6).
+
+:func:`closure_pattern` implements the Remark of Section 3.2: replacing
+``G1`` by its transitive closure ``G1⁺`` turns the edge-to-path semantics
+into a symmetric path-to-path comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.comp_max_card import comp_max_card, comp_max_card_injective
+from repro.core.comp_max_sim import comp_max_sim, comp_max_sim_injective
+from repro.core.optimize import comp_max_card_partitioned
+from repro.core.phom import PHomResult
+from repro.graph.closure import transitive_closure_graph
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+__all__ = ["MatchReport", "match", "closure_pattern"]
+
+#: The paper's experimental match-decision threshold (Section 6).
+DEFAULT_MATCH_THRESHOLD = 0.75
+
+
+@dataclass
+class MatchReport:
+    """A match decision plus the mapping it rests on."""
+
+    matched: bool
+    quality: float
+    threshold: float
+    metric: str
+    result: PHomResult
+
+
+def closure_pattern(graph1: DiGraph) -> DiGraph:
+    """``G1⁺`` — for the symmetric (path-to-path) matching of Section 3.2.
+
+    "one only need to compute G1⁺, the transitive closure of G1, and check
+    whether G1⁺ ≾(e,p) G2."
+    """
+    return transitive_closure_graph(graph1)
+
+
+def match(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    metric: str = "cardinality",
+    injective: bool = False,
+    threshold: float = DEFAULT_MATCH_THRESHOLD,
+    partitioned: bool = False,
+    symmetric: bool = False,
+) -> MatchReport:
+    """Match ``graph1`` (pattern) against ``graph2`` (data graph).
+
+    Parameters
+    ----------
+    metric:
+        ``"cardinality"`` maximises ``qualCard`` (CPH family);
+        ``"similarity"`` maximises ``qualSim`` (SPH family).
+    injective:
+        Enforce the 1-1 constraint (CPH^{1-1} / SPH^{1-1}).
+    threshold:
+        Declare a match when the mapping quality reaches this value
+        (paper default 0.75).
+    partitioned:
+        Apply the Appendix-B pattern-partitioning optimization
+        (cardinality metric only).
+    symmetric:
+        Match ``G1⁺`` instead of ``G1`` (path-to-path semantics).
+    """
+    if metric not in ("cardinality", "similarity"):
+        raise InputError(f"unknown metric {metric!r}")
+    if not 0.0 <= threshold <= 1.0:
+        raise InputError(f"threshold must lie in [0, 1], got {threshold!r}")
+    pattern = closure_pattern(graph1) if symmetric else graph1
+
+    if metric == "cardinality":
+        if partitioned:
+            result = comp_max_card_partitioned(pattern, graph2, mat, xi, injective=injective)
+        elif injective:
+            result = comp_max_card_injective(pattern, graph2, mat, xi)
+        else:
+            result = comp_max_card(pattern, graph2, mat, xi)
+        quality = result.qual_card
+    else:
+        if partitioned:
+            raise InputError("partitioned matching is implemented for the cardinality metric")
+        runner: Callable = comp_max_sim_injective if injective else comp_max_sim
+        result = runner(pattern, graph2, mat, xi)
+        quality = result.qual_sim
+
+    return MatchReport(
+        matched=quality >= threshold,
+        quality=quality,
+        threshold=threshold,
+        metric=metric,
+        result=result,
+    )

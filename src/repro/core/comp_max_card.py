@@ -1,0 +1,78 @@
+"""Algorithms compMaxCard and compMaxCard^{1-1} (paper Section 5, Fig. 3).
+
+Approximation algorithms for the maximum cardinality problems CPH and
+CPH^{1-1}: find a (1-1) p-hom mapping from a subgraph of ``G1`` to ``G2``
+maximising ``qualCard``.  The returned mapping's quality is within
+``O(log²(n1·n2)/(n1·n2))`` of the optimum (Proposition 5.2), because the
+greedy engine simulates ISRemoval on the product graph of ``G1 × G2⁺``.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import comp_max_card_engine
+from repro.core.phom import PHomResult
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.timing import Stopwatch
+
+__all__ = ["comp_max_card", "comp_max_card_injective"]
+
+
+def _run(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool,
+    pick: str = "similarity",
+) -> PHomResult:
+    with Stopwatch() as watch:
+        workspace = MatchingWorkspace(graph1, graph2, mat, xi)
+        pairs, stats = comp_max_card_engine(
+            workspace, workspace.initial_good(), injective=injective, pick=pick
+        )
+    stats["candidate_pairs"] = workspace.num_candidate_pairs()
+    stats["elapsed_seconds"] = watch.elapsed
+    return PHomResult(
+        mapping=workspace.mapping_to_nodes(pairs),
+        qual_card=workspace.qual_card_of(pairs),
+        qual_sim=workspace.qual_sim_of(pairs),
+        injective=injective,
+        stats=stats,
+    )
+
+
+def comp_max_card(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    pick: str = "similarity",
+) -> PHomResult:
+    """Approximate CPH: a p-hom mapping maximising ``qualCard``.
+
+    ``pick`` selects greedyMatch's candidate rule: ``"similarity"``
+    (default — best ``mat()`` first) or ``"arbitrary"`` (the paper's
+    unconstrained pick; see ``repro.core.engine.PICK_RULES``).
+
+    >>> from repro.graph import DiGraph
+    >>> from repro.similarity import label_equality_matrix
+    >>> g1 = DiGraph.from_edges([("a", "b")])
+    >>> g2 = DiGraph.from_edges([("a", "x"), ("x", "b")])
+    >>> result = comp_max_card(g1, g2, label_equality_matrix(g1, g2), xi=0.5)
+    >>> result.qual_card
+    1.0
+    """
+    return _run(graph1, graph2, mat, xi, injective=False, pick=pick)
+
+
+def comp_max_card_injective(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    pick: str = "similarity",
+) -> PHomResult:
+    """Approximate CPH^{1-1}: a 1-1 p-hom mapping maximising ``qualCard``."""
+    return _run(graph1, graph2, mat, xi, injective=True, pick=pick)

@@ -1,0 +1,125 @@
+"""Algorithms compMaxSim and compMaxSim^{1-1} (paper Section 5).
+
+Approximation algorithms for the maximum overall similarity problems SPH
+and SPH^{1-1}.  They borrow Halldórsson's weighted-independent-set trick:
+
+    "compMaxSim first partitions the initial matching list H into
+    log(|V1||V2|) groups, and then it applies compMaxCard to each group.
+    It returns σ with the maximum qualSim(σ) among p-hom mappings for all
+    these groups."
+
+A candidate pair (v, u) corresponds to the product-graph node [v, u] with
+weight ``w(v) · mat(v, u)``; pairs lighter than ``W / (n1·n2)`` are dropped
+(they cannot matter: all of them together weigh less than one top pair),
+and the rest are bucketed geometrically so that within a group weights
+agree within a factor of 2 — which is what lets the unweighted cardinality
+engine stand in for the weighted objective, preserving the
+O(log²(n1·n2)/(n1·n2)) guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.engine import comp_max_card_engine
+from repro.core.phom import PHomResult
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.timing import Stopwatch
+from repro.wis.weighted import weight_group_index
+
+__all__ = ["comp_max_sim", "comp_max_sim_injective", "partition_pairs_by_weight"]
+
+
+def partition_pairs_by_weight(
+    workspace: MatchingWorkspace,
+) -> list[dict[int, int]]:
+    """Split the initial matching list into geometric weight groups.
+
+    Returns per-group matching lists (pattern index -> candidate bitmask).
+    Groups are ordered heaviest first; empty groups are dropped.
+    """
+    n1 = len(workspace.nodes1)
+    n2 = len(workspace.nodes2)
+    if n1 == 0 or n2 == 0:
+        return []
+    pairs = [
+        (v, u, workspace.pair_weight(v, u))
+        for v in range(n1)
+        for u in workspace.scores[v]
+    ]
+    if not pairs:
+        return []
+    top = max(weight for _, _, weight in pairs)
+    if top <= 0.0:
+        return []
+    product_size = n1 * n2
+    cutoff = top / product_size
+    num_groups = max(1, math.ceil(math.log2(product_size))) if product_size > 1 else 1
+    groups: list[dict[int, int]] = [dict() for _ in range(num_groups)]
+    for v, u, weight in pairs:
+        if weight < cutoff:
+            continue
+        index = weight_group_index(weight, top, num_groups) - 1
+        groups[index][v] = groups[index].get(v, 0) | (1 << u)
+    return [group for group in groups if group]
+
+
+def _run(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool,
+    pick: str = "similarity",
+) -> PHomResult:
+    with Stopwatch() as watch:
+        workspace = MatchingWorkspace(graph1, graph2, mat, xi)
+        groups = partition_pairs_by_weight(workspace)
+        best_pairs: list[tuple[int, int]] = []
+        best_sim = -1.0
+        total_rounds = 0
+        for group in groups:
+            pairs, stats = comp_max_card_engine(
+                workspace, group, injective=injective, pick=pick
+            )
+            total_rounds += stats["rounds"]
+            sim = workspace.qual_sim_of(pairs)
+            if sim > best_sim:
+                best_sim = sim
+                best_pairs = pairs
+    return PHomResult(
+        mapping=workspace.mapping_to_nodes(best_pairs),
+        qual_card=workspace.qual_card_of(best_pairs),
+        qual_sim=workspace.qual_sim_of(best_pairs),
+        injective=injective,
+        stats={
+            "groups": len(groups),
+            "rounds": total_rounds,
+            "candidate_pairs": workspace.num_candidate_pairs(),
+            "elapsed_seconds": watch.elapsed,
+        },
+    )
+
+
+def comp_max_sim(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    pick: str = "similarity",
+) -> PHomResult:
+    """Approximate SPH: a p-hom mapping maximising ``qualSim``."""
+    return _run(graph1, graph2, mat, xi, injective=False, pick=pick)
+
+
+def comp_max_sim_injective(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    pick: str = "similarity",
+) -> PHomResult:
+    """Approximate SPH^{1-1}: a 1-1 p-hom mapping maximising ``qualSim``."""
+    return _run(graph1, graph2, mat, xi, injective=True, pick=pick)

@@ -1,0 +1,152 @@
+"""Exact decision procedures: is ``G1 ≾(e,p) G2``?  Is ``G1 ≾¹⁻¹(e,p) G2``?
+
+Both problems are NP-complete (Theorem 4.1), so these are exponential-time
+backtracking searches.  They exist because the system needs ground truth:
+
+* the experiment harness never uses them (it uses the approximation
+  algorithms, as the paper does), but
+* the reduction tests do — a 3SAT instance is satisfiable iff the reduced
+  instance admits a p-hom mapping, and the search must agree with the
+  brute-force SAT solver on every random instance; and
+* the decision of ``G1 ≾ G2`` doubles as the "did the optimizer find a
+  total mapping" oracle in the algorithm tests.
+
+The search assigns pattern nodes in most-constrained-first order with
+forward checking over bitmask candidate sets — the same masks the
+approximation engine uses — and supports an optional wall-clock deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.timing import Deadline
+
+__all__ = ["find_phom_mapping", "is_phom", "is_phom_injective"]
+
+Node = Hashable
+
+
+def find_phom_mapping(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool = False,
+    budget_seconds: float | None = None,
+    workspace: MatchingWorkspace | None = None,
+) -> dict[Node, Node] | None:
+    """Search for a *total* (1-1) p-hom mapping from ``graph1`` to ``graph2``.
+
+    Returns the mapping, or None when none exists.  Raises
+    :class:`~repro.utils.errors.TimeBudgetExceeded` if ``budget_seconds``
+    elapses first.  A prebuilt (possibly customised, e.g. hop-bounded)
+    ``workspace`` may be supplied; by default the standard one is built.
+    """
+    if workspace is None:
+        workspace = MatchingWorkspace(graph1, graph2, mat, xi)
+    n1 = len(workspace.nodes1)
+    if n1 == 0:
+        return {}
+    masks = list(workspace.cand_mask)
+    if not all(masks):
+        return None  # some pattern node has no candidate at all
+
+    deadline = Deadline(budget_seconds)
+    # Most-constrained-first: fewest candidates assigned earliest.
+    order = sorted(range(n1), key=lambda v: (masks[v].bit_count(), v))
+    position_in_order = {v: i for i, v in enumerate(order)}
+    prev, post = workspace.prev, workspace.post
+    to_mask, from_mask = workspace.to_mask, workspace.from_mask
+    assignment: list[int] = [-1] * n1
+
+    def propagate(masks_now: list[int], v: int, u: int) -> list[int] | None:
+        """Forward-check the assignment v -> u; None signals a dead end."""
+        narrowed = list(masks_now)
+        narrowed[v] = 1 << u
+        u_bit = 1 << u
+        if injective:
+            for other in range(n1):
+                if other != v and assignment[other] == -1:
+                    narrowed[other] &= ~u_bit
+                    if not narrowed[other]:
+                        return None
+        for parent in prev[v]:
+            if parent != v and assignment[parent] == -1:
+                narrowed[parent] &= to_mask[u]
+                if not narrowed[parent]:
+                    return None
+        for child in post[v]:
+            if child != v and assignment[child] == -1:
+                narrowed[child] &= from_mask[u]
+                if not narrowed[child]:
+                    return None
+        return narrowed
+
+    def consistent(v: int, u: int) -> bool:
+        """Check v -> u against every already-assigned neighbor."""
+        for parent in prev[v]:
+            if parent != v and assignment[parent] != -1:
+                if not from_mask[assignment[parent]] >> u & 1:
+                    return False
+        for child in post[v]:
+            if child != v and assignment[child] != -1:
+                if not from_mask[u] >> assignment[child] & 1:
+                    return False
+        return True
+
+    def search(depth: int, masks_now: list[int]) -> bool:
+        deadline.check("find_phom_mapping")
+        if depth == n1:
+            return True
+        v = order[depth]
+        candidates = masks_now[v]
+        for u in workspace.pref[v]:
+            if not candidates >> u & 1:
+                continue
+            if not consistent(v, u):
+                continue
+            narrowed = propagate(masks_now, v, u)
+            if narrowed is None:
+                continue
+            assignment[v] = u
+            if search(depth + 1, narrowed):
+                return True
+            assignment[v] = -1
+        return False
+
+    if not search(0, masks):
+        return None
+    pairs = [(v, assignment[v]) for v in range(n1)]
+    return workspace.mapping_to_nodes(pairs)
+
+
+def is_phom(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    budget_seconds: float | None = None,
+) -> bool:
+    """Decide ``G1 ≾(e,p) G2`` (exact, exponential time)."""
+    return (
+        find_phom_mapping(graph1, graph2, mat, xi, injective=False, budget_seconds=budget_seconds)
+        is not None
+    )
+
+
+def is_phom_injective(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    budget_seconds: float | None = None,
+) -> bool:
+    """Decide ``G1 ≾¹⁻¹(e,p) G2`` (exact, exponential time)."""
+    return (
+        find_phom_mapping(graph1, graph2, mat, xi, injective=True, budget_seconds=budget_seconds)
+        is not None
+    )

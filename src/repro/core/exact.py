@@ -1,0 +1,80 @@
+"""Exact (optimal) solutions of CPH, CPH^{1-1}, SPH and SPH^{1-1}.
+
+By the product-graph characterisation (Appendix A, Claim 2), an optimal
+p-hom mapping from a subgraph of ``G1`` to ``G2`` is exactly a maximum
+clique of the product graph (maximum *weight* clique for the similarity
+metric).  These solvers are exponential-time ground truth for the tests
+and for small-instance quality studies: every approximation result must be
+bounded by them, and the approximation-ratio benchmarks report the
+measured gap against the paper's O(log²(n1·n2)/(n1·n2)) bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.phom import PHomResult
+from repro.core.product import pairs_to_mapping, product_graph
+from repro.core.quality import qual_card, qual_sim
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.timing import Deadline, Stopwatch
+from repro.wis.exact import max_clique, max_weight_clique
+
+__all__ = ["exact_comp_max_card", "exact_comp_max_sim"]
+
+
+def exact_comp_max_card(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool = False,
+    budget_seconds: float | None = None,
+) -> PHomResult:
+    """Optimal CPH / CPH^{1-1} via exact maximum clique on the product graph.
+
+    Raises :class:`~repro.utils.errors.TimeBudgetExceeded` when the budget
+    runs out (the incumbent clique rides along on the exception).
+    """
+    with Stopwatch() as watch:
+        product = product_graph(graph1, graph2, mat, xi, injective, weighting="cardinality")
+        clique = max_clique(product, Deadline(budget_seconds))
+        mapping = pairs_to_mapping(clique)
+    return PHomResult(
+        mapping=mapping,
+        qual_card=qual_card(mapping, graph1),
+        qual_sim=qual_sim(mapping, graph1, mat),
+        injective=injective,
+        stats={
+            "product_nodes": product.num_nodes(),
+            "product_edges": product.num_edges(),
+            "optimal": True,
+            "elapsed_seconds": watch.elapsed,
+        },
+    )
+
+
+def exact_comp_max_sim(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool = False,
+    budget_seconds: float | None = None,
+) -> PHomResult:
+    """Optimal SPH / SPH^{1-1} via exact maximum-weight clique."""
+    with Stopwatch() as watch:
+        product = product_graph(graph1, graph2, mat, xi, injective, weighting="similarity")
+        clique = max_weight_clique(product, Deadline(budget_seconds))
+        mapping = pairs_to_mapping(clique)
+    return PHomResult(
+        mapping=mapping,
+        qual_card=qual_card(mapping, graph1),
+        qual_sim=qual_sim(mapping, graph1, mat),
+        injective=injective,
+        stats={
+            "product_nodes": product.num_nodes(),
+            "product_edges": product.num_edges(),
+            "optimal": True,
+            "elapsed_seconds": watch.elapsed,
+        },
+    )

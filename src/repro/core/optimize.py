@@ -1,0 +1,310 @@
+"""Appendix-B optimization techniques: pattern partitioning, data compression.
+
+**Partitioning G1** (paper Fig. 10(a), Proposition 1): pattern nodes with
+no candidate at all cannot contribute to any mapping, so the pattern is
+restricted to the rest and split into pairwise disconnected (weakly
+connected) components; each component is solved independently and the
+mappings are unioned.  A single-node component is matched directly to its
+best candidate.  Beyond speed, partitioning *improves* the approximation
+guarantee — the bound log²n/n worsens with n, so solving smaller pieces
+helps (the paper's observation about y = log²n/n being decreasing past e²).
+
+For the 1-1 variants, a naive union could map two components onto the same
+data node.  Proposition 1 is stated for p-hom; we keep the 1-1 variant
+sound by solving components sequentially and excluding the data nodes
+already consumed by earlier components (a documented, conservative
+deviation — tests assert validity, and the ablation bench measures the
+effect).
+
+**Compressing G2⁺** (paper Fig. 10(b)): every SCC of ``G2`` is a clique of
+``G2⁺``; the compressed graph ``G2*`` replaces each SCC by a single
+bag-of-labels node with a self-loop.  Matching runs against ``G2*`` and the
+result is *decompressed*: each pattern node mapped to a bag picks a
+concrete member with ``mat ≥ ξ``.  For 1-1 mappings a bag of k members may
+absorb up to k pattern nodes (the engine's capacity mechanism), and
+decompression assigns distinct members via bipartite matching, dropping
+pattern nodes only when member-level similarity makes a bag's quota
+unrealisable (Hall violations — counted in the stats).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.core.engine import comp_max_card_engine
+from repro.core.phom import PHomResult
+from repro.core.quality import qual_card, qual_sim
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import Condensation
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "pattern_components",
+    "comp_max_card_partitioned",
+    "CompressedDataGraph",
+    "compress_data_graph",
+    "comp_max_card_compressed",
+]
+
+Node = Hashable
+
+
+# ----------------------------------------------------------------------
+# Partitioning G1
+# ----------------------------------------------------------------------
+def pattern_components(workspace: MatchingWorkspace) -> tuple[list[list[int]], list[int]]:
+    """Split the candidate-bearing pattern nodes into weak components.
+
+    Returns ``(components, removed)`` over pattern-node *indices*:
+    ``removed`` are the candidate-free nodes (the set S1 of the paper),
+    and ``components`` partitions the rest by weak connectivity in
+    ``G1[V1 \\ S1]``.
+    """
+    keep = {v for v, mask in enumerate(workspace.cand_mask) if mask}
+    removed = [v for v in range(len(workspace.nodes1)) if v not in keep]
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for root in range(len(workspace.nodes1)):
+        if root not in keep or root in seen:
+            continue
+        component: list[int] = []
+        queue: deque[int] = deque([root])
+        seen.add(root)
+        while queue:
+            v = queue.popleft()
+            component.append(v)
+            for other in workspace.prev[v] + workspace.post[v]:
+                if other in keep and other not in seen:
+                    seen.add(other)
+                    queue.append(other)
+        components.append(component)
+    return components, removed
+
+
+def comp_max_card_partitioned(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool = False,
+) -> PHomResult:
+    """compMaxCard with the Appendix-B partitioning optimization.
+
+    Each weakly connected component of the candidate-bearing pattern is
+    solved independently (Proposition 1); single-node components short-cut
+    to their best candidate.  With ``injective`` the components are solved
+    sequentially with used data nodes excluded.
+    """
+    with Stopwatch() as watch:
+        workspace = MatchingWorkspace(graph1, graph2, mat, xi)
+        components, removed = pattern_components(workspace)
+        all_pairs: list[tuple[int, int]] = []
+        used_mask = 0
+        rounds = 0
+        for component in components:
+            if len(component) == 1:
+                # Paper: "a match is simply {(v, u)} where mat(v, u) is best".
+                v = component[0]
+                mask = workspace.cand_mask[v] & ~used_mask
+                chosen = next((u for u in workspace.pref[v] if mask >> u & 1), None)
+                if chosen is not None:
+                    all_pairs.append((v, chosen))
+                    if injective:
+                        used_mask |= 1 << chosen
+                continue
+            initial = {
+                v: workspace.cand_mask[v] & ~used_mask
+                for v in component
+                if workspace.cand_mask[v] & ~used_mask
+            }
+            pairs, stats = comp_max_card_engine(workspace, initial, injective=injective)
+            rounds += stats["rounds"]
+            all_pairs.extend(pairs)
+            if injective:
+                for _, u in pairs:
+                    used_mask |= 1 << u
+    return PHomResult(
+        mapping=workspace.mapping_to_nodes(all_pairs),
+        qual_card=workspace.qual_card_of(all_pairs),
+        qual_sim=workspace.qual_sim_of(all_pairs),
+        injective=injective,
+        stats={
+            "components": len(components),
+            "candidate_free": len(removed),
+            "rounds": rounds,
+            "elapsed_seconds": watch.elapsed,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Compressing G2+
+# ----------------------------------------------------------------------
+class CompressedDataGraph:
+    """``G2*``: the SCC-compressed transitive closure of a data graph.
+
+    Nodes are integer SCC ids.  Each carries the *bag* of its members'
+    labels; an SCC with an internal cycle gets a self-loop (its members
+    reach themselves and each other by nonempty paths).  ``G2*`` edges
+    follow the condensation DAG, so the reachability of ``G2*`` agrees
+    with that of ``G2⁺`` at bag granularity.
+    """
+
+    def __init__(self, graph2: DiGraph) -> None:
+        self.original = graph2
+        cond = Condensation(graph2)
+        self.members: list[list[Node]] = [list(members) for members in cond.components]
+        self.component_of: dict[Node, int] = dict(cond.component_of)
+        star = DiGraph(name=f"{graph2.name}*" if graph2.name else "G2*")
+        for cid, members in enumerate(self.members):
+            star.add_node(
+                cid,
+                label=tuple(sorted((repr(graph2.label(m)) for m in members))),
+            )
+        for cid in range(len(self.members)):
+            if cond.has_internal_cycle(cid):
+                star.add_edge(cid, cid)
+            for succ in cond.successors(cid):
+                star.add_edge(cid, succ)
+        self.star = star
+
+    def compressed_matrix(self, mat: SimilarityMatrix, graph1: DiGraph) -> SimilarityMatrix:
+        """``mat*(v, cid) = max over members u of cid of mat(v, u)``."""
+        mat_star = SimilarityMatrix()
+        for v in graph1.nodes():
+            for u, score in mat.row(v).items():
+                cid = self.component_of.get(u)
+                if cid is None:
+                    continue
+                if score > mat_star(v, cid):
+                    mat_star.set(v, cid, score)
+        return mat_star
+
+    def capacities_for(self, workspace: MatchingWorkspace) -> dict[int, int]:
+        """Per-bag 1-1 capacities: a bag may absorb up to |members| nodes."""
+        return {
+            workspace.index2[cid]: len(self.members[cid])
+            for cid in range(len(self.members))
+            if cid in workspace.index2
+        }
+
+
+def compress_data_graph(graph2: DiGraph) -> CompressedDataGraph:
+    """Build the Appendix-B compressed data graph of ``graph2``."""
+    return CompressedDataGraph(graph2)
+
+
+def _decompress_phom(
+    compressed: CompressedDataGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    star_mapping: dict[Node, int],
+) -> dict[Node, Node]:
+    """Pick the best ξ-feasible member per bag assignment (p-hom case)."""
+    mapping: dict[Node, Node] = {}
+    for v, cid in star_mapping.items():
+        best_u = None
+        best_score = -1.0
+        for u in compressed.members[cid]:
+            score = mat(v, u)
+            if score >= xi and score > best_score:
+                best_u = u
+                best_score = score
+        if best_u is not None:  # guaranteed: mat*(v, cid) ≥ ξ implies a member
+            mapping[v] = best_u
+    return mapping
+
+
+def _decompress_injective(
+    compressed: CompressedDataGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    star_mapping: dict[Node, int],
+) -> tuple[dict[Node, Node], int]:
+    """Assign distinct members per bag via bipartite matching (Kuhn's).
+
+    Returns the mapping and the number of pattern nodes dropped because a
+    bag's quota was unrealisable at member level (Hall violations).
+    """
+    by_bag: dict[int, list[Node]] = {}
+    for v, cid in star_mapping.items():
+        by_bag.setdefault(cid, []).append(v)
+
+    mapping: dict[Node, Node] = {}
+    dropped = 0
+    for cid, pattern_nodes in by_bag.items():
+        members = compressed.members[cid]
+        feasible = {
+            v: [u for u in members if mat(v, u) >= xi] for v in pattern_nodes
+        }
+        # Kuhn's augmenting-path matching: member -> pattern node.
+        owner: dict[Node, Node] = {}
+
+        def try_assign(v: Node, visited: set[Node]) -> bool:
+            for u in feasible[v]:
+                if u in visited:
+                    continue
+                visited.add(u)
+                if u not in owner or try_assign(owner[u], visited):
+                    owner[u] = v
+                    return True
+            return False
+
+        # Hardest-to-place first improves the greedy augmenting order.
+        for v in sorted(pattern_nodes, key=lambda x: len(feasible[x])):
+            if not try_assign(v, set()):
+                dropped += 1
+        for u, v in owner.items():
+            mapping[v] = u
+    return mapping, dropped
+
+
+def comp_max_card_compressed(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool = False,
+) -> PHomResult:
+    """compMaxCard against the SCC-compressed data graph, then decompress.
+
+    Matches on ``G2*`` (often dramatically smaller than ``G2⁺`` when the
+    data graph has large SCCs) and lifts the bag-level mapping back to
+    concrete ``G2`` nodes.  Quality is computed against the original graph
+    and matrix, so results are directly comparable with the uncompressed
+    algorithm.
+    """
+    with Stopwatch() as watch:
+        compressed = compress_data_graph(graph2)
+        mat_star = compressed.compressed_matrix(mat, graph1)
+        workspace = MatchingWorkspace(graph1, compressed.star, mat_star, xi)
+        capacities = compressed.capacities_for(workspace) if injective else None
+        pairs, stats = comp_max_card_engine(
+            workspace,
+            workspace.initial_good(),
+            injective=injective,
+            capacities=capacities,
+        )
+        star_mapping = {
+            workspace.nodes1[v]: workspace.nodes2[u] for v, u in pairs
+        }
+        if injective:
+            mapping, dropped = _decompress_injective(compressed, mat, xi, star_mapping)
+        else:
+            mapping = _decompress_phom(compressed, mat, xi, star_mapping)
+            dropped = len(star_mapping) - len(mapping)
+    return PHomResult(
+        mapping=mapping,
+        qual_card=qual_card(mapping, graph1),
+        qual_sim=qual_sim(mapping, graph1, mat),
+        injective=injective,
+        stats={
+            "bags": len(compressed.members),
+            "hall_drops": dropped,
+            "rounds": stats["rounds"],
+            "elapsed_seconds": watch.elapsed,
+        },
+    )

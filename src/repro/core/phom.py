@@ -1,0 +1,136 @@
+"""P-homomorphism definitions: mappings, results and validity checking.
+
+Section 3.2 of the paper.  ``G1 ≾(e,p) G2`` w.r.t. ``mat()`` and ``ξ`` when
+a mapping ``σ : V1 → V2`` satisfies, for every node ``v ∈ V1``:
+
+1. if ``σ(v) = u`` then ``mat(v, u) ≥ ξ``; and
+2. for each edge ``(v, v') ∈ E1`` there is a **nonempty path**
+   ``u / ... / u'`` in ``G2`` with ``σ(v') = u'``.
+
+``G1 ≾¹⁻¹(e,p) G2`` additionally requires ``σ`` injective.  The
+optimization problems allow ``σ`` to be defined on an induced subgraph of
+``G1``; condition 2 then applies to the edges *between matched nodes*.
+
+:func:`check_phom_mapping` verifies all of this explicitly and reports
+every violation — it is the ground-truth oracle the algorithm tests lean
+on, deliberately simple and independent of the optimised engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.graph.closure import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+__all__ = ["PHomResult", "Violation", "check_phom_mapping", "validate_threshold"]
+
+Node = Hashable
+
+
+def validate_threshold(xi: float) -> None:
+    """Reject thresholds outside (0, 1] — ξ = 0 would admit every pair."""
+    if not 0.0 < xi <= 1.0:
+        raise InputError(f"similarity threshold xi must lie in (0, 1], got {xi!r}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One way a candidate mapping fails to be a (1-1) p-hom mapping."""
+
+    kind: str  # 'node', 'similarity', 'edge', 'injectivity'
+    detail: str
+
+
+@dataclass
+class PHomResult:
+    """Outcome of a matching algorithm: the mapping plus its quality.
+
+    ``mapping`` sends matched pattern nodes to data nodes; nodes absent
+    from it were left unmatched.  ``qual_card`` / ``qual_sim`` are the
+    Section 3.3 metrics of the mapping; ``injective`` records whether the
+    1-1 constraint was enforced; ``stats`` carries algorithm-specific
+    counters (rounds, explored pairs, elapsed seconds).
+    """
+
+    mapping: dict[Node, Node]
+    qual_card: float
+    qual_sim: float
+    injective: bool = False
+    stats: dict = field(default_factory=dict)
+
+    def is_total(self, graph1: DiGraph) -> bool:
+        """True when every node of ``graph1`` is matched (G1 ≾ G2 holds)."""
+        return len(self.mapping) == graph1.num_nodes()
+
+    def matched_nodes(self) -> set[Node]:
+        """The matched subset ``V1'`` of the pattern."""
+        return set(self.mapping)
+
+
+def check_phom_mapping(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mapping: Mapping[Node, Node],
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool = False,
+    reach: ReachabilityIndex | None = None,
+) -> list[Violation]:
+    """Return every violation of the (1-1) p-hom conditions (empty = valid).
+
+    The mapping is interpreted as a mapping from the subgraph of ``graph1``
+    induced by its domain, per the Section 3.3 optimization problems; pass a
+    total mapping to check ``G1 ≾(e,p) G2`` proper.  A prebuilt
+    :class:`ReachabilityIndex` for ``graph2`` may be supplied to amortise
+    repeated checks.
+    """
+    validate_threshold(xi)
+    violations: list[Violation] = []
+    for v, u in mapping.items():
+        if v not in graph1:
+            violations.append(Violation("node", f"pattern node {v!r} not in G1"))
+        if u not in graph2:
+            violations.append(Violation("node", f"data node {u!r} not in G2"))
+    if violations:
+        return violations
+
+    for v, u in mapping.items():
+        score = mat(v, u)
+        if score < xi:
+            violations.append(
+                Violation("similarity", f"mat({v!r}, {u!r}) = {score:.4f} < xi = {xi:.4f}")
+            )
+
+    if injective:
+        targets: dict[Node, Node] = {}
+        for v, u in mapping.items():
+            if u in targets:
+                violations.append(
+                    Violation(
+                        "injectivity",
+                        f"nodes {targets[u]!r} and {v!r} both map to {u!r}",
+                    )
+                )
+            else:
+                targets[u] = v
+
+    if reach is None:
+        reach = ReachabilityIndex(graph2)
+    for v, u in mapping.items():
+        for v_next in graph1.successors(v):
+            if v_next not in mapping:
+                continue  # edge leaves the matched subgraph
+            u_next = mapping[v_next]
+            if not reach.has_path(u, u_next):
+                violations.append(
+                    Violation(
+                        "edge",
+                        f"edge ({v!r}, {v_next!r}) has no path "
+                        f"{u!r} ~> {u_next!r} in G2",
+                    )
+                )
+    return violations

@@ -1,0 +1,132 @@
+"""The product graph of ``G1 × G2⁺`` and the AFP-reduction functions.
+
+The proof of Theorem 5.1 reduces SPH to WIS through a *product graph*
+``G(V, E)``:
+
+* ``V = {[v, u] | v ∈ V1, u ∈ V2, mat(v, u) ≥ ξ}``;
+* ``[v1, u1]`` and ``[v2, u2]`` are adjacent iff (a) ``v1 ≠ v2``, (b) a
+  self-loop on ``v`` in ``G1`` forces a loop on its image in ``G2⁺``, and
+  (c) ``(v1, v2) ∈ E1 ⇒ (u1, u2) ∈ E2⁺`` (and symmetrically for the
+  reverse edge);
+* the weight of ``[v, u]`` is ``mat(v, u)`` (times ``w(v)`` for SPH).
+
+Cliques of the product graph are exactly the p-hom mappings from induced
+subgraphs of ``G1`` (Claim 2 in Appendix A); independent sets of its
+complement ``Gc`` are the same thing, which is the WIS instance
+(function ``f``).  Function ``g`` maps a node set back to a mapping.  The
+1-1 problems add the edge-exclusion ``u1 = u2`` (two pattern nodes may not
+share an image), realised here by *omitting* product edges between pairs
+that share ``u``.
+
+These explicit constructions power the naive approximation algorithms, the
+exact optimum solvers, and the correspondence property tests.  The
+in-place engine of :mod:`repro.core.engine` never materialises them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import Graph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+__all__ = [
+    "product_graph",
+    "wis_instance",
+    "pairs_to_mapping",
+    "mapping_to_pairs",
+]
+
+Node = Hashable
+PairNode = tuple[Node, Node]
+
+
+def product_graph(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool = False,
+    weighting: str = "similarity",
+) -> Graph:
+    """Build the (undirected) product graph of the AFP-reduction.
+
+    ``weighting`` selects the node weights: ``"similarity"`` uses
+    ``w(v) · mat(v, u)`` (the SPH instance), ``"cardinality"`` uses 1.0
+    (the CPH instance — "by setting the weights of all nodes to 1").
+
+    Quadratic in the number of candidate pairs; intended for the naive
+    algorithms, exact solvers and tests.
+    """
+    if weighting not in ("similarity", "cardinality"):
+        raise InputError(f"unknown weighting {weighting!r}")
+    workspace = MatchingWorkspace(graph1, graph2, mat, xi)
+    pairs: list[tuple[int, int]] = [
+        (v, u) for v in range(len(workspace.nodes1)) for u in workspace.scores[v]
+    ]
+    product = Graph(name="product")
+    for v, u in pairs:
+        weight = workspace.pair_weight(v, u) if weighting == "similarity" else 1.0
+        # Zero-weight nodes are illegal in Graph and useless in WIS.
+        product.add_node(
+            (workspace.nodes1[v], workspace.nodes2[u]),
+            weight=max(weight, 1e-12),
+        )
+
+    post_sets = [set(children) for children in workspace.post]
+    from_mask = workspace.from_mask
+    for i, (v1, u1) in enumerate(pairs):
+        for v2, u2 in pairs[i + 1 :]:
+            if v1 == v2:
+                continue  # condition (a): a function maps each v once
+            if injective and u1 == u2:
+                continue  # the 1-1 exclusion of the SPH^{1-1} reduction
+            if v2 in post_sets[v1] and not from_mask[u1] >> u2 & 1:
+                continue  # condition (c), edge v1 -> v2
+            if v1 in post_sets[v2] and not from_mask[u2] >> u1 & 1:
+                continue  # condition (c), edge v2 -> v1
+            product.add_edge(
+                (workspace.nodes1[v1], workspace.nodes2[u1]),
+                (workspace.nodes1[v2], workspace.nodes2[u2]),
+            )
+    return product
+
+
+def wis_instance(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    injective: bool = False,
+    weighting: str = "similarity",
+) -> Graph:
+    """Function ``f`` of the AFP-reduction: the WIS instance ``Gc``.
+
+    The complement of the product graph: independent sets of ``Gc`` are
+    cliques of the product graph, i.e. (1-1) p-hom mappings from subgraphs
+    of ``G1``.
+    """
+    return product_graph(graph1, graph2, mat, xi, injective, weighting).complement(name="Gc")
+
+
+def pairs_to_mapping(pairs: Iterable[PairNode]) -> dict[Node, Node]:
+    """Function ``g`` of the AFP-reduction: node set -> p-hom mapping.
+
+    Rejects inputs that are not functions (two pairs sharing a pattern
+    node), which cannot arise from a clique/independent set of a correctly
+    built instance.
+    """
+    mapping: dict[Node, Node] = {}
+    for v, u in pairs:
+        if v in mapping and mapping[v] != u:
+            raise InputError(f"pairs map {v!r} to both {mapping[v]!r} and {u!r}")
+        mapping[v] = u
+    return mapping
+
+
+def mapping_to_pairs(mapping: dict[Node, Node]) -> set[PairNode]:
+    """Inverse of :func:`pairs_to_mapping` (for the correspondence tests)."""
+    return {(v, u) for v, u in mapping.items()}

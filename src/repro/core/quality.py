@@ -1,0 +1,64 @@
+"""The two graph-similarity metrics of Section 3.3.
+
+Given a p-hom mapping ``σ`` from a subgraph ``G1' = (V1', E1', L1')`` of
+``G1`` to ``G2``:
+
+* ``qualCard(σ) = |V1'| / |V1|`` — the fraction of pattern nodes matched
+  (maximum cardinality metric); and
+* ``qualSim(σ) = Σ_{v∈V1'} w(v)·mat(v, σ(v)) / Σ_{v∈V1} w(v)`` — the
+  weighted overall similarity (maximum overall similarity metric).
+
+Both lie in [0, 1].  For the empty pattern both metrics are defined as 1.0
+(every requirement is vacuously satisfied), a convention the optimization
+algorithms rely on for trivial inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+
+__all__ = ["MatchQuality", "qual_card", "qual_sim", "match_quality"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Both Section 3.3 metrics for one mapping."""
+
+    card: float
+    sim: float
+
+
+def qual_card(mapping: Mapping[Node, Node], graph1: DiGraph) -> float:
+    """``qualCard``: matched fraction of the pattern's nodes."""
+    total = graph1.num_nodes()
+    if total == 0:
+        return 1.0
+    return len(mapping) / total
+
+
+def qual_sim(
+    mapping: Mapping[Node, Node],
+    graph1: DiGraph,
+    mat: SimilarityMatrix,
+) -> float:
+    """``qualSim``: weighted similarity mass captured by the mapping."""
+    total = graph1.total_weight()
+    if total == 0.0:
+        return 1.0
+    captured = sum(graph1.weight(v) * mat(v, u) for v, u in mapping.items())
+    return captured / total
+
+
+def match_quality(
+    mapping: Mapping[Node, Node],
+    graph1: DiGraph,
+    mat: SimilarityMatrix,
+) -> MatchQuality:
+    """Both metrics at once."""
+    return MatchQuality(card=qual_card(mapping, graph1), sim=qual_sim(mapping, graph1, mat))

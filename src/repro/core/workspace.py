@@ -1,0 +1,135 @@
+"""Indexed workspace shared by the matching algorithms.
+
+``compMaxCard`` (paper Fig. 3) precomputes, before its greedy loop:
+
+* an adjacency list ``H1`` for the pattern (``prev`` / ``post`` per node,
+  lines 1–3);
+* the initial matching list ``H`` with
+  ``H[v].good = {u : mat(v, u) ≥ ξ}`` (line 4); and
+* the adjacency matrix ``H2`` of the transitive closure ``G2⁺``
+  (lines 5–7).
+
+:class:`MatchingWorkspace` is that precomputation with dense integer node
+indices and bitmask rows:
+
+* ``from_mask[u]`` — bitmask of data nodes reachable *from* ``u`` by a
+  nonempty path (a row of ``H2``);
+* ``to_mask[u]`` — bitmask of data nodes that can *reach* ``u`` (a column
+  of ``H2``, obtained as a row of the reversed graph's index), which turns
+  ``trimMatching``'s "prune candidates of v's parents" into one AND;
+* ``cand_mask[v]`` — the initial ``H[v].good`` as a bitmask.  Nodes with a
+  self-loop in the pattern are restricted to data nodes lying on a cycle,
+  matching condition (b) of the product-graph construction in the proof of
+  Theorem 5.1 (an edge ``(v, v)`` must map to a nonempty path
+  ``σ(v) ⇝ σ(v)``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.closure import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.core.phom import validate_threshold
+
+__all__ = ["MatchingWorkspace"]
+
+Node = Hashable
+
+
+class MatchingWorkspace:
+    """Index structures for matching ``graph1`` against ``graph2``."""
+
+    def __init__(
+        self,
+        graph1: DiGraph,
+        graph2: DiGraph,
+        mat: SimilarityMatrix,
+        xi: float,
+    ) -> None:
+        validate_threshold(xi)
+        self.graph1 = graph1
+        self.graph2 = graph2
+        self.mat = mat
+        self.xi = xi
+
+        self.nodes1: list[Node] = list(graph1.nodes())
+        self.nodes2: list[Node] = list(graph2.nodes())
+        self.index1: dict[Node, int] = {node: i for i, node in enumerate(self.nodes1)}
+        self.index2: dict[Node, int] = {node: i for i, node in enumerate(self.nodes2)}
+
+        # Pattern adjacency (H1 of the paper).
+        self.prev: list[list[int]] = [
+            [self.index1[p] for p in graph1.predecessors(v)] for v in self.nodes1
+        ]
+        self.post: list[list[int]] = [
+            [self.index1[s] for s in graph1.successors(v)] for v in self.nodes1
+        ]
+
+        # Reachability over G2 (H2 of the paper), forward and backward.
+        forward = ReachabilityIndex(graph2)
+        backward = ReachabilityIndex(graph2.reversed())
+        # Both indexes enumerate graph2's nodes in insertion order, so their
+        # bit positions agree; the assertion guards that invariant.
+        assert forward.position_of == backward.position_of
+        self.from_mask: list[int] = [forward.row(u) for u in self.nodes2]
+        self.to_mask: list[int] = [backward.row(u) for u in self.nodes2]
+        self.cycle_mask: int = 0
+        for i in range(len(self.nodes2)):
+            if self.from_mask[i] >> i & 1:
+                self.cycle_mask |= 1 << i
+
+        # Candidates and per-pair scores (sparse: only pairs with mat ≥ ξ).
+        self.scores: list[dict[int, float]] = []
+        self.cand_mask: list[int] = []
+        self.pref: list[list[int]] = []
+        for v in self.nodes1:
+            row: dict[int, float] = {}
+            for u, score in mat.row(v).items():
+                u_idx = self.index2.get(u)
+                if u_idx is not None and score >= xi:
+                    row[u_idx] = score
+            if graph1.has_self_loop(v):
+                row = {u: s for u, s in row.items() if self.cycle_mask >> u & 1}
+            self.scores.append(row)
+            mask = 0
+            for u_idx in row:
+                mask |= 1 << u_idx
+            self.cand_mask.append(mask)
+            # Candidate preference: highest similarity first, stable on index.
+            self.pref.append(sorted(row, key=lambda u_idx: (-row[u_idx], u_idx)))
+
+        self.weights1: list[float] = [graph1.weight(v) for v in self.nodes1]
+        self.total_weight1: float = sum(self.weights1)
+
+    # ------------------------------------------------------------------
+    def num_candidate_pairs(self) -> int:
+        """Total surviving (v, u) candidate pairs."""
+        return sum(len(row) for row in self.scores)
+
+    def initial_good(self) -> dict[int, int]:
+        """The initial matching list: v index -> candidate bitmask (nonempty)."""
+        return {v: mask for v, mask in enumerate(self.cand_mask) if mask}
+
+    def pair_weight(self, v_idx: int, u_idx: int) -> float:
+        """``w(v) · mat(v, u)`` — the node weight of [v, u] in the product graph."""
+        return self.weights1[v_idx] * self.scores[v_idx][u_idx]
+
+    def mapping_to_nodes(self, pairs) -> dict[Node, Node]:
+        """Convert index pairs back to original node identifiers."""
+        return {self.nodes1[v]: self.nodes2[u] for v, u in pairs}
+
+    def qual_card_of(self, pairs) -> float:
+        """``qualCard`` of a pair list (1.0 for an empty pattern)."""
+        n1 = len(self.nodes1)
+        if n1 == 0:
+            return 1.0
+        return len(pairs) / n1
+
+    def qual_sim_of(self, pairs) -> float:
+        """``qualSim`` of a pair list (1.0 for a zero-weight pattern)."""
+        if self.total_weight1 == 0.0:
+            return 1.0
+        captured = sum(self.pair_weight(v, u) for v, u in pairs)
+        return captured / self.total_weight1

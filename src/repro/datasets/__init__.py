@@ -1,0 +1,31 @@
+"""Workload generators for the paper's experiments.
+
+The simulated WebBase site archives (Exp-1, Tables 2–3), the degree/top-k
+skeleton extraction, and the Section 6 synthetic pattern+noise generator
+(Exp-2, Figures 5–6), plus the token content model behind shingle
+similarity.
+"""
+
+from repro.datasets.content import ContentModel
+from repro.datasets.webbase import (
+    SiteArchive,
+    SiteProfile,
+    generate_archive,
+    paper_sites,
+)
+from repro.datasets.skeleton import degree_skeleton, skeleton_threshold, top_k_skeleton
+from repro.datasets.synthetic import SyntheticWorkload, generate_workload, noisy_copy
+
+__all__ = [
+    "ContentModel",
+    "SiteArchive",
+    "SiteProfile",
+    "generate_archive",
+    "paper_sites",
+    "degree_skeleton",
+    "skeleton_threshold",
+    "top_k_skeleton",
+    "SyntheticWorkload",
+    "generate_workload",
+    "noisy_copy",
+]

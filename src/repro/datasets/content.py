@@ -1,0 +1,102 @@
+"""Synthetic page contents for the simulated Web archive.
+
+The real experiment measured node similarity by the shingles of page text
+(Stanford WebBase crawls).  We stand in a token-level content model:
+
+* every page belongs to a *topic* (its site section) and draws its tokens
+  from a topic-specific slice of the vocabulary plus a site-wide shared
+  slice, under a Zipf-like rank distribution — so same-topic pages are
+  textually closer than cross-topic ones, as on a real site;
+* *evolution* edits a page in contiguous blocks (the way template/CMS
+  edits change a region of a page), which is the edit pattern shingling
+  was designed for: a k-token block edit destroys ~k+w shingles, not the
+  whole set.
+
+Similarities computed from these contents feed
+:func:`repro.similarity.shingles.shingle_similarity_matrix`, exactly as
+the paper feeds its page checker's output to ``mat()``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.utils.errors import InputError
+
+__all__ = ["ContentModel"]
+
+
+class ContentModel:
+    """Generates and evolves token contents for site pages."""
+
+    def __init__(
+        self,
+        num_topics: int,
+        topic_vocab: int = 120,
+        shared_vocab: int = 200,
+        zipf_s: float = 1.2,
+    ) -> None:
+        if num_topics < 1:
+            raise InputError("num_topics must be at least 1")
+        if topic_vocab < 10 or shared_vocab < 10:
+            raise InputError("vocabularies must have at least 10 tokens")
+        self.num_topics = num_topics
+        self.topic_vocab = topic_vocab
+        self.shared_vocab = shared_vocab
+        # Precomputed Zipf-ish cumulative weights for rank sampling.
+        weights = [1.0 / (rank**zipf_s) for rank in range(1, max(topic_vocab, shared_vocab) + 1)]
+        self._cumulative: list[float] = []
+        total = 0.0
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+
+    def _rank(self, rng: random.Random, size: int) -> int:
+        """Sample a vocabulary rank in [0, size) under the Zipf weights."""
+        ceiling = self._cumulative[size - 1]
+        target = rng.random() * ceiling
+        low, high = 0, size - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def token(self, topic: int, rng: random.Random, shared_ratio: float = 0.3) -> str:
+        """One token: shared site vocabulary w.p. ``shared_ratio``, else topical."""
+        if not 0 <= topic < self.num_topics:
+            raise InputError(f"topic {topic!r} out of range")
+        if rng.random() < shared_ratio:
+            return f"w{self._rank(rng, self.shared_vocab)}"
+        return f"t{topic}_{self._rank(rng, self.topic_vocab)}"
+
+    def page(self, topic: int, length: int, rng: random.Random) -> list[str]:
+        """A fresh page: ``length`` tokens of the given topic."""
+        if length < 1:
+            raise InputError("page length must be at least 1")
+        return [self.token(topic, rng) for _ in range(length)]
+
+    def edit_block(
+        self,
+        tokens: list[str],
+        topic: int,
+        rng: random.Random,
+        block_fraction: float = 0.08,
+    ) -> list[str]:
+        """A light edit: rewrite one contiguous block of the page.
+
+        Returns a new token list; the original is left untouched.
+        """
+        if not tokens:
+            return []
+        block = max(1, int(len(tokens) * block_fraction))
+        start = rng.randrange(max(1, len(tokens) - block + 1))
+        fresh = [self.token(topic, rng) for _ in range(block)]
+        return tokens[:start] + fresh + tokens[start + block :]
+
+    def rewrite(self, topic: int, length: int, rng: random.Random) -> list[str]:
+        """A full rewrite: brand-new content (same topic, so small residual
+        similarity through the shared vocabulary — like a replaced article)."""
+        return self.page(topic, length, rng)

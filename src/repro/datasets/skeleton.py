@@ -1,0 +1,50 @@
+"""Skeleton extraction (Section 6, "Skeletons").
+
+Web graphs are too large to match wholesale, so the paper matches their
+*skeletons*: "for each node v in Gs, its degree deg(v) ≥ avgDeg(G) +
+α × maxDeg(G)" with α fixed to 0.2 (Skeletons 1), plus a second variant
+keeping only the top-20 nodes by degree to accommodate cdkMCS
+(Skeletons 2).  Both yield induced subgraphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.digraph import DiGraph
+from repro.utils.errors import InputError
+
+__all__ = ["degree_skeleton", "top_k_skeleton", "skeleton_threshold"]
+
+Node = Hashable
+
+
+def skeleton_threshold(graph: DiGraph, alpha: float) -> float:
+    """The degree cut-off ``avgDeg(G) + α · maxDeg(G)``."""
+    if not 0.0 <= alpha <= 1.0:
+        raise InputError(f"alpha must lie in [0, 1], got {alpha!r}")
+    return graph.average_degree() + alpha * graph.max_degree()
+
+
+def degree_skeleton(graph: DiGraph, alpha: float = 0.2) -> DiGraph:
+    """Skeletons 1: keep nodes with ``deg(v) ≥ avgDeg + α·maxDeg`` (induced).
+
+    The result is named ``<name>/skeleton`` and keeps labels, weights and
+    content attributes, so shingle similarity works on it directly.
+    """
+    threshold = skeleton_threshold(graph, alpha)
+    keep = [node for node in graph.nodes() if graph.degree(node) >= threshold]
+    skeleton = graph.subgraph(keep, name=f"{graph.name}/skeleton")
+    return skeleton
+
+
+def top_k_skeleton(graph: DiGraph, k: int = 20) -> DiGraph:
+    """Skeletons 2: the ``k`` highest-degree nodes (induced subgraph).
+
+    Ties break deterministically on node repr so repeated runs agree.
+    """
+    if k < 1:
+        raise InputError("k must be at least 1")
+    ranked = sorted(graph.nodes(), key=lambda node: (-graph.degree(node), repr(node)))
+    keep = ranked[: min(k, len(ranked))]
+    return graph.subgraph(keep, name=f"{graph.name}/top{k}")

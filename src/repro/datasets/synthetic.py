@@ -1,0 +1,179 @@
+"""The Section 6 synthetic workload generator.
+
+"Given m, we first randomly generated a graph pattern G1 with m nodes and
+4 × m edges.  We then produced a set of 15 graphs G2 by introducing noise
+into G1 ... (a) for each edge in G1, with probability noise%, the edge was
+replaced with a path of from 1 to 5 nodes, and (b) each node in G1 was
+attached with a subgraph of at most 10 nodes, with probability noise%.
+The nodes were tagged with labels randomly drawn from a set L of 5 × m
+distinct labels.  The set L was divided into √(5·m) disjoint groups.
+Labels in different groups were considered totally different, while labels
+in the same group were assigned similarities randomly drawn from [0, 1]."
+
+Every data graph contains a relabeled copy of the pattern whose edges are
+edges-or-paths, so ``G1`` is always (1-1) p-hom to ``G2`` — "the two input
+graphs were guaranteed to match in all the experiments when generated" —
+which is what licenses the paper's accuracy measure (fraction of the 15
+copies an algorithm matches at quality ≥ 0.75).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph
+from repro.similarity.labels import LabelGroupSimilarity
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+from repro.utils.rng import derive_rng
+
+__all__ = ["SyntheticWorkload", "generate_workload", "noisy_copy"]
+
+
+@dataclass
+class SyntheticWorkload:
+    """One synthetic experiment cell: a pattern, its noisy copies, and mat()."""
+
+    m: int
+    noise_percent: float
+    pattern: DiGraph
+    copies: list[DiGraph]
+    label_similarity: LabelGroupSimilarity
+    seed: int
+    #: identity of each pattern node inside copy i (ground truth, tests only)
+    ground_truth: list[dict] = field(default_factory=list)
+
+    def matrix_for(self, copy_index: int) -> SimilarityMatrix:
+        """The grouped-label ``mat()`` between the pattern and one copy."""
+        return self.label_similarity.matrix_for(self.pattern, self.copies[copy_index])
+
+
+def _random_label(num_labels: int, rng: random.Random) -> int:
+    return rng.randrange(num_labels)
+
+
+def noisy_copy(
+    pattern: DiGraph,
+    noise_percent: float,
+    num_labels: int,
+    rng: random.Random,
+    copy_index: int = 0,
+    max_path_nodes: int = 5,
+    max_attach_nodes: int = 10,
+    relabel_percent: float = 0.0,
+) -> tuple[DiGraph, dict]:
+    """One data graph ``G2``: a noised copy of the pattern.
+
+    Returns ``(copy, ground_truth)`` where ground truth maps each pattern
+    node to its counterpart in the copy.
+
+    ``relabel_percent`` is the *hard variant* knob (not in the paper's
+    construction): each counterpart keeps the pattern node's label only
+    with probability ``1 - relabel%``, otherwise it draws a fresh random
+    label — the analogue of content churn.  With the literal construction
+    every pattern node retains a similarity-1.0 candidate, so accuracy
+    saturates at 100%; relabeling restores the sensitivity the published
+    curves show (see EXPERIMENTS.md).
+    """
+    if not 0.0 <= noise_percent <= 100.0:
+        raise InputError("noise_percent must lie in [0, 100]")
+    if not 0.0 <= relabel_percent <= 100.0:
+        raise InputError("relabel_percent must lie in [0, 100]")
+    noise = noise_percent / 100.0
+    copy = DiGraph(name=f"{pattern.name}/noisy{copy_index}")
+    counterpart = {v: f"c{v}" for v in pattern.nodes()}
+    for v in pattern.nodes():
+        if rng.random() < relabel_percent / 100.0:
+            label = _random_label(num_labels, rng)
+        else:
+            label = pattern.label(v)
+        copy.add_node(counterpart[v], label=label)
+
+    fresh = 0
+    for tail, head in pattern.edges():
+        if rng.random() < noise:
+            # Replace the edge by a path through 1..5 fresh nodes.
+            length = rng.randint(1, max_path_nodes)
+            previous = counterpart[tail]
+            for _ in range(length):
+                middle = f"x{fresh}"
+                fresh += 1
+                copy.add_node(middle, label=_random_label(num_labels, rng))
+                copy.add_edge(previous, middle)
+                previous = middle
+            copy.add_edge(previous, counterpart[head])
+        else:
+            copy.add_edge(counterpart[tail], counterpart[head])
+
+    for v in pattern.nodes():
+        if rng.random() < noise:
+            # Attach a small random subgraph below the node's counterpart.
+            size = rng.randint(1, max_attach_nodes)
+            members = []
+            for _ in range(size):
+                extra = f"x{fresh}"
+                fresh += 1
+                copy.add_node(extra, label=_random_label(num_labels, rng))
+                members.append(extra)
+            copy.add_edge(counterpart[v], members[0])
+            for i in range(1, len(members)):
+                copy.add_edge(members[rng.randrange(i)], members[i])
+            # A few internal extra edges make the attachment graph-like.
+            for _ in range(size // 2):
+                a, b = rng.choice(members), rng.choice(members)
+                if a != b:
+                    copy.add_edge(a, b)
+    return copy, counterpart
+
+
+def generate_workload(
+    m: int,
+    noise_percent: float,
+    num_copies: int = 15,
+    seed: int = 2010,
+    edge_factor: int = 4,
+    relabel_percent: float = 0.0,
+) -> SyntheticWorkload:
+    """The full experiment cell for one (m, noise%) setting.
+
+    ``relabel_percent > 0`` selects the hard variant (see
+    :func:`noisy_copy`); the paper-literal construction is the default.
+    """
+    if m < 2:
+        raise InputError("m must be at least 2")
+    num_labels = 5 * m
+    num_groups = max(1, round(math.sqrt(num_labels)))
+    pattern_rng = derive_rng(seed, "synthetic", m, noise_percent, "pattern")
+    pattern = random_digraph(m, edge_factor * m, pattern_rng, name=f"G1(m={m})")
+    for v in pattern.nodes():
+        pattern.set_label(v, _random_label(num_labels, pattern_rng))
+
+    label_similarity = LabelGroupSimilarity(
+        num_labels, num_groups, derive_rng(seed, "synthetic", m, "labels")
+    )
+    copies = []
+    truths = []
+    for index in range(num_copies):
+        copy_rng = derive_rng(seed, "synthetic", m, noise_percent, "copy", index)
+        copy, truth = noisy_copy(
+            pattern,
+            noise_percent,
+            num_labels,
+            copy_rng,
+            index,
+            relabel_percent=relabel_percent,
+        )
+        copies.append(copy)
+        truths.append(truth)
+    return SyntheticWorkload(
+        m=m,
+        noise_percent=noise_percent,
+        pattern=pattern,
+        copies=copies,
+        label_similarity=label_similarity,
+        seed=seed,
+        ground_truth=truths,
+    )

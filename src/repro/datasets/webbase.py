@@ -1,0 +1,330 @@
+"""Simulated Stanford-WebBase site archives (the Exp-1 workload).
+
+The paper's real-life data: three Web-site categories — online stores,
+international organizations, online newspapers — each with an archive of
+11 timestamped versions of the same site (Table 2).  The crawls themselves
+are not redistributable, so this module *simulates* the archive with the
+properties the experiment actually exercises (see DESIGN.md §3):
+
+1. **hierarchical, degree-skewed structure** — home page over sections
+   (with Zipf-distributed sizes) over item pages, plus navigation
+   back-links and preferential cross-links, so degree skeletons are small
+   and hub-dominated like Table 2's;
+2. **token contents per page** for shingle similarity;
+3. **category-specific churn across versions** — newspapers replace
+   content rapidly (the paper: site 3's "timeliness, reflected by the
+   rapid changing of its contents and structures"), organizations barely
+   change, stores sit between; and
+4. **structural drift that turns edges into paths** — a fraction of
+   section→page edges gains an intermediate subsection page per version
+   ("page splitting"), the navigational change that edge-to-edge methods
+   (graph simulation, subgraph isomorphism) cannot absorb but
+   edge-to-path matching can.
+
+Page identity persists across versions (stable URLs), which is what makes
+"versions of the same site should match each other" the ground truth of
+the accuracy measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.datasets.content import ContentModel
+from repro.graph.digraph import DiGraph
+from repro.utils.errors import InputError
+from repro.utils.rng import derive_rng
+
+__all__ = ["SiteProfile", "SiteArchive", "paper_sites", "generate_archive"]
+
+#: Tokens per page (geometric around this mean).
+_PAGE_LENGTH = 60
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """Generation parameters of one site category."""
+
+    key: str
+    description: str
+    num_pages: int
+    num_edges: int
+    #: Average pages per section (controls how many hub pages exist).
+    pages_per_section: float
+    #: Zipf exponent of section sizes (higher = more skew = bigger hubs).
+    section_skew: float
+    #: Probability a page links back to its section (navigation).
+    back_link_rate: float
+    #: Probability a page links to the home page.
+    page_home_rate: float
+    #: Fraction of cross links whose target is a section hub (the rest
+    #: target uniform pages) — the preferential-attachment strength.
+    cross_section_ratio: float
+    #: Average number of "related section" links per section hub.  These
+    #: hub-to-hub edges are what makes degree skeletons dense (the paper's
+    #: skeletons run to dozens of edges per node), giving the structural
+    #: constraints their bite.
+    section_links: float
+    #: Per-version probability that a page's content is fully rewritten.
+    rewrite_rate: float
+    #: Per-version probability that a page receives a light block edit.
+    edit_rate: float
+    #: Per-version fraction of pages added (new URLs).
+    add_rate: float
+    #: Per-version fraction of leaf pages deleted.
+    delete_rate: float
+    #: Per-version fraction of section→page edges split with an
+    #: intermediate subsection page (edge becomes a 2-edge path).
+    split_rate: float
+    #: Per-version fraction of cross links re-targeted.
+    rewire_rate: float
+
+    def scaled(self, scale: float) -> "SiteProfile":
+        """Shrink the site (node/edge counts) by ``scale``; churn unchanged."""
+        if scale <= 0:
+            raise InputError("scale must be positive")
+        return replace(
+            self,
+            num_pages=max(60, int(self.num_pages * scale)),
+            num_edges=max(120, int(self.num_edges * scale)),
+        )
+
+
+def paper_sites() -> dict[str, SiteProfile]:
+    """The three categories with Table 2 sizes and calibrated churn.
+
+    Churn calibration (documented in EXPERIMENTS.md): the accuracy of
+    matching version t against version 0 tracks the fraction of hub pages
+    whose content survives t steps, ≈ (1 - rewrite_rate)^t.  Rates are set
+    so organizations ≥ stores > newspapers, the Table 3 ordering.
+    """
+    return {
+        "site1": SiteProfile(
+            key="site1",
+            description="online store",
+            num_pages=20_000,
+            num_edges=42_000,
+            pages_per_section=25.0,
+            section_skew=0.45,
+            back_link_rate=0.30,
+            page_home_rate=0.01,
+            cross_section_ratio=0.45,
+            section_links=8.0,
+            rewrite_rate=0.018,
+            edit_rate=0.05,
+            add_rate=0.02,
+            delete_rate=0.01,
+            split_rate=0.02,
+            rewire_rate=0.02,
+        ),
+        "site2": SiteProfile(
+            key="site2",
+            description="international organization",
+            num_pages=5_400,
+            num_edges=33_114,
+            pages_per_section=30.0,
+            section_skew=0.55,
+            back_link_rate=0.20,
+            page_home_rate=0.01,
+            cross_section_ratio=0.15,
+            section_links=6.0,
+            rewrite_rate=0.006,
+            edit_rate=0.03,
+            add_rate=0.01,
+            delete_rate=0.005,
+            split_rate=0.01,
+            rewire_rate=0.01,
+        ),
+        "site3": SiteProfile(
+            key="site3",
+            description="online newspaper",
+            num_pages=7_000,
+            num_edges=16_800,
+            pages_per_section=25.0,
+            section_skew=0.50,
+            back_link_rate=0.25,
+            page_home_rate=0.01,
+            cross_section_ratio=0.40,
+            section_links=7.0,
+            rewrite_rate=0.035,
+            edit_rate=0.10,
+            add_rate=0.06,
+            delete_rate=0.02,
+            split_rate=0.03,
+            rewire_rate=0.04,
+        ),
+    }
+
+
+@dataclass
+class SiteArchive:
+    """An archive: the profile plus its timestamped versions (oldest first)."""
+
+    profile: SiteProfile
+    versions: list[DiGraph]
+
+    @property
+    def pattern(self) -> DiGraph:
+        """The oldest version — the pattern ``G1`` of Exp-1."""
+        return self.versions[0]
+
+    def later_versions(self) -> list[DiGraph]:
+        """The versions to match against the pattern."""
+        return self.versions[1:]
+
+
+def _build_base_site(
+    profile: SiteProfile,
+    model: ContentModel,
+    num_sections: int,
+    rng: random.Random,
+) -> DiGraph:
+    """Version 0: home → sections → pages, back-links and cross-links."""
+    site = DiGraph(name=f"{profile.key}/v0")
+    home = "home"
+    site.add_node(home, topic=0, content=model.page(0, _PAGE_LENGTH, rng))
+
+    # Zipf section sizes over the remaining page budget.
+    weights = [1.0 / ((k + 1) ** profile.section_skew) for k in range(num_sections)]
+    total_weight = sum(weights)
+    budget = profile.num_pages - 1 - num_sections
+    section_sizes = [max(1, int(budget * weight / total_weight)) for weight in weights]
+
+    sections = []
+    next_page = 0
+    for sid in range(num_sections):
+        section = f"s{sid}"
+        topic = sid % model.num_topics
+        site.add_node(section, topic=topic, content=model.page(topic, _PAGE_LENGTH, rng))
+        site.add_edge(home, section)
+        sections.append(section)
+        for _ in range(section_sizes[sid]):
+            page = f"p{next_page}"
+            next_page += 1
+            site.add_node(page, topic=topic, content=model.page(topic, _PAGE_LENGTH, rng))
+            site.add_edge(section, page)
+            if rng.random() < profile.back_link_rate:
+                site.add_edge(page, section)  # navigation back-link
+            if rng.random() < profile.page_home_rate:
+                site.add_edge(page, home)
+
+    # "Related sections" navigation: hub-to-hub links.  These make the
+    # degree skeleton dense (the paper's skeletons carry dozens of edges
+    # per node) so its navigational structure actually constrains matching.
+    if len(sections) > 1:
+        for section in sections:
+            for _ in range(max(0, round(rng.gauss(profile.section_links, 1.0)))):
+                other = rng.choice(sections)
+                if other != section:
+                    site.add_edge(section, other)
+
+    # Cross links up to the edge budget; a profile-controlled fraction
+    # targets section hubs (preferential attachment), the rest is uniform.
+    nodes = list(site.nodes())
+    attempts = 0
+    while site.num_edges() < profile.num_edges and attempts < profile.num_edges * 20:
+        attempts += 1
+        source = rng.choice(nodes)
+        if rng.random() < profile.cross_section_ratio:
+            target = rng.choice(sections)
+        else:
+            target = rng.choice(nodes)
+        if source != target:
+            site.add_edge(source, target)
+    return site
+
+
+def _evolve(
+    site: DiGraph,
+    profile: SiteProfile,
+    model: ContentModel,
+    version: int,
+    rng: random.Random,
+) -> DiGraph:
+    """One archive step: content churn, page add/delete, splits, rewires."""
+    new = site.copy(name=f"{profile.key}/v{version}")
+
+    for node in list(new.nodes()):
+        topic = new.attrs(node).get("topic", 0)
+        roll = rng.random()
+        if roll < profile.rewrite_rate:
+            new.attrs(node)["content"] = model.rewrite(topic, _PAGE_LENGTH, rng)
+        elif roll < profile.rewrite_rate + profile.edit_rate:
+            new.attrs(node)["content"] = model.edit_block(
+                new.attrs(node)["content"], topic, rng
+            )
+
+    # Delete leaf pages (never hubs: out-degree 0 keeps navigation intact).
+    leaves = [
+        node
+        for node in new.nodes()
+        if new.out_degree(node) == 0 and node != "home"
+    ]
+    for node in leaves:
+        if rng.random() < profile.delete_rate:
+            new.remove_node(node)
+
+    # Split section→page edges with an intermediate subsection page.
+    # Edge lists are sorted wherever they pair with rng draws: edges()
+    # iterates adjacency *sets* of string ids, whose order follows the
+    # per-process hash seed — unsorted iteration would make archives
+    # differ across processes despite the fixed seed.
+    splittable = sorted(
+        (tail, head)
+        for tail, head in new.edges()
+        if tail.startswith("s") and tail != head
+    )
+    for tail, head in splittable:
+        if rng.random() < profile.split_rate:
+            topic = new.attrs(tail).get("topic", 0)
+            middle = f"sub{version}_{tail}_{head}"
+            new.add_node(middle, topic=topic, content=model.page(topic, _PAGE_LENGTH, rng))
+            new.remove_edge(tail, head)
+            new.add_edge(tail, middle)
+            new.add_edge(middle, head)
+
+    # Add fresh pages under random sections.
+    sections = [node for node in new.nodes() if node.startswith("s") and not node.startswith("sub")]
+    additions = int(new.num_nodes() * profile.add_rate)
+    for i in range(additions):
+        section = rng.choice(sections) if sections else "home"
+        topic = new.attrs(section).get("topic", 0)
+        page = f"new{version}_{i}"
+        new.add_node(page, topic=topic, content=model.page(topic, _PAGE_LENGTH, rng))
+        new.add_edge(section, page)
+
+    # Rewire a fraction of cross links.
+    nodes = list(new.nodes())
+    edges = sorted(new.edges())
+    for tail, head in edges:
+        if rng.random() < profile.rewire_rate:
+            target = rng.choice(nodes)
+            if target != tail and not new.has_edge(tail, target):
+                new.remove_edge(tail, head)
+                new.add_edge(tail, target)
+    return new
+
+
+def generate_archive(
+    profile: SiteProfile,
+    num_versions: int = 11,
+    scale: float = 1.0,
+    seed: int = 2010,
+) -> SiteArchive:
+    """Generate the full archive of one site (11 versions in the paper).
+
+    ``scale`` shrinks the site for fast experimentation (EXPERIMENTS.md
+    records which scale each table was regenerated at); churn rates are
+    per-version and independent of scale.
+    """
+    if num_versions < 1:
+        raise InputError("num_versions must be at least 1")
+    scaled = profile.scaled(scale) if scale != 1.0 else profile
+    rng = derive_rng(seed, "webbase", profile.key)
+    num_sections = max(4, int(scaled.num_pages / scaled.pages_per_section))
+    model = ContentModel(num_topics=max(4, num_sections))
+    versions = [_build_base_site(scaled, model, num_sections, rng)]
+    for version in range(1, num_versions):
+        versions.append(_evolve(versions[-1], scaled, model, version, rng))
+    return SiteArchive(profile=scaled, versions=versions)

@@ -1,0 +1,31 @@
+"""The experiment harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table2` — Web graphs and skeletons (Table 2);
+* :mod:`repro.experiments.table3` — accuracy & scalability on archives
+  (Table 3);
+* :mod:`repro.experiments.fig5` — accuracy sweeps on synthetic data
+  (Figure 5 a/b/c);
+* :mod:`repro.experiments.fig6` — timing sweeps on synthetic data
+  (Figure 6 a/b/c).
+
+Every module has a CLI (``python -m repro.experiments.<name>``) and a
+programmatic entry point used by the pytest benchmarks.
+"""
+
+from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.harness import (
+    DEFAULT_MATCH_THRESHOLD,
+    CellResult,
+    MatchTrial,
+    run_cell,
+)
+
+__all__ = [
+    "SCALES",
+    "ExperimentScale",
+    "get_scale",
+    "DEFAULT_MATCH_THRESHOLD",
+    "CellResult",
+    "MatchTrial",
+    "run_cell",
+]

@@ -1,0 +1,98 @@
+"""Experiment scale presets.
+
+The paper ran on 2010-era Java with hours of budget; this reproduction
+defaults to a scaled-down configuration that preserves every *shape* the
+paper reports while regenerating in minutes, and exposes the paper-scale
+configuration behind a flag.  EXPERIMENTS.md records which preset each
+published number was regenerated with.
+
+Select a preset with ``--scale {smoke,default,paper}`` on the experiment
+CLIs or the ``REPRO_SCALE`` environment variable (CLI wins).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.utils.errors import InputError
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs that differ between presets."""
+
+    name: str
+    #: Multiplier on Table 2 site sizes.
+    site_scale: float
+    #: Versions per site archive (paper: 11 = pattern + 10).
+    num_versions: int
+    #: Top-k skeleton size (paper: 20).
+    top_k: int
+    #: Wall-clock budget per cdkMCS call, seconds.
+    mcs_budget_seconds: float
+    #: Fig 5/6(a): pattern sizes m.
+    synthetic_sizes: tuple[int, ...]
+    #: Fig 5/6(b): noise percentages.
+    synthetic_noises: tuple[float, ...]
+    #: Fig 5/6(c): similarity thresholds ξ.
+    synthetic_thresholds: tuple[float, ...]
+    #: Fixed m for the noise/threshold sweeps (paper: 500).
+    synthetic_m_fixed: int
+    #: Noisy copies per cell (paper: 15).
+    num_copies: int
+    #: Base seed for every generator.
+    seed: int = 2010
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        site_scale=0.02,
+        num_versions=4,
+        top_k=10,
+        mcs_budget_seconds=2.0,
+        synthetic_sizes=(30, 60),
+        synthetic_noises=(10.0,),
+        synthetic_thresholds=(0.75,),
+        synthetic_m_fixed=40,
+        num_copies=2,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        site_scale=0.12,
+        num_versions=11,
+        top_k=20,
+        mcs_budget_seconds=5.0,
+        synthetic_sizes=(50, 100, 150, 200),
+        synthetic_noises=(4.0, 8.0, 12.0, 16.0, 20.0),
+        synthetic_thresholds=(0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+        synthetic_m_fixed=120,
+        num_copies=5,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        site_scale=1.0,
+        num_versions=11,
+        top_k=20,
+        mcs_budget_seconds=200.0,
+        synthetic_sizes=(100, 200, 300, 400, 500, 600, 700, 800),
+        synthetic_noises=(2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0),
+        synthetic_thresholds=(0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+        synthetic_m_fixed=500,
+        num_copies=15,
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a preset by name, CLI arg > REPRO_SCALE env > 'default'."""
+    resolved = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALES[resolved]
+    except KeyError:
+        raise InputError(
+            f"unknown scale {resolved!r}; available: {', '.join(sorted(SCALES))}"
+        ) from None

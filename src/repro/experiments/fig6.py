@@ -1,0 +1,52 @@
+"""EXP-F6 — regenerate Figure 6: scalability on synthetic data.
+
+The same three sweeps as Figure 5 but reporting mean matcher seconds, and
+with graphSimulation added to the line-up (its accuracy is 0% everywhere —
+the paper omits it from Figure 5 for that reason — but its running time is
+part of Figure 6).
+
+Run: ``python -m repro.experiments.fig6 --axis size|noise|threshold``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines.matchers import SimulationMatcher, default_matchers
+from repro.experiments.config import get_scale
+from repro.experiments.fig5 import AXES, SweepPoint, render, sweep
+from repro.experiments.report import save_csv
+
+__all__ = ["sweep_times", "main"]
+
+
+def sweep_times(axis: str, scale) -> list[SweepPoint]:
+    """Figure 6 sweep: the four p-hom algorithms plus graphSimulation."""
+    matchers = default_matchers() + [SimulationMatcher()]
+    return sweep(axis, scale, matchers=matchers)
+
+
+def main(argv: list[str] | None = None) -> list[SweepPoint]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--axis", choices=AXES, default="size")
+    parser.add_argument("--scale", default=None, help="smoke | default | paper")
+    parser.add_argument("--csv", default=None)
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    points = sweep_times(args.axis, scale)
+    print(render(args.axis, points, scale, value="time"))
+    if args.csv:
+        matchers = list(points[0].cells) if points else []
+        save_csv(
+            args.csv,
+            [{"size": "m", "noise": "noise%", "threshold": "xi"}[args.axis]] + matchers,
+            [
+                [point.x] + [point.cells[m].avg_seconds for m in matchers]
+                for point in points
+            ],
+        )
+    return points
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The accuracy/efficiency harness shared by every experiment.
+
+The paper's unified accuracy measure: a set of data graphs that are known
+ground-truth matches of a pattern (archive versions of the same site, or
+noisy copies of a generated pattern) is matched against it, and accuracy
+is "the percentage of matches found", with a graph counting as matched
+when the mapping quality reaches 0.75.  Efficiency is the mean wall-clock
+time of the matcher over the same trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.baselines.matchers import Matcher, MatchOutcome
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+
+__all__ = ["MatchTrial", "CellResult", "run_cell", "DEFAULT_MATCH_THRESHOLD"]
+
+Node = Hashable
+
+#: The paper's quality threshold for declaring a match (Section 6).
+DEFAULT_MATCH_THRESHOLD = 0.75
+
+
+@dataclass
+class MatchTrial:
+    """One (pattern, data graph, mat) instance to be judged by a matcher."""
+
+    pattern: DiGraph
+    data: DiGraph
+    mat: SimilarityMatrix
+    label: str = ""
+
+
+@dataclass
+class CellResult:
+    """One matcher's aggregate over all trials of one experiment cell."""
+
+    matcher: str
+    #: Percentage of trials matched (the paper's accuracy measure).
+    accuracy_percent: float
+    #: Mean matcher wall-clock seconds per trial.
+    avg_seconds: float
+    #: False when any trial exhausted its budget — rendered N/A like Table 3.
+    completed: bool
+    outcomes: list[MatchOutcome] = field(default_factory=list)
+
+    @property
+    def qualities(self) -> list[float]:
+        """Raw per-trial qualities, for distribution-level assertions."""
+        return [outcome.quality for outcome in self.outcomes]
+
+
+def run_cell(
+    matcher: Matcher,
+    trials: Sequence[MatchTrial],
+    xi: float,
+    threshold: float = DEFAULT_MATCH_THRESHOLD,
+) -> CellResult:
+    """Run one matcher over every trial of a cell and aggregate."""
+    outcomes: list[MatchOutcome] = []
+    for trial in trials:
+        outcomes.append(matcher.run(trial.pattern, trial.data, trial.mat, xi))
+    matched = sum(1 for outcome in outcomes if outcome.matched(threshold))
+    completed = all(outcome.completed for outcome in outcomes)
+    total_time = sum(outcome.elapsed_seconds for outcome in outcomes)
+    return CellResult(
+        matcher=matcher.name,
+        accuracy_percent=100.0 * matched / len(outcomes) if outcomes else 0.0,
+        avg_seconds=total_time / len(outcomes) if outcomes else 0.0,
+        completed=completed,
+        outcomes=outcomes,
+    )

@@ -1,0 +1,59 @@
+"""Plain-text table and series rendering for the experiment CLIs.
+
+The experiment modules print the same rows/series the paper reports;
+these helpers keep that output aligned, and can also dump CSV for
+downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_quality", "format_seconds", "save_csv"]
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    min_width: int = 6,
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [max(min_width, len(header)) for header in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_quality(accuracy_percent: float | None, completed: bool = True) -> str:
+    """Accuracy cell: percentage or the paper's N/A for incomplete runs."""
+    if not completed or accuracy_percent is None:
+        return "N/A"
+    return f"{accuracy_percent:.0f}"
+
+
+def format_seconds(seconds: float | None, completed: bool = True) -> str:
+    """Timing cell: seconds with ms precision, or N/A."""
+    if not completed or seconds is None:
+        return "N/A"
+    return f"{seconds:.3f}"
+
+
+def save_csv(path: str | Path, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Write the table as CSV (for plotting the figure series)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)

@@ -1,0 +1,132 @@
+"""One-button reproduction: regenerate every artifact in one run.
+
+    python -m repro.experiments.runner [--scale default] [--out results/]
+
+Runs Table 2, Table 3, all six figure panels, the structure-blindness
+experiment and the approximation-ratio measurement, prints each table in
+the paper's layout, and (with ``--out``) writes one CSV per artifact plus
+a combined ``report.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import approx_ratio, fig5, fig6, structure, table2, table3
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.report import save_csv
+from repro.utils.timing import Stopwatch
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(scale: ExperimentScale, out_dir: Path | None = None) -> str:
+    """Regenerate everything; returns the combined textual report."""
+    sections: list[str] = []
+
+    def emit(title: str, text: str) -> None:
+        print(text)
+        print()
+        sections.append(text)
+
+    with Stopwatch() as watch:
+        rows = table2.compute_table2(scale)
+        emit("table2", table2.render(rows, scale))
+        if out_dir:
+            save_csv(
+                out_dir / "table2.csv",
+                ["site", "nodes", "edges", "avg_degree", "max_degree",
+                 "skel1_nodes", "skel1_edges", "skel2_nodes", "skel2_edges"],
+                [
+                    (r.site, r.num_nodes, r.num_edges, f"{r.avg_degree:.3f}",
+                     r.max_degree, r.skeleton1_nodes, r.skeleton1_edges,
+                     r.skeleton2_nodes, r.skeleton2_edges)
+                    for r in rows
+                ],
+            )
+
+        cells = table3.compute_table3(scale)
+        emit("table3", table3.render(cells, scale))
+        if out_dir:
+            save_csv(
+                out_dir / "table3.csv",
+                ["matcher", "variant", "site", "accuracy_percent", "avg_seconds", "completed"],
+                [
+                    (c.matcher, c.variant, c.site,
+                     f"{c.result.accuracy_percent:.1f}",
+                     f"{c.result.avg_seconds:.5f}", c.result.completed)
+                    for c in cells
+                ],
+            )
+
+        for axis in fig5.AXES:
+            points = fig5.sweep(axis, scale)
+            emit(f"fig5-{axis}", fig5.render(axis, points, scale))
+            if out_dir:
+                matchers = list(points[0].cells) if points else []
+                save_csv(
+                    out_dir / f"fig5_{axis}.csv",
+                    ["x"] + matchers,
+                    [[p.x] + [p.cells[m].accuracy_percent for m in matchers] for p in points],
+                )
+
+        for axis in fig5.AXES:
+            points = fig6.sweep_times(axis, scale)
+            emit(f"fig6-{axis}", fig5.render(axis, points, scale, value="time"))
+            if out_dir:
+                matchers = list(points[0].cells) if points else []
+                save_csv(
+                    out_dir / f"fig6_{axis}.csv",
+                    ["x"] + matchers,
+                    [[p.x] + [p.cells[m].avg_seconds for m in matchers] for p in points],
+                )
+
+        blind = structure.run_structure_blindness(scale)
+        emit("structure", structure.render(blind, scale))
+        if out_dir:
+            save_csv(
+                out_dir / "structure.csv",
+                ["matcher", "site", "true_quality", "impostor_quality"],
+                [
+                    (c.matcher, c.site, f"{c.true_quality:.3f}", f"{c.impostor_quality:.3f}")
+                    for c in blind
+                ],
+            )
+
+        instances = 10 if scale.name == "smoke" else 40
+        ratios = approx_ratio.measure_ratios(num_instances=instances)
+        emit("approx-ratio", approx_ratio.render(ratios, instances))
+        if out_dir:
+            save_csv(
+                out_dir / "approx_ratio.csv",
+                ["algorithm", "mean", "min", "fraction_optimal", "bound_scale"],
+                [
+                    (s.algorithm, f"{s.mean:.4f}", f"{s.minimum:.4f}",
+                     f"{s.fraction_optimal:.3f}", f"{s.theoretical_floor:.4f}")
+                    for s in ratios
+                ],
+            )
+
+    footer = f"regenerated every artifact at scale={scale.name} in {watch.elapsed:.1f}s"
+    print(footer)
+    report = "\n\n".join(sections) + "\n\n" + footer + "\n"
+    if out_dir:
+        (out_dir / "report.txt").write_text(report, encoding="utf-8")
+    return report
+
+
+def main(argv: list[str] | None = None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=None, help="smoke | default | paper")
+    parser.add_argument("--out", default=None, help="directory for CSVs + report.txt")
+    args = parser.parse_args(argv)
+    out_dir = None
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    return run_all(get_scale(args.scale), out_dir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""EXP-SB — the structure-blindness experiment (Section 2's criticism).
+
+The paper's core argument against vertex-similarity matching:
+
+    "One cannot match two sites with different navigational structures
+    even if most of their pages can be matched pairwise."
+
+This experiment makes that concrete.  For each site category it builds
+
+* a **true match**: the site's skeleton vs the skeleton of its next
+  archive version (ground-truth positive); and
+* a **structural impostor**: the same skeleton nodes with the *same page
+  contents* but a freshly randomised (DAG) link structure — every page
+  still has a near-perfect content counterpart, yet the navigation is
+  unrelated (ground-truth negative).
+
+A topology-aware method (p-hom) should accept the true match and reject
+the impostor; vertex-similarity matching (SF, Blondel) accepts both —
+the false positive the paper warns about.  This isolates the qualitative
+claim behind Table 3's SF column in a way that does not depend on how
+graded the similarity values are.
+
+Run: ``python -m repro.experiments.structure [--scale default]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.baselines.matchers import (
+    FloodingMatcher,
+    Matcher,
+    PHomMatcher,
+    VertexSimilarityMatcher,
+)
+from repro.datasets.skeleton import degree_skeleton
+from repro.datasets.webbase import generate_archive, paper_sites
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.report import render_table
+from repro.graph.digraph import DiGraph
+from repro.similarity.shingles import shingle_similarity_matrix
+from repro.utils.rng import derive_rng
+
+__all__ = ["StructureCell", "build_impostor", "run_structure_blindness", "render", "main"]
+
+XI = 0.75
+ALPHA = 0.2
+
+
+@dataclass
+class StructureCell:
+    """Quality of one method on the true pair and on the impostor pair."""
+
+    matcher: str
+    site: str
+    true_quality: float
+    impostor_quality: float
+
+
+def build_impostor(skeleton: DiGraph, seed: int) -> DiGraph:
+    """Same nodes and contents, freshly randomised sparse DAG structure.
+
+    A random DAG (random node order, edges forward only, same edge count)
+    keeps the impostor navigationally meaningless w.r.t. the original
+    while leaving every page's content intact — the adversarial case for
+    content-only matching.
+    """
+    rng = derive_rng(seed, "impostor", skeleton.name)
+    nodes = list(skeleton.nodes())
+    rng.shuffle(nodes)
+    rank = {node: i for i, node in enumerate(nodes)}
+    impostor = DiGraph(name=f"{skeleton.name}/impostor")
+    for node in nodes:
+        impostor.add_node(
+            node,
+            label=skeleton.label(node),
+            weight=skeleton.weight(node),
+            **skeleton.attrs(node),
+        )
+    target_edges = skeleton.num_edges()
+    attempts = 0
+    while impostor.num_edges() < target_edges and attempts < 50 * target_edges:
+        attempts += 1
+        tail, head = rng.choice(nodes), rng.choice(nodes)
+        if rank[tail] < rank[head]:
+            impostor.add_edge(tail, head)
+    return impostor
+
+
+def run_structure_blindness(
+    scale: ExperimentScale,
+    matchers: list[Matcher] | None = None,
+) -> list[StructureCell]:
+    """Run every matcher on (true pair, impostor pair) per site."""
+    if matchers is None:
+        matchers = [
+            PHomMatcher("cardinality", False),
+            PHomMatcher("cardinality", True),
+            FloodingMatcher(),
+            VertexSimilarityMatcher(),
+        ]
+    cells: list[StructureCell] = []
+    for profile in paper_sites().values():
+        archive = generate_archive(
+            profile, num_versions=2, scale=scale.site_scale, seed=scale.seed
+        )
+        pattern = degree_skeleton(archive.pattern, ALPHA)
+        true_data = degree_skeleton(archive.versions[1], ALPHA)
+        impostor = build_impostor(pattern, scale.seed)
+        true_mat = shingle_similarity_matrix(pattern, true_data)
+        impostor_mat = shingle_similarity_matrix(pattern, impostor)
+        for matcher in matchers:
+            true_outcome = matcher.run(pattern, true_data, true_mat, XI)
+            impostor_outcome = matcher.run(pattern, impostor, impostor_mat, XI)
+            cells.append(
+                StructureCell(
+                    matcher=matcher.name,
+                    site=profile.key,
+                    true_quality=true_outcome.quality,
+                    impostor_quality=impostor_outcome.quality,
+                )
+            )
+    return cells
+
+
+def render(cells: list[StructureCell], scale: ExperimentScale) -> str:
+    rows = [
+        (
+            cell.matcher,
+            cell.site,
+            f"{cell.true_quality:.2f}",
+            f"{cell.impostor_quality:.2f}",
+            "FALSE POSITIVE" if cell.impostor_quality >= XI else "rejected",
+        )
+        for cell in cells
+    ]
+    return render_table(
+        f"Structure blindness — true pair vs content-equal impostor (scale={scale.name})",
+        ["Algorithm", "site", "true quality", "impostor quality", "impostor verdict"],
+        rows,
+    )
+
+
+def main(argv: list[str] | None = None) -> list[StructureCell]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=None, help="smoke | default | paper")
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    cells = run_structure_blindness(scale)
+    print(render(cells, scale))
+    return cells
+
+
+if __name__ == "__main__":
+    main()

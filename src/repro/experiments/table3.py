@@ -1,0 +1,180 @@
+"""EXP-T3 — regenerate Table 3: accuracy and scalability on real-life data.
+
+Per site category: the oldest archive version is the pattern; each of the
+10 later versions is matched against it on both skeleton variants, with
+shingle similarity as ``mat()`` and ξ = 0.75.  Accuracy is the percentage
+of versions matched (quality ≥ 0.75); scalability is the mean matcher
+time.  Methods: compMaxCard, compMaxCard^{1-1}, compMaxSim,
+compMaxSim^{1-1}, SF, cdkMCS — cdkMCS cells that exhaust their budget
+render as N/A, as in the paper.  graphSimulation is run as well and
+reported in a footnote row (the paper drops it from the table because "it
+did not find matches in almost all the cases").
+
+Run: ``python -m repro.experiments.table3 [--scale default] [--csv out.csv]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.baselines.matchers import (
+    Matcher,
+    MCSMatcher,
+    SimulationMatcher,
+    paper_table3_matchers,
+)
+from repro.datasets.skeleton import degree_skeleton, top_k_skeleton
+from repro.datasets.webbase import generate_archive, paper_sites
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.harness import (
+    DEFAULT_MATCH_THRESHOLD,
+    CellResult,
+    MatchTrial,
+    run_cell,
+)
+from repro.experiments.report import (
+    format_quality,
+    format_seconds,
+    render_table,
+    save_csv,
+)
+from repro.experiments.table2 import SKELETON_ALPHA
+from repro.similarity.shingles import shingle_similarity_matrix
+
+__all__ = ["Table3Cell", "compute_table3", "render", "main"]
+
+#: ξ of the real-life experiment (Section 6).
+XI = 0.75
+
+SKELETON_VARIANTS = ("skeletons1", "top-k")
+
+
+@dataclass
+class Table3Cell:
+    """One (matcher, skeleton variant, site) cell of Table 3."""
+
+    matcher: str
+    variant: str
+    site: str
+    result: CellResult
+
+
+def _skeleton(graph, variant: str, scale: ExperimentScale):
+    if variant == "skeletons1":
+        return degree_skeleton(graph, SKELETON_ALPHA)
+    return top_k_skeleton(graph, scale.top_k)
+
+
+def build_trials(scale: ExperimentScale) -> dict[tuple[str, str], list[MatchTrial]]:
+    """Archive + skeleton + similarity-matrix preparation for every cell."""
+    trials: dict[tuple[str, str], list[MatchTrial]] = {}
+    for profile in paper_sites().values():
+        archive = generate_archive(
+            profile,
+            num_versions=scale.num_versions,
+            scale=scale.site_scale,
+            seed=scale.seed,
+        )
+        for variant in SKELETON_VARIANTS:
+            pattern = _skeleton(archive.pattern, variant, scale)
+            cell: list[MatchTrial] = []
+            for version in archive.later_versions():
+                data = _skeleton(version, variant, scale)
+                mat = shingle_similarity_matrix(pattern, data)
+                cell.append(
+                    MatchTrial(pattern, data, mat, label=f"{profile.key}/{data.name}")
+                )
+            trials[(variant, profile.key)] = cell
+    return trials
+
+
+def compute_table3(
+    scale: ExperimentScale,
+    matchers: list[Matcher] | None = None,
+    include_simulation: bool = True,
+) -> list[Table3Cell]:
+    """Run every matcher over every (variant, site) cell."""
+    if matchers is None:
+        matchers = paper_table3_matchers(scale.mcs_budget_seconds)
+        if include_simulation:
+            matchers = matchers + [SimulationMatcher()]
+    trials = build_trials(scale)
+    cells: list[Table3Cell] = []
+    for matcher in matchers:
+        for (variant, site), cell_trials in trials.items():
+            result = run_cell(matcher, cell_trials, XI, DEFAULT_MATCH_THRESHOLD)
+            cells.append(Table3Cell(matcher.name, variant, site, result))
+    return cells
+
+
+def render(cells: list[Table3Cell], scale: ExperimentScale) -> str:
+    """Two blocks in the paper's layout: accuracy (%) then time (seconds)."""
+    sites = sorted({cell.site for cell in cells})
+    matchers = list(dict.fromkeys(cell.matcher for cell in cells))
+    by_key = {(c.matcher, c.variant, c.site): c.result for c in cells}
+
+    def block(value_of, fmt) -> list[tuple]:
+        rows = []
+        for matcher in matchers:
+            row = [matcher]
+            for variant in SKELETON_VARIANTS:
+                for site in sites:
+                    result = by_key.get((matcher, variant, site))
+                    if result is None:
+                        row.append("-")
+                    else:
+                        row.append(fmt(value_of(result), result.completed))
+            rows.append(tuple(row))
+        return rows
+
+    headers = ["Algorithm"] + [
+        f"{variant}:{site}" for variant in SKELETON_VARIANTS for site in sites
+    ]
+    accuracy = render_table(
+        f"Table 3a — Accuracy %, quality ≥ {DEFAULT_MATCH_THRESHOLD} (scale={scale.name})",
+        headers,
+        block(lambda r: r.accuracy_percent, format_quality),
+    )
+    timing = render_table(
+        f"Table 3b — Scalability, seconds per match (scale={scale.name})",
+        headers,
+        block(lambda r: r.avg_seconds, format_seconds),
+    )
+    return accuracy + "\n\n" + timing
+
+
+def main(argv: list[str] | None = None) -> list[Table3Cell]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=None, help="smoke | default | paper")
+    parser.add_argument("--csv", default=None, help="also write cells to this CSV path")
+    parser.add_argument(
+        "--no-simulation",
+        action="store_true",
+        help="skip the graphSimulation footnote row",
+    )
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    cells = compute_table3(scale, include_simulation=not args.no_simulation)
+    print(render(cells, scale))
+    if args.csv:
+        save_csv(
+            args.csv,
+            ["matcher", "variant", "site", "accuracy_percent", "avg_seconds", "completed"],
+            [
+                (
+                    c.matcher,
+                    c.variant,
+                    c.site,
+                    f"{c.result.accuracy_percent:.1f}",
+                    f"{c.result.avg_seconds:.4f}",
+                    c.result.completed,
+                )
+                for c in cells
+            ],
+        )
+    return cells
+
+
+if __name__ == "__main__":
+    main()

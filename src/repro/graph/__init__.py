@@ -1,0 +1,48 @@
+"""Graph substrate: directed/undirected graphs and the algorithms over them.
+
+This package implements every graph-theoretic primitive the paper's
+matching layer depends on: node-labeled digraphs, Tarjan SCCs and the
+condensation, weakly connected components, Nuutila-style transitive closure
+with a bitset reachability index, traversal utilities, generators, and
+(de)serialization.
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import Graph
+from repro.graph.traversal import (
+    bfs_order,
+    dfs_postorder,
+    dfs_preorder,
+    has_nonempty_path,
+    is_acyclic,
+    reachable_from,
+    shortest_path,
+    topological_order,
+)
+from repro.graph.scc import Condensation, condensation, strongly_connected_components
+from repro.graph.components import is_weakly_connected, weakly_connected_components
+from repro.graph.closure import ReachabilityIndex, transitive_closure_graph
+from repro.graph.stats import GraphStats, degree_histogram, graph_stats
+
+__all__ = [
+    "DiGraph",
+    "Graph",
+    "bfs_order",
+    "dfs_preorder",
+    "dfs_postorder",
+    "reachable_from",
+    "has_nonempty_path",
+    "shortest_path",
+    "topological_order",
+    "is_acyclic",
+    "Condensation",
+    "condensation",
+    "strongly_connected_components",
+    "weakly_connected_components",
+    "is_weakly_connected",
+    "ReachabilityIndex",
+    "transitive_closure_graph",
+    "GraphStats",
+    "graph_stats",
+    "degree_histogram",
+]

@@ -1,0 +1,81 @@
+"""Graphviz DOT export, for inspecting graphs and matchings visually.
+
+``to_dot`` renders one graph; ``matching_to_dot`` renders a pattern, a
+data graph and a p-hom mapping side by side (pattern and data as separate
+clusters, dashed cross-edges for the mapping) — the picture of the paper's
+Fig. 1, generated from live objects.  Output is plain DOT text; rendering
+is left to graphviz (not a dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["to_dot", "matching_to_dot"]
+
+Node = Hashable
+
+
+def _quote(value: object) -> str:
+    escaped = str(value).replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(graph: DiGraph, name: str = "G", show_labels: bool = True) -> str:
+    """Render ``graph`` as a DOT digraph.
+
+    Node labels are shown when they differ from the node id (the common
+    ``L(v) = v`` case stays terse).
+    """
+    lines = [f"digraph {_quote(name or graph.name or 'G')} {{"]
+    for node in graph.nodes():
+        label = graph.label(node)
+        if show_labels and label != node:
+            lines.append(f"  {_quote(node)} [label={_quote(f'{node}: {label}')}];")
+        else:
+            lines.append(f"  {_quote(node)};")
+    for tail, head in graph.edges():
+        lines.append(f"  {_quote(tail)} -> {_quote(head)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def matching_to_dot(
+    pattern: DiGraph,
+    data: DiGraph,
+    mapping: Mapping[Node, Node],
+    name: str = "matching",
+) -> str:
+    """Render a pattern, a data graph and a mapping as one DOT document.
+
+    Pattern nodes are prefixed ``p_`` and data nodes ``d_`` so identical
+    identifiers in both graphs stay distinct; mapped pattern nodes are
+    filled, and dashed grey edges show the mapping.
+    """
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    lines.append("  subgraph cluster_pattern {")
+    lines.append('    label="pattern (G1)";')
+    for node in pattern.nodes():
+        style = ' style=filled fillcolor="lightblue"' if node in mapping else ""
+        lines.append(f"    {_quote(f'p_{node}')} [label={_quote(node)}{style}];")
+    for tail, head in pattern.edges():
+        lines.append(f"    {_quote(f'p_{tail}')} -> {_quote(f'p_{head}')};")
+    lines.append("  }")
+    lines.append("  subgraph cluster_data {")
+    lines.append('    label="data (G2)";')
+    mapped_targets = set(mapping.values())
+    for node in data.nodes():
+        style = ' style=filled fillcolor="lightyellow"' if node in mapped_targets else ""
+        lines.append(f"    {_quote(f'd_{node}')} [label={_quote(node)}{style}];")
+    for tail, head in data.edges():
+        lines.append(f"    {_quote(f'd_{tail}')} -> {_quote(f'd_{head}')};")
+    lines.append("  }")
+    for v, u in mapping.items():
+        lines.append(
+            f"  {_quote(f'p_{v}')} -> {_quote(f'd_{u}')} "
+            '[style=dashed color=gray constraint=false];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,219 @@
+"""Elementary random and deterministic graph generators.
+
+These power the unit/property tests and serve as building blocks for the
+paper's workload generators in :mod:`repro.datasets`.  All random
+generators take a :class:`random.Random` so experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.graph.digraph import DiGraph
+from repro.utils.errors import InputError
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_digraph",
+    "star_graph",
+    "balanced_tree",
+    "random_digraph",
+    "random_dag",
+    "random_tree",
+    "gnp_digraph",
+]
+
+
+def path_graph(n: int, name: str = "path") -> DiGraph:
+    """The directed path 0 → 1 → ... → n-1."""
+    if n < 0:
+        raise InputError("n must be nonnegative")
+    graph = DiGraph(name=name)
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(n: int, name: str = "cycle") -> DiGraph:
+    """The directed cycle on n ≥ 1 nodes (n = 1 yields a self-loop)."""
+    if n < 1:
+        raise InputError("n must be at least 1")
+    graph = path_graph(n, name=name)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def complete_digraph(n: int, name: str = "complete") -> DiGraph:
+    """All n·(n-1) directed edges between n distinct nodes (no self-loops)."""
+    if n < 0:
+        raise InputError("n must be nonnegative")
+    graph = DiGraph(name=name)
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                graph.add_edge(i, j)
+    return graph
+
+
+def star_graph(n_leaves: int, name: str = "star") -> DiGraph:
+    """A root node 0 with edges to leaves 1..n_leaves."""
+    if n_leaves < 0:
+        raise InputError("n_leaves must be nonnegative")
+    graph = DiGraph(name=name)
+    graph.add_node(0)
+    for i in range(1, n_leaves + 1):
+        graph.add_edge(0, i)
+    return graph
+
+
+def balanced_tree(branching: int, height: int, name: str = "tree") -> DiGraph:
+    """A complete ``branching``-ary tree of the given height, edges downward."""
+    if branching < 1:
+        raise InputError("branching must be at least 1")
+    if height < 0:
+        raise InputError("height must be nonnegative")
+    graph = DiGraph(name=name)
+    graph.add_node(0)
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                graph.add_edge(parent, next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return graph
+
+
+def random_digraph(
+    n: int,
+    m: int,
+    rng: random.Random,
+    allow_self_loops: bool = False,
+    name: str = "random",
+) -> DiGraph:
+    """A uniform random simple digraph with exactly ``n`` nodes and ``m`` edges.
+
+    This is the pattern generator of Section 6 of the paper ("we first
+    randomly generated a graph pattern G1 with m nodes and 4 × m edges")
+    when called with ``m_edges = 4 * n``.  Raises when ``m`` exceeds the
+    number of available node pairs.
+    """
+    if n < 0 or m < 0:
+        raise InputError("n and m must be nonnegative")
+    capacity = n * n if allow_self_loops else n * (n - 1)
+    if m > capacity:
+        raise InputError(f"cannot place {m} edges in a simple digraph on {n} nodes")
+    graph = DiGraph(name=name)
+    for i in range(n):
+        graph.add_node(i)
+    placed = 0
+    # Rejection sampling is fast while the graph is sparse; fall back to an
+    # explicit pair list when the requested density is high.
+    if m <= capacity // 4:
+        while placed < m:
+            tail = rng.randrange(n)
+            head = rng.randrange(n)
+            if tail == head and not allow_self_loops:
+                continue
+            if not graph.has_edge(tail, head):
+                graph.add_edge(tail, head)
+                placed += 1
+    else:
+        pairs = [
+            (tail, head)
+            for tail in range(n)
+            for head in range(n)
+            if allow_self_loops or tail != head
+        ]
+        for tail, head in rng.sample(pairs, m):
+            graph.add_edge(tail, head)
+    return graph
+
+
+def random_dag(n: int, m: int, rng: random.Random, name: str = "dag") -> DiGraph:
+    """A random DAG: edges only from lower to higher node ids."""
+    if n < 0 or m < 0:
+        raise InputError("n and m must be nonnegative")
+    capacity = n * (n - 1) // 2
+    if m > capacity:
+        raise InputError(f"cannot place {m} edges in a DAG on {n} nodes")
+    graph = DiGraph(name=name)
+    for i in range(n):
+        graph.add_node(i)
+    placed = 0
+    if m <= capacity // 4:
+        while placed < m:
+            tail = rng.randrange(n)
+            head = rng.randrange(n)
+            if tail >= head:
+                continue
+            if not graph.has_edge(tail, head):
+                graph.add_edge(tail, head)
+                placed += 1
+    else:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        for tail, head in rng.sample(pairs, m):
+            graph.add_edge(tail, head)
+    return graph
+
+
+def random_tree(n: int, rng: random.Random, max_children: int = 4, name: str = "rtree") -> DiGraph:
+    """A random rooted tree on ``n`` nodes with bounded branching, edges downward."""
+    if n < 0:
+        raise InputError("n must be nonnegative")
+    if max_children < 1:
+        raise InputError("max_children must be at least 1")
+    graph = DiGraph(name=name)
+    if n == 0:
+        return graph
+    graph.add_node(0)
+    open_parents = [0]
+    for node in range(1, n):
+        parent = rng.choice(open_parents)
+        graph.add_edge(parent, node)
+        open_parents.append(node)
+        if graph.out_degree(parent) >= max_children:
+            open_parents.remove(parent)
+    return graph
+
+
+def gnp_digraph(n: int, p: float, rng: random.Random, name: str = "gnp") -> DiGraph:
+    """Erdős–Rényi style digraph: each ordered pair (i≠j) is an edge w.p. ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise InputError("p must lie in [0, 1]")
+    graph = DiGraph(name=name)
+    for i in range(n):
+        graph.add_node(i)
+    for tail in range(n):
+        for head in range(n):
+            if tail != head and rng.random() < p:
+                graph.add_edge(tail, head)
+    return graph
+
+
+def relabel_sequential(graph: DiGraph, prefix: str = "") -> DiGraph:
+    """Copy ``graph`` with nodes renamed to ``prefix + str(index)``.
+
+    Useful when composing generated graphs whose integer node ids collide.
+    """
+    mapping = {node: f"{prefix}{i}" for i, node in enumerate(graph.nodes())}
+    renamed = DiGraph(name=graph.name)
+    for node in graph.nodes():
+        renamed.add_node(
+            mapping[node],
+            label=graph.label(node),
+            weight=graph.weight(node),
+            **graph.attrs(node),
+        )
+    for tail, head in graph.edges():
+        renamed.add_edge(mapping[tail], mapping[head])
+    return renamed

@@ -1,0 +1,121 @@
+"""Graph (de)serialization and networkx interop.
+
+JSON is the canonical on-disk format (stable, diff-able, no dependencies);
+edge-list text is provided for quick inspection.  The networkx converters
+exist so tests can cross-check our SCC/closure/matching substrate against an
+independent implementation — the library itself never imports networkx.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.graph.digraph import DiGraph
+from repro.utils.errors import InputError
+
+__all__ = [
+    "to_json_dict",
+    "from_json_dict",
+    "dump_json",
+    "load_json",
+    "to_edge_list_text",
+    "to_networkx",
+    "from_networkx",
+]
+
+_FORMAT = "repro.digraph/v1"
+
+
+def to_json_dict(graph: DiGraph) -> dict[str, Any]:
+    """Encode a graph as a JSON-serialisable dict.
+
+    Node ids must themselves be JSON-serialisable (str/int/float/bool);
+    other ids raise :class:`InputError` up front rather than failing deep
+    inside ``json.dump``.
+    """
+    for node in graph.nodes():
+        if not isinstance(node, (str, int, float, bool)):
+            raise InputError(
+                f"node id {node!r} is not JSON-serialisable; relabel before dumping"
+            )
+    return {
+        "format": _FORMAT,
+        "name": graph.name,
+        "nodes": [
+            {
+                "id": node,
+                "label": graph.label(node),
+                "weight": graph.weight(node),
+                "attrs": graph.attrs(node),
+            }
+            for node in graph.nodes()
+        ],
+        "edges": [[tail, head] for tail, head in graph.edges()],
+    }
+
+
+def from_json_dict(payload: dict[str, Any]) -> DiGraph:
+    """Decode a dict produced by :func:`to_json_dict`."""
+    if payload.get("format") != _FORMAT:
+        raise InputError(f"unrecognised graph format: {payload.get('format')!r}")
+    graph = DiGraph(name=payload.get("name", ""))
+    for entry in payload["nodes"]:
+        graph.add_node(
+            entry["id"],
+            label=entry.get("label"),
+            weight=entry.get("weight", 1.0),
+            **entry.get("attrs", {}),
+        )
+    for tail, head in payload["edges"]:
+        graph.add_edge(tail, head)
+    return graph
+
+
+def dump_json(graph: DiGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_json_dict(graph), handle, indent=1, sort_keys=False)
+
+
+def load_json(path: str | Path) -> DiGraph:
+    """Read a graph written by :func:`dump_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_json_dict(json.load(handle))
+
+
+def to_edge_list_text(graph: DiGraph) -> str:
+    """Render the graph as '<tail> -> <head>' lines (isolated nodes as '<node>')."""
+    lines = []
+    isolated = [
+        node
+        for node in graph.nodes()
+        if not graph.successors(node) and not graph.predecessors(node)
+    ]
+    for node in isolated:
+        lines.append(f"{node}")
+    for tail, head in graph.edges():
+        lines.append(f"{tail} -> {head}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_networkx(graph: DiGraph):
+    """Convert to ``networkx.DiGraph`` (labels/weights as node attributes)."""
+    import networkx as nx
+
+    nxg = nx.DiGraph(name=graph.name)
+    for node in graph.nodes():
+        nxg.add_node(node, label=graph.label(node), weight=graph.weight(node))
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+def from_networkx(nxg) -> DiGraph:
+    """Convert from ``networkx.DiGraph`` (reads label/weight attributes)."""
+    graph = DiGraph(name=str(nxg.graph.get("name", "")))
+    for node, data in nxg.nodes(data=True):
+        graph.add_node(node, label=data.get("label"), weight=data.get("weight", 1.0))
+    for tail, head in nxg.edges():
+        graph.add_edge(tail, head)
+    return graph

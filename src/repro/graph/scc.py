@@ -1,0 +1,139 @@
+"""Strongly connected components (Tarjan) and the condensation DAG.
+
+SCCs drive two parts of the system:
+
+* the transitive-closure index (:mod:`repro.graph.closure`) computes
+  reachability on the condensation instead of on the raw graph (the
+  Nuutila-style approach cited by the paper [22]); and
+* the Appendix-B optimization compresses every SCC of ``G2⁺`` into a single
+  bag-of-labels node (:mod:`repro.core.optimize`).
+
+The implementation is Tarjan's algorithm made iterative, because data graphs
+at paper scale (tens of thousands of nodes) overflow Python's recursion
+limit.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["strongly_connected_components", "condensation", "Condensation"]
+
+Node = Hashable
+
+
+def strongly_connected_components(graph: DiGraph) -> list[list[Node]]:
+    """Tarjan's SCC algorithm (iterative).
+
+    Returns components in reverse topological order of the condensation
+    (every edge between components goes from a later list entry to an
+    earlier one), which is exactly the order the closure computation
+    consumes.
+    """
+    index_of: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+    counter = 0
+
+    for root in graph.nodes():
+        if root in index_of:
+            continue
+        # Iterative Tarjan: work holds (node, iterator state over successors).
+        work: list[tuple[Node, list[Node], int]] = [(root, list(graph.successors(root)), 0)]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succs, next_i = work.pop()
+            advanced = False
+            while next_i < len(succs):
+                succ = succs[next_i]
+                next_i += 1
+                if succ not in index_of:
+                    work.append((node, succs, next_i))
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, list(graph.successors(succ)), 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                component: list[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+class Condensation:
+    """The condensation DAG of a directed graph.
+
+    Each SCC becomes one *component id* (its index in ``components``); the
+    DAG edges connect distinct components that carry at least one original
+    edge.  ``is_trivial(cid)`` tells whether a component is a single node
+    without a self-loop — the distinction that decides whether a node can
+    reach itself by a *nonempty* path.
+    """
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.components = strongly_connected_components(graph)
+        self.component_of: dict[Node, int] = {}
+        for cid, members in enumerate(self.components):
+            for member in members:
+                self.component_of[member] = cid
+        self._dag_succ: list[set[int]] = [set() for _ in self.components]
+        self._has_cycle: list[bool] = [len(members) > 1 for members in self.components]
+        for tail, head in graph.edges():
+            tail_cid = self.component_of[tail]
+            head_cid = self.component_of[head]
+            if tail_cid == head_cid:
+                if tail == head:
+                    self._has_cycle[tail_cid] = True
+                continue
+            self._dag_succ[tail_cid].add(head_cid)
+
+    def num_components(self) -> int:
+        """Number of SCCs."""
+        return len(self.components)
+
+    def successors(self, cid: int) -> set[int]:
+        """Component ids directly reachable from component ``cid``."""
+        return self._dag_succ[cid]
+
+    def has_internal_cycle(self, cid: int) -> bool:
+        """True when the component contains a cycle (size > 1 or a self-loop)."""
+        return self._has_cycle[cid]
+
+    def is_trivial(self, cid: int) -> bool:
+        """True for a single node with no self-loop."""
+        return not self._has_cycle[cid]
+
+    def reverse_topological_ids(self) -> range:
+        """Component ids in reverse topological order.
+
+        Tarjan emits SCCs in reverse topological order already, so this is
+        simply ``range(num_components())``.
+        """
+        return range(len(self.components))
+
+
+def condensation(graph: DiGraph) -> Condensation:
+    """Build the :class:`Condensation` of ``graph``."""
+    return Condensation(graph)

@@ -1,0 +1,47 @@
+"""Degree statistics used by Table 2 of the paper and skeleton extraction.
+
+Table 2 reports, per Web graph: number of nodes, number of edges,
+``avgDeg(G)`` and ``maxDeg(G)``.  The skeleton rule of Section 6 keeps nodes
+with ``deg(v) ≥ avgDeg(G) + α · maxDeg(G)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphStats", "graph_stats", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The per-graph summary row of Table 2."""
+
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+
+    def as_row(self) -> tuple[int, int, float, int]:
+        """Row tuple in Table 2 column order."""
+        return (self.num_nodes, self.num_edges, self.avg_degree, self.max_degree)
+
+
+def graph_stats(graph: DiGraph) -> GraphStats:
+    """Compute the Table 2 summary statistics of ``graph``."""
+    return GraphStats(
+        num_nodes=graph.num_nodes(),
+        num_edges=graph.num_edges(),
+        avg_degree=graph.average_degree(),
+        max_degree=graph.max_degree(),
+    )
+
+
+def degree_histogram(graph: DiGraph) -> dict[int, int]:
+    """Map total degree -> number of nodes with that degree."""
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        deg = graph.degree(node)
+        histogram[deg] = histogram.get(deg, 0) + 1
+    return histogram

@@ -1,0 +1,176 @@
+"""Graph traversal primitives: BFS/DFS orders, reachability, paths.
+
+These are the building blocks for the transitive-closure index
+(:mod:`repro.graph.closure`) and for path-existence assertions in the
+p-homomorphism validity checker: an edge ``(v, v')`` of the pattern must map
+to a *nonempty* path ``σ(v) ⇝ σ(v')`` in the data graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator
+
+from repro.graph.digraph import DiGraph
+from repro.utils.errors import GraphError
+
+__all__ = [
+    "bfs_order",
+    "dfs_preorder",
+    "dfs_postorder",
+    "reachable_from",
+    "has_nonempty_path",
+    "shortest_path",
+    "topological_order",
+    "is_acyclic",
+]
+
+Node = Hashable
+
+
+def bfs_order(graph: DiGraph, sources: Iterable[Node]) -> Iterator[Node]:
+    """Yield nodes in breadth-first order from ``sources`` (sources included)."""
+    queue: deque[Node] = deque()
+    seen: set[Node] = set()
+    for source in sources:
+        if source not in graph:
+            raise GraphError(f"source {source!r} not in graph")
+        if source not in seen:
+            seen.add(source)
+            queue.append(source)
+    while queue:
+        node = queue.popleft()
+        yield node
+        for succ in graph.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+
+
+def dfs_preorder(graph: DiGraph, sources: Iterable[Node]) -> Iterator[Node]:
+    """Yield nodes in depth-first preorder from ``sources`` (iterative)."""
+    seen: set[Node] = set()
+    for source in sources:
+        if source not in graph:
+            raise GraphError(f"source {source!r} not in graph")
+        if source in seen:
+            continue
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            yield node
+            # Reverse-sorted push keeps yields deterministic across runs.
+            stack.extend(sorted(graph.successors(node), key=repr, reverse=True))
+
+
+def dfs_postorder(graph: DiGraph, sources: Iterable[Node] | None = None) -> list[Node]:
+    """Depth-first postorder over ``sources`` (default: all nodes), iterative."""
+    roots = list(graph.nodes()) if sources is None else list(sources)
+    seen: set[Node] = set()
+    order: list[Node] = []
+    for root in roots:
+        if root not in graph:
+            raise GraphError(f"source {root!r} not in graph")
+        if root in seen:
+            continue
+        # Each stack frame is (node, iterator over its successors).
+        seen.add(root)
+        stack: list[tuple[Node, Iterator[Node]]] = [(root, iter(sorted(graph.successors(root), key=repr)))]
+        while stack:
+            node, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(sorted(graph.successors(succ), key=repr))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+    return order
+
+
+def reachable_from(graph: DiGraph, source: Node) -> set[Node]:
+    """All nodes reachable from ``source`` by a path of length ≥ 0."""
+    return set(bfs_order(graph, [source]))
+
+
+def has_nonempty_path(graph: DiGraph, source: Node, target: Node) -> bool:
+    """True when a path of length ≥ 1 leads from ``source`` to ``target``.
+
+    This is the edge relation of the transitive closure ``G⁺`` in the paper:
+    ``(v1, v2) ∈ E⁺`` iff there is a *nonempty* path from v1 to v2, so a node
+    reaches itself only via a cycle (including a self-loop).
+    """
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    if target not in graph:
+        raise GraphError(f"target {target!r} not in graph")
+    frontier = graph.successors(source)
+    if target in frontier:
+        return True
+    return target in set(bfs_order(graph, frontier)) if frontier else False
+
+
+def shortest_path(graph: DiGraph, source: Node, target: Node) -> list[Node] | None:
+    """A shortest nonempty path ``[source, ..., target]``, or None.
+
+    Used to produce human-readable witnesses ("the edge (books, textbooks)
+    maps to the path books/categories/school") in examples and error
+    messages.  ``source == target`` requires a cycle through the node.
+    """
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    if target not in graph:
+        raise GraphError(f"target {target!r} not in graph")
+    parent: dict[Node, Node] = {}
+    queue: deque[Node] = deque()
+    for succ in graph.successors(source):
+        if succ not in parent:
+            parent[succ] = source
+            queue.append(succ)
+    while queue:
+        node = queue.popleft()
+        if node == target:
+            path = [node]
+            while path[-1] != source or len(path) == 1:
+                node = parent[node]
+                path.append(node)
+                if node == source:
+                    break
+            path.reverse()
+            return path
+        for succ in graph.successors(node):
+            if succ not in parent:
+                parent[succ] = node
+                queue.append(succ)
+    return None
+
+
+def topological_order(graph: DiGraph) -> list[Node] | None:
+    """A topological order of the nodes, or None when the graph has a cycle.
+
+    Kahn's algorithm; deterministic given insertion order.
+    """
+    indegree = {node: graph.in_degree(node) for node in graph.nodes()}
+    queue: deque[Node] = deque(node for node, deg in indegree.items() if deg == 0)
+    order: list[Node] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for succ in graph.successors(node):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if len(order) != graph.num_nodes():
+        return None
+    return order
+
+
+def is_acyclic(graph: DiGraph) -> bool:
+    """True when the graph is a DAG (no directed cycle, no self-loop)."""
+    return topological_order(graph) is not None

@@ -1,0 +1,237 @@
+"""Undirected graphs for the independent-set / clique substrate.
+
+The approximation bound of the paper routes through maximum (weighted)
+independent sets on *undirected* graphs: the AFP-reduction builds a product
+graph of ``G1 × G2⁺`` and takes its complement (Appendix A, proof of
+Theorem 5.1).  This module provides the small undirected-graph container the
+WIS algorithms in :mod:`repro.wis` operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.utils.errors import GraphError, InputError
+
+__all__ = ["Graph"]
+
+Node = Hashable
+
+
+class Graph:
+    """A simple undirected graph (no self-loops, no parallel edges).
+
+    Self-loops are rejected because neither independent sets nor cliques are
+    well-defined over them in the constructions we implement (the paper's
+    complement graph Gc explicitly "allows no self-loops").
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._adj: dict[Node, set[Node]] = {}
+        self._weights: dict[Node, float] = {}
+        self._edge_count = 0
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Node, Node]],
+        nodes: Iterable[Node] = (),
+        name: str = "",
+    ) -> "Graph":
+        """Build a graph from an edge list plus optional isolated nodes."""
+        graph = cls(name=name)
+        for node in nodes:
+            graph.add_node(node)
+        for left, right in edges:
+            graph.add_edge(left, right)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, weight: float = 1.0) -> None:
+        """Add ``node`` with a positive weight (updates weight if present)."""
+        if weight <= 0:
+            raise InputError(f"node weight must be positive, got {weight!r}")
+        if node not in self._adj:
+            self._adj[node] = set()
+        self._weights[node] = float(weight)
+
+    def add_edge(self, left: Node, right: Node) -> None:
+        """Add the undirected edge {left, right}; self-loops are rejected."""
+        if left == right:
+            raise InputError(f"self-loop on {left!r}: undirected Graph forbids self-loops")
+        if left not in self._adj:
+            self.add_node(left)
+        if right not in self._adj:
+            self.add_node(right)
+        if right not in self._adj[left]:
+            self._adj[left].add(right)
+            self._adj[right].add(left)
+            self._edge_count += 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and its incident edges."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} not in graph")
+        for other in self._adj[node]:
+            self._adj[other].discard(node)
+        self._edge_count -= len(self._adj[node])
+        del self._adj[node]
+        del self._weights[node]
+
+    def remove_nodes(self, nodes: Iterable[Node]) -> None:
+        """Remove every node of ``nodes`` (a set is materialised first)."""
+        for node in list(nodes):
+            self.remove_node(node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def num_nodes(self) -> int:
+        """Number of nodes, |V|."""
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        """Number of undirected edges, |E|."""
+        return self._edge_count
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes (insertion order)."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate over edges once each (in an arbitrary but stable orientation)."""
+        seen: set[Node] = set()
+        for node, neighbors in self._adj.items():
+            for other in neighbors:
+                if other not in seen:
+                    yield (node, other)
+            seen.add(node)
+
+    def has_edge(self, left: Node, right: Node) -> bool:
+        """Return True when {left, right} is an edge."""
+        neighbors = self._adj.get(left)
+        return neighbors is not None and right in neighbors
+
+    def neighbors(self, node: Node) -> set[Node]:
+        """The adjacency set of ``node``."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def degree(self, node: Node) -> int:
+        """Number of incident edges."""
+        return len(self.neighbors(node))
+
+    def weight(self, node: Node) -> float:
+        """Weight of ``node`` (used by weighted independent set)."""
+        try:
+            return self._weights[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def set_weight(self, node: Node, weight: float) -> None:
+        """Replace the weight of an existing node (must stay positive)."""
+        if node not in self._weights:
+            raise GraphError(f"node {node!r} not in graph")
+        if weight <= 0:
+            raise InputError(f"node weight must be positive, got {weight!r}")
+        self._weights[node] = float(weight)
+
+    def total_weight(self, nodes: Iterable[Node] | None = None) -> float:
+        """Sum of weights over ``nodes`` (default: all nodes)."""
+        if nodes is None:
+            return sum(self._weights.values())
+        return sum(self.weight(node) for node in nodes)
+
+    # ------------------------------------------------------------------
+    # Set predicates used throughout the WIS/clique algorithms and tests
+    # ------------------------------------------------------------------
+    def is_independent_set(self, nodes: Iterable[Node]) -> bool:
+        """True when no two nodes of ``nodes`` are adjacent."""
+        chosen = list(nodes)
+        chosen_set = set(chosen)
+        if len(chosen_set) != len(chosen):
+            return False
+        for node in chosen_set:
+            if node not in self._adj:
+                return False
+            if self._adj[node] & chosen_set:
+                return False
+        return True
+
+    def is_clique(self, nodes: Iterable[Node]) -> bool:
+        """True when every two distinct nodes of ``nodes`` are adjacent."""
+        chosen = list(nodes)
+        chosen_set = set(chosen)
+        if len(chosen_set) != len(chosen):
+            return False
+        for node in chosen_set:
+            if node not in self._adj:
+                return False
+            if len(self._adj[node] & chosen_set) != len(chosen_set) - 1:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Graph":
+        """An independent copy of the graph."""
+        clone = Graph(name=self.name if name is None else name)
+        for node in self._adj:
+            clone.add_node(node, weight=self._weights[node])
+        for left, right in self.edges():
+            clone.add_edge(left, right)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node], name: str = "") -> "Graph":
+        """The subgraph induced by ``nodes`` (a copy)."""
+        keep = set()
+        for node in nodes:
+            if node not in self._adj:
+                raise GraphError(f"node {node!r} not in graph")
+            keep.add(node)
+        sub = Graph(name=name or f"{self.name}[{len(keep)}]")
+        for node in self._adj:
+            if node in keep:
+                sub.add_node(node, weight=self._weights[node])
+        for node in sub.nodes():
+            for other in self._adj[node]:
+                if other in keep:
+                    sub.add_edge(node, other)
+        return sub
+
+    def complement(self, name: str = "") -> "Graph":
+        """The complement graph: same nodes, edge iff not an edge here.
+
+        This is the ``Gc`` of the paper's AFP-reduction (independent sets of
+        ``Gc`` are cliques of the product graph).  Quadratic in |V| — callers
+        are expected to use it on product graphs of modest size.
+        """
+        comp = Graph(name=name or (f"{self.name}^c" if self.name else ""))
+        order = list(self._adj)
+        for node in order:
+            comp.add_node(node, weight=self._weights[node])
+        for i, left in enumerate(order):
+            left_adj = self._adj[left]
+            for right in order[i + 1 :]:
+                if right not in left_adj:
+                    comp.add_edge(left, right)
+        return comp
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return f"<Graph{tag} |V|={self.num_nodes()} |E|={self.num_edges()}>"

@@ -1,0 +1,56 @@
+"""Node-similarity substrate: ``mat()`` matrices and the ways to build them.
+
+Implements every similarity source named in the paper: label equality,
+grouped random label similarity (Section 6 synthetic data), Broder shingles
+over page contents (the "page checker"), Blondel et al. vertex similarity,
+and Melnik et al. similarity flooding, plus the node-weight schemes for
+``qualSim``.
+"""
+
+from repro.similarity.matrix import SimilarityMatrix
+from repro.similarity.labels import (
+    LabelGroupSimilarity,
+    label_equality_matrix,
+    label_group_matrix,
+)
+from repro.similarity.shingles import (
+    containment,
+    resemblance,
+    shingle_set,
+    shingle_similarity_matrix,
+)
+from repro.similarity.weights import (
+    apply_degree_weights,
+    apply_hits_weights,
+    apply_uniform_weights,
+    hits_scores,
+)
+from repro.similarity.vertex import VertexSimilarityResult, blondel_vertex_similarity
+from repro.similarity.flooding import (
+    FloodingResult,
+    extract_matching,
+    similarity_flooding,
+)
+from repro.similarity.minhash import MinHasher, minhash_similarity_matrix
+
+__all__ = [
+    "SimilarityMatrix",
+    "LabelGroupSimilarity",
+    "label_equality_matrix",
+    "label_group_matrix",
+    "shingle_set",
+    "resemblance",
+    "containment",
+    "shingle_similarity_matrix",
+    "apply_uniform_weights",
+    "apply_degree_weights",
+    "apply_hits_weights",
+    "hits_scores",
+    "VertexSimilarityResult",
+    "blondel_vertex_similarity",
+    "FloodingResult",
+    "similarity_flooding",
+    "extract_matching",
+    "MinHasher",
+    "minhash_similarity_matrix",
+]

@@ -1,0 +1,110 @@
+"""Label-based similarity matrices.
+
+Two constructions from the paper:
+
+* **label equality** — ``mat(v, u) = 1`` iff ``L1(v) = L2(u)`` (used by the
+  examples of Fig. 2 and by every NP-hardness reduction); and
+* **grouped labels** — the synthetic workload of Section 6: the label
+  universe is split into disjoint groups; labels in different groups are
+  "totally different" (similarity 0) while labels within a group get a
+  random similarity in [0, 1] (a label is fully similar to itself).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Sequence
+
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+__all__ = ["label_equality_matrix", "LabelGroupSimilarity", "label_group_matrix"]
+
+Node = Hashable
+
+
+def label_equality_matrix(graph1: DiGraph, graph2: DiGraph) -> SimilarityMatrix:
+    """``mat(v, u) = 1.0`` iff the labels of ``v`` and ``u`` are equal.
+
+    Built via an index of ``graph2`` labels, so the cost is
+    O(|V1| + |V2| + #equal pairs) rather than O(|V1|·|V2|).
+    """
+    by_label: dict[object, list[Node]] = {}
+    for u in graph2.nodes():
+        by_label.setdefault(graph2.label(u), []).append(u)
+    mat = SimilarityMatrix()
+    for v in graph1.nodes():
+        for u in by_label.get(graph1.label(v), ()):
+            mat.set(v, u, 1.0)
+    return mat
+
+
+class LabelGroupSimilarity:
+    """Similarity over a grouped label universe (Section 6 synthetic data).
+
+    The universe of ``num_labels`` labels is split into ``num_groups``
+    near-equal disjoint groups.  ``score(l1, l2)`` is 0 across groups, 1 on
+    the diagonal, and a symmetric random draw from [0, 1] within a group.
+    Draws are made lazily and memoised so that only the label pairs that
+    actually co-occur cost anything.
+    """
+
+    def __init__(self, num_labels: int, num_groups: int, rng: random.Random) -> None:
+        if num_labels < 1:
+            raise InputError("num_labels must be at least 1")
+        if not 1 <= num_groups <= num_labels:
+            raise InputError("num_groups must lie in [1, num_labels]")
+        self.num_labels = num_labels
+        self.num_groups = num_groups
+        self._rng = rng
+        self._group_of = {label: label % num_groups for label in range(num_labels)}
+        self._pair_scores: dict[tuple[int, int], float] = {}
+
+    def group_of(self, label: int) -> int:
+        """The group id of ``label``."""
+        try:
+            return self._group_of[label]
+        except KeyError:
+            raise InputError(f"label {label!r} outside the universe") from None
+
+    def score(self, label1: int, label2: int) -> float:
+        """Similarity of two labels (see class docstring)."""
+        if label1 == label2:
+            self.group_of(label1)  # validate
+            return 1.0
+        if self.group_of(label1) != self.group_of(label2):
+            return 0.0
+        key = (label1, label2) if label1 < label2 else (label2, label1)
+        if key not in self._pair_scores:
+            self._pair_scores[key] = self._rng.random()
+        return self._pair_scores[key]
+
+    def matrix_for(self, graph1: DiGraph, graph2: DiGraph) -> SimilarityMatrix:
+        """Evaluate the label similarity over ``V1 × V2`` (sparse by groups).
+
+        Indexing ``graph2`` nodes by group keeps the cost proportional to
+        the number of *same-group* pairs.
+        """
+        by_group: dict[int, list[Node]] = {}
+        for u in graph2.nodes():
+            by_group.setdefault(self.group_of(graph2.label(u)), []).append(u)
+        mat = SimilarityMatrix()
+        for v in graph1.nodes():
+            label_v = graph1.label(v)
+            for u in by_group.get(self.group_of(label_v), ()):
+                value = self.score(label_v, graph2.label(u))
+                if value > 0.0:
+                    mat.set(v, u, value)
+        return mat
+
+
+def label_group_matrix(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    num_labels: int,
+    num_groups: int,
+    rng: random.Random,
+) -> SimilarityMatrix:
+    """Convenience wrapper: build a grouped-label similarity matrix."""
+    return LabelGroupSimilarity(num_labels, num_groups, rng).matrix_for(graph1, graph2)

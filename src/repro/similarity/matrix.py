@@ -1,0 +1,178 @@
+"""The node-similarity matrix ``mat()`` of Section 3.1.
+
+For graphs ``G1 = (V1, E1, L1)`` and ``G2 = (V2, E2, L2)`` the paper assumes
+a matrix ``mat()`` assigning each pair ``(v, u) ∈ V1 × V2`` a similarity in
+``[0, 1]``; a node ``v`` may map to ``u`` only when ``mat(v, u) ≥ ξ`` for a
+threshold ``ξ``.
+
+:class:`SimilarityMatrix` stores the matrix sparsely (absent pairs are 0.0,
+which is by far the common case: shingle and grouped-label similarities are
+zero for most pairs) and precomputes per-``v`` candidate lookups, the hot
+query of every matching algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator, Mapping
+
+from repro.utils.errors import InputError
+
+__all__ = ["SimilarityMatrix"]
+
+Node = Hashable
+
+
+class SimilarityMatrix:
+    """A sparse ``mat(v, u) ∈ [0, 1]`` similarity table.
+
+    >>> mat = SimilarityMatrix.from_pairs({("a", "x"): 0.9, ("a", "y"): 0.4})
+    >>> mat("a", "x")
+    0.9
+    >>> mat("a", "z")
+    0.0
+    >>> sorted(mat.candidates("a", 0.5))
+    ['x']
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[Node, dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Mapping[tuple[Node, Node], float]) -> "SimilarityMatrix":
+        """Build from a ``{(v, u): similarity}`` mapping."""
+        mat = cls()
+        for (v, u), score in pairs.items():
+            mat.set(v, u, score)
+        return mat
+
+    @classmethod
+    def from_function(
+        cls,
+        nodes1: Iterable[Node],
+        nodes2: Iterable[Node],
+        score: Callable[[Node, Node], float],
+        keep_zero: bool = False,
+    ) -> "SimilarityMatrix":
+        """Evaluate ``score(v, u)`` over the cross product and store the result.
+
+        Zero scores are dropped unless ``keep_zero`` — they are semantically
+        identical to absent entries and dropping keeps the matrix sparse.
+        """
+        mat = cls()
+        targets = list(nodes2)
+        for v in nodes1:
+            for u in targets:
+                value = score(v, u)
+                if value != 0.0 or keep_zero:
+                    mat.set(v, u, value)
+        return mat
+
+    def set(self, v: Node, u: Node, score: float) -> None:
+        """Set ``mat(v, u) = score`` (must lie in [0, 1])."""
+        if not 0.0 <= score <= 1.0:
+            raise InputError(f"similarity mat({v!r}, {u!r}) = {score!r} outside [0, 1]")
+        self._rows.setdefault(v, {})[u] = float(score)
+
+    def update(self, pairs: Mapping[tuple[Node, Node], float]) -> None:
+        """Set every pair of ``pairs``."""
+        for (v, u), score in pairs.items():
+            self.set(v, u, score)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __call__(self, v: Node, u: Node) -> float:
+        """``mat(v, u)``; absent pairs score 0.0."""
+        row = self._rows.get(v)
+        if row is None:
+            return 0.0
+        return row.get(u, 0.0)
+
+    def get(self, v: Node, u: Node, default: float = 0.0) -> float:
+        """``mat(v, u)`` with an explicit default for absent pairs."""
+        row = self._rows.get(v)
+        if row is None:
+            return default
+        return row.get(u, default)
+
+    def row(self, v: Node) -> dict[Node, float]:
+        """The non-zero entries for pattern node ``v`` (read-only by convention)."""
+        return self._rows.get(v, {})
+
+    def candidates(self, v: Node, xi: float) -> set[Node]:
+        """``{u : mat(v, u) ≥ ξ}`` — the initial ``H[v].good`` of the paper.
+
+        A threshold of 0 is rejected: it would make *every* node of ``G2`` a
+        candidate (absent pairs score 0 ≥ 0), which is never intended and
+        silently destroys performance.
+        """
+        if xi <= 0.0:
+            raise InputError("similarity threshold xi must be positive")
+        return {u for u, score in self._rows.get(v, {}).items() if score >= xi}
+
+    def pairs(self) -> Iterator[tuple[Node, Node, float]]:
+        """Iterate all stored ``(v, u, score)`` entries."""
+        for v, row in self._rows.items():
+            for u, score in row.items():
+                yield (v, u, score)
+
+    def num_pairs(self) -> int:
+        """Number of stored entries."""
+        return sum(len(row) for row in self._rows.values())
+
+    def max_score(self) -> float:
+        """The largest stored similarity (0.0 when empty)."""
+        best = 0.0
+        for row in self._rows.values():
+            for score in row.values():
+                if score > best:
+                    best = score
+        return best
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def transposed(self) -> "SimilarityMatrix":
+        """Swap the roles of the two graphs: ``mat'(u, v) = mat(v, u)``."""
+        flipped = SimilarityMatrix()
+        for v, u, score in self.pairs():
+            flipped.set(u, v, score)
+        return flipped
+
+    def thresholded(self, xi: float) -> "SimilarityMatrix":
+        """Keep only the pairs with ``score ≥ ξ``."""
+        kept = SimilarityMatrix()
+        for v, u, score in self.pairs():
+            if score >= xi:
+                kept.set(v, u, score)
+        return kept
+
+    def saturated(self, xi: float) -> "SimilarityMatrix":
+        """The ``mat'`` of the paper's Corollary 4.2 reduction.
+
+        Every pair at or above the threshold is promoted to similarity 1.0;
+        the rest keep their scores.  Decision problems over ``(mat, ξ)`` and
+        ``(mat', ξ)`` coincide, while ``qualSim`` over ``mat'`` counts
+        matched nodes — the trick that reduces the decision problem to the
+        optimization problems.
+        """
+        promoted = SimilarityMatrix()
+        for v, u, score in self.pairs():
+            promoted.set(v, u, 1.0 if score >= xi else score)
+        return promoted
+
+    def restricted(self, keep1: Iterable[Node], keep2: Iterable[Node]) -> "SimilarityMatrix":
+        """Project the matrix onto ``keep1 × keep2`` (for skeleton matching)."""
+        set1 = set(keep1)
+        set2 = set(keep2)
+        projected = SimilarityMatrix()
+        for v, u, score in self.pairs():
+            if v in set1 and u in set2:
+                projected.set(v, u, score)
+        return projected
+
+    def __repr__(self) -> str:
+        return f"<SimilarityMatrix pairs={self.num_pairs()}>"

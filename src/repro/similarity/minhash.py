@@ -1,0 +1,110 @@
+"""MinHash sketches for shingle resemblance at scale.
+
+Broder's syntactic-clustering paper (the paper's reference [8]) pairs
+w-shingling with *min-wise hashing*: the resemblance of two shingle sets
+is estimated by the agreement rate of their per-permutation minima, so a
+page is summarised by a constant-size sketch instead of its full shingle
+set.  For paper-scale archives (20k pages per site, 11 versions) exact
+pairwise resemblance is the dominant cost of building ``mat()``; sketches
+make it linear in the number of compared pairs with O(k) work each.
+
+The estimator is unbiased with standard error ~ 1/√k; the default k = 128
+keeps it under 0.09, comfortably finer than the experiments' ξ grid.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.similarity.shingles import CONTENT_ATTR, DEFAULT_SHINGLE_WIDTH, shingle_set
+from repro.utils.errors import InputError
+from repro.utils.rng import derive_seed
+
+__all__ = ["MinHasher", "minhash_similarity_matrix"]
+
+Node = Hashable
+
+_MERSENNE = (1 << 61) - 1  # modulus for the universal hash family
+
+
+class MinHasher:
+    """A fixed family of k min-wise hash functions over shingles."""
+
+    def __init__(self, num_hashes: int = 128, seed: int = 2010) -> None:
+        if num_hashes < 1:
+            raise InputError("num_hashes must be at least 1")
+        self.num_hashes = num_hashes
+        self.seed = seed
+        # Universal hashing: h_i(x) = (a_i * x + b_i) mod p, with fixed
+        # per-index coefficients derived from the seed.
+        self._coefficients = [
+            (
+                derive_seed(seed, "minhash-a", i) % (_MERSENNE - 1) + 1,
+                derive_seed(seed, "minhash-b", i) % _MERSENNE,
+            )
+            for i in range(num_hashes)
+        ]
+
+    def sketch(self, tokens: Sequence[str], width: int = DEFAULT_SHINGLE_WIDTH) -> tuple[int, ...]:
+        """The MinHash sketch of a document's shingle set.
+
+        An empty document yields the all-sentinel sketch, which estimates
+        similarity 1.0 against other empty documents and ~0 otherwise —
+        consistent with :func:`repro.similarity.shingles.resemblance`.
+        """
+        shingles = shingle_set(tokens, width)
+        if not shingles:
+            return tuple([_MERSENNE] * self.num_hashes)
+        hashed = [hash(shingle) & ((1 << 61) - 1) for shingle in shingles]
+        sketch = []
+        for a, b in self._coefficients:
+            sketch.append(min((a * value + b) % _MERSENNE for value in hashed))
+        return tuple(sketch)
+
+    def estimate(self, sketch1: Sequence[int], sketch2: Sequence[int]) -> float:
+        """Estimated Jaccard resemblance: fraction of agreeing minima."""
+        if len(sketch1) != self.num_hashes or len(sketch2) != self.num_hashes:
+            raise InputError("sketch lengths do not match this hasher")
+        agreements = sum(1 for x, y in zip(sketch1, sketch2) if x == y)
+        return agreements / self.num_hashes
+
+
+def minhash_similarity_matrix(
+    graph1: DiGraph,
+    graph2: DiGraph,
+    num_hashes: int = 128,
+    width: int = DEFAULT_SHINGLE_WIDTH,
+    content_attr: str = CONTENT_ATTR,
+    min_score: float = 0.0,
+    seed: int = 2010,
+) -> SimilarityMatrix:
+    """Sketch-based replacement for ``shingle_similarity_matrix``.
+
+    Sketches every node once, then estimates all pairwise resemblances.
+    Candidate pairs are restricted by a one-band LSH pass (pairs must agree
+    on at least one minimum) so wholly dissimilar pairs are never scored.
+    """
+    hasher = MinHasher(num_hashes, seed)
+    sketches2: dict[Node, tuple[int, ...]] = {
+        u: hasher.sketch(graph2.attrs(u).get(content_attr, ()), width)
+        for u in graph2.nodes()
+    }
+    # LSH buckets: (hash index, minimum) -> data nodes.
+    buckets: dict[tuple[int, int], list[Node]] = {}
+    for u, sketch in sketches2.items():
+        for i, minimum in enumerate(sketch):
+            buckets.setdefault((i, minimum), []).append(u)
+
+    mat = SimilarityMatrix()
+    for v in graph1.nodes():
+        sketch_v = hasher.sketch(graph1.attrs(v).get(content_attr, ()), width)
+        candidates: set[Node] = set()
+        for i, minimum in enumerate(sketch_v):
+            candidates.update(buckets.get((i, minimum), ()))
+        for u in candidates:
+            score = hasher.estimate(sketch_v, sketches2[u])
+            if score > min_score:
+                mat.set(v, u, score)
+    return mat

@@ -1,0 +1,15 @@
+"""Shared utilities: errors, seeded randomness, timing helpers."""
+
+from repro.utils.errors import GraphError, InputError, TimeBudgetExceeded
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.timing import Stopwatch, Deadline
+
+__all__ = [
+    "GraphError",
+    "InputError",
+    "TimeBudgetExceeded",
+    "derive_rng",
+    "derive_seed",
+    "Stopwatch",
+    "Deadline",
+]

@@ -1,0 +1,34 @@
+"""Exception types shared across the library.
+
+The library raises narrow exception types so callers can distinguish
+programming errors (bad inputs) from resource-budget conditions (an exact
+algorithm exceeding its time allowance, which the experiment harness reports
+as ``N/A`` like the paper does for cdkMCS).
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class InputError(ReproError, ValueError):
+    """An argument violates a documented precondition."""
+
+
+class GraphError(ReproError, KeyError):
+    """A node or edge reference does not exist in the graph."""
+
+
+class TimeBudgetExceeded(ReproError, TimeoutError):
+    """An algorithm with a wall-clock budget ran out of time.
+
+    Exact, exponential-time procedures (maximum common subgraph, exact
+    clique search) accept a budget and raise this exception when they
+    cannot finish; the experiment harness turns it into an ``N/A`` cell,
+    mirroring "did not run to completion" in Table 3 of the paper.
+    """
+
+    def __init__(self, message: str, best_so_far=None):
+        super().__init__(message)
+        #: Best incumbent solution found before the budget ran out (may be None).
+        self.best_so_far = best_so_far

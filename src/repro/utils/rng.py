@@ -1,0 +1,43 @@
+"""Deterministic random-number-generator derivation.
+
+Every stochastic component of the library (data generators, randomized
+experiments) takes a seed and derives independent child generators from it
+with :func:`derive_rng`.  Deriving children by *name* rather than by call
+order keeps experiments reproducible even when the code around them is
+refactored: ``derive_rng(7, "site", 2, "content")`` always yields the same
+stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["derive_seed", "derive_rng"]
+
+_SEED_BYTES = 8
+
+
+def derive_seed(seed: int, *keys: object) -> int:
+    """Derive a stable 64-bit child seed from ``seed`` and a key path.
+
+    The derivation hashes the textual representation of the key path, so any
+    hashable-and-printable objects (strings, ints, tuples) may be used as
+    keys.
+
+    >>> derive_seed(7, "site", 2) == derive_seed(7, "site", 2)
+    True
+    >>> derive_seed(7, "site", 2) != derive_seed(7, "site", 3)
+    True
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(seed)).encode("utf-8"))
+    for key in keys:
+        hasher.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+        hasher.update(repr(key).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:_SEED_BYTES], "big")
+
+
+def derive_rng(seed: int, *keys: object) -> random.Random:
+    """Return a :class:`random.Random` seeded by ``derive_seed(seed, *keys)``."""
+    return random.Random(derive_seed(seed, *keys))

@@ -1,0 +1,72 @@
+"""Wall-clock measurement helpers used by algorithms and the harness."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.errors import TimeBudgetExceeded
+
+__all__ = ["Stopwatch", "Deadline"]
+
+
+class Stopwatch:
+    """Measure elapsed wall-clock time, usable as a context manager.
+
+    >>> with Stopwatch() as watch:
+    ...     _ = sum(range(10))
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._elapsed = time.perf_counter() - (self._start or 0.0)
+        self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed: final time after exit, running time inside the block."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+
+class Deadline:
+    """A wall-clock budget that exponential-time algorithms poll.
+
+    A ``None`` budget never expires.  ``check()`` raises
+    :class:`TimeBudgetExceeded` once the budget is exhausted; polling is the
+    caller's responsibility (typically once per search-tree node batch).
+    """
+
+    def __init__(self, budget_seconds: float | None) -> None:
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive or None")
+        self.budget_seconds = budget_seconds
+        self._expiry = None if budget_seconds is None else time.perf_counter() + budget_seconds
+
+    def expired(self) -> bool:
+        """Return True when the budget has run out."""
+        return self._expiry is not None and time.perf_counter() > self._expiry
+
+    def check(self, what: str = "search", best_so_far=None) -> None:
+        """Raise :class:`TimeBudgetExceeded` when the budget has run out."""
+        if self.expired():
+            raise TimeBudgetExceeded(
+                f"{what} exceeded its {self.budget_seconds:.3f}s budget",
+                best_so_far=best_so_far,
+            )
+
+    @property
+    def remaining(self) -> float | None:
+        """Seconds left, or None for an unlimited budget (never negative)."""
+        if self._expiry is None:
+            return None
+        return max(0.0, self._expiry - time.perf_counter())

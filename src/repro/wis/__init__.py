@@ -1,0 +1,42 @@
+"""(Weighted) independent set and clique algorithms.
+
+The substrate behind the paper's approximation guarantee: the Ramsey
+procedure and CliqueRemoval/ISRemoval of Boppana & Halldórsson [7],
+Halldórsson's weighted grouping [16], exact branch-and-bound solvers for
+ground truth, and greedy baselines for ablations.
+"""
+
+from repro.wis.ramsey import ramsey
+from repro.wis.removal import clique_removal, is_removal
+from repro.wis.weighted import (
+    weight_group_index,
+    weight_groups,
+    weighted_independent_set,
+)
+from repro.wis.exact import (
+    max_clique,
+    max_independent_set,
+    max_weight_clique,
+    max_weight_independent_set,
+)
+from repro.wis.greedy import (
+    greedy_clique,
+    greedy_independent_set,
+    greedy_weighted_independent_set,
+)
+
+__all__ = [
+    "ramsey",
+    "clique_removal",
+    "is_removal",
+    "weight_group_index",
+    "weight_groups",
+    "weighted_independent_set",
+    "max_clique",
+    "max_independent_set",
+    "max_weight_clique",
+    "max_weight_independent_set",
+    "greedy_clique",
+    "greedy_independent_set",
+    "greedy_weighted_independent_set",
+]

@@ -1,0 +1,197 @@
+"""Exact maximum clique / independent set solvers (branch and bound).
+
+These exponential-time solvers serve three purposes:
+
+* ground truth for testing the approximation algorithms (approx ≤ exact,
+  and equality on easy instances);
+* the optimal-quality reference for the paper's product-graph
+  characterisation (an optimal p-hom mapping *is* a maximum clique of the
+  product graph — Claim 2 in Appendix A); and
+* the ``cdkMCS`` stand-in: maximum common subgraph = maximum clique of the
+  modular product, run under a wall-clock budget.
+
+``max_clique`` is a Tomita-style search with greedy-coloring bounds;
+``max_independent_set`` branches directly (no complement materialisation);
+the weighted variants use weight-sum bounds.  All accept a
+:class:`~repro.utils.timing.Deadline` and raise
+:class:`~repro.utils.errors.TimeBudgetExceeded` (carrying the incumbent)
+when it expires.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.undirected import Graph
+from repro.utils.timing import Deadline
+
+__all__ = [
+    "max_clique",
+    "max_weight_clique",
+    "max_independent_set",
+    "max_weight_independent_set",
+]
+
+Node = Hashable
+
+
+def _color_sort(graph: Graph, candidates: list[Node]) -> tuple[list[Node], list[int]]:
+    """Greedy coloring bound for Tomita search.
+
+    Returns candidates reordered by ascending color and the color number of
+    each (1-based): a clique can use at most one node per color class, so
+    ``len(current) + color[i]`` bounds any clique extending ``current`` with
+    nodes from positions ``0..i``.
+    """
+    color_classes: list[list[Node]] = []
+    for node in sorted(candidates, key=lambda x: -graph.degree(x)):
+        neighbors = graph.neighbors(node)
+        for color_class in color_classes:
+            if not neighbors.intersection(color_class):
+                color_class.append(node)
+                break
+        else:
+            color_classes.append([node])
+    order: list[Node] = []
+    numbers: list[int] = []
+    for color, color_class in enumerate(color_classes, start=1):
+        for node in color_class:
+            order.append(node)
+            numbers.append(color)
+    return order, numbers
+
+
+def max_clique(graph: Graph, deadline: Deadline | None = None) -> set[Node]:
+    """An exact maximum clique of ``graph``."""
+    best: set[Node] = set()
+    deadline = deadline or Deadline(None)
+
+    def expand(current: list[Node], candidates: list[Node]) -> None:
+        nonlocal best
+        deadline.check("max_clique", best_so_far=set(best))
+        if not candidates:
+            if len(current) > len(best):
+                best = set(current)
+            return
+        order, colors = _color_sort(graph, candidates)
+        pool = set(order)
+        for i in range(len(order) - 1, -1, -1):
+            if len(current) + colors[i] <= len(best):
+                return
+            node = order[i]
+            pool.discard(node)
+            current.append(node)
+            expand(current, [x for x in order[:i] if x in graph.neighbors(node)])
+            current.pop()
+
+    expand([], list(graph.nodes()))
+    return best
+
+
+def max_weight_clique(graph: Graph, deadline: Deadline | None = None) -> set[Node]:
+    """An exact maximum-weight clique (node weights from the graph)."""
+    best: set[Node] = set()
+    best_weight = 0.0
+    deadline = deadline or Deadline(None)
+    order = sorted(graph.nodes(), key=graph.weight)  # heaviest popped last
+
+    def expand(current: list[Node], current_weight: float, candidates: list[Node]) -> None:
+        nonlocal best, best_weight
+        deadline.check("max_weight_clique", best_so_far=set(best))
+        if current_weight > best_weight:
+            best = set(current)
+            best_weight = current_weight
+        remaining = sum(graph.weight(node) for node in candidates)
+        if current_weight + remaining <= best_weight:
+            return
+        # Iterate heaviest-first for better early bounds.
+        for i in range(len(candidates) - 1, -1, -1):
+            node = candidates[i]
+            remaining -= graph.weight(node)
+            if current_weight + graph.weight(node) + remaining <= best_weight:
+                # Taking this node plus everything lighter cannot beat the
+                # incumbent, and later iterations only shrink the pool.
+                return
+            current.append(node)
+            expand(
+                current,
+                current_weight + graph.weight(node),
+                [x for x in candidates[:i] if x in graph.neighbors(node)],
+            )
+            current.pop()
+
+    expand([], 0.0, [node for node in order])
+    return best
+
+
+def _choose_branch_vertex(graph: Graph, active: set[Node]) -> Node:
+    """Branch on a maximum-degree vertex (classic MIS branching rule)."""
+    return max(active, key=lambda node: (len(graph.neighbors(node) & active), repr(node)))
+
+
+def max_independent_set(graph: Graph, deadline: Deadline | None = None) -> set[Node]:
+    """An exact maximum independent set (direct branch and bound)."""
+    best: set[Node] = set()
+    deadline = deadline or Deadline(None)
+
+    def search(active: set[Node], current: set[Node]) -> None:
+        nonlocal best
+        deadline.check("max_independent_set", best_so_far=set(best))
+        # Reduction: vertices of degree 0 or 1 within `active` are always safe.
+        active = set(active)
+        current = set(current)
+        reduced = True
+        while reduced:
+            reduced = False
+            for node in list(active):
+                neighborhood = graph.neighbors(node) & active
+                if len(neighborhood) == 0:
+                    current.add(node)
+                    active.discard(node)
+                    reduced = True
+                elif len(neighborhood) == 1:
+                    current.add(node)
+                    active.discard(node)
+                    active -= neighborhood
+                    reduced = True
+                    break
+        if len(current) > len(best):
+            best = set(current)
+        if not active or len(current) + len(active) <= len(best):
+            return
+        pivot = _choose_branch_vertex(graph, active)
+        # Branch 1: pivot in the IS.
+        search(active - graph.neighbors(pivot) - {pivot}, current | {pivot})
+        # Branch 2: pivot excluded.
+        search(active - {pivot}, current)
+
+    search(set(graph.nodes()), set())
+    return best
+
+
+def max_weight_independent_set(graph: Graph, deadline: Deadline | None = None) -> set[Node]:
+    """An exact maximum-weight independent set."""
+    best: set[Node] = set()
+    best_weight = 0.0
+    deadline = deadline or Deadline(None)
+
+    def search(active: set[Node], current: set[Node], current_weight: float) -> None:
+        nonlocal best, best_weight
+        deadline.check("max_weight_independent_set", best_so_far=set(best))
+        if current_weight > best_weight:
+            best = set(current)
+            best_weight = current_weight
+        if not active:
+            return
+        if current_weight + sum(graph.weight(node) for node in active) <= best_weight:
+            return
+        pivot = _choose_branch_vertex(graph, active)
+        search(
+            active - graph.neighbors(pivot) - {pivot},
+            current | {pivot},
+            current_weight + graph.weight(pivot),
+        )
+        search(active - {pivot}, current, current_weight)
+
+    search(set(graph.nodes()), set(), 0.0)
+    return best

@@ -1,0 +1,84 @@
+"""The Ramsey procedure of Boppana & Halldórsson (paper Fig. 9, bottom).
+
+``Ramsey(G)`` returns an independent set *and* a clique of ``G`` by
+recursing on the neighbors / non-neighbors of a pivot node:
+
+    Ramsey(G):
+        if G = ∅: return (∅, ∅)
+        choose some node v of G
+        (C1, I1) := Ramsey(N(v))        # neighbors of v
+        (C2, I2) := Ramsey(N̄(v))        # non-neighbors of v
+        return (max(C1 ∪ {v}, C2), max(I1, I2 ∪ {v}))
+
+Ramsey theory guarantees one of the two outputs is large
+(≥ n^{1/ log n}-ish), which is what gives CliqueRemoval — and therefore the
+paper's compMaxCard, which simulates it — the O(n/log²n) quality bound.
+
+The recursion is converted to an explicit stack: its depth is bounded only
+by |V|, and product graphs at experiment scale overflow Python's call
+stack.  The pivot choice is deterministic (first node in a fixed order) so
+results are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.undirected import Graph
+
+__all__ = ["ramsey"]
+
+Node = Hashable
+
+
+def ramsey(
+    graph: Graph,
+    within: set[Node] | None = None,
+    order: dict[Node, int] | None = None,
+) -> tuple[set[Node], set[Node]]:
+    """Run the Ramsey procedure on ``graph`` (restricted to ``within``).
+
+    Returns ``(clique, independent_set)``.  ``order`` fixes the pivot
+    preference (smaller rank first); by default, graph insertion order.
+
+    >>> g = Graph.from_edges([(1, 2), (2, 3)])
+    >>> clique, iset = ramsey(g)
+    >>> g.is_clique(clique) and g.is_independent_set(iset)
+    True
+    """
+    if order is None:
+        order = {node: i for i, node in enumerate(graph.nodes())}
+    vertices = set(graph.nodes()) if within is None else set(within)
+
+    # Explicit-stack post-order evaluation of the recursion above.  Each
+    # frame processes one vertex set in three phases: pick pivot and descend
+    # into neighbors (0), descend into non-neighbors (1), combine (2).
+    results: list[tuple[set[Node], set[Node]]] = []
+    stack: list[list] = [[vertices, 0, None]]
+    while stack:
+        frame = stack[-1]
+        subset, phase, pivot = frame
+        if phase == 0:
+            if not subset:
+                results.append((set(), set()))
+                stack.pop()
+                continue
+            pivot = min(subset, key=order.__getitem__)
+            frame[2] = pivot
+            frame[1] = 1
+            stack.append([subset & graph.neighbors(pivot), 0, None])
+        elif phase == 1:
+            frame[1] = 2
+            non_neighbors = subset - graph.neighbors(pivot)
+            non_neighbors.discard(pivot)
+            stack.append([non_neighbors, 0, None])
+        else:
+            clique2, iset2 = results.pop()  # from non-neighbors
+            clique1, iset1 = results.pop()  # from neighbors
+            clique1.add(pivot)  # pivot joins the clique found among its neighbors
+            iset2.add(pivot)  # pivot joins the IS found among its non-neighbors
+            clique = clique1 if len(clique1) >= len(clique2) else clique2
+            iset = iset1 if len(iset1) > len(iset2) else iset2
+            results.append((clique, iset))
+            stack.pop()
+    return results.pop()

@@ -1,0 +1,60 @@
+"""CliqueRemoval and ISRemoval (Boppana & Halldórsson; paper Fig. 9).
+
+``clique_removal`` approximates a **maximum independent set** within
+O(n/log²n): repeatedly run Ramsey, keep the best independent set seen, and
+delete the returned clique from the graph.  ``is_removal`` is the exact
+dual (shown as Fig. 9 in the paper): it approximates a **maximum clique**
+by repeatedly deleting independent sets.  The paper's compMaxCard simulates
+``is_removal`` on the (implicit) product graph — σ plays the clique, I the
+independent set that gets removed from the matching list.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.undirected import Graph
+from repro.wis.ramsey import ramsey
+
+__all__ = ["clique_removal", "is_removal"]
+
+Node = Hashable
+
+
+def clique_removal(graph: Graph) -> tuple[set[Node], list[set[Node]]]:
+    """Approximate a maximum independent set.
+
+    Returns ``(independent_set, cliques)`` where ``cliques`` is the clique
+    cover that was peeled off (it partitions the vertex set — a fact the
+    O(n/log²n) guarantee rests on, and which the tests assert).
+    """
+    order = {node: i for i, node in enumerate(graph.nodes())}
+    active = set(graph.nodes())
+    best_iset: set[Node] = set()
+    cliques: list[set[Node]] = []
+    while active:
+        clique, iset = ramsey(graph, within=active, order=order)
+        if len(iset) > len(best_iset):
+            best_iset = iset
+        cliques.append(clique)
+        active -= clique
+    return best_iset, cliques
+
+
+def is_removal(graph: Graph) -> tuple[set[Node], list[set[Node]]]:
+    """Approximate a maximum clique (algorithm ISRemoval, paper Fig. 9).
+
+    Returns ``(clique, independent_sets)`` where the independent sets
+    partition the vertex set.
+    """
+    order = {node: i for i, node in enumerate(graph.nodes())}
+    active = set(graph.nodes())
+    best_clique: set[Node] = set()
+    isets: list[set[Node]] = []
+    while active:
+        clique, iset = ramsey(graph, within=active, order=order)
+        if len(clique) > len(best_clique):
+            best_clique = clique
+        isets.append(iset)
+        active -= iset
+    return best_clique, isets

@@ -1,0 +1,153 @@
+"""Shared fixtures: the paper's running examples and random-instance helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph
+from repro.similarity.matrix import SimilarityMatrix
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the two online stores (pattern Gp and data graph G)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fig1_pattern() -> DiGraph:
+    """Gp of Fig. 1: A over books/audio, books over textbooks/abooks, audio over abooks/albums."""
+    return DiGraph.from_edges(
+        [
+            ("A", "books"),
+            ("A", "audio"),
+            ("books", "textbooks"),
+            ("books", "abooks"),
+            ("audio", "abooks"),
+            ("audio", "albums"),
+        ],
+        name="Gp",
+    )
+
+
+@pytest.fixture
+def fig1_data() -> DiGraph:
+    """G of Fig. 1: B over books/sports/digital, with category layers below.
+
+    The layout follows the paths the paper quotes: the edge
+    (books, textbooks) maps to books/categories/school, and audiobooks and
+    albums are reachable from both the books and digital sections.
+    """
+    return DiGraph.from_edges(
+        [
+            ("B", "books"),
+            ("B", "sports"),
+            ("B", "digital"),
+            ("books", "categories"),
+            ("books", "booksets"),
+            ("categories", "school"),
+            ("categories", "arts"),
+            ("categories", "audiobooks"),
+            ("digital", "audiobooks"),
+            ("digital", "DVDs"),
+            ("digital", "CDs"),
+            ("CDs", "features"),
+            ("CDs", "genres"),
+            ("genres", "albums"),
+        ],
+        name="G",
+    )
+
+
+@pytest.fixture
+def fig1_mat() -> SimilarityMatrix:
+    """The page-checker similarities mate() of Example 3.1."""
+    return SimilarityMatrix.from_pairs(
+        {
+            ("A", "B"): 0.7,
+            ("audio", "digital"): 0.7,
+            ("books", "books"): 1.0,
+            ("abooks", "audiobooks"): 0.8,
+            ("books", "booksets"): 0.6,
+            ("textbooks", "school"): 0.6,
+            ("albums", "albums"): 0.85,
+        }
+    )
+
+
+@pytest.fixture
+def fig1_expected_mapping() -> dict:
+    """The p-hom mapping of Example 1.1 / 3.1."""
+    return {
+        "A": "B",
+        "books": "books",
+        "audio": "digital",
+        "textbooks": "school",
+        "abooks": "audiobooks",
+        "albums": "albums",
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 2: the six small graphs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fig2_pairs() -> dict:
+    """Label-equality pairs (G1,G2), (G3,G4), (G5,G6) with expected verdicts."""
+    g1 = DiGraph.from_edges(
+        [("a1", "b"), ("b", "a2"), ("a2", "c")],
+        labels={"a1": "A", "a2": "A", "b": "B", "c": "C"},
+        name="G1",
+    )
+    g2 = DiGraph.from_edges(
+        [("A", "B"), ("B", "A"), ("A", "C1"), ("B", "C2")],
+        labels={"C1": "C", "C2": "C"},
+        name="G2",
+    )
+    g3 = DiGraph.from_edges([("A", "D"), ("B", "D")], name="G3")
+    g4 = DiGraph.from_edges(
+        [("A", "D1"), ("B", "D2")], labels={"D1": "D", "D2": "D"}, name="G4"
+    )
+    g5 = DiGraph.from_edges(
+        [("A", "b1"), ("A", "b2"), ("b1", "D"), ("b1", "E")],
+        labels={"b1": "B", "b2": "B"},
+        name="G5",
+    )
+    g6 = DiGraph.from_edges(
+        [("A2", "B2"), ("B2", "D2"), ("B2", "E2")],
+        labels={"A2": "A", "B2": "B", "D2": "D", "E2": "E"},
+        name="G6",
+    )
+    return {
+        "g1": g1, "g2": g2, "g3": g3, "g4": g4, "g5": g5, "g6": g6,
+    }
+
+
+# ----------------------------------------------------------------------
+# Random-instance helpers for cross-validation tests
+# ----------------------------------------------------------------------
+def make_random_instance(
+    seed: int,
+    n1: int = 5,
+    n2: int = 7,
+    density: float = 0.25,
+    sim_density: float = 0.5,
+) -> tuple[DiGraph, DiGraph, SimilarityMatrix]:
+    """A small random (G1, G2, mat) triple for exact-vs-approx testing."""
+    rng = random.Random(seed)
+    m1 = max(1, int(density * n1 * (n1 - 1)))
+    m2 = max(1, int(density * n2 * (n2 - 1)))
+    graph1 = random_digraph(n1, min(m1, n1 * (n1 - 1)), rng, name=f"rand1-{seed}")
+    graph2 = random_digraph(n2, min(m2, n2 * (n2 - 1)), rng, name=f"rand2-{seed}")
+    mat = SimilarityMatrix()
+    for v in graph1.nodes():
+        for u in graph2.nodes():
+            if rng.random() < sim_density:
+                mat.set(v, u, round(rng.uniform(0.3, 1.0), 3))
+    return graph1, graph2, mat
+
+
+@pytest.fixture
+def random_instance_factory():
+    """Factory fixture so tests can draw many seeded instances."""
+    return make_random_instance

@@ -1,0 +1,128 @@
+"""Tests for subgraph isomorphism and maximum common subgraph (cdkMCS)."""
+
+import pytest
+
+from repro.baselines.mcs import maximum_common_subgraph, modular_product
+from repro.baselines.subgraph_iso import (
+    find_subgraph_isomorphism,
+    is_subgraph_isomorphic,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, path_graph
+from repro.similarity.matrix import SimilarityMatrix
+
+
+class TestSubgraphIso:
+    def test_path_in_longer_path_monomorphism(self):
+        small = path_graph(3)
+        large = path_graph(5)
+        assert is_subgraph_isomorphic(small, large, induced=False)
+
+    def test_induced_variant_stricter(self):
+        # Pattern: two isolated nodes; data: an edge between the only two nodes.
+        pattern = DiGraph.from_edges([], nodes=["a", "b"], labels={"a": "X", "b": "X"})
+        data = DiGraph.from_edges([("u", "v")], labels={"u": "X", "v": "X"})
+        assert is_subgraph_isomorphic(pattern, data, induced=False)
+        assert not is_subgraph_isomorphic(pattern, data, induced=True)
+
+    def test_labels_respected(self):
+        g1 = DiGraph.from_edges([("a", "b")], labels={"a": "A", "b": "B"})
+        g2 = DiGraph.from_edges([("x", "y")], labels={"x": "B", "y": "A"})
+        assert not is_subgraph_isomorphic(g1, g2)
+
+    def test_mapping_is_injective_and_edge_preserving(self):
+        g1 = cycle_graph(3)
+        g2 = cycle_graph(3)
+        mat_free = lambda v, u: True
+        mapping = find_subgraph_isomorphism(g1, g2, node_compatible=mat_free)
+        assert mapping is not None
+        assert len(set(mapping.values())) == 3
+        for tail, head in g1.edges():
+            assert g2.has_edge(mapping[tail], mapping[head])
+
+    def test_too_large_pattern_rejected_fast(self):
+        assert find_subgraph_isomorphism(path_graph(5), path_graph(3)) is None
+
+    def test_empty_pattern(self):
+        assert find_subgraph_isomorphism(DiGraph(), path_graph(2)) == {}
+
+    def test_subgraph_iso_implies_injective_phom(self, random_instance_factory):
+        """The paper's characterisation: subgraph iso is a special 1-1 p-hom."""
+        from repro.core.decision import is_phom_injective
+        from repro.similarity.labels import label_equality_matrix
+
+        for seed in range(6):
+            g1, g2, _ = random_instance_factory(seed, n1=3, n2=6)
+            # label graphs by parity to create multiple candidates
+            for g in (g1, g2):
+                for v in g.nodes():
+                    g.set_label(v, int(v) % 2)
+            if is_subgraph_isomorphic(g1, g2, induced=False):
+                mat = label_equality_matrix(g1, g2)
+                assert is_phom_injective(g1, g2, mat, 0.5)
+
+
+class TestModularProduct:
+    def test_consistent_pairs_adjacent(self):
+        g1 = path_graph(2)
+        g2 = path_graph(2)
+        product = modular_product(g1, g2, lambda v, u: True)
+        assert product.has_edge((0, 0), (1, 1))
+        assert not product.has_edge((0, 1), (1, 0))  # edge vs anti-edge
+
+    def test_both_absent_edges_adjacent(self):
+        g1 = DiGraph.from_edges([], nodes=[0, 1])
+        g2 = DiGraph.from_edges([], nodes=["x", "y"])
+        product = modular_product(g1, g2, lambda v, u: True)
+        assert product.has_edge((0, "x"), (1, "y"))
+
+
+class TestMCS:
+    def test_identical_graphs_full_match(self):
+        graph = path_graph(4)
+        result = maximum_common_subgraph(graph, graph)
+        assert result.completed
+        assert result.qual_card == 1.0
+        assert len(result.mapping) == 4
+
+    def test_partial_overlap(self):
+        g1 = DiGraph.from_edges(
+            [("a", "b"), ("b", "c")], labels={"a": "A", "b": "B", "c": "C"}
+        )
+        g2 = DiGraph.from_edges(
+            [("x", "y"), ("y", "z")], labels={"x": "A", "y": "B", "z": "Z"}
+        )
+        result = maximum_common_subgraph(g1, g2)
+        assert result.qual_card == pytest.approx(2 / 3)
+
+    def test_similarity_compatibility(self):
+        g1 = DiGraph.from_edges([("a", "b")])
+        g2 = DiGraph.from_edges([("x", "y")])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 0.9, ("b", "y"): 0.9})
+        result = maximum_common_subgraph(g1, g2, mat, xi=0.8)
+        assert result.qual_card == 1.0
+
+    def test_budget_exhaustion_reports_incomplete(self):
+        # A large ambiguous instance under an impossible budget.
+        g1 = DiGraph.from_edges([], nodes=list(range(12)))
+        g2 = DiGraph.from_edges([], nodes=list(range(14)))
+        result = maximum_common_subgraph(
+            g1, g2, None, budget_seconds=1e-9
+        )
+        assert not result.completed  # the Table 3 "N/A" path
+
+    def test_mcs_is_special_case_of_injective_phom(self):
+        """MCS quality never exceeds the exact CPH^{1-1} optimum (label mat)."""
+        from repro.core.exact import exact_comp_max_card
+        from repro.similarity.labels import label_equality_matrix
+
+        g1 = DiGraph.from_edges(
+            [("a", "b"), ("b", "c"), ("a", "c")], labels={"a": "A", "b": "B", "c": "C"}
+        )
+        g2 = DiGraph.from_edges(
+            [("x", "y"), ("y", "z")], labels={"x": "A", "y": "B", "z": "C"}
+        )
+        mat = label_equality_matrix(g1, g2)
+        mcs = maximum_common_subgraph(g1, g2)
+        phom = exact_comp_max_card(g1, g2, mat, 1.0, injective=True)
+        assert mcs.qual_card <= phom.qual_card + 1e-9

@@ -1,0 +1,87 @@
+"""Tests for the matcher registry the experiment harness drives."""
+
+import pytest
+
+from repro.baselines.matchers import (
+    FloodingMatcher,
+    MCSMatcher,
+    MatchOutcome,
+    PHomMatcher,
+    SimulationMatcher,
+    VertexSimilarityMatcher,
+    default_matchers,
+    paper_table3_matchers,
+)
+from repro.graph.digraph import DiGraph
+from repro.similarity.labels import label_equality_matrix
+from repro.utils.errors import InputError
+
+from conftest import make_random_instance
+
+
+@pytest.fixture
+def easy_pair():
+    g1 = DiGraph.from_edges([("a", "b")], labels={"a": "A", "b": "B"})
+    g2 = DiGraph.from_edges([("x", "y")], labels={"x": "A", "y": "B"})
+    return g1, g2, label_equality_matrix(g1, g2)
+
+
+class TestRegistry:
+    def test_default_lineup_names(self):
+        names = [m.name for m in default_matchers()]
+        assert names == ["compMaxCard", "compMaxCard_1-1", "compMaxSim", "compMaxSim_1-1"]
+
+    def test_table3_lineup_extends(self):
+        names = [m.name for m in paper_table3_matchers()]
+        assert "SF" in names and "cdkMCS" in names
+
+    def test_invalid_phom_config(self):
+        with pytest.raises(InputError):
+            PHomMatcher("bogus", False)
+
+
+class TestOutcomes:
+    def test_phom_matcher_easy_pair(self, easy_pair):
+        g1, g2, mat = easy_pair
+        outcome = PHomMatcher("cardinality", False).run(g1, g2, mat, 0.5)
+        assert isinstance(outcome, MatchOutcome)
+        assert outcome.quality == 1.0
+        assert outcome.matched(0.75)
+        assert outcome.mapping == {"a": "x", "b": "y"}
+
+    def test_all_matchers_produce_bounded_quality(self, easy_pair):
+        g1, g2, mat = easy_pair
+        matchers = paper_table3_matchers(mcs_budget_seconds=5.0) + [
+            SimulationMatcher(),
+            VertexSimilarityMatcher(),
+        ]
+        for matcher in matchers:
+            outcome = matcher.run(g1, g2, mat, 0.5)
+            assert 0.0 <= outcome.quality <= 1.0, matcher.name
+            assert outcome.elapsed_seconds >= 0.0
+
+    def test_simulation_binary_quality(self, easy_pair):
+        g1, g2, mat = easy_pair
+        outcome = SimulationMatcher().run(g1, g2, mat, 0.5)
+        assert outcome.quality in (0.0, 1.0)
+        assert "coverage" in outcome.extra
+
+    def test_mcs_incomplete_not_matched(self):
+        g1, g2, mat = make_random_instance(0, n1=10, n2=12, sim_density=0.9)
+        outcome = MCSMatcher(budget_seconds=1e-9).run(g1, g2, mat, 0.3)
+        assert not outcome.completed
+        assert not outcome.matched(0.0)  # N/A never counts as a match
+
+    def test_flooding_outcome_extras(self, easy_pair):
+        g1, g2, mat = easy_pair
+        outcome = FloodingMatcher().run(g1, g2, mat, 0.5)
+        assert "pcg_pairs" in outcome.extra
+        assert outcome.quality >= 0.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_phom_matchers_quality_equals_result_metric(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        card = PHomMatcher("cardinality", False).run(g1, g2, mat, 0.5)
+        assert card.quality == card.extra["qual_card"]
+        sim = PHomMatcher("similarity", False).run(g1, g2, mat, 0.5)
+        assert sim.quality == sim.extra["qual_sim"]

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.graph.digraph import DiGraph
+from repro.graph.io import dump_json, load_json
+
+
+@pytest.fixture
+def graph_files(tmp_path):
+    pattern = DiGraph.from_edges([("a", "b")], labels={"a": "A", "b": "B"}, name="pat")
+    data = DiGraph.from_edges(
+        [("x", "m"), ("m", "y")], labels={"x": "A", "m": "M", "y": "B"}, name="dat"
+    )
+    ppath = tmp_path / "pattern.json"
+    dpath = tmp_path / "data.json"
+    dump_json(pattern, ppath)
+    dump_json(data, dpath)
+    return str(ppath), str(dpath)
+
+
+class TestMatchCommand:
+    def test_match_exit_zero_and_payload(self, graph_files, capsys):
+        ppath, dpath = graph_files
+        code = main(["match", ppath, dpath, "--xi", "0.9", "--verify"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matched"] is True
+        assert payload["quality"] == 1.0
+        assert payload["mapping"] == {"a": "x", "b": "y"}
+        assert payload["violations"] == []
+
+    def test_non_match_exit_one(self, graph_files, capsys, tmp_path):
+        ppath, dpath = graph_files
+        simfile = tmp_path / "sim.json"
+        simfile.write_text(json.dumps([["a", "x", 0.4]]))
+        code = main(["match", ppath, dpath, "--similarity", str(simfile), "--xi", "0.9"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matched"] is False
+
+    def test_injective_and_metric_flags(self, graph_files, capsys):
+        ppath, dpath = graph_files
+        code = main(
+            ["match", ppath, dpath, "--injective", "--metric", "similarity",
+             "--threshold", "0.5"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metric"] == "similarity"
+
+
+class TestOtherCommands:
+    def test_stats(self, graph_files, capsys):
+        ppath, _ = graph_files
+        assert main(["stats", ppath]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nodes"] == 2
+        assert payload["edges"] == 1
+
+    def test_closure(self, graph_files, tmp_path, capsys):
+        _, dpath = graph_files
+        out = tmp_path / "closure.json"
+        assert main(["closure", dpath, str(out)]) == 0
+        closure = load_json(out)
+        assert closure.has_edge("x", "y")  # two-hop path became an edge

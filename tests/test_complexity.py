@@ -1,0 +1,231 @@
+"""Tests for the complexity artefacts: 3SAT/X3C reductions and AFP-reductions.
+
+The headline tests cross-validate each reduction end-to-end: on random
+small instances, the brute-force solver of the source problem must agree
+with the exact p-hom decision procedure on the reduced instance.
+"""
+
+import random
+
+import pytest
+
+from repro.complexity.afp import (
+    sph_solution_to_wis,
+    wis_solution_to_sph,
+    wis_to_sph,
+)
+from repro.complexity.reductions import (
+    assignment_to_mapping,
+    cover_to_mapping,
+    mapping_to_assignment,
+    mapping_to_cover,
+    reduce_3sat_to_phom,
+    reduce_x3c_to_injective_phom,
+)
+from repro.complexity.sat import ThreeSatInstance, brute_force_sat, random_3sat
+from repro.complexity.x3c import X3CInstance, brute_force_x3c, random_x3c
+from repro.core.decision import find_phom_mapping, is_phom, is_phom_injective
+from repro.core.phom import check_phom_mapping
+from repro.graph.traversal import is_acyclic
+from repro.graph.undirected import Graph
+from repro.utils.errors import InputError
+
+
+class TestSatSubstrate:
+    def test_evaluate(self):
+        phi = ThreeSatInstance(3, (( 1, 2, 3), (-1, -2, 3)))
+        assert phi.evaluate({1: True, 2: False, 3: True})
+        assert not phi.evaluate({1: True, 2: True, 3: False})
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            ThreeSatInstance(2, ((1, 2, 3),))
+        with pytest.raises(InputError):
+            ThreeSatInstance(3, ((1, 2, 0),))
+
+    def test_brute_force_finds_model(self):
+        phi = ThreeSatInstance(3, ((1, 2, 3),))
+        model = brute_force_sat(phi)
+        assert model is not None and phi.evaluate(model)
+
+    def test_brute_force_unsat(self):
+        # (x1 in every polarity combination with x2, x3 fixed): build a
+        # compact contradiction over 3 variables.
+        clauses = []
+        for s1 in (1, -1):
+            for s2 in (2, -2):
+                for s3 in (3, -3):
+                    clauses.append((s1, s2, s3))
+        phi = ThreeSatInstance(3, tuple(clauses))
+        assert brute_force_sat(phi) is None
+
+    def test_random_generator_shape(self):
+        phi = random_3sat(6, 10, random.Random(0))
+        assert phi.num_variables == 6
+        assert len(phi.clauses) == 10
+        for clause in phi.clauses:
+            assert len({abs(l) for l in clause}) == 3
+
+
+class TestSatReduction:
+    def test_reduced_graphs_are_dags(self):
+        phi = random_3sat(5, 6, random.Random(1))
+        instance = reduce_3sat_to_phom(phi)
+        assert is_acyclic(instance.graph1)
+        assert is_acyclic(instance.graph2)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_satisfiable_iff_phom(self, seed):
+        rng = random.Random(seed)
+        phi = random_3sat(4, rng.randint(3, 9), rng)
+        instance = reduce_3sat_to_phom(phi)
+        sat = brute_force_sat(phi) is not None
+        assert is_phom(instance.graph1, instance.graph2, instance.mat, instance.xi) == sat
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mapping_extracts_satisfying_assignment(self, seed):
+        rng = random.Random(seed + 50)
+        phi = random_3sat(4, 5, rng)
+        if brute_force_sat(phi) is None:
+            pytest.skip("unsatisfiable draw")
+        instance = reduce_3sat_to_phom(phi)
+        mapping = find_phom_mapping(instance.graph1, instance.graph2, instance.mat, 1.0)
+        assert mapping is not None
+        assignment = mapping_to_assignment(phi, mapping)
+        assert phi.evaluate(assignment)
+
+    def test_assignment_to_mapping_is_valid(self):
+        phi = ThreeSatInstance(3, ((1, -2, 3), (-1, 2, 3)))
+        model = brute_force_sat(phi)
+        instance = reduce_3sat_to_phom(phi)
+        mapping = assignment_to_mapping(phi, model)
+        assert (
+            check_phom_mapping(
+                instance.graph1, instance.graph2, mapping, instance.mat, 1.0
+            )
+            == []
+        )
+
+    def test_unsatisfying_assignment_rejected(self):
+        phi = ThreeSatInstance(3, ((1, 2, 3),))
+        with pytest.raises(InputError):
+            assignment_to_mapping(phi, {1: False, 2: False, 3: False})
+
+
+class TestX3CSubstrate:
+    def test_is_exact_cover(self):
+        inst = X3CInstance(
+            2,
+            (
+                frozenset({0, 1, 2}),
+                frozenset({3, 4, 5}),
+                frozenset({0, 3, 4}),
+            ),
+        )
+        assert inst.is_exact_cover((0, 1))
+        assert not inst.is_exact_cover((0, 2))
+        assert brute_force_x3c(inst) == (0, 1)
+
+    def test_planted_instance_always_solvable(self):
+        for seed in range(5):
+            inst = random_x3c(3, 7, random.Random(seed), plant=True)
+            assert brute_force_x3c(inst) is not None
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            X3CInstance(1, (frozenset({0, 1}),))
+        with pytest.raises(InputError):
+            X3CInstance(1, (frozenset({0, 1, 7}),))
+
+
+class TestX3CReduction:
+    def test_pattern_is_tree_data_is_dag(self):
+        inst = random_x3c(2, 5, random.Random(0))
+        reduced = reduce_x3c_to_injective_phom(inst)
+        assert is_acyclic(reduced.graph1)
+        assert is_acyclic(reduced.graph2)
+        # Tree: every node except the root has in-degree 1.
+        roots = [v for v in reduced.graph1.nodes() if reduced.graph1.in_degree(v) == 0]
+        assert len(roots) == 1
+        assert all(
+            reduced.graph1.in_degree(v) == 1
+            for v in reduced.graph1.nodes()
+            if v != roots[0]
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cover_iff_injective_phom(self, seed):
+        rng = random.Random(seed)
+        plant = seed % 2 == 0
+        inst = random_x3c(2, 4, rng, plant=plant)
+        reduced = reduce_x3c_to_injective_phom(inst)
+        has_cover = brute_force_x3c(inst) is not None
+        assert (
+            is_phom_injective(reduced.graph1, reduced.graph2, reduced.mat, reduced.xi)
+            == has_cover
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mapping_extracts_cover(self, seed):
+        inst = random_x3c(2, 5, random.Random(seed), plant=True)
+        reduced = reduce_x3c_to_injective_phom(inst)
+        mapping = find_phom_mapping(
+            reduced.graph1, reduced.graph2, reduced.mat, 1.0, injective=True
+        )
+        assert mapping is not None
+        cover = mapping_to_cover(inst, mapping)
+        assert inst.is_exact_cover(cover)
+
+    def test_cover_to_mapping_valid(self):
+        inst = X3CInstance(2, (frozenset({0, 1, 2}), frozenset({3, 4, 5})))
+        reduced = reduce_x3c_to_injective_phom(inst)
+        mapping = cover_to_mapping(inst, (0, 1))
+        assert (
+            check_phom_mapping(
+                reduced.graph1, reduced.graph2, mapping, reduced.mat, 1.0, injective=True
+            )
+            == []
+        )
+
+
+class TestAfp:
+    def _random_weighted_graph(self, seed: int, n: int = 8, p: float = 0.35) -> Graph:
+        rng = random.Random(seed)
+        graph = Graph()
+        for i in range(n):
+            graph.add_node(i, weight=rng.uniform(0.5, 5.0))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < p:
+                    graph.add_edge(i, j)
+        return graph
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_claim1_correspondence(self, seed):
+        """Claim 1: identity pair sets are p-hom mappings iff independent sets."""
+        import itertools
+
+        graph = self._random_weighted_graph(seed, n=6)
+        g1, g2, mat, xi = wis_to_sph(graph)
+        nodes = list(graph.nodes())
+        for r in range(1, 4):
+            for combo in itertools.combinations(nodes, r):
+                mapping = wis_solution_to_sph(combo)
+                valid = check_phom_mapping(g1, g2, mapping, mat, xi) == []
+                assert valid == graph.is_independent_set(combo)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_optimal_values_agree(self, seed):
+        """opt(WIS) equals opt(SPH) · total-weight on the reduced instance."""
+        from repro.core.exact import exact_comp_max_sim
+        from repro.wis.exact import max_weight_independent_set
+
+        graph = self._random_weighted_graph(seed, n=7)
+        g1, g2, mat, xi = wis_to_sph(graph)
+        best_is = max_weight_independent_set(graph)
+        best_sph = exact_comp_max_sim(g1, g2, mat, xi)
+        assert best_sph.qual_sim * g1.total_weight() == pytest.approx(
+            graph.total_weight(best_is)
+        )
+        # and g maps the SPH solution back to an independent set
+        assert graph.is_independent_set(sph_solution_to_wis(best_sph.mapping))

@@ -1,0 +1,125 @@
+"""Tests for bounded p-homomorphism (edges -> paths of length ≤ k)."""
+
+import pytest
+
+from repro.core.bounded import (
+    bounded_reachability_masks,
+    comp_max_card_bounded,
+    is_phom_bounded,
+)
+from repro.core.comp_max_card import comp_max_card
+from repro.core.decision import is_phom
+from repro.core.phom import check_phom_mapping
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, path_graph
+from repro.similarity.labels import label_equality_matrix
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+from conftest import make_random_instance
+
+
+class TestBoundedMasks:
+    def test_one_hop_equals_adjacency(self):
+        graph = path_graph(4)
+        order = list(graph.nodes())
+        masks = bounded_reachability_masks(graph, 1, order)
+        assert masks[0] == 1 << 1
+        assert masks[3] == 0
+
+    def test_two_hops(self):
+        graph = path_graph(4)
+        order = list(graph.nodes())
+        masks = bounded_reachability_masks(graph, 2, order)
+        assert masks[0] == (1 << 1) | (1 << 2)
+
+    def test_cycle_self_reach_needs_enough_hops(self):
+        graph = cycle_graph(3)
+        order = list(graph.nodes())
+        short = bounded_reachability_masks(graph, 2, order)
+        assert not short[0] >> 0 & 1  # needs 3 hops to loop
+        full = bounded_reachability_masks(graph, 3, order)
+        assert full[0] >> 0 & 1
+
+    def test_invalid_hops(self):
+        with pytest.raises(InputError):
+            bounded_reachability_masks(path_graph(2), 0, [0, 1])
+
+
+class TestBoundedSemantics:
+    @pytest.fixture
+    def stretched(self):
+        """Pattern edge a->b; data stretches it to a 3-edge path."""
+        g1 = DiGraph.from_edges([("a", "b")], labels={"a": "A", "b": "B"})
+        g2 = DiGraph.from_edges(
+            [("x", "m1"), ("m1", "m2"), ("m2", "y")],
+            labels={"x": "A", "y": "B", "m1": "M", "m2": "M"},
+        )
+        return g1, g2, label_equality_matrix(g1, g2)
+
+    def test_k_gates_the_match(self, stretched):
+        g1, g2, mat = stretched
+        assert not is_phom_bounded(g1, g2, mat, 0.5, max_hops=1)
+        assert not is_phom_bounded(g1, g2, mat, 0.5, max_hops=2)
+        assert is_phom_bounded(g1, g2, mat, 0.5, max_hops=3)
+
+    def test_k1_is_graph_homomorphism(self):
+        """k=1 accepts exactly edge-to-edge mappings."""
+        g1 = DiGraph.from_edges([("a", "b")], labels={"a": "A", "b": "B"})
+        g2 = DiGraph.from_edges([("x", "y")], labels={"x": "A", "y": "B"})
+        mat = label_equality_matrix(g1, g2)
+        assert is_phom_bounded(g1, g2, mat, 0.5, max_hops=1)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_monotone_in_k(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=6)
+        previous = False
+        for k in (1, 2, 3, 8):
+            current = is_phom_bounded(g1, g2, mat, 0.5, max_hops=k)
+            assert current or not previous  # once true, stays true
+            previous = current
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_large_k_agrees_with_unbounded(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=6)
+        k = g2.num_nodes() + 1  # any simple path fits
+        assert is_phom_bounded(g1, g2, mat, 0.5, max_hops=k) == is_phom(g1, g2, mat, 0.5)
+
+
+class TestBoundedOptimizer:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_output_valid_under_unbounded_checker(self, seed):
+        """Bounded mappings are in particular valid p-hom mappings."""
+        g1, g2, mat = make_random_instance(seed)
+        result = comp_max_card_bounded(g1, g2, mat, 0.5, max_hops=2)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_quality_bounded_by_unbounded_exact(self, seed):
+        from repro.core.exact import exact_comp_max_card
+
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=5)
+        bounded = comp_max_card_bounded(g1, g2, mat, 0.5, max_hops=2)
+        unbounded_opt = exact_comp_max_card(g1, g2, mat, 0.5)
+        assert bounded.qual_card <= unbounded_opt.qual_card + 1e-9
+
+    def test_stats_record_k(self):
+        g1, g2, mat = make_random_instance(0)
+        result = comp_max_card_bounded(g1, g2, mat, 0.5, max_hops=3)
+        assert result.stats["max_hops"] == 3
+
+    def test_injective_variant(self):
+        g1, g2, mat = make_random_instance(2)
+        result = comp_max_card_bounded(g1, g2, mat, 0.5, max_hops=2, injective=True)
+        assert (
+            check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+        )
+
+    def test_self_loop_respects_bounded_cycles(self):
+        g1 = DiGraph.from_edges([("a", "a")])
+        g2 = cycle_graph(4)  # cycle of length 4
+        mat = SimilarityMatrix.from_pairs({("a", i): 1.0 for i in range(4)})
+        short = comp_max_card_bounded(g1, g2, mat, 0.5, max_hops=3)
+        assert short.mapping == {}
+        enough = comp_max_card_bounded(g1, g2, mat, 0.5, max_hops=4)
+        assert len(enough.mapping) == 1

@@ -1,0 +1,175 @@
+"""Tests for compMaxCard / compMaxCard^{1-1} — including the paper's examples."""
+
+import pytest
+
+from repro.core.comp_max_card import comp_max_card, comp_max_card_injective
+from repro.core.exact import exact_comp_max_card
+from repro.core.phom import check_phom_mapping
+from repro.graph.digraph import DiGraph
+from repro.similarity.labels import label_equality_matrix
+from repro.similarity.matrix import SimilarityMatrix
+
+from conftest import make_random_instance
+
+
+class TestFigure1:
+    """The online-store example: Gp matches G via edge-to-path mapping."""
+
+    def test_phom_total_mapping_found(self, fig1_pattern, fig1_data, fig1_mat):
+        result = comp_max_card(fig1_pattern, fig1_data, fig1_mat, xi=0.6)
+        assert result.qual_card == 1.0
+        assert check_phom_mapping(fig1_pattern, fig1_data, result.mapping, fig1_mat, 0.6) == []
+
+    def test_expected_example_mapping(self, fig1_pattern, fig1_data, fig1_mat, fig1_expected_mapping):
+        result = comp_max_card(fig1_pattern, fig1_data, fig1_mat, xi=0.6)
+        # books could also map to booksets, but the canonical mapping of
+        # Example 1.1 is what the greedy similarity preference should find.
+        assert result.mapping == fig1_expected_mapping
+
+    def test_injective_also_total(self, fig1_pattern, fig1_data, fig1_mat):
+        """Example 3.2: the Fig. 1 mapping is also a 1-1 p-hom mapping."""
+        result = comp_max_card_injective(fig1_pattern, fig1_data, fig1_mat, xi=0.6)
+        assert result.qual_card == 1.0
+        assert (
+            check_phom_mapping(
+                fig1_pattern, fig1_data, result.mapping, fig1_mat, 0.6, injective=True
+            )
+            == []
+        )
+
+    def test_any_threshold_up_to_06_works(self, fig1_pattern, fig1_data, fig1_mat):
+        for xi in (0.3, 0.5, 0.6):
+            result = comp_max_card(fig1_pattern, fig1_data, fig1_mat, xi=xi)
+            assert result.qual_card == 1.0, xi
+
+    def test_higher_threshold_shrinks(self, fig1_pattern, fig1_data, fig1_mat):
+        result = comp_max_card(fig1_pattern, fig1_data, fig1_mat, xi=0.75)
+        # only A(0.7)? no: 0.7 < 0.75. Survivors: books(1.0), abooks(0.8), albums(0.85)
+        assert result.qual_card < 1.0
+
+
+class TestFigure2:
+    def test_g1_phom_g2_but_not_injective(self, fig2_pairs):
+        g1, g2 = fig2_pairs["g1"], fig2_pairs["g2"]
+        mat = label_equality_matrix(g1, g2)
+        assert comp_max_card(g1, g2, mat, 0.5).qual_card == 1.0
+        injective = comp_max_card_injective(g1, g2, mat, 0.5)
+        assert injective.qual_card < 1.0  # both A nodes need the single A
+
+    def test_g3_not_phom_g4(self, fig2_pairs):
+        g3, g4 = fig2_pairs["g3"], fig2_pairs["g4"]
+        mat = label_equality_matrix(g3, g4)
+        result = comp_max_card(g3, g4, mat, 0.5)
+        assert result.qual_card == pytest.approx(2 / 3)
+
+    def test_g5_phom_g6_but_not_injective(self, fig2_pairs):
+        g5, g6 = fig2_pairs["g5"], fig2_pairs["g6"]
+        mat = label_equality_matrix(g5, g6)
+        assert comp_max_card(g5, g6, mat, 0.5).qual_card == 1.0
+        injective = comp_max_card_injective(g5, g6, mat, 0.5)
+        assert injective.qual_card == pytest.approx(4 / 5)
+
+
+class TestExample51:
+    """The worked compMaxCard trace of Example 5.1."""
+
+    def test_subgraph_run_matches_paper(self):
+        g1 = DiGraph.from_edges([("books", "textbooks"), ("books", "abooks")])
+        g2 = DiGraph.from_edges(
+            [
+                ("books", "categories"),
+                ("books", "booksets"),
+                ("categories", "school"),
+                ("categories", "audiobooks"),
+            ]
+        )
+        mate = SimilarityMatrix.from_pairs(
+            {
+                ("books", "books"): 1.0,
+                ("books", "booksets"): 0.6,
+                ("textbooks", "school"): 0.6,
+                ("abooks", "audiobooks"): 0.8,
+            }
+        )
+        result = comp_max_card(g1, g2, mate, xi=0.5)
+        assert result.mapping == {
+            "books": "books",
+            "textbooks": "school",
+            "abooks": "audiobooks",
+        }
+        assert result.qual_card == 1.0
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_output_always_valid(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = comp_max_card(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+        assert 0.0 <= result.qual_card <= 1.0
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_injective_output_valid_and_injective(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = comp_max_card_injective(g1, g2, mat, 0.5)
+        assert (
+            check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+        )
+        assert len(set(result.mapping.values())) == len(result.mapping)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_never_beats_exact_optimum(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=5)
+        approx = comp_max_card(g1, g2, mat, 0.5)
+        exact = exact_comp_max_card(g1, g2, mat, 0.5)
+        assert approx.qual_card <= exact.qual_card + 1e-9
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_exact_injective_never_beats_exact_plain(self, seed):
+        # 1-1 mappings are a subset of p-hom mappings, so at the *optimum*
+        # the injective quality can never exceed the plain quality.  (The
+        # greedy algorithms are not monotone in this sense, so the exact
+        # solvers are compared.)
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=5)
+        plain = exact_comp_max_card(g1, g2, mat, 0.5, injective=False)
+        injective = exact_comp_max_card(g1, g2, mat, 0.5, injective=True)
+        assert injective.qual_card <= plain.qual_card + 1e-9
+
+    def test_empty_pattern(self):
+        g2 = DiGraph.from_edges([("x", "y")])
+        result = comp_max_card(DiGraph(), g2, SimilarityMatrix(), 0.5)
+        assert result.qual_card == 1.0
+        assert result.mapping == {}
+
+    def test_empty_data_graph(self):
+        g1 = DiGraph.from_edges([("a", "b")])
+        result = comp_max_card(g1, DiGraph(), SimilarityMatrix(), 0.5)
+        assert result.qual_card == 0.0
+
+    def test_no_candidates(self):
+        g1 = DiGraph.from_edges([("a", "b")])
+        g2 = DiGraph.from_edges([("x", "y")])
+        result = comp_max_card(g1, g2, SimilarityMatrix(), 0.5)
+        assert result.mapping == {}
+
+    def test_pattern_self_loop_needs_cycle(self):
+        g1 = DiGraph.from_edges([("a", "a")])
+        g2_line = DiGraph.from_edges([("x", "y")])
+        g2_cycle = DiGraph.from_edges([("x", "y"), ("y", "x")])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 1.0})
+        assert comp_max_card(g1, g2_line, mat, 0.5).mapping == {}
+        assert comp_max_card(g1, g2_cycle, mat, 0.5).mapping == {"a": "x"}
+
+    def test_stats_populated(self):
+        g1, g2, mat = make_random_instance(0)
+        result = comp_max_card(g1, g2, mat, 0.5)
+        assert result.stats["rounds"] >= 1
+        assert "elapsed_seconds" in result.stats
+        assert result.stats["candidate_pairs"] >= len(result.mapping)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_deterministic(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        first = comp_max_card(g1, g2, mat, 0.5)
+        second = comp_max_card(g1, g2, mat, 0.5)
+        assert first.mapping == second.mapping

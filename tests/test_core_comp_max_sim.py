@@ -1,0 +1,171 @@
+"""Tests for compMaxSim / compMaxSim^{1-1} and the weight-group partition."""
+
+import math
+
+import pytest
+
+from repro.core.comp_max_sim import (
+    comp_max_sim,
+    comp_max_sim_injective,
+    partition_pairs_by_weight,
+)
+from repro.core.exact import exact_comp_max_sim
+from repro.core.phom import check_phom_mapping
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+
+from conftest import make_random_instance
+
+
+@pytest.fixture
+def example_33():
+    """G5/G6 with the weights and mat0 of Example 3.3 (w(v2) = 6)."""
+    g5 = DiGraph.from_edges(
+        [("A", "v1"), ("A", "v2"), ("v1", "D"), ("v1", "E")],
+        labels={"v1": "B", "v2": "B"},
+    )
+    g5.set_weight("v2", 6.0)
+    g6 = DiGraph.from_edges(
+        [("A2", "B2"), ("B2", "D2"), ("B2", "E2")],
+        labels={"A2": "A", "B2": "B", "D2": "D", "E2": "E"},
+    )
+    mat0 = SimilarityMatrix.from_pairs(
+        {
+            ("A", "A2"): 1.0,
+            ("D", "D2"): 1.0,
+            ("E", "E2"): 1.0,
+            ("v2", "B2"): 1.0,
+            ("v1", "B2"): 0.6,
+        }
+    )
+    return g5, g6, mat0
+
+
+class TestExample33:
+    def test_paper_sigma_s_scores_07(self, example_33):
+        """The paper's σs = {A, v2} scores exactly 7/10 and is valid 1-1."""
+        from repro.core.phom import check_phom_mapping
+        from repro.core.quality import qual_sim
+
+        g5, g6, mat0 = example_33
+        sigma_s = {"A": "A2", "v2": "B2"}
+        assert check_phom_mapping(g5, g6, sigma_s, mat0, 0.6, injective=True) == []
+        assert qual_sim(sigma_s, g5, mat0) == pytest.approx(0.7)
+
+    def test_exact_optimum_at_least_paper_value(self, example_33):
+        """The formal optimum dominates the paper's σs.
+
+        (With this reconstruction of Fig. 2, {A, v2, D, E} is also a valid
+        1-1 p-hom mapping and scores 0.9 — the paper's Example 3.3 argues
+        informally with σs = {A, v2}; the formal definitions admit the
+        larger mapping, and the exact solver must find it.)
+        """
+        g5, g6, mat0 = example_33
+        exact = exact_comp_max_sim(g5, g6, mat0, xi=0.6, injective=True)
+        assert exact.qual_sim >= 0.7 - 1e-9
+        assert exact.qual_sim == pytest.approx(0.9)
+
+    def test_cardinality_optimum_differs(self, example_33):
+        """qualCard-optimal mappings match 4 of 5 nodes (0.8), like σc."""
+        from repro.core.exact import exact_comp_max_card
+        from repro.core.quality import qual_sim
+
+        g5, g6, mat0 = example_33
+        exact = exact_comp_max_card(g5, g6, mat0, xi=0.6, injective=True)
+        assert exact.qual_card == pytest.approx(0.8)
+        # The paper's σc (through v1) scores only 0.36 on qualSim.
+        sigma_c = {"A": "A2", "v1": "B2", "D": "D2", "E": "E2"}
+        assert qual_sim(sigma_c, g5, mat0) == pytest.approx(0.36)
+
+    def test_approximation_close_to_optimum(self, example_33):
+        g5, g6, mat0 = example_33
+        approx = comp_max_sim_injective(g5, g6, mat0, xi=0.6)
+        # The grouping heuristic finds at least the heavy node's group.
+        assert approx.qual_sim >= 0.6
+        assert approx.qual_sim <= 0.7 + 1e-9
+
+
+class TestPartition:
+    def test_groups_respect_factor_two(self):
+        g1 = DiGraph()
+        for node, weight in [("a", 8.0), ("b", 4.5), ("c", 3.0)]:
+            g1.add_node(node, weight=weight)
+        g2 = DiGraph.from_edges([], nodes=["x"])
+        mat = SimilarityMatrix.from_pairs(
+            {("a", "x"): 1.0, ("b", "x"): 1.0, ("c", "x"): 1.0}
+        )
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        groups = partition_pairs_by_weight(workspace)
+        # weights 8 and 4.5 land in group 1 (within a factor 2 of W); 3.0 in
+        # group 2 (W/4 ≤ 3 < W/2); nothing falls under the W/(n1·n2) cutoff.
+        assert len(groups) == 2
+        sizes = sorted(sum(mask.bit_count() for mask in g.values()) for g in groups)
+        assert sizes == [1, 2]
+
+    def test_featherweight_pairs_dropped(self):
+        g1 = DiGraph()
+        g1.add_node("heavy", weight=1000.0)
+        for i in range(30):
+            g1.add_node(f"light{i}", weight=1.0)
+        g2 = DiGraph.from_edges([], nodes=["x", "y"])
+        pairs = {("heavy", "x"): 1.0}
+        pairs.update({(f"light{i}", "y"): 0.001 for i in range(30)})
+        mat = SimilarityMatrix.from_pairs(pairs)
+        # pair weights: 1000 and 0.001·1 = 0.001 < W/(n1·n2) = 1000/62 — dropped.
+        workspace = MatchingWorkspace(g1, g2, mat, 0.0005)
+        groups = partition_pairs_by_weight(workspace)
+        total_pairs = sum(
+            mask.bit_count() for group in groups for mask in group.values()
+        )
+        assert total_pairs == 1
+
+    def test_group_count_bounded_by_log(self):
+        g1, g2, mat = make_random_instance(3, n1=6, n2=6)
+        workspace = MatchingWorkspace(g1, g2, mat, 0.4)
+        groups = partition_pairs_by_weight(workspace)
+        assert len(groups) <= max(1, math.ceil(math.log2(36)))
+
+    def test_empty_inputs(self):
+        workspace = MatchingWorkspace(DiGraph(), DiGraph(), SimilarityMatrix(), 0.5)
+        assert partition_pairs_by_weight(workspace) == []
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_output_always_valid(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = comp_max_sim(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_injective_output_valid(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = comp_max_sim_injective(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_never_beats_exact(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=5)
+        approx = comp_max_sim(g1, g2, mat, 0.5)
+        exact = exact_comp_max_sim(g1, g2, mat, 0.5)
+        assert approx.qual_sim <= exact.qual_sim + 1e-9
+
+    def test_weights_influence_choice(self):
+        """A heavy pattern node displaces a larger set of light ones."""
+        g1 = DiGraph.from_edges([("hub", "x1")])
+        g1.add_node("hub", weight=10.0)
+        g2a = DiGraph.from_edges([("h", "a")])
+        mat = SimilarityMatrix.from_pairs({("hub", "h"): 1.0, ("x1", "a"): 0.55})
+        result = comp_max_sim(g1, g2a, mat, 0.5)
+        assert "hub" in result.mapping
+
+    def test_stats_have_groups(self):
+        g1, g2, mat = make_random_instance(1)
+        result = comp_max_sim(g1, g2, mat, 0.5)
+        assert result.stats["groups"] >= 1
+        assert result.stats["rounds"] >= 1
+
+    def test_empty_pattern(self):
+        result = comp_max_sim(DiGraph(), DiGraph(), SimilarityMatrix(), 0.5)
+        assert result.qual_sim == 1.0

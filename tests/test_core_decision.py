@@ -1,0 +1,114 @@
+"""Tests for the exact decision procedures, including brute-force agreement."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.decision import find_phom_mapping, is_phom, is_phom_injective
+from repro.core.phom import check_phom_mapping
+from repro.graph.closure import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.similarity.labels import label_equality_matrix
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import TimeBudgetExceeded
+
+from conftest import make_random_instance
+
+
+def brute_force_is_phom(g1, g2, mat, xi, injective=False) -> bool:
+    """Oracle: enumerate every total function V1 -> candidates."""
+    nodes1 = list(g1.nodes())
+    if not nodes1:
+        return True
+    candidate_lists = [sorted(mat.candidates(v, xi), key=repr) for v in nodes1]
+    if any(not options for options in candidate_lists):
+        return False
+    reach = ReachabilityIndex(g2)
+    for assignment in itertools.product(*candidate_lists):
+        mapping = dict(zip(nodes1, assignment))
+        if injective and len(set(assignment)) != len(assignment):
+            continue
+        ok = True
+        for v, v_next in g1.edges():
+            if not reach.has_path(mapping[v], mapping[v_next]):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+class TestKnownCases:
+    def test_fig1(self, fig1_pattern, fig1_data, fig1_mat):
+        assert is_phom(fig1_pattern, fig1_data, fig1_mat, 0.6)
+        assert is_phom_injective(fig1_pattern, fig1_data, fig1_mat, 0.6)
+        assert not is_phom(fig1_pattern, fig1_data, fig1_mat, 0.75)
+
+    def test_fig2_verdicts(self, fig2_pairs):
+        p = fig2_pairs
+        mat12 = label_equality_matrix(p["g1"], p["g2"])
+        assert is_phom(p["g1"], p["g2"], mat12, 0.5)
+        assert not is_phom_injective(p["g1"], p["g2"], mat12, 0.5)
+        mat34 = label_equality_matrix(p["g3"], p["g4"])
+        assert not is_phom(p["g3"], p["g4"], mat34, 0.5)
+        mat56 = label_equality_matrix(p["g5"], p["g6"])
+        assert is_phom(p["g5"], p["g6"], mat56, 0.5)
+        assert not is_phom_injective(p["g5"], p["g6"], mat56, 0.5)
+
+    def test_returned_mapping_is_valid_and_total(self, fig1_pattern, fig1_data, fig1_mat):
+        mapping = find_phom_mapping(fig1_pattern, fig1_data, fig1_mat, 0.6)
+        assert mapping is not None
+        assert len(mapping) == fig1_pattern.num_nodes()
+        assert check_phom_mapping(fig1_pattern, fig1_data, mapping, fig1_mat, 0.6) == []
+
+    def test_empty_pattern_always_matches(self):
+        assert find_phom_mapping(DiGraph(), DiGraph(), SimilarityMatrix(), 0.5) == {}
+
+
+class TestBruteForceAgreement:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_phom_agrees_with_oracle(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=5, sim_density=0.45)
+        expected = brute_force_is_phom(g1, g2, mat, 0.5)
+        assert is_phom(g1, g2, mat, 0.5) == expected
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_injective_agrees_with_oracle(self, seed):
+        g1, g2, mat = make_random_instance(seed + 100, n1=4, n2=5, sim_density=0.45)
+        expected = brute_force_is_phom(g1, g2, mat, 0.5, injective=True)
+        assert is_phom_injective(g1, g2, mat, 0.5) == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_found_mappings_always_check_out(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=5, n2=6)
+        mapping = find_phom_mapping(g1, g2, mat, 0.5, injective=True)
+        if mapping is not None:
+            assert (
+                check_phom_mapping(g1, g2, mapping, mat, 0.5, injective=True) == []
+            )
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        # A large, highly ambiguous instance with no solution: every pattern
+        # node has many candidates but one pattern edge can never be realised.
+        rng = random.Random(0)
+        g1 = DiGraph.from_edges([(i, i + 1) for i in range(12)])
+        g2 = DiGraph.from_edges([], nodes=list(range(40)))  # no edges at all
+        mat = SimilarityMatrix()
+        for v in g1.nodes():
+            for u in g2.nodes():
+                mat.set(v, u, 1.0)
+        # Without edges in G2, no edge can map: search prunes instantly — so
+        # ensure budget is truly exercised with a contradictory dense case.
+        g2b = DiGraph.from_edges(
+            [(i, (i + 1) % 40) for i in range(0, 38, 2)], nodes=list(range(40))
+        )
+        try:
+            result = find_phom_mapping(g1, g2b, mat, 0.5, budget_seconds=1e-9)
+        except TimeBudgetExceeded:
+            return  # expected on slow search
+        # If the search was fast enough to finish, its answer must be sound.
+        if result is not None:
+            assert check_phom_mapping(g1, g2b, result, mat, 0.5) == []

@@ -1,0 +1,164 @@
+"""Tests for the greedy engine internals, the workspace, and the match facade."""
+
+import pytest
+
+from repro.core.api import MatchReport, closure_pattern, match
+from repro.core.engine import comp_max_card_engine, greedy_match
+from repro.core.phom import check_phom_mapping
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, path_graph
+from repro.similarity.labels import label_equality_matrix
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+from conftest import make_random_instance
+
+
+class TestWorkspace:
+    def test_candidates_filtered_by_threshold_and_membership(self):
+        g1 = DiGraph.from_edges([], nodes=["a"])
+        g2 = DiGraph.from_edges([], nodes=["x"])
+        mat = SimilarityMatrix.from_pairs(
+            {("a", "x"): 0.8, ("a", "ghost"): 1.0, ("a", "y"): 0.9}
+        )
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        assert workspace.num_candidate_pairs() == 1  # ghost/y not in G2
+
+    def test_self_loop_restricts_to_cycle_nodes(self):
+        g1 = DiGraph.from_edges([("a", "a")])
+        g2 = DiGraph.from_edges([("x", "y"), ("y", "x"), ("y", "z")])
+        mat = SimilarityMatrix.from_pairs(
+            {("a", "x"): 1.0, ("a", "z"): 1.0}
+        )
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        assert workspace.num_candidate_pairs() == 1
+
+    def test_masks_orientation(self):
+        g2 = path_graph(3)
+        g1 = DiGraph.from_edges([], nodes=["v"])
+        mat = SimilarityMatrix.from_pairs({("v", 0): 1.0})
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        # from_mask of node 0 covers 1 and 2; to_mask of node 2 covers 0 and 1.
+        assert workspace.from_mask[0] == (1 << 1) | (1 << 2)
+        assert workspace.to_mask[2] == (1 << 0) | (1 << 1)
+        assert workspace.cycle_mask == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InputError):
+            MatchingWorkspace(DiGraph(), DiGraph(), SimilarityMatrix(), 0.0)
+
+    def test_pref_order_best_similarity_first(self):
+        g1 = DiGraph.from_edges([], nodes=["a"])
+        g2 = DiGraph.from_edges([], nodes=["x", "y"])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 0.6, ("a", "y"): 0.9})
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        y_idx = workspace.index2["y"]
+        assert workspace.pref[0][0] == y_idx
+
+
+class TestGreedyMatch:
+    def test_returns_nonempty_iset_on_nonempty_input(self):
+        g1, g2, mat = make_random_instance(0)
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        good = workspace.initial_good()
+        if good:
+            sigma, iset = greedy_match(workspace, good)
+            assert iset, "paper: 'It is worth remarking that I is nonempty'"
+
+    def test_empty_input(self):
+        g1, g2, mat = make_random_instance(0)
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        assert greedy_match(workspace, {}) == ([], [])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sigma_is_valid_mapping(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        sigma, _ = greedy_match(workspace, workspace.initial_good())
+        mapping = workspace.mapping_to_nodes(sigma)
+        assert check_phom_mapping(g1, g2, mapping, mat, 0.5) == []
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_iset_pairs_are_pairwise_contradictory(self, seed):
+        """I must be an independent set of the product graph."""
+        from repro.core.product import product_graph
+
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=5)
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        _, iset = greedy_match(workspace, workspace.initial_good())
+        product = product_graph(g1, g2, mat, 0.5)
+        named = [
+            (workspace.nodes1[v], workspace.nodes2[u]) for v, u in iset
+        ]
+        assert product.is_independent_set(named)
+
+    def test_engine_loop_terminates_and_shrinks(self):
+        g1, g2, mat = make_random_instance(3)
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        pairs, stats = comp_max_card_engine(workspace, workspace.initial_good())
+        assert stats["rounds"] >= 1
+        assert stats["pairs_removed"] >= 1
+
+
+class TestMatchFacade:
+    def test_match_decision_fig1(self, fig1_pattern, fig1_data, fig1_mat):
+        report = match(fig1_pattern, fig1_data, fig1_mat, xi=0.6)
+        assert isinstance(report, MatchReport)
+        assert report.matched
+        assert report.quality == 1.0
+        assert report.metric == "cardinality"
+
+    def test_match_similarity_metric(self, fig1_pattern, fig1_data, fig1_mat):
+        report = match(fig1_pattern, fig1_data, fig1_mat, xi=0.6, metric="similarity")
+        assert report.metric == "similarity"
+        assert 0.0 <= report.quality <= 1.0
+
+    def test_match_threshold_controls_decision(self, fig1_pattern, fig1_data, fig1_mat):
+        strict = match(fig1_pattern, fig1_data, fig1_mat, xi=0.75, threshold=0.9)
+        assert not strict.matched
+
+    def test_partitioned_flag(self, fig1_pattern, fig1_data, fig1_mat):
+        report = match(fig1_pattern, fig1_data, fig1_mat, xi=0.6, partitioned=True)
+        assert report.matched
+        with pytest.raises(InputError):
+            match(fig1_pattern, fig1_data, fig1_mat, xi=0.6,
+                  metric="similarity", partitioned=True)
+
+    def test_invalid_arguments(self, fig1_pattern, fig1_data, fig1_mat):
+        with pytest.raises(InputError):
+            match(fig1_pattern, fig1_data, fig1_mat, xi=0.6, metric="bogus")
+        with pytest.raises(InputError):
+            match(fig1_pattern, fig1_data, fig1_mat, xi=0.6, threshold=2.0)
+
+    def test_symmetric_mode_uses_closure(self):
+        # Pattern a->b->c; data has a path a ~> c but no direct pair for b.
+        g1 = path_graph(3, name="pat")
+        closed = closure_pattern(g1)
+        assert closed.has_edge(0, 2)
+        g2 = path_graph(3, name="data")
+        mat = SimilarityMatrix.from_pairs(
+            {(0, 0): 1.0, (1, 1): 1.0, (2, 2): 1.0}
+        )
+        report = match(g1, g2, mat, xi=0.5, symmetric=True)
+        assert report.matched
+
+    def test_injective_flag_reaches_result(self, fig1_pattern, fig1_data, fig1_mat):
+        report = match(fig1_pattern, fig1_data, fig1_mat, xi=0.6, injective=True)
+        assert report.result.injective
+
+
+class TestClosurePattern:
+    def test_closure_pattern_of_cycle(self):
+        closed = closure_pattern(cycle_graph(3))
+        assert closed.has_self_loop(0)
+        assert closed.num_edges() == 9
+
+    def test_paper_remark_symmetry(self):
+        """G1+ ≾ G2 is the path-to-path semantics of the Section 3.2 remark."""
+        from repro.core.decision import is_phom
+
+        g1 = path_graph(3)
+        g2 = DiGraph.from_edges([(0, "m"), ("m", 1), (1, "n"), ("n", 2)])
+        mat = SimilarityMatrix.from_pairs({(i, i): 1.0 for i in range(3)})
+        assert is_phom(closure_pattern(g1), g2, mat, 0.5)

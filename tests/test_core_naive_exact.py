@@ -1,0 +1,98 @@
+"""Tests for the naive product-graph algorithms and the exact solvers."""
+
+import pytest
+
+from repro.core.comp_max_card import comp_max_card
+from repro.core.exact import exact_comp_max_card, exact_comp_max_sim
+from repro.core.naive import (
+    naive_comp_max_card,
+    naive_comp_max_card_injective,
+    naive_comp_max_sim,
+    naive_comp_max_sim_injective,
+)
+from repro.core.phom import check_phom_mapping
+from repro.graph.digraph import DiGraph
+from repro.similarity.labels import label_equality_matrix
+from repro.utils.errors import TimeBudgetExceeded
+
+from conftest import make_random_instance
+
+
+class TestNaive:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_naive_card_valid(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = naive_comp_max_card(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+        assert result.stats["product_nodes"] >= len(result.mapping)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_naive_card_injective_valid(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = naive_comp_max_card_injective(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_naive_sim_valid(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = naive_comp_max_sim(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_naive_sim_injective_valid(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = naive_comp_max_sim_injective(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_naive_bounded_by_exact(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=5)
+        naive = naive_comp_max_card(g1, g2, mat, 0.5)
+        exact = exact_comp_max_card(g1, g2, mat, 0.5)
+        assert naive.qual_card <= exact.qual_card + 1e-9
+
+    def test_naive_on_fig2(self, fig2_pairs):
+        g1, g2 = fig2_pairs["g1"], fig2_pairs["g2"]
+        mat = label_equality_matrix(g1, g2)
+        assert naive_comp_max_card(g1, g2, mat, 0.5).qual_card == 1.0
+
+    def test_naive_empty(self):
+        from repro.similarity.matrix import SimilarityMatrix
+
+        result = naive_comp_max_card(DiGraph(), DiGraph(), SimilarityMatrix(), 0.5)
+        assert result.mapping == {}
+        assert result.qual_card == 1.0
+
+
+class TestExact:
+    def test_exact_finds_total_mapping_fig1(self, fig1_pattern, fig1_data, fig1_mat):
+        result = exact_comp_max_card(fig1_pattern, fig1_data, fig1_mat, 0.6)
+        assert result.qual_card == 1.0
+        assert check_phom_mapping(fig1_pattern, fig1_data, result.mapping, fig1_mat, 0.6) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exact_dominates_both_approximations(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=5)
+        exact = exact_comp_max_card(g1, g2, mat, 0.5)
+        for approx in (
+            comp_max_card(g1, g2, mat, 0.5),
+            naive_comp_max_card(g1, g2, mat, 0.5),
+        ):
+            assert approx.qual_card <= exact.qual_card + 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_sim_dominates_card_on_sim_metric(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=4)
+        best_sim = exact_comp_max_sim(g1, g2, mat, 0.5)
+        best_card = exact_comp_max_card(g1, g2, mat, 0.5)
+        assert best_sim.qual_sim >= best_card.qual_sim - 1e-9
+
+    def test_exact_respects_budget(self):
+        g1, g2, mat = make_random_instance(0, n1=8, n2=10, sim_density=0.9)
+        with pytest.raises(TimeBudgetExceeded):
+            exact_comp_max_card(g1, g2, mat, 0.3, budget_seconds=1e-9)
+
+    def test_exact_marks_optimal_stat(self):
+        g1, g2, mat = make_random_instance(1, n1=3, n2=3)
+        result = exact_comp_max_card(g1, g2, mat, 0.5)
+        assert result.stats["optimal"] is True

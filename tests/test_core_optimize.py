@@ -1,0 +1,150 @@
+"""Tests for the Appendix-B optimizations: partitioning and compression."""
+
+import pytest
+
+from repro.core.comp_max_card import comp_max_card, comp_max_card_injective
+from repro.core.optimize import (
+    comp_max_card_compressed,
+    comp_max_card_partitioned,
+    compress_data_graph,
+    pattern_components,
+)
+from repro.core.phom import check_phom_mapping
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.digraph import DiGraph
+from repro.similarity.labels import label_equality_matrix
+from repro.similarity.matrix import SimilarityMatrix
+
+from conftest import make_random_instance
+
+
+class TestPartitioning:
+    def test_figure_10a_components(self):
+        """Removing candidate-free C splits the pattern into components."""
+        g1 = DiGraph.from_edges(
+            [("A", "B"), ("A", "C"), ("C", "D"), ("C", "E"),
+             ("D", "F"), ("E", "G"), ("F", "G")]
+        )
+        g2 = DiGraph.from_edges([], nodes=["x"])
+        mat = SimilarityMatrix()
+        for node in ("A", "B", "D", "E", "F", "G"):
+            mat.set(node, "x", 1.0)  # everyone except C has a candidate
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        components, removed = pattern_components(workspace)
+        removed_nodes = {workspace.nodes1[v] for v in removed}
+        assert removed_nodes == {"C"}
+        component_sets = {
+            frozenset(workspace.nodes1[v] for v in comp) for comp in components
+        }
+        assert frozenset({"A", "B"}) in component_sets
+        assert frozenset({"D", "F", "G", "E"}) in component_sets
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_partitioned_output_valid(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = comp_max_card_partitioned(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_partitioned_injective_valid(self, seed):
+        g1, g2, mat = make_random_instance(seed)
+        result = comp_max_card_partitioned(g1, g2, mat, 0.5, injective=True)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_partitioned_matches_unpartitioned_quality(self, seed):
+        """Proposition 1: per-component union is as good as the whole run."""
+        g1, g2, mat = make_random_instance(seed, n1=6, n2=7)
+        whole = comp_max_card(g1, g2, mat, 0.5)
+        parts = comp_max_card_partitioned(g1, g2, mat, 0.5)
+        # Both are heuristics; partitioning must not lose quality on these
+        # instances (it can only help by the paper's bound argument).
+        assert parts.qual_card >= whole.qual_card - 1e-9
+
+    def test_single_node_component_best_candidate(self):
+        g1 = DiGraph.from_edges([], nodes=["solo"])
+        g2 = DiGraph.from_edges([], nodes=["u1", "u2"])
+        mat = SimilarityMatrix.from_pairs({("solo", "u1"): 0.6, ("solo", "u2"): 0.9})
+        result = comp_max_card_partitioned(g1, g2, mat, 0.5)
+        assert result.mapping == {"solo": "u2"}
+
+    def test_stats_report_components(self):
+        g1 = DiGraph.from_edges([("a", "b")], nodes=["c"])
+        g2 = DiGraph.from_edges([("x", "y")])
+        mat = SimilarityMatrix.from_pairs(
+            {("a", "x"): 1.0, ("b", "y"): 1.0, ("c", "x"): 1.0}
+        )
+        result = comp_max_card_partitioned(g1, g2, mat, 0.5)
+        assert result.stats["components"] == 2
+        assert result.stats["candidate_free"] == 0
+
+
+class TestCompression:
+    def test_figure_10b_compression(self):
+        """An SCC collapses to one bag node with a self-loop."""
+        g2 = DiGraph.from_edges(
+            [("A", "B"), ("B", "C"), ("C", "A"), ("C", "D")],
+        )
+        compressed = compress_data_graph(g2)
+        star = compressed.star
+        bags = {frozenset(members) for members in compressed.members}
+        assert frozenset({"A", "B", "C"}) in bags
+        assert frozenset({"D"}) in bags
+        abc = compressed.component_of["A"]
+        d = compressed.component_of["D"]
+        assert star.has_self_loop(abc)
+        assert not star.has_self_loop(d)
+        assert star.has_edge(abc, d)
+
+    def test_compressed_matrix_takes_max(self):
+        g2 = DiGraph.from_edges([("A", "B"), ("B", "A")])
+        g1 = DiGraph.from_edges([], nodes=["v"])
+        mat = SimilarityMatrix.from_pairs({("v", "A"): 0.4, ("v", "B"): 0.9})
+        compressed = compress_data_graph(g2)
+        mat_star = compressed.compressed_matrix(mat, g1)
+        cid = compressed.component_of["A"]
+        assert mat_star("v", cid) == 0.9
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_compressed_output_valid_on_original(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=5, n2=8, density=0.35)
+        result = comp_max_card_compressed(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_compressed_injective_valid_on_original(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=5, n2=8, density=0.35)
+        result = comp_max_card_compressed(g1, g2, mat, 0.5, injective=True)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+
+    def test_cycle_heavy_graph_compresses_well(self):
+        # One big cycle: G2* is a single bag; any tree pattern fits inside.
+        g2 = DiGraph.from_edges([(i, (i + 1) % 6) for i in range(6)])
+        g1 = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        mat = SimilarityMatrix()
+        for v in g1.nodes():
+            for u in g2.nodes():
+                mat.set(v, u, 1.0)
+        result = comp_max_card_compressed(g1, g2, mat, 0.5, injective=True)
+        assert result.qual_card == 1.0
+        assert result.stats["bags"] == 1
+        assert len(set(result.mapping.values())) == 3  # distinct members
+
+    def test_injective_capacity_respects_bag_size(self):
+        # Bag of size 2: at most two pattern nodes can land in it.
+        g2 = DiGraph.from_edges([("A", "B"), ("B", "A")])
+        g1 = DiGraph.from_edges([], nodes=["x", "y", "z"])
+        mat = SimilarityMatrix()
+        for v in g1.nodes():
+            for u in g2.nodes():
+                mat.set(v, u, 1.0)
+        result = comp_max_card_compressed(g1, g2, mat, 0.5, injective=True)
+        assert len(result.mapping) == 2
+        assert len(set(result.mapping.values())) == 2
+
+    def test_compression_equivalent_quality_on_label_graphs(self, fig2_pairs):
+        g1, g2 = fig2_pairs["g1"], fig2_pairs["g2"]
+        mat = label_equality_matrix(g1, g2)
+        plain = comp_max_card(g1, g2, mat, 0.5)
+        squeezed = comp_max_card_compressed(g1, g2, mat, 0.5)
+        assert squeezed.qual_card == plain.qual_card == 1.0

@@ -1,0 +1,114 @@
+"""Tests for p-hom definitions: validity checking and quality metrics."""
+
+import pytest
+
+from repro.core.phom import PHomResult, check_phom_mapping, validate_threshold
+from repro.core.quality import match_quality, qual_card, qual_sim
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+
+@pytest.fixture
+def small_instance():
+    g1 = DiGraph.from_edges([("a", "b")])
+    g2 = DiGraph.from_edges([("x", "m"), ("m", "y")])
+    mat = SimilarityMatrix.from_pairs({("a", "x"): 1.0, ("b", "y"): 0.8, ("b", "x"): 0.9})
+    return g1, g2, mat
+
+
+class TestChecker:
+    def test_valid_edge_to_path_mapping(self, small_instance):
+        g1, g2, mat = small_instance
+        violations = check_phom_mapping(g1, g2, {"a": "x", "b": "y"}, mat, 0.5)
+        assert violations == []
+
+    def test_similarity_violation(self, small_instance):
+        g1, g2, mat = small_instance
+        violations = check_phom_mapping(g1, g2, {"a": "x", "b": "y"}, mat, 0.9)
+        assert any(v.kind == "similarity" for v in violations)
+
+    def test_edge_violation_no_path(self, small_instance):
+        g1, g2, mat = small_instance
+        # b -> x: but there is no path x ~> x for the edge (a, b)... actually
+        # a->x, b->x violates the edge since there is no nonempty path x ~> x.
+        violations = check_phom_mapping(g1, g2, {"a": "x", "b": "x"}, mat, 0.5)
+        assert any(v.kind == "edge" for v in violations)
+
+    def test_injectivity_violation(self):
+        g1 = DiGraph.from_edges([], nodes=["a", "b"])
+        g2 = DiGraph.from_edges([], nodes=["x"])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 1.0, ("b", "x"): 1.0})
+        ok = check_phom_mapping(g1, g2, {"a": "x", "b": "x"}, mat, 0.5)
+        assert ok == []  # fine as plain p-hom
+        violations = check_phom_mapping(g1, g2, {"a": "x", "b": "x"}, mat, 0.5, injective=True)
+        assert any(v.kind == "injectivity" for v in violations)
+
+    def test_unknown_nodes_reported_first(self, small_instance):
+        g1, g2, mat = small_instance
+        violations = check_phom_mapping(g1, g2, {"ghost": "x"}, mat, 0.5)
+        assert violations and all(v.kind == "node" for v in violations)
+
+    def test_partial_mapping_ignores_boundary_edges(self, small_instance):
+        g1, g2, mat = small_instance
+        # Only 'b' matched: the edge (a, b) leaves the matched subgraph.
+        assert check_phom_mapping(g1, g2, {"b": "x"}, mat, 0.5) == []
+
+    def test_self_loop_requires_cycle(self):
+        g1 = DiGraph.from_edges([("a", "a")])
+        g2_line = DiGraph.from_edges([("x", "y")])
+        g2_loop = DiGraph.from_edges([("x", "x")])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 1.0})
+        assert any(
+            v.kind == "edge"
+            for v in check_phom_mapping(g1, g2_line, {"a": "x"}, mat, 0.5)
+        )
+        assert check_phom_mapping(g1, g2_loop, {"a": "x"}, mat, 0.5) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(InputError):
+            validate_threshold(0.0)
+        with pytest.raises(InputError):
+            validate_threshold(1.5)
+        validate_threshold(1.0)
+
+
+class TestQuality:
+    def test_qual_card(self):
+        g1 = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        assert qual_card({"a": "x"}, g1) == pytest.approx(1 / 3)
+        assert qual_card({}, g1) == 0.0
+        assert qual_card({}, DiGraph()) == 1.0
+
+    def test_qual_sim_weighted(self):
+        """Example 3.3 numbers: σs captures (1*1 + 6*1) / 10 = 0.7."""
+        g1 = DiGraph()
+        for node, weight in [("A", 1.0), ("v1", 1.0), ("v2", 6.0), ("D", 1.0), ("E", 1.0)]:
+            g1.add_node(node, weight=weight)
+        mat = SimilarityMatrix.from_pairs(
+            {("A", "A2"): 1.0, ("v2", "B2"): 1.0, ("v1", "B2"): 0.6,
+             ("D", "D2"): 1.0, ("E", "E2"): 1.0}
+        )
+        sigma_s = {"A": "A2", "v2": "B2"}
+        assert qual_sim(sigma_s, g1, mat) == pytest.approx(0.7)
+        sigma_c = {"A": "A2", "v1": "B2", "D": "D2", "E": "E2"}
+        assert qual_sim(sigma_c, g1, mat) == pytest.approx(3.6 / 10)
+
+    def test_match_quality_combined(self):
+        g1 = DiGraph.from_edges([], nodes=["a", "b"])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 0.5})
+        quality = match_quality({"a": "x"}, g1, mat)
+        assert quality.card == 0.5
+        assert quality.sim == pytest.approx(0.25)
+
+
+class TestResult:
+    def test_is_total(self):
+        g1 = DiGraph.from_edges([("a", "b")])
+        result = PHomResult({"a": "x", "b": "y"}, 1.0, 1.0)
+        assert result.is_total(g1)
+        assert PHomResult({"a": "x"}, 0.5, 0.5).is_total(g1) is False
+
+    def test_matched_nodes(self):
+        result = PHomResult({"a": "x"}, 1.0, 1.0)
+        assert result.matched_nodes() == {"a"}

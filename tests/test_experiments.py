@@ -1,0 +1,178 @@
+"""Tests for the experiment harness and the table/figure modules (smoke scale).
+
+These are integration tests of the full reproduction pipeline: generators →
+skeletons → similarity → matchers → accuracy aggregation → rendering.  They
+run at the 'smoke' preset and assert structure plus the paper's *shape*
+claims that survive even tiny instances.
+"""
+
+import pytest
+
+from repro.baselines.matchers import MatchOutcome, PHomMatcher
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.fig5 import render as render_fig, sweep
+from repro.experiments.fig6 import sweep_times
+from repro.experiments.harness import MatchTrial, run_cell
+from repro.experiments.report import (
+    format_quality,
+    format_seconds,
+    render_table,
+    save_csv,
+)
+from repro.experiments.table2 import compute_table2, render as render_t2
+from repro.experiments.table3 import compute_table3, render as render_t3
+from repro.graph.digraph import DiGraph
+from repro.similarity.labels import label_equality_matrix
+from repro.utils.errors import InputError
+
+SMOKE = SCALES["smoke"]
+
+
+class TestConfig:
+    def test_get_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "default"
+        assert get_scale("paper").name == "paper"
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+        assert get_scale("paper").name == "paper"  # CLI wins
+
+    def test_unknown_scale(self):
+        with pytest.raises(InputError):
+            get_scale("galactic")
+
+    def test_paper_scale_matches_section6(self):
+        paper = SCALES["paper"]
+        assert paper.site_scale == 1.0
+        assert paper.num_copies == 15
+        assert paper.synthetic_m_fixed == 500
+        assert paper.synthetic_sizes == (100, 200, 300, 400, 500, 600, 700, 800)
+
+
+class TestHarness:
+    def test_run_cell_counts_matches(self):
+        g1 = DiGraph.from_edges([("a", "b")], labels={"a": "A", "b": "B"})
+        good = DiGraph.from_edges([("x", "y")], labels={"x": "A", "y": "B"})
+        bad = DiGraph.from_edges([("x", "y")], labels={"x": "Z", "y": "W"})
+        trials = [
+            MatchTrial(g1, good, label_equality_matrix(g1, good)),
+            MatchTrial(g1, bad, label_equality_matrix(g1, bad)),
+        ]
+        cell = run_cell(PHomMatcher("cardinality", False), trials, xi=0.5)
+        assert cell.accuracy_percent == 50.0
+        assert len(cell.outcomes) == 2
+        assert cell.completed
+
+    def test_outcome_matched_requires_completion(self):
+        outcome = MatchOutcome("m", quality=1.0, elapsed_seconds=0.0, completed=False)
+        assert not outcome.matched(0.75)
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["col", "x"], [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_helpers(self):
+        assert format_quality(80.0) == "80"
+        assert format_quality(None) == "N/A"
+        assert format_quality(50.0, completed=False) == "N/A"
+        assert format_seconds(1.23456) == "1.235"
+        assert format_seconds(None) == "N/A"
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "out" / "rows.csv"
+        save_csv(path, ["a", "b"], [(1, 2), (3, 4)])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1:] == ["1,2", "3,4"]
+
+
+class TestTable2:
+    def test_rows_structure_and_shape(self):
+        rows = compute_table2(SMOKE)
+        assert [row.site for row in rows] == ["site1", "site2", "site3"]
+        by_site = {row.site: row for row in rows}
+        # Table 2 shape: site1 is the largest; site2 is the densest.
+        assert by_site["site1"].num_nodes > by_site["site2"].num_nodes
+        assert by_site["site2"].avg_degree > by_site["site1"].avg_degree
+        assert by_site["site2"].avg_degree > by_site["site3"].avg_degree
+        for row in rows:
+            assert 0 < row.skeleton1_nodes < row.num_nodes
+            assert row.skeleton2_nodes == min(SMOKE.top_k, row.num_nodes)
+
+    def test_render(self):
+        rows = compute_table2(SMOKE)
+        text = render_t2(rows, SMOKE)
+        assert "Table 2" in text
+        assert "site3" in text
+
+
+class TestFig5and6:
+    @pytest.fixture(scope="class")
+    def size_points(self):
+        return sweep("size", SMOKE)
+
+    def test_structure(self, size_points):
+        assert [p.x for p in size_points] == [30.0, 60.0]
+        for point in size_points:
+            assert set(point.cells) == {
+                "compMaxCard",
+                "compMaxCard_1-1",
+                "compMaxSim",
+                "compMaxSim_1-1",
+            }
+
+    def test_phom_accuracy_high_on_low_noise(self, size_points):
+        """Fig 5(a) shape: our algorithms stay well above 50%."""
+        for point in size_points:
+            for cell in point.cells.values():
+                assert cell.accuracy_percent >= 50.0
+
+    def test_render_figure(self, size_points):
+        text = render_fig("size", size_points, SMOKE)
+        assert "Figure 5(a)" in text
+
+    def test_fig6_includes_simulation(self):
+        points = sweep_times("noise", SMOKE)
+        assert "graphSimulation" in points[0].cells
+        # Fig 5/6 shape: graph simulation finds ~no matches on noisy copies.
+        sim_accuracy = [p.cells["graphSimulation"].accuracy_percent for p in points]
+        assert all(a <= 50.0 for a in sim_accuracy)
+
+    def test_unknown_axis(self):
+        with pytest.raises(InputError):
+            sweep("bogus", SMOKE)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return compute_table3(SMOKE)
+
+    def test_cells_cover_grid(self, cells):
+        matchers = {c.matcher for c in cells}
+        assert {"compMaxCard", "compMaxSim", "SF", "cdkMCS", "graphSimulation"} <= matchers
+        variants = {c.variant for c in cells}
+        assert variants == {"skeletons1", "top-k"}
+        sites = {c.site for c in cells}
+        assert sites == {"site1", "site2", "site3"}
+
+    def test_phom_beats_simulation_overall(self, cells):
+        """Table 3 shape: p-hom finds more matches than graph simulation."""
+
+        def total(name):
+            return sum(
+                c.result.accuracy_percent for c in cells if c.matcher == name
+            )
+
+        assert total("compMaxCard") >= total("graphSimulation")
+
+    def test_render(self, cells):
+        text = render_t3(cells, SMOKE)
+        assert "Table 3a" in text and "Table 3b" in text

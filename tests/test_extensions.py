@@ -1,0 +1,123 @@
+"""Tests for the extension features: bounded simulation and the
+approximation-ratio experiment."""
+
+import pytest
+
+from repro.baselines.bounded_simulation import (
+    bounded_simulates,
+    bounded_simulation,
+)
+from repro.baselines.simulation import graph_simulation
+from repro.experiments.approx_ratio import measure_ratios, render
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, path_graph
+from repro.similarity.labels import label_equality_matrix
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+from conftest import make_random_instance
+
+
+class TestBoundedSimulation:
+    @pytest.fixture
+    def stretched(self):
+        g1 = DiGraph.from_edges([("a", "b")], labels={"a": "A", "b": "B"})
+        g2 = DiGraph.from_edges(
+            [("x", "m"), ("m", "y")], labels={"x": "A", "m": "M", "y": "B"}
+        )
+        return g1, g2, label_equality_matrix(g1, g2)
+
+    def test_k_gates_the_match(self, stretched):
+        g1, g2, mat = stretched
+        assert not bounded_simulates(g1, g2, mat, 0.5, max_hops=1)
+        assert bounded_simulates(g1, g2, mat, 0.5, max_hops=2)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_k1_equals_classical_simulation(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=5, n2=6)
+        classical = graph_simulation(g1, g2, mat, 0.5).relation
+        bounded = bounded_simulation(g1, g2, mat, 0.5, max_hops=1).relation
+        assert bounded == classical
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_relation_monotone_in_k(self, seed):
+        g1, g2, mat = make_random_instance(seed, n1=5, n2=7)
+        previous = None
+        for k in (1, 2, 4):
+            current = bounded_simulation(g1, g2, mat, 0.5, max_hops=k).relation
+            if previous is not None:
+                for v in current:
+                    assert previous[v] <= current[v], (v, k)
+            previous = current
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_relation_is_a_valid_bounded_simulation(self, seed):
+        """Post-condition check: every surviving pair satisfies the definition."""
+        from repro.core.bounded import bounded_reachability_masks
+
+        k = 2
+        g1, g2, mat = make_random_instance(seed, n1=4, n2=6)
+        result = bounded_simulation(g1, g2, mat, 0.5, max_hops=k)
+        order2 = list(g2.nodes())
+        position = {u: i for i, u in enumerate(order2)}
+        within = bounded_reachability_masks(g2, k, order2)
+        for v, simulators in result.relation.items():
+            for u in simulators:
+                assert mat(v, u) >= 0.5
+                for v_next in g1.successors(v):
+                    mask = sum(1 << position[w] for w in result.relation[v_next])
+                    assert within[position[u]] & mask, (v, u, v_next)
+
+    def test_cycle_patterns_need_cycles(self):
+        g1 = cycle_graph(2)
+        g2_line = path_graph(3)
+        mat = SimilarityMatrix()
+        for v in g1.nodes():
+            for u in g2_line.nodes():
+                mat.set(v, u, 1.0)
+        assert not bounded_simulates(g1, g2_line, mat, 0.5, max_hops=3)
+        g2_cycle = cycle_graph(4)
+        mat2 = SimilarityMatrix()
+        for v in g1.nodes():
+            for u in g2_cycle.nodes():
+                mat2.set(v, u, 1.0)
+        assert bounded_simulates(g1, g2_cycle, mat2, 0.5, max_hops=1)
+
+    def test_validation(self):
+        g1, g2, mat = make_random_instance(0)
+        with pytest.raises(InputError):
+            bounded_simulation(g1, g2, mat, 0.5, max_hops=0)
+
+    def test_empty_pattern(self):
+        result = bounded_simulation(DiGraph(), path_graph(2), SimilarityMatrix(), 0.5, 2)
+        assert result.total
+        assert result.coverage == 1.0
+
+
+class TestApproxRatio:
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        return measure_ratios(num_instances=8, n1=4, n2=5, seed=3)
+
+    def test_all_algorithms_summarised(self, summaries):
+        names = {s.algorithm for s in summaries}
+        assert names == {
+            "compMaxCard",
+            "compMaxCard_1-1",
+            "compMaxSim",
+            "naiveCompMaxCard",
+        }
+
+    def test_ratios_in_unit_interval(self, summaries):
+        for s in summaries:
+            assert 0.0 <= s.minimum <= s.mean <= 1.0 + 1e-9
+            assert 0.0 <= s.fraction_optimal <= 1.0
+
+    def test_ratios_far_above_worst_case_scale(self, summaries):
+        for s in summaries:
+            assert s.mean >= 0.5  # empirically near-optimal on small instances
+
+    def test_render(self, summaries):
+        text = render(summaries, 8)
+        assert "Approximation ratios" in text
+        assert "compMaxCard" in text

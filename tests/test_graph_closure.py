@@ -1,0 +1,104 @@
+"""Tests for the reachability index and transitive closure graph."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph.closure import ReachabilityIndex, transitive_closure_graph
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, gnp_digraph, path_graph
+from repro.graph.io import to_networkx
+from repro.utils.errors import GraphError
+
+
+class TestReachabilityIndex:
+    def test_path_graph_reaches_forward_only(self):
+        index = ReachabilityIndex(path_graph(4))
+        assert index.has_path(0, 3)
+        assert index.has_path(2, 3)
+        assert not index.has_path(3, 0)
+        assert not index.has_path(0, 0)  # no cycle: nonempty path required
+
+    def test_cycle_reaches_everything_including_self(self):
+        index = ReachabilityIndex(cycle_graph(4))
+        for i in range(4):
+            for j in range(4):
+                assert index.has_path(i, j)
+
+    def test_self_loop_on_cycle(self):
+        graph = DiGraph.from_edges([("a", "a"), ("a", "b")])
+        index = ReachabilityIndex(graph)
+        assert index.on_cycle("a")
+        assert not index.on_cycle("b")
+        assert index.has_path("a", "b")
+
+    def test_unknown_node_raises(self):
+        index = ReachabilityIndex(path_graph(2))
+        with pytest.raises(GraphError):
+            index.has_path("ghost", 0)
+        with pytest.raises(GraphError):
+            index.has_path(0, "ghost")
+        with pytest.raises(GraphError):
+            index.row("ghost")
+
+    def test_reachable_set(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "c"), ("x", "y")])
+        index = ReachabilityIndex(graph)
+        assert index.reachable_set("a") == {"b", "c"}
+        assert index.reachable_set("x") == {"y"}
+        assert index.reachable_set("c") == set()
+
+    def test_mask_of(self):
+        graph = path_graph(3)
+        index = ReachabilityIndex(graph)
+        mask = index.mask_of([0, 2])
+        assert mask == (1 << index.position_of[0]) | (1 << index.position_of[2])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_closure(self, seed):
+        rng = random.Random(seed)
+        graph = gnp_digraph(18, 0.12, rng)
+        index = ReachabilityIndex(graph)
+        nxg = to_networkx(graph)
+        # networkx transitive_closure with reflexive=False = nonempty paths.
+        closure = nx.transitive_closure(nxg, reflexive=False)
+        for v in graph.nodes():
+            for u in graph.nodes():
+                assert index.has_path(v, u) == closure.has_edge(v, u), (v, u)
+
+    def test_closure_size_counts_pairs(self):
+        index = ReachabilityIndex(path_graph(3))
+        assert index.closure_size() == 3  # (0,1), (0,2), (1,2)
+
+
+class TestClosureGraph:
+    def test_materialised_closure_edges(self):
+        closure = transitive_closure_graph(path_graph(3))
+        assert closure.has_edge(0, 2)
+        assert closure.has_edge(0, 1)
+        assert closure.has_edge(1, 2)
+        assert closure.num_edges() == 3
+
+    def test_closure_preserves_metadata(self):
+        graph = DiGraph()
+        graph.add_node("a", label="LA", weight=2.0, content=["t"])
+        graph.add_edge("a", "b")
+        closure = transitive_closure_graph(graph)
+        assert closure.label("a") == "LA"
+        assert closure.weight("a") == 2.0
+        assert closure.attrs("a")["content"] == ["t"]
+
+    def test_closure_of_cycle_is_complete_with_loops(self):
+        closure = transitive_closure_graph(cycle_graph(3))
+        assert closure.num_edges() == 9  # all ordered pairs incl. self-loops
+
+    def test_scc_members_form_clique_in_closure(self):
+        # The Appendix-B compression precondition.
+        graph = DiGraph.from_edges(
+            [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]
+        )
+        closure = transitive_closure_graph(graph)
+        for x in ("a", "b", "c"):
+            for y in ("a", "b", "c"):
+                assert closure.has_edge(x, y)

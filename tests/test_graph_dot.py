@@ -1,0 +1,35 @@
+"""Tests for the DOT export."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.dot import matching_to_dot, to_dot
+
+
+def test_to_dot_structure():
+    graph = DiGraph.from_edges([("a", "b")], labels={"a": "LA"})
+    dot = to_dot(graph, name="demo")
+    assert dot.startswith('digraph "demo" {')
+    assert '"a" -> "b";' in dot
+    assert "a: LA" in dot  # divergent label rendered
+    assert dot.rstrip().endswith("}")
+
+
+def test_to_dot_quotes_special_characters():
+    graph = DiGraph.from_edges([('we"ird', "b")])
+    dot = to_dot(graph)
+    assert '\\"' in dot
+
+
+def test_matching_to_dot_clusters_and_mapping():
+    pattern = DiGraph.from_edges([("a", "b")])
+    data = DiGraph.from_edges([("x", "y")])
+    dot = matching_to_dot(pattern, data, {"a": "x"})
+    assert "cluster_pattern" in dot and "cluster_data" in dot
+    assert '"p_a" -> "d_x"' in dot  # the mapping edge
+    assert "lightblue" in dot  # matched pattern node is highlighted
+    assert '"p_b"' in dot and "lightblue" not in dot.split('"p_b"')[1].split("]")[0]
+
+
+def test_matching_to_dot_disjoint_namespaces():
+    shared = DiGraph.from_edges([("n", "m")])
+    dot = matching_to_dot(shared, shared, {"n": "n"})
+    assert '"p_n"' in dot and '"d_n"' in dot

@@ -1,0 +1,111 @@
+"""Tests for the elementary graph generators."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    balanced_tree,
+    complete_digraph,
+    cycle_graph,
+    gnp_digraph,
+    path_graph,
+    random_dag,
+    random_digraph,
+    random_tree,
+    relabel_sequential,
+    star_graph,
+)
+from repro.graph.traversal import is_acyclic
+from repro.utils.errors import InputError
+
+
+class TestDeterministic:
+    def test_path_graph(self):
+        graph = path_graph(4)
+        assert graph.num_nodes() == 4
+        assert graph.num_edges() == 3
+        assert graph.has_edge(0, 1) and graph.has_edge(2, 3)
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(3)
+        assert graph.num_edges() == 3
+        assert graph.has_edge(2, 0)
+        assert cycle_graph(1).has_self_loop(0)
+
+    def test_complete_digraph(self):
+        graph = complete_digraph(4)
+        assert graph.num_edges() == 12
+        assert not graph.has_self_loop(0)
+
+    def test_star(self):
+        graph = star_graph(5)
+        assert graph.out_degree(0) == 5
+        assert graph.num_nodes() == 6
+
+    def test_balanced_tree(self):
+        graph = balanced_tree(2, 3)
+        assert graph.num_nodes() == 15
+        assert graph.num_edges() == 14
+        assert is_acyclic(graph)
+
+    def test_invalid_args(self):
+        with pytest.raises(InputError):
+            path_graph(-1)
+        with pytest.raises(InputError):
+            cycle_graph(0)
+        with pytest.raises(InputError):
+            balanced_tree(0, 2)
+
+
+class TestRandom:
+    def test_random_digraph_exact_counts(self):
+        rng = random.Random(0)
+        graph = random_digraph(20, 80, rng)
+        assert graph.num_nodes() == 20
+        assert graph.num_edges() == 80
+        assert not any(graph.has_self_loop(v) for v in graph.nodes())
+
+    def test_random_digraph_dense_fallback(self):
+        rng = random.Random(1)
+        graph = random_digraph(6, 25, rng)  # 25 of 30 possible: sampling path
+        assert graph.num_edges() == 25
+
+    def test_random_digraph_capacity_check(self):
+        with pytest.raises(InputError):
+            random_digraph(3, 7, random.Random(0))
+
+    def test_random_digraph_reproducible(self):
+        g1 = random_digraph(15, 40, random.Random(7))
+        g2 = random_digraph(15, 40, random.Random(7))
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_random_dag_acyclic(self):
+        for seed in range(5):
+            graph = random_dag(12, 20, random.Random(seed))
+            assert is_acyclic(graph)
+            assert graph.num_edges() == 20
+
+    def test_random_tree_shape(self):
+        graph = random_tree(30, random.Random(2), max_children=3)
+        assert graph.num_nodes() == 30
+        assert graph.num_edges() == 29
+        assert is_acyclic(graph)
+        assert all(graph.out_degree(v) <= 3 for v in graph.nodes())
+        roots = [v for v in graph.nodes() if graph.in_degree(v) == 0]
+        assert roots == [0]
+
+    def test_gnp_digraph_probability_bounds(self):
+        empty = gnp_digraph(10, 0.0, random.Random(0))
+        assert empty.num_edges() == 0
+        full = gnp_digraph(5, 1.0, random.Random(0))
+        assert full.num_edges() == 20
+        with pytest.raises(InputError):
+            gnp_digraph(5, 1.5, random.Random(0))
+
+    def test_relabel_sequential(self):
+        graph = path_graph(3)
+        renamed = relabel_sequential(graph, prefix="n")
+        assert set(renamed.nodes()) == {"n0", "n1", "n2"}
+        assert renamed.has_edge("n0", "n1")
+        assert renamed.num_edges() == graph.num_edges()

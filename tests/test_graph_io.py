@@ -1,0 +1,67 @@
+"""Tests for graph (de)serialization and networkx interop."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    dump_json,
+    from_json_dict,
+    from_networkx,
+    load_json,
+    to_edge_list_text,
+    to_json_dict,
+    to_networkx,
+)
+from repro.utils.errors import InputError
+
+
+@pytest.fixture
+def sample() -> DiGraph:
+    graph = DiGraph(name="sample")
+    graph.add_node("a", label="LA", weight=2.0, content=["t1", "t2"])
+    graph.add_node("b")
+    graph.add_edge("a", "b")
+    graph.add_node("isolated")
+    return graph
+
+
+class TestJson:
+    def test_round_trip_dict(self, sample):
+        restored = from_json_dict(to_json_dict(sample))
+        assert restored == sample
+        assert restored.attrs("a")["content"] == ["t1", "t2"]
+        assert restored.name == "sample"
+
+    def test_round_trip_file(self, sample, tmp_path):
+        path = tmp_path / "graph.json"
+        dump_json(sample, path)
+        assert load_json(path) == sample
+
+    def test_unserialisable_node_rejected(self):
+        graph = DiGraph()
+        graph.add_node(("tuple", "id"))
+        with pytest.raises(InputError):
+            to_json_dict(graph)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(InputError):
+            from_json_dict({"format": "something-else", "nodes": [], "edges": []})
+
+
+class TestText:
+    def test_edge_list_text(self, sample):
+        text = to_edge_list_text(sample)
+        assert "a -> b" in text
+        assert "isolated" in text
+
+    def test_empty_graph_text(self):
+        assert to_edge_list_text(DiGraph()) == ""
+
+
+class TestNetworkx:
+    def test_round_trip(self, sample):
+        restored = from_networkx(to_networkx(sample))
+        assert set(restored.nodes()) == set(sample.nodes())
+        assert set(restored.edges()) == set(sample.edges())
+        assert restored.label("a") == "LA"
+        assert restored.weight("a") == 2.0

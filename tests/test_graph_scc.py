@@ -1,0 +1,90 @@
+"""Tests for Tarjan SCC and the condensation, cross-checked with networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, gnp_digraph, path_graph
+from repro.graph.io import to_networkx
+from repro.graph.scc import Condensation, strongly_connected_components
+
+
+def scc_as_sets(graph: DiGraph) -> set[frozenset]:
+    return {frozenset(component) for component in strongly_connected_components(graph)}
+
+
+class TestSCC:
+    def test_path_all_singletons(self):
+        graph = path_graph(4)
+        assert scc_as_sets(graph) == {frozenset({i}) for i in range(4)}
+
+    def test_cycle_single_component(self):
+        graph = cycle_graph(5)
+        assert scc_as_sets(graph) == {frozenset(range(5))}
+
+    def test_two_cycles_with_bridge(self):
+        graph = DiGraph.from_edges(
+            [("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")]
+        )
+        assert scc_as_sets(graph) == {frozenset({"a", "b"}), frozenset({"c", "d"})}
+
+    def test_self_loop_is_singleton_component(self):
+        graph = DiGraph.from_edges([("a", "a"), ("a", "b")])
+        assert scc_as_sets(graph) == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_empty_graph(self):
+        assert strongly_connected_components(DiGraph()) == []
+
+    def test_reverse_topological_emission(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        components = strongly_connected_components(graph)
+        position = {next(iter(c)): i for i, c in enumerate(components)}
+        # Edges must go from later components to earlier ones.
+        assert position["b"] < position["a"]
+        assert position["c"] < position["b"]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = gnp_digraph(25, 0.08, rng)
+        ours = scc_as_sets(graph)
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(to_networkx(graph))}
+        assert ours == theirs
+
+    def test_deep_chain_does_not_overflow(self):
+        # 20k-node chain: the iterative Tarjan must not hit recursion limits.
+        graph = path_graph(20_000)
+        assert len(strongly_connected_components(graph)) == 20_000
+
+
+class TestCondensation:
+    def test_component_of_map(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "a"), ("b", "c")])
+        cond = Condensation(graph)
+        assert cond.component_of["a"] == cond.component_of["b"]
+        assert cond.component_of["a"] != cond.component_of["c"]
+
+    def test_dag_edges_between_components(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "a"), ("b", "c")])
+        cond = Condensation(graph)
+        ab = cond.component_of["a"]
+        c = cond.component_of["c"]
+        assert c in cond.successors(ab)
+        assert not cond.successors(c)
+
+    def test_internal_cycle_flags(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "a"), ("c", "c"), ("c", "d")])
+        cond = Condensation(graph)
+        assert cond.has_internal_cycle(cond.component_of["a"])
+        assert cond.has_internal_cycle(cond.component_of["c"])  # self-loop
+        assert cond.is_trivial(cond.component_of["d"])
+
+    def test_reverse_topological_ids_property(self):
+        rng = random.Random(3)
+        graph = gnp_digraph(30, 0.1, rng)
+        cond = Condensation(graph)
+        for cid in cond.reverse_topological_ids():
+            for succ in cond.successors(cid):
+                assert succ < cid  # successors are emitted earlier by Tarjan

@@ -1,0 +1,30 @@
+"""Tests for the Table 2 statistics helpers."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import star_graph
+from repro.graph.stats import degree_histogram, graph_stats
+
+
+def test_graph_stats_star():
+    stats = graph_stats(star_graph(5))
+    assert stats.num_nodes == 6
+    assert stats.num_edges == 5
+    assert stats.max_degree == 5
+    assert stats.avg_degree == pytest.approx(10 / 6)
+    assert stats.as_row() == (6, 5, stats.avg_degree, 5)
+
+
+def test_graph_stats_empty():
+    stats = graph_stats(DiGraph())
+    assert stats.num_nodes == 0
+    assert stats.avg_degree == 0.0
+    assert stats.max_degree == 0
+
+
+def test_degree_histogram():
+    graph = star_graph(3)
+    histogram = degree_histogram(graph)
+    assert histogram == {3: 1, 1: 3}
+    assert sum(histogram.values()) == graph.num_nodes()

@@ -1,0 +1,120 @@
+"""Unit tests for traversal: orders, reachability, shortest paths, topo."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.traversal import (
+    bfs_order,
+    dfs_postorder,
+    dfs_preorder,
+    has_nonempty_path,
+    is_acyclic,
+    reachable_from,
+    shortest_path,
+    topological_order,
+)
+from repro.utils.errors import GraphError
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    return DiGraph.from_edges([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestOrders:
+    def test_bfs_order_levels(self, diamond):
+        order = list(bfs_order(diamond, ["a"]))
+        assert order[0] == "a"
+        assert set(order[1:3]) == {"b", "c"}
+        assert order[3] == "d"
+
+    def test_bfs_multiple_sources(self, diamond):
+        order = list(bfs_order(diamond, ["b", "c"]))
+        assert set(order) == {"b", "c", "d"}
+
+    def test_bfs_unknown_source_raises(self, diamond):
+        with pytest.raises(GraphError):
+            list(bfs_order(diamond, ["ghost"]))
+
+    def test_dfs_preorder_visits_all_reachable(self, diamond):
+        order = list(dfs_preorder(diamond, ["a"]))
+        assert set(order) == {"a", "b", "c", "d"}
+        assert order[0] == "a"
+
+    def test_dfs_postorder_parents_after_children(self, diamond):
+        order = dfs_postorder(diamond, ["a"])
+        assert order.index("d") < order.index("b")
+        assert order.index("b") < order.index("a") or order.index("c") < order.index("a")
+        assert order[-1] == "a"
+
+    def test_dfs_postorder_default_covers_all_nodes(self):
+        graph = DiGraph.from_edges([("a", "b")], nodes=["isolated"])
+        assert set(dfs_postorder(graph)) == {"a", "b", "isolated"}
+
+
+class TestReachability:
+    def test_reachable_from_includes_source(self, diamond):
+        assert reachable_from(diamond, "a") == {"a", "b", "c", "d"}
+        assert reachable_from(diamond, "d") == {"d"}
+
+    def test_nonempty_path_excludes_trivial_self(self, diamond):
+        # d reaches itself only via a cycle, and there is none.
+        assert not has_nonempty_path(diamond, "d", "d")
+        assert has_nonempty_path(diamond, "a", "d")
+        assert not has_nonempty_path(diamond, "d", "a")
+
+    def test_nonempty_path_on_cycle(self):
+        graph = cycle_graph(3)
+        assert has_nonempty_path(graph, 0, 0)
+        assert has_nonempty_path(graph, 1, 0)
+
+    def test_nonempty_path_self_loop(self):
+        graph = DiGraph.from_edges([("a", "a")])
+        assert has_nonempty_path(graph, "a", "a")
+
+    def test_unknown_nodes_raise(self, diamond):
+        with pytest.raises(GraphError):
+            has_nonempty_path(diamond, "ghost", "a")
+        with pytest.raises(GraphError):
+            has_nonempty_path(diamond, "a", "ghost")
+
+
+class TestShortestPath:
+    def test_direct_edge(self, diamond):
+        assert shortest_path(diamond, "a", "b") == ["a", "b"]
+
+    def test_two_hop(self, diamond):
+        path = shortest_path(diamond, "a", "d")
+        assert path is not None
+        assert len(path) == 3
+        assert path[0] == "a" and path[-1] == "d"
+
+    def test_no_path_returns_none(self, diamond):
+        assert shortest_path(diamond, "d", "a") is None
+
+    def test_self_path_requires_cycle(self):
+        graph = cycle_graph(4)
+        path = shortest_path(graph, 0, 0)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 0 and len(path) == 5
+        line = path_graph(3)
+        assert shortest_path(line, 1, 1) is None
+
+
+class TestTopology:
+    def test_topological_order_of_dag(self, diamond):
+        order = topological_order(diamond)
+        assert order is not None
+        position = {node: i for i, node in enumerate(order)}
+        for tail, head in diamond.edges():
+            assert position[tail] < position[head]
+
+    def test_cycle_has_no_topological_order(self):
+        assert topological_order(cycle_graph(3)) is None
+
+    def test_is_acyclic(self, diamond):
+        assert is_acyclic(diamond)
+        assert not is_acyclic(cycle_graph(2))
+        assert not is_acyclic(DiGraph.from_edges([("a", "a")]))
+        assert is_acyclic(DiGraph())

@@ -1,0 +1,113 @@
+"""Unit tests for the undirected Graph container."""
+
+import pytest
+
+from repro.graph.undirected import Graph
+from repro.utils.errors import GraphError, InputError
+
+
+class TestConstruction:
+    def test_add_edge_symmetric(self):
+        graph = Graph.from_edges([(1, 2)])
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert graph.num_edges() == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(InputError):
+            graph.add_edge(1, 1)
+
+    def test_duplicate_edge_ignored(self):
+        graph = Graph.from_edges([(1, 2), (2, 1)])
+        assert graph.num_edges() == 1
+
+    def test_weights(self):
+        graph = Graph()
+        graph.add_node("a", weight=2.0)
+        assert graph.weight("a") == 2.0
+        with pytest.raises(InputError):
+            graph.add_node("b", weight=0.0)
+        graph.set_weight("a", 7.0)
+        assert graph.total_weight() == pytest.approx(7.0)
+
+    def test_remove_node(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        graph.remove_node(2)
+        assert 2 not in graph
+        assert graph.num_edges() == 0
+        with pytest.raises(GraphError):
+            graph.remove_node(2)
+
+    def test_remove_nodes_bulk(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        graph.remove_nodes([2, 3])
+        assert set(graph.nodes()) == {1, 4}
+
+
+class TestPredicates:
+    def test_independent_set_predicate(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        assert graph.is_independent_set({1, 3})
+        assert not graph.is_independent_set({1, 2})
+        assert graph.is_independent_set(set())
+        assert not graph.is_independent_set({1, 99})  # unknown node
+
+    def test_independent_set_rejects_duplicates(self):
+        graph = Graph.from_edges([(1, 2)])
+        assert not graph.is_independent_set([1, 1])
+
+    def test_clique_predicate(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert graph.is_clique({1, 2, 3})
+        assert not graph.is_clique({1, 2, 4})
+        assert graph.is_clique({1})
+        assert graph.is_clique(set())
+
+    def test_edges_iterated_once(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(edge) for edge in edges}
+        assert normalized == {frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})}
+
+
+class TestDerived:
+    def test_subgraph(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+        sub = graph.subgraph({1, 2})
+        assert sub.num_nodes() == 2
+        assert sub.has_edge(1, 2)
+        with pytest.raises(GraphError):
+            graph.subgraph({1, 42})
+
+    def test_complement(self):
+        graph = Graph.from_edges([(1, 2)], nodes=[3])
+        comp = graph.complement()
+        assert not comp.has_edge(1, 2)
+        assert comp.has_edge(1, 3)
+        assert comp.has_edge(2, 3)
+        # complement of complement restores the original edge set
+        back = comp.complement()
+        assert back.has_edge(1, 2)
+        assert not back.has_edge(1, 3)
+
+    def test_complement_sizes(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        comp = graph.complement()
+        n = graph.num_nodes()
+        assert graph.num_edges() + comp.num_edges() == n * (n - 1) // 2
+
+    def test_copy_independent(self):
+        graph = Graph.from_edges([(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(1, 3)
+        assert 3 not in graph
+
+    def test_complement_preserves_weights(self):
+        graph = Graph()
+        graph.add_node("x", weight=5.0)
+        graph.add_node("y", weight=2.0)
+        comp = graph.complement()
+        assert comp.weight("x") == 5.0
+        assert comp.has_edge("x", "y")

@@ -1,0 +1,112 @@
+"""Tests for MinHash sketches and mapping witnesses."""
+
+import random
+
+import pytest
+
+from repro.core.witness import format_witnesses, mapping_witnesses
+from repro.graph.digraph import DiGraph
+from repro.similarity.minhash import MinHasher, minhash_similarity_matrix
+from repro.similarity.shingles import resemblance, shingle_set
+from repro.utils.errors import InputError
+
+
+class TestMinHasher:
+    def test_identical_documents_estimate_one(self):
+        hasher = MinHasher(64)
+        tokens = [f"t{i}" for i in range(50)]
+        assert hasher.estimate(hasher.sketch(tokens), hasher.sketch(tokens)) == 1.0
+
+    def test_disjoint_documents_estimate_near_zero(self):
+        hasher = MinHasher(64)
+        a = hasher.sketch([f"a{i}" for i in range(50)])
+        b = hasher.sketch([f"b{i}" for i in range(50)])
+        assert hasher.estimate(a, b) < 0.1
+
+    def test_estimates_track_true_resemblance(self):
+        rng = random.Random(0)
+        hasher = MinHasher(256)
+        base = [f"t{i}" for i in range(200)]
+        for replace in (20, 80, 140):
+            other = list(base)
+            for i in rng.sample(range(200), replace):
+                other[i] = f"x{i}"
+            truth = resemblance(shingle_set(base), shingle_set(other))
+            estimate = hasher.estimate(hasher.sketch(base), hasher.sketch(other))
+            assert abs(estimate - truth) < 0.15, (replace, truth, estimate)
+
+    def test_sketch_deterministic_across_instances(self):
+        tokens = list("abcdefgh")
+        assert MinHasher(32, seed=5).sketch(tokens) == MinHasher(32, seed=5).sketch(tokens)
+        assert MinHasher(32, seed=5).sketch(tokens) != MinHasher(32, seed=6).sketch(tokens)
+
+    def test_empty_document_conventions(self):
+        hasher = MinHasher(16)
+        empty = hasher.sketch([])
+        assert hasher.estimate(empty, empty) == 1.0
+        full = hasher.sketch(list("abcdefgh"))
+        assert hasher.estimate(empty, full) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            MinHasher(0)
+        hasher = MinHasher(8)
+        with pytest.raises(InputError):
+            hasher.estimate((1, 2), (1, 2))
+
+
+class TestMinhashMatrix:
+    def _graph(self, contents):
+        graph = DiGraph()
+        for node, tokens in contents.items():
+            graph.add_node(node, content=tokens)
+        return graph
+
+    def test_matrix_close_to_exact_shingles(self):
+        from repro.similarity.shingles import shingle_similarity_matrix
+
+        tokens = [f"w{i}" for i in range(120)]
+        edited = tokens[:100] + [f"y{i}" for i in range(20)]
+        g1 = self._graph({"p": tokens})
+        g2 = self._graph({"q": edited, "r": [f"z{i}" for i in range(100)]})
+        exact = shingle_similarity_matrix(g1, g2)
+        approx = minhash_similarity_matrix(g1, g2, num_hashes=256)
+        assert abs(exact("p", "q") - approx("p", "q")) < 0.12
+        assert approx("p", "r") < 0.1
+
+    def test_lsh_skips_disjoint_pairs(self):
+        g1 = self._graph({"p": [f"a{i}" for i in range(40)]})
+        g2 = self._graph({"q": [f"b{i}" for i in range(40)]})
+        mat = minhash_similarity_matrix(g1, g2, num_hashes=32)
+        assert mat("p", "q") == 0.0
+
+
+class TestWitnesses:
+    def test_fig1_witnesses(self, fig1_pattern, fig1_data, fig1_expected_mapping):
+        witnesses = mapping_witnesses(fig1_pattern, fig1_data, fig1_expected_mapping)
+        assert all(w.satisfied for w in witnesses)
+        by_edge = {w.edge: w for w in witnesses}
+        assert by_edge[("books", "textbooks")].path == ("books", "categories", "school")
+        assert by_edge[("A", "books")].hops == 1
+        rendered = format_witnesses(witnesses)
+        assert "books/categories/school" in rendered
+
+    def test_unmatched_endpoints_skipped(self, fig1_pattern, fig1_data):
+        witnesses = mapping_witnesses(fig1_pattern, fig1_data, {"A": "B"})
+        assert witnesses == []  # no edge has both endpoints matched
+
+    def test_violated_edge_reported(self):
+        g1 = DiGraph.from_edges([("a", "b")])
+        g2 = DiGraph.from_edges([("y", "x")])
+        witnesses = mapping_witnesses(g1, g2, {"a": "x", "b": "y"})
+        assert len(witnesses) == 1
+        assert not witnesses[0].satisfied
+        assert "UNSATISFIED" in format_witnesses(witnesses)
+
+    def test_hops_separate_edge_from_path_matches(self):
+        g1 = DiGraph.from_edges([("a", "b"), ("a", "c")])
+        g2 = DiGraph.from_edges([("x", "y"), ("y", "z"), ("x", "w")])
+        mapping = {"a": "x", "b": "w", "c": "z"}
+        by_edge = {w.edge: w for w in mapping_witnesses(g1, g2, mapping)}
+        assert by_edge[("a", "b")].hops == 1
+        assert by_edge[("a", "c")].hops == 2

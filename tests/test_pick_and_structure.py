@@ -1,0 +1,156 @@
+"""Tests for the greedy pick rules, the hard synthetic variant, and the
+structure-blindness experiment."""
+
+import pytest
+
+from repro.baselines.matchers import FloodingMatcher, PHomMatcher
+from repro.core.comp_max_card import comp_max_card, comp_max_card_injective
+from repro.core.comp_max_sim import comp_max_sim
+from repro.core.engine import PICK_RULES, greedy_match
+from repro.core.phom import check_phom_mapping
+from repro.core.workspace import MatchingWorkspace
+from repro.datasets.synthetic import generate_workload
+from repro.experiments.config import SCALES
+from repro.experiments.structure import (
+    build_impostor,
+    render,
+    run_structure_blindness,
+)
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+
+from conftest import make_random_instance
+
+SMOKE = SCALES["smoke"]
+
+
+class TestPickRules:
+    def test_pick_rules_exported(self):
+        assert PICK_RULES == ("similarity", "arbitrary")
+
+    def test_unknown_pick_rejected(self):
+        g1, g2, mat = make_random_instance(0)
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        with pytest.raises(ValueError):
+            greedy_match(workspace, workspace.initial_good(), pick="best")
+        with pytest.raises(ValueError):
+            comp_max_card(g1, g2, mat, 0.5, pick="best")
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("pick", PICK_RULES)
+    def test_both_rules_produce_valid_mappings(self, seed, pick):
+        g1, g2, mat = make_random_instance(seed)
+        result = comp_max_card(g1, g2, mat, 0.5, pick=pick)
+        assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+        injective = comp_max_card_injective(g1, g2, mat, 0.5, pick=pick)
+        assert (
+            check_phom_mapping(g1, g2, injective.mapping, mat, 0.5, injective=True)
+            == []
+        )
+        sim = comp_max_sim(g1, g2, mat, 0.5, pick=pick)
+        assert check_phom_mapping(g1, g2, sim.mapping, mat, 0.5) == []
+
+    def test_similarity_pick_prefers_best_candidate(self):
+        g1 = DiGraph.from_edges([], nodes=["v"])
+        g2 = DiGraph.from_edges([], nodes=["low", "high"])
+        mat = SimilarityMatrix.from_pairs({("v", "low"): 0.6, ("v", "high"): 0.9})
+        best = comp_max_card(g1, g2, mat, 0.5, pick="similarity")
+        assert best.mapping == {"v": "high"}
+
+    def test_arbitrary_pick_is_deterministic(self):
+        g1, g2, mat = make_random_instance(4)
+        first = comp_max_card(g1, g2, mat, 0.5, pick="arbitrary")
+        second = comp_max_card(g1, g2, mat, 0.5, pick="arbitrary")
+        assert first.mapping == second.mapping
+
+    def test_matcher_threads_pick_through(self):
+        g1, g2, mat = make_random_instance(1)
+        matcher = PHomMatcher("cardinality", False, pick="arbitrary")
+        outcome = matcher.run(g1, g2, mat, 0.5)
+        assert check_phom_mapping(g1, g2, outcome.mapping, mat, 0.5) == []
+
+
+class TestHardVariant:
+    def test_relabel_zero_keeps_labels(self):
+        workload = generate_workload(10, 10.0, num_copies=1, seed=1, relabel_percent=0.0)
+        truth = workload.ground_truth[0]
+        copy = workload.copies[0]
+        assert all(
+            copy.label(truth[v]) == workload.pattern.label(v)
+            for v in workload.pattern.nodes()
+        )
+
+    def test_relabel_changes_some_labels(self):
+        workload = generate_workload(40, 10.0, num_copies=1, seed=1, relabel_percent=80.0)
+        truth = workload.ground_truth[0]
+        copy = workload.copies[0]
+        changed = sum(
+            1
+            for v in workload.pattern.nodes()
+            if copy.label(truth[v]) != workload.pattern.label(v)
+        )
+        assert changed > 10
+
+    def test_relabel_degrades_quality_monotonically_ish(self):
+        easy = generate_workload(40, 10.0, num_copies=1, seed=2, relabel_percent=0.0)
+        hard = generate_workload(40, 10.0, num_copies=1, seed=2, relabel_percent=90.0)
+        q_easy = comp_max_card(easy.pattern, easy.copies[0], easy.matrix_for(0), 0.75).qual_card
+        q_hard = comp_max_card(hard.pattern, hard.copies[0], hard.matrix_for(0), 0.75).qual_card
+        assert q_easy == 1.0
+        assert q_hard <= q_easy
+
+    def test_invalid_relabel_rejected(self):
+        from repro.utils.errors import InputError
+
+        with pytest.raises(InputError):
+            generate_workload(10, 10.0, relabel_percent=150.0)
+
+
+class TestStructureBlindness:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_structure_blindness(SMOKE)
+
+    def test_impostor_preserves_nodes_and_contents(self):
+        from repro.datasets.skeleton import degree_skeleton
+        from repro.datasets.webbase import generate_archive, paper_sites
+
+        archive = generate_archive(
+            paper_sites()["site2"], num_versions=1, scale=0.05, seed=1
+        )
+        skeleton = degree_skeleton(archive.pattern, 0.2)
+        impostor = build_impostor(skeleton, seed=1)
+        assert set(impostor.nodes()) == set(skeleton.nodes())
+        for node in skeleton.nodes():
+            assert impostor.attrs(node)["content"] == skeleton.attrs(node)["content"]
+        from repro.graph.traversal import is_acyclic
+
+        assert is_acyclic(impostor)
+
+    def test_cells_cover_sites_and_methods(self, cells):
+        sites = {cell.site for cell in cells}
+        assert sites == {"site1", "site2", "site3"}
+        methods = {cell.matcher for cell in cells}
+        assert "compMaxCard" in methods and "SF" in methods
+
+    def test_sf_false_positive_phom_rejects(self, cells):
+        """The paper's qualitative claim, as an invariant."""
+        sf_impostor = [c.impostor_quality for c in cells if c.matcher == "SF"]
+        phom_impostor = [
+            c.impostor_quality for c in cells if c.matcher == "compMaxCard"
+        ]
+        # SF scores the impostor higher than p-hom does on every site.
+        assert all(
+            sf >= ph for sf, ph in zip(sf_impostor, phom_impostor)
+        )
+        assert max(sf_impostor) >= 0.75  # at least one outright false positive
+
+    def test_true_pairs_score_higher_than_impostors_for_phom(self, cells):
+        for cell in cells:
+            if cell.matcher.startswith("compMaxCard"):
+                assert cell.true_quality >= cell.impostor_quality
+
+    def test_render(self, cells):
+        text = render(cells, SMOKE)
+        assert "Structure blindness" in text
+        assert "FALSE POSITIVE" in text or "rejected" in text

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies draw small random (G1, G2, mat) instances and whole graphs;
+the properties assert the load-bearing invariants of the system:
+
+* every algorithm's output is a valid (1-1) p-hom mapping;
+* approximations never beat the exact optimum;
+* Ramsey always returns a clique and an independent set;
+* the reachability index agrees with BFS;
+* SCC compression preserves mapping validity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.comp_max_card import comp_max_card, comp_max_card_injective
+from repro.core.comp_max_sim import comp_max_sim
+from repro.core.optimize import comp_max_card_compressed, comp_max_card_partitioned
+from repro.core.phom import check_phom_mapping
+from repro.graph.closure import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import has_nonempty_path
+from repro.graph.undirected import Graph
+from repro.similarity.matrix import SimilarityMatrix
+from repro.wis.ramsey import ramsey
+from repro.wis.removal import clique_removal
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def digraphs(draw, max_nodes: int = 8):
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    graph = DiGraph()
+    for i in range(n):
+        graph.add_node(i)
+    if n:
+        edges = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ),
+                max_size=3 * n,
+            )
+        )
+        for tail, head in edges:
+            graph.add_edge(tail, head)
+    return graph
+
+
+@st.composite
+def instances(draw, max_n1: int = 5, max_n2: int = 6):
+    g1 = draw(digraphs(max_n1))
+    g2 = draw(digraphs(max_n2))
+    mat = SimilarityMatrix()
+    for v in g1.nodes():
+        for u in g2.nodes():
+            score = draw(
+                st.one_of(st.none(), st.floats(min_value=0.3, max_value=1.0))
+            )
+            if score is not None:
+                mat.set(v, u, score)
+    return g1, g2, mat
+
+
+@st.composite
+def undirected_graphs(draw, max_nodes: int = 10):
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    graph = Graph()
+    for i in range(n):
+        graph.add_node(i, weight=draw(st.floats(min_value=0.1, max_value=5.0)))
+    if n >= 2:
+        edges = draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=2 * n,
+            )
+        )
+        for left, right in edges:
+            if left != right:
+                graph.add_edge(left, right)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(instances())
+def test_comp_max_card_always_valid(instance):
+    g1, g2, mat = instance
+    result = comp_max_card(g1, g2, mat, 0.5)
+    assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+    assert 0.0 <= result.qual_card <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances())
+def test_comp_max_card_injective_always_valid(instance):
+    g1, g2, mat = instance
+    result = comp_max_card_injective(g1, g2, mat, 0.5)
+    assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+    assert len(set(result.mapping.values())) == len(result.mapping)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_comp_max_sim_always_valid(instance):
+    g1, g2, mat = instance
+    result = comp_max_sim(g1, g2, mat, 0.5)
+    assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5) == []
+    assert 0.0 <= result.qual_sim <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_partitioned_always_valid(instance):
+    g1, g2, mat = instance
+    result = comp_max_card_partitioned(g1, g2, mat, 0.5, injective=True)
+    assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_compressed_always_valid(instance):
+    g1, g2, mat = instance
+    result = comp_max_card_compressed(g1, g2, mat, 0.5, injective=True)
+    assert check_phom_mapping(g1, g2, result.mapping, mat, 0.5, injective=True) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances(max_n1=4, max_n2=4))
+def test_approx_never_beats_exact(instance):
+    from repro.core.exact import exact_comp_max_card
+
+    g1, g2, mat = instance
+    approx = comp_max_card(g1, g2, mat, 0.5)
+    exact = exact_comp_max_card(g1, g2, mat, 0.5)
+    assert approx.qual_card <= exact.qual_card + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(undirected_graphs())
+def test_ramsey_invariants(graph):
+    clique, iset = ramsey(graph)
+    assert graph.is_clique(clique)
+    assert graph.is_independent_set(iset)
+    if graph.num_nodes():
+        assert clique and iset
+        # Ramsey guarantee: max(|C|, |I|) ≥ roughly log²n / 4 — assert the
+        # weak version that holds unconditionally for n ≥ 1.
+        n = graph.num_nodes()
+        assert len(clique) + len(iset) >= math.floor(math.log2(n + 1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(undirected_graphs())
+def test_clique_removal_cover_partitions(graph):
+    iset, cliques = clique_removal(graph)
+    assert graph.is_independent_set(iset)
+    seen: set = set()
+    for clique in cliques:
+        assert graph.is_clique(clique)
+        assert not (seen & clique)
+        seen |= clique
+    assert seen == set(graph.nodes())
+
+
+@settings(max_examples=50, deadline=None)
+@given(digraphs(max_nodes=10))
+def test_reachability_index_agrees_with_bfs(graph):
+    index = ReachabilityIndex(graph)
+    for source in graph.nodes():
+        for target in graph.nodes():
+            assert index.has_path(source, target) == has_nonempty_path(
+                graph, source, target
+            )
+
+
+@settings(max_examples=50, deadline=None)
+@given(digraphs(max_nodes=10))
+def test_closure_graph_idempotent(graph):
+    from repro.graph.closure import transitive_closure_graph
+
+    once = transitive_closure_graph(graph)
+    twice = transitive_closure_graph(once)
+    assert set(once.edges()) == set(twice.edges())

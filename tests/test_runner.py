@@ -1,0 +1,35 @@
+"""Tests for the one-button reproduction runner (smoke scale)."""
+
+from repro.experiments.config import SCALES
+from repro.experiments.runner import run_all
+
+
+def test_run_all_produces_every_artifact(tmp_path, capsys):
+    report = run_all(SCALES["smoke"], tmp_path)
+    for marker in (
+        "Table 2",
+        "Table 3a",
+        "Table 3b",
+        "Figure 5(a)",
+        "Figure 5(b)",
+        "Figure 5(c)",
+        "Figure 6(a)",
+        "Structure blindness",
+        "Approximation ratios",
+    ):
+        assert marker in report, marker
+    expected_files = {
+        "table2.csv",
+        "table3.csv",
+        "fig5_size.csv",
+        "fig5_noise.csv",
+        "fig5_threshold.csv",
+        "fig6_size.csv",
+        "fig6_noise.csv",
+        "fig6_threshold.csv",
+        "structure.csv",
+        "approx_ratio.csv",
+        "report.txt",
+    }
+    assert {p.name for p in tmp_path.iterdir()} == expected_files
+    assert (tmp_path / "report.txt").read_text() == report

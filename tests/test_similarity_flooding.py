@@ -1,0 +1,90 @@
+"""Tests for similarity flooding and matching extraction."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph
+from repro.similarity.flooding import extract_matching, similarity_flooding
+from repro.similarity.labels import label_equality_matrix
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+
+@pytest.fixture
+def line_pair():
+    g1 = DiGraph.from_edges([("a", "b"), ("b", "c")], labels={"a": "A", "b": "B", "c": "C"})
+    g2 = DiGraph.from_edges([("x", "y"), ("y", "z")], labels={"x": "A", "y": "B", "z": "C"})
+    return g1, g2
+
+
+class TestFlooding:
+    def test_identity_alignment_wins(self, line_pair):
+        g1, g2 = line_pair
+        result = similarity_flooding(g1, g2, label_equality_matrix(g1, g2))
+        assert result.matrix("a", "x") > 0.0
+        assert result.matrix("b", "y") == pytest.approx(1.0)  # best pair normalised to 1
+
+    def test_propagation_lifts_neighbors_of_similar_pairs(self):
+        # Only the middles are initially similar; flooding must lift the ends.
+        g1 = path_graph(3, name="p1")
+        g2 = path_graph(3, name="p2")
+        initial = SimilarityMatrix.from_pairs({(1, 1): 1.0, (0, 0): 0.1, (2, 2): 0.1,
+                                               (0, 2): 0.1, (2, 0): 0.1})
+        result = similarity_flooding(g1, g2, initial)
+        assert result.matrix(0, 0) > result.matrix(0, 2)  # aligned end beats crossed end
+
+    def test_empty_initial_matrix(self, line_pair):
+        g1, g2 = line_pair
+        result = similarity_flooding(g1, g2, SimilarityMatrix())
+        assert result.num_pairs == 0
+        assert result.converged
+
+    def test_restrict_all_covers_cross_product(self, line_pair):
+        g1, g2 = line_pair
+        result = similarity_flooding(
+            g1, g2, label_equality_matrix(g1, g2), restrict="all"
+        )
+        assert result.num_pairs == 9
+
+    def test_unknown_formula_rejected(self, line_pair):
+        g1, g2 = line_pair
+        with pytest.raises(InputError):
+            similarity_flooding(g1, g2, SimilarityMatrix(), formula="z")
+
+    def test_all_formulas_run(self, line_pair):
+        g1, g2 = line_pair
+        mat = label_equality_matrix(g1, g2)
+        for formula in ("basic", "a", "b", "c"):
+            result = similarity_flooding(g1, g2, mat, formula=formula)
+            assert 0 <= result.iterations <= 50
+            for _, _, score in result.matrix.pairs():
+                assert 0.0 <= score <= 1.0
+
+    def test_scores_bounded(self, line_pair):
+        g1, g2 = line_pair
+        result = similarity_flooding(g1, g2, label_equality_matrix(g1, g2))
+        for _, _, score in result.matrix.pairs():
+            assert 0.0 <= score <= 1.0
+
+
+class TestExtraction:
+    def test_greedy_injective(self):
+        scores = SimilarityMatrix.from_pairs(
+            {("a", "x"): 0.9, ("b", "x"): 0.8, ("b", "y"): 0.5}
+        )
+        mapping = extract_matching(scores, injective=True)
+        assert mapping == {"a": "x", "b": "y"}
+
+    def test_non_injective_allows_sharing(self):
+        scores = SimilarityMatrix.from_pairs({("a", "x"): 0.9, ("b", "x"): 0.8})
+        mapping = extract_matching(scores, injective=False)
+        assert mapping == {"a": "x", "b": "x"}
+
+    def test_threshold_cuts_tail(self):
+        scores = SimilarityMatrix.from_pairs({("a", "x"): 0.9, ("b", "y"): 0.1})
+        mapping = extract_matching(scores, threshold=0.5)
+        assert mapping == {"a": "x"}
+
+    def test_deterministic_on_ties(self):
+        scores = SimilarityMatrix.from_pairs({("a", "x"): 0.5, ("a", "y"): 0.5})
+        assert extract_matching(scores) == extract_matching(scores)

@@ -1,0 +1,71 @@
+"""Tests for label-equality and grouped-label similarity."""
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.similarity.labels import (
+    LabelGroupSimilarity,
+    label_equality_matrix,
+    label_group_matrix,
+)
+from repro.utils.errors import InputError
+
+
+class TestLabelEquality:
+    def test_equal_labels_score_one(self):
+        g1 = DiGraph.from_edges([("v1", "v2")], labels={"v1": "A", "v2": "B"})
+        g2 = DiGraph.from_edges([("u1", "u2")], labels={"u1": "A", "u2": "C"})
+        mat = label_equality_matrix(g1, g2)
+        assert mat("v1", "u1") == 1.0
+        assert mat("v1", "u2") == 0.0
+        assert mat("v2", "u1") == 0.0
+
+    def test_multiple_same_label_targets(self):
+        g1 = DiGraph.from_edges([], nodes=["v"], labels={"v": "X"})
+        g2 = DiGraph.from_edges([], nodes=["a", "b"], labels={"a": "X", "b": "X"})
+        mat = label_equality_matrix(g1, g2)
+        assert mat.candidates("v", 0.5) == {"a", "b"}
+
+
+class TestLabelGroups:
+    def test_diagonal_is_one(self):
+        sim = LabelGroupSimilarity(10, 3, random.Random(0))
+        assert sim.score(4, 4) == 1.0
+
+    def test_cross_group_is_zero(self):
+        sim = LabelGroupSimilarity(10, 5, random.Random(0))
+        # labels l and l+1 always land in different groups (l % 5).
+        assert sim.score(0, 1) == 0.0
+
+    def test_within_group_symmetric_and_memoised(self):
+        sim = LabelGroupSimilarity(10, 5, random.Random(0))
+        # 0 and 5 share group 0.
+        first = sim.score(0, 5)
+        assert 0.0 <= first <= 1.0
+        assert sim.score(5, 0) == first
+        assert sim.score(0, 5) == first
+
+    def test_out_of_universe_rejected(self):
+        sim = LabelGroupSimilarity(10, 5, random.Random(0))
+        with pytest.raises(InputError):
+            sim.score(0, 10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InputError):
+            LabelGroupSimilarity(0, 1, random.Random(0))
+        with pytest.raises(InputError):
+            LabelGroupSimilarity(5, 6, random.Random(0))
+
+    def test_matrix_for_graphs(self):
+        rng = random.Random(1)
+        g1 = DiGraph.from_edges([], nodes=["v"], labels={"v": 0})
+        g2 = DiGraph.from_edges(
+            [], nodes=["a", "b", "c"], labels={"a": 0, "b": 5, "c": 1}
+        )
+        mat = label_group_matrix(g1, g2, num_labels=10, num_groups=5, rng=rng)
+        assert mat("v", "a") == 1.0  # same label
+        assert mat("v", "c") == 0.0  # different group
+        within = mat("v", "b")  # same group (0 and 5 mod 5)
+        assert 0.0 <= within <= 1.0

@@ -1,0 +1,95 @@
+"""Tests for the SimilarityMatrix container."""
+
+import pytest
+
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+
+class TestBasics:
+    def test_default_zero(self):
+        mat = SimilarityMatrix()
+        assert mat("v", "u") == 0.0
+        assert mat.get("v", "u", default=0.5) == 0.5
+
+    def test_set_and_call(self):
+        mat = SimilarityMatrix()
+        mat.set("v", "u", 0.8)
+        assert mat("v", "u") == 0.8
+        mat.set("v", "u", 0.3)  # overwrite
+        assert mat("v", "u") == 0.3
+
+    def test_range_validation(self):
+        mat = SimilarityMatrix()
+        with pytest.raises(InputError):
+            mat.set("v", "u", 1.5)
+        with pytest.raises(InputError):
+            mat.set("v", "u", -0.1)
+        mat.set("v", "u", 0.0)
+        mat.set("v", "w", 1.0)
+
+    def test_from_pairs_and_update(self):
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 0.9})
+        mat.update({("a", "y"): 0.2})
+        assert mat.num_pairs() == 2
+
+    def test_from_function_drops_zero(self):
+        mat = SimilarityMatrix.from_function(
+            ["a", "b"], ["x"], lambda v, u: 1.0 if v == "a" else 0.0
+        )
+        assert mat.num_pairs() == 1
+        kept = SimilarityMatrix.from_function(
+            ["a", "b"], ["x"], lambda v, u: 0.0, keep_zero=True
+        )
+        assert kept.num_pairs() == 2
+
+
+class TestCandidates:
+    def test_candidates_threshold(self):
+        mat = SimilarityMatrix.from_pairs({("v", "a"): 0.9, ("v", "b"): 0.5, ("v", "c"): 0.2})
+        assert mat.candidates("v", 0.5) == {"a", "b"}
+        assert mat.candidates("v", 0.95) == set()
+        assert mat.candidates("ghost", 0.5) == set()
+
+    def test_zero_threshold_rejected(self):
+        mat = SimilarityMatrix()
+        with pytest.raises(InputError):
+            mat.candidates("v", 0.0)
+
+    def test_pairs_iteration(self):
+        entries = {("a", "x"): 0.4, ("b", "y"): 0.6}
+        mat = SimilarityMatrix.from_pairs(entries)
+        assert {(v, u): s for v, u, s in mat.pairs()} == entries
+
+    def test_max_score(self):
+        assert SimilarityMatrix().max_score() == 0.0
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 0.4, ("b", "y"): 0.9})
+        assert mat.max_score() == 0.9
+
+
+class TestDerivations:
+    def test_transposed(self):
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 0.7})
+        flipped = mat.transposed()
+        assert flipped("x", "a") == 0.7
+        assert flipped("a", "x") == 0.0
+
+    def test_thresholded(self):
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 0.7, ("a", "y"): 0.2})
+        kept = mat.thresholded(0.5)
+        assert kept.num_pairs() == 1
+        assert kept("a", "x") == 0.7
+
+    def test_saturated(self):
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 0.7, ("a", "y"): 0.2})
+        promoted = mat.saturated(0.5)
+        assert promoted("a", "x") == 1.0
+        assert promoted("a", "y") == 0.2
+
+    def test_restricted(self):
+        mat = SimilarityMatrix.from_pairs(
+            {("a", "x"): 0.7, ("b", "x"): 0.8, ("a", "y"): 0.9}
+        )
+        projected = mat.restricted(["a"], ["x"])
+        assert projected.num_pairs() == 1
+        assert projected("a", "x") == 0.7

@@ -1,0 +1,106 @@
+"""Tests for Broder shingling and the shingle similarity matrix."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.similarity.shingles import (
+    containment,
+    resemblance,
+    shingle_set,
+    shingle_similarity_matrix,
+)
+from repro.utils.errors import InputError
+
+
+class TestShingleSet:
+    def test_basic_windows(self):
+        assert shingle_set(list("abcd"), width=2) == frozenset(
+            {("a", "b"), ("b", "c"), ("c", "d")}
+        )
+
+    def test_short_document_single_shingle(self):
+        assert shingle_set(["a", "b"], width=4) == frozenset({("a", "b")})
+
+    def test_empty_document(self):
+        assert shingle_set([], width=4) == frozenset()
+
+    def test_invalid_width(self):
+        with pytest.raises(InputError):
+            shingle_set(["a"], width=0)
+
+    def test_duplicate_windows_collapse(self):
+        shingles = shingle_set(["a", "a", "a", "a"], width=2)
+        assert shingles == frozenset({("a", "a")})
+
+
+class TestMeasures:
+    def test_resemblance_identical(self):
+        s = shingle_set(list("abcdef"), 3)
+        assert resemblance(s, s) == 1.0
+
+    def test_resemblance_disjoint(self):
+        assert resemblance(shingle_set(list("abc"), 3), shingle_set(list("xyz"), 3)) == 0.0
+
+    def test_resemblance_empty_conventions(self):
+        assert resemblance(frozenset(), frozenset()) == 1.0
+        assert resemblance(frozenset(), shingle_set(list("abc"), 3)) == 0.0
+
+    def test_resemblance_partial(self):
+        a = frozenset({1, 2, 3})
+        b = frozenset({2, 3, 4})
+        assert resemblance(a, b) == pytest.approx(2 / 4)
+
+    def test_containment_asymmetric(self):
+        small = frozenset({1, 2})
+        large = frozenset({1, 2, 3, 4})
+        assert containment(small, large) == 1.0
+        assert containment(large, small) == 0.5
+        assert containment(frozenset(), large) == 1.0
+
+    def test_block_edit_preserves_most_shingles(self):
+        """The content-model premise: a small block edit keeps resemblance high."""
+        tokens = [f"t{i}" for i in range(100)]
+        edited = tokens[:40] + ["X1", "X2", "X3"] + tokens[43:]
+        sim = resemblance(shingle_set(tokens), shingle_set(edited))
+        assert sim > 0.8
+
+
+class TestMatrix:
+    def _page_graph(self, contents: dict) -> DiGraph:
+        graph = DiGraph()
+        for node, tokens in contents.items():
+            graph.add_node(node, content=tokens)
+        return graph
+
+    def test_matrix_scores_pairs_with_shared_shingles(self):
+        g1 = self._page_graph({"p": list("abcdefgh")})
+        g2 = self._page_graph({"q": list("abcdefgh"), "r": list("zzzzzzzz")})
+        mat = shingle_similarity_matrix(g1, g2)
+        assert mat("p", "q") == 1.0
+        assert mat("p", "r") == 0.0  # never computed: no shared shingle
+
+    def test_min_score_filter(self):
+        g1 = self._page_graph({"p": list("abcdefgh")})
+        g2 = self._page_graph({"q": list("abcdwxyz")})
+        strict = shingle_similarity_matrix(g1, g2, min_score=0.5)
+        assert strict("p", "q") == 0.0
+        loose = shingle_similarity_matrix(g1, g2, min_score=0.0)
+        assert 0.0 < loose("p", "q") < 0.5
+
+    def test_containment_measure(self):
+        g1 = self._page_graph({"p": list("abcde")})
+        g2 = self._page_graph({"q": list("abcdefghij")})
+        mat = shingle_similarity_matrix(g1, g2, measure="containment")
+        assert mat("p", "q") == 1.0
+
+    def test_unknown_measure_rejected(self):
+        g = self._page_graph({"p": list("abc")})
+        with pytest.raises(InputError):
+            shingle_similarity_matrix(g, g, measure="cosine")
+
+    def test_missing_content_treated_as_empty(self):
+        g1 = DiGraph()
+        g1.add_node("no-content")
+        g2 = self._page_graph({"q": list("abcd")})
+        mat = shingle_similarity_matrix(g1, g2)
+        assert mat("no-content", "q") == 0.0

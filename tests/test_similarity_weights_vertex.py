@@ -1,0 +1,72 @@
+"""Tests for node-weight schemes and Blondel vertex similarity."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+from repro.similarity.vertex import blondel_vertex_similarity
+from repro.similarity.weights import (
+    apply_degree_weights,
+    apply_hits_weights,
+    apply_uniform_weights,
+    hits_scores,
+)
+
+
+class TestWeights:
+    def test_uniform(self):
+        graph = star_graph(3)
+        apply_uniform_weights(graph, 2.0)
+        assert all(graph.weight(v) == 2.0 for v in graph.nodes())
+
+    def test_degree_weights(self):
+        graph = star_graph(3)
+        apply_degree_weights(graph)
+        assert graph.weight(0) == 1.0 + 3
+        assert graph.weight(1) == 1.0 + 1
+
+    def test_hits_on_star(self):
+        graph = star_graph(4)
+        hubs, authorities = hits_scores(graph)
+        # The center is the hub; leaves are the authorities.
+        assert hubs[0] == max(hubs.values())
+        assert authorities[1] > authorities[0]
+        assert sum(hubs.values()) == pytest.approx(1.0)
+        assert sum(authorities.values()) == pytest.approx(1.0)
+
+    def test_hits_empty_graph(self):
+        assert hits_scores(DiGraph()) == ({}, {})
+
+    def test_apply_hits_weights_positive(self):
+        graph = star_graph(4)
+        apply_hits_weights(graph)
+        assert all(graph.weight(v) > 0 for v in graph.nodes())
+        assert graph.weight(0) > graph.weight(1)  # hub mix dominates on the center
+
+
+class TestBlondel:
+    def test_identical_graphs_peak_on_identity_roles(self):
+        graph = path_graph(3)
+        result = blondel_vertex_similarity(graph, graph)
+        # The middle node plays the same role in both graphs; ends match ends.
+        assert result.matrix(1, 1) == pytest.approx(1.0)
+        assert result.matrix(0, 1) < result.matrix(0, 0) + 1e-9
+        assert result.converged
+
+    def test_hub_matches_hub(self):
+        star_small = star_graph(3)
+        star_big = star_graph(6)
+        result = blondel_vertex_similarity(star_small, star_big)
+        center_score = result.matrix(0, 0)
+        leaf_vs_center = result.matrix(1, 0)
+        assert center_score > leaf_vs_center
+
+    def test_empty_graph(self):
+        result = blondel_vertex_similarity(DiGraph(), path_graph(2))
+        assert result.matrix.num_pairs() == 0
+        assert result.converged
+
+    def test_scores_bounded(self):
+        result = blondel_vertex_similarity(cycle_graph(4), path_graph(4))
+        for _, _, score in result.matrix.pairs():
+            assert 0.0 <= score <= 1.0

@@ -1,0 +1,78 @@
+"""Tests for shared utilities: rng derivation, timing, errors."""
+
+import time
+
+import pytest
+
+from repro.utils.errors import TimeBudgetExceeded
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.timing import Deadline, Stopwatch
+
+
+class TestRng:
+    def test_same_keys_same_seed(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_different_keys_differ(self):
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_key_boundaries_matter(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_derive_rng_streams_reproducible(self):
+        first = [derive_rng(3, "x").random() for _ in range(5)]
+        second = [derive_rng(3, "x").random() for _ in range(5)]
+        assert first == second
+
+    def test_derive_rng_streams_independent(self):
+        assert derive_rng(3, "x").random() != derive_rng(3, "y").random()
+
+
+class TestStopwatch:
+    def test_elapsed_nonnegative(self):
+        with Stopwatch() as watch:
+            pass
+        assert watch.elapsed >= 0.0
+
+    def test_elapsed_readable_inside_block(self):
+        with Stopwatch() as watch:
+            first = watch.elapsed
+            time.sleep(0.002)
+            assert watch.elapsed >= first
+
+    def test_elapsed_frozen_after_exit(self):
+        with Stopwatch() as watch:
+            time.sleep(0.001)
+        frozen = watch.elapsed
+        time.sleep(0.002)
+        assert watch.elapsed == frozen
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+        deadline.check()  # must not raise
+        assert deadline.remaining is None
+
+    def test_expiry_raises_with_incumbent(self):
+        deadline = Deadline(0.001)
+        time.sleep(0.005)
+        assert deadline.expired()
+        with pytest.raises(TimeBudgetExceeded) as excinfo:
+            deadline.check("unit-test", best_so_far={"x"})
+        assert excinfo.value.best_so_far == {"x"}
+        assert "unit-test" in str(excinfo.value)
+
+    def test_remaining_clamped_to_zero(self):
+        deadline = Deadline(0.001)
+        time.sleep(0.005)
+        assert deadline.remaining == 0.0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)

@@ -1,0 +1,228 @@
+"""Tests for the WIS/clique substrate: Ramsey, removal algorithms, weighted,
+exact solvers, greedy heuristics — including cross-validation against exact."""
+
+import random
+
+import pytest
+
+from repro.graph.undirected import Graph
+from repro.utils.errors import TimeBudgetExceeded
+from repro.utils.timing import Deadline
+from repro.wis.exact import (
+    max_clique,
+    max_independent_set,
+    max_weight_clique,
+    max_weight_independent_set,
+)
+from repro.wis.greedy import (
+    greedy_clique,
+    greedy_independent_set,
+    greedy_weighted_independent_set,
+)
+from repro.wis.ramsey import ramsey
+from repro.wis.removal import clique_removal, is_removal
+from repro.wis.weighted import weight_group_index, weight_groups, weighted_independent_set
+
+
+def random_graph(n: int, p: float, seed: int, weighted: bool = False) -> Graph:
+    rng = random.Random(seed)
+    graph = Graph()
+    for i in range(n):
+        graph.add_node(i, weight=rng.uniform(0.1, 10.0) if weighted else 1.0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph
+
+
+class TestRamsey:
+    def test_empty_graph(self):
+        assert ramsey(Graph()) == (set(), set())
+
+    def test_single_node(self):
+        graph = Graph()
+        graph.add_node(1)
+        clique, iset = ramsey(graph)
+        assert clique == {1} and iset == {1}
+
+    def test_triangle(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+        clique, iset = ramsey(graph)
+        assert clique == {1, 2, 3}
+        assert len(iset) == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_outputs_always_valid(self, seed):
+        graph = random_graph(30, 0.3, seed)
+        clique, iset = ramsey(graph)
+        assert graph.is_clique(clique)
+        assert graph.is_independent_set(iset)
+        assert clique and iset
+
+    def test_restricted_to_subset(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        clique, iset = ramsey(graph, within={1, 3})
+        assert clique <= {1, 3} and iset <= {1, 3}
+
+    def test_large_path_no_stack_overflow(self):
+        graph = Graph.from_edges([(i, i + 1) for i in range(5000)])
+        clique, iset = ramsey(graph)
+        assert graph.is_independent_set(iset)
+        assert len(iset) >= 1000  # a path has a huge independent set
+
+
+class TestRemoval:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_clique_removal_partitions_and_validates(self, seed):
+        graph = random_graph(25, 0.3, seed)
+        iset, cliques = clique_removal(graph)
+        assert graph.is_independent_set(iset)
+        union = set()
+        for clique in cliques:
+            assert graph.is_clique(clique)
+            assert not (union & clique)  # disjoint
+            union |= clique
+        assert union == set(graph.nodes())  # clique cover partitions V
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_is_removal_dual(self, seed):
+        graph = random_graph(25, 0.3, seed)
+        clique, isets = is_removal(graph)
+        assert graph.is_clique(clique)
+        union = set()
+        for iset in isets:
+            assert graph.is_independent_set(iset)
+            assert not (union & iset)
+            union |= iset
+        assert union == set(graph.nodes())
+
+    def test_duality_via_complement(self):
+        """ISRemoval on G finds cliques == CliqueRemoval on G^c finds ISs."""
+        graph = random_graph(15, 0.4, 42)
+        clique, _ = is_removal(graph)
+        iset_on_complement, _ = clique_removal(graph.complement())
+        assert graph.is_clique(iset_on_complement)
+        assert len(clique) == len(iset_on_complement)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_worse_than_trivial(self, seed):
+        graph = random_graph(20, 0.5, seed)
+        iset, _ = clique_removal(graph)
+        assert len(iset) >= 1
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_max_clique_at_least_approximation(self, seed):
+        graph = random_graph(18, 0.4, seed)
+        exact = max_clique(graph)
+        approx, _ = is_removal(graph)
+        assert graph.is_clique(exact)
+        assert len(exact) >= len(approx)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_max_independent_set_vs_clique_on_complement(self, seed):
+        graph = random_graph(14, 0.4, seed)
+        direct = max_independent_set(graph)
+        via_complement = max_clique(graph.complement())
+        assert graph.is_independent_set(direct)
+        assert len(direct) == len(via_complement)
+
+    def test_known_graph(self):
+        # Two triangles sharing a node: max clique 3, max IS 2 (one per triangle,
+        # avoiding the shared node).
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)])
+        assert len(max_clique(graph)) == 3
+        assert len(max_independent_set(graph)) == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_weighted_exact_dominates_unweighted_count(self, seed):
+        graph = random_graph(14, 0.4, seed, weighted=True)
+        heavy = max_weight_independent_set(graph)
+        assert graph.is_independent_set(heavy)
+        # Weighted optimum weighs at least as much as the unweighted optimum.
+        unweighted = max_independent_set(graph)
+        assert graph.total_weight(heavy) >= graph.total_weight(unweighted) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_weight_clique_vs_enumeration(self, seed):
+        graph = random_graph(10, 0.5, seed, weighted=True)
+        best = max_weight_clique(graph)
+        assert graph.is_clique(best)
+        # brute-force verify on this small size
+        import itertools
+
+        nodes = list(graph.nodes())
+        best_brute = 0.0
+        for r in range(1, len(nodes) + 1):
+            for combo in itertools.combinations(nodes, r):
+                if graph.is_clique(combo):
+                    best_brute = max(best_brute, graph.total_weight(combo))
+        assert graph.total_weight(best) == pytest.approx(best_brute)
+
+    def test_deadline_raises_with_incumbent(self):
+        graph = random_graph(60, 0.7, 0)
+        deadline = Deadline(1e-6)
+        with pytest.raises(TimeBudgetExceeded):
+            max_clique(graph, deadline)
+
+    def test_empty_graph_everything(self):
+        empty = Graph()
+        assert max_clique(empty) == set()
+        assert max_independent_set(empty) == set()
+        assert max_weight_clique(empty) == set()
+        assert max_weight_independent_set(empty) == set()
+
+
+class TestWeighted:
+    def test_weight_group_index_boundaries(self):
+        assert weight_group_index(8.0, 8.0, 4) == 1
+        assert weight_group_index(4.1, 8.0, 4) == 1
+        assert weight_group_index(4.0, 8.0, 4) == 2
+        assert weight_group_index(2.0, 8.0, 4) == 3
+        assert weight_group_index(0.001, 8.0, 4) == 4  # clamped into last group
+
+    def test_weight_groups_drop_featherweights(self):
+        graph = Graph()
+        graph.add_node("heavy", weight=100.0)
+        for i in range(9):
+            graph.add_node(f"light{i}", weight=1.0)
+        # cutoff = 100/10 = 10: all the 1.0 nodes are dropped.
+        groups = weight_groups(graph)
+        members = {node for group in groups for node in group}
+        assert members == {"heavy"}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_weighted_is_valid_and_not_terrible(self, seed):
+        graph = random_graph(20, 0.3, seed, weighted=True)
+        iset = weighted_independent_set(graph)
+        assert graph.is_independent_set(iset)
+        heaviest_node = max(graph.nodes(), key=graph.weight)
+        assert graph.total_weight(iset) >= graph.weight(heaviest_node) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_weighted_within_exact(self, seed):
+        graph = random_graph(14, 0.4, seed, weighted=True)
+        approx = weighted_independent_set(graph)
+        exact = max_weight_independent_set(graph)
+        assert graph.total_weight(approx) <= graph.total_weight(exact) + 1e-9
+
+    def test_empty(self):
+        assert weighted_independent_set(Graph()) == set()
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_outputs_valid(self, seed):
+        graph = random_graph(20, 0.4, seed, weighted=True)
+        assert graph.is_independent_set(greedy_independent_set(graph))
+        assert graph.is_clique(greedy_clique(graph))
+        assert graph.is_independent_set(greedy_weighted_independent_set(graph))
+
+    def test_greedy_is_maximal(self):
+        graph = random_graph(20, 0.3, 7)
+        iset = greedy_independent_set(graph)
+        for node in graph.nodes():
+            if node not in iset:
+                assert graph.neighbors(node) & iset, "greedy IS must be maximal"

@@ -5,7 +5,7 @@ in practice (the paper reports no optimality gaps — it has no exact
 baseline; this is the added measurement EXPERIMENTS.md describes).
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.experiments.approx_ratio import measure_ratios, render
 

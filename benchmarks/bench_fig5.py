@@ -6,7 +6,7 @@ and asserting the shapes the paper reports.
 """
 
 import pytest
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.experiments.fig5 import render, sweep
 

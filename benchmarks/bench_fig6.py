@@ -6,7 +6,7 @@ with m, and the threshold ξ barely affects running time.
 """
 
 import pytest
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.experiments.fig5 import render
 from repro.experiments.fig6 import sweep_times

@@ -1,0 +1,92 @@
+"""Amortized matching: cold ``match()`` vs a prepared-index session.
+
+The headline measurement of the prepared/session refactor: N small
+patterns matched against one data graph, once rebuilding the ``G2⁺``
+reachability index per call (the pre-refactor behaviour) and once through
+``MatchingService.match_many`` which prepares the data graph exactly one
+time.  ``test_amortized_speedup`` asserts the session path actually wins
+and prints the ratio recorded in CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.api import match_prepared
+from repro.core.prepared import prepare_data_graph
+from repro.core.service import MatchingService
+from repro.graph.generators import random_digraph
+from repro.similarity.labels import label_equality_matrix
+
+NUM_PATTERNS = 50
+DATA_NODES = 500
+DATA_EDGES = 1500
+PATTERN_NODES = 8
+XI = 0.75
+
+
+def _workload():
+    rng = random.Random(2010)
+    data = random_digraph(DATA_NODES, DATA_EDGES, rng, name="data")
+    data_nodes = list(data.nodes())
+    patterns = [
+        data.subgraph(rng.sample(data_nodes, PATTERN_NODES), name=f"p{i}")
+        for i in range(NUM_PATTERNS)
+    ]
+    return data, patterns
+
+
+def _run_cold(data, patterns):
+    # One fresh preparation per call — exactly what the old facade did.
+    return [
+        match_prepared(p, prepare_data_graph(data), label_equality_matrix(p, data), XI)
+        for p in patterns
+    ]
+
+
+def _run_session(data, patterns):
+    return MatchingService().match_many(patterns, data, label_equality_matrix, XI)
+
+
+def test_cold_match_loop(benchmark):
+    data, patterns = _workload()
+    reports = benchmark.pedantic(_run_cold, args=(data, patterns), rounds=1, iterations=1)
+    assert len(reports) == NUM_PATTERNS
+
+
+def test_session_match_many(benchmark):
+    data, patterns = _workload()
+    reports = benchmark.pedantic(
+        _run_session, args=(data, patterns), rounds=1, iterations=1
+    )
+    assert len(reports) == NUM_PATTERNS
+
+
+def test_amortized_speedup():
+    """Session reuse must beat N cold calls, with identical reports."""
+    data, patterns = _workload()
+
+    start = time.perf_counter()
+    cold = _run_cold(data, patterns)
+    cold_seconds = time.perf_counter() - start
+
+    service = MatchingService()
+    start = time.perf_counter()
+    warm = service.match_many(patterns, data, label_equality_matrix, XI)
+    warm_seconds = time.perf_counter() - start
+
+    assert service.stats.prepares == 1
+    for c, w in zip(cold, warm):
+        assert c.matched == w.matched
+        assert c.quality == w.quality
+        assert c.result.mapping == w.result.mapping
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"\ncold={cold_seconds:.3f}s session={warm_seconds:.3f}s "
+        f"speedup={speedup:.1f}x over {NUM_PATTERNS} patterns"
+    )
+    # The prepared index dominates the cold cost at this shape; 2x is a
+    # deliberately loose floor so CI noise cannot flake the assertion.
+    assert speedup > 2.0

@@ -5,7 +5,7 @@ paper's qualitative claim: vertex-similarity matching produces false
 positives on structurally different sites; p-hom does not.
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.experiments.structure import render, run_structure_blindness
 

@@ -4,7 +4,7 @@ Measures archive generation plus skeleton extraction and prints the table
 rows the paper reports.
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.datasets.skeleton import degree_skeleton, top_k_skeleton
 from repro.datasets.webbase import generate_archive, paper_sites

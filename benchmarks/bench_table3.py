@@ -7,7 +7,7 @@ is measured directly.
 """
 
 import pytest
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.baselines.matchers import (
     FloodingMatcher,

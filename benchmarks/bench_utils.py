@@ -1,0 +1,16 @@
+"""Shared benchmark helpers, importable explicitly.
+
+Benchmark modules import from here rather than from ``conftest`` so that
+no module in the repo ever does a bare ``import conftest`` — with both
+``tests/`` and ``benchmarks/`` on ``sys.path``, that import is ambiguous
+and used to break collection from the repo root.
+"""
+
+from __future__ import annotations
+
+__all__ = ["run_once"]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Measure one full execution of an end-to-end experiment."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -4,8 +4,8 @@ Benchmarks default to the 'smoke' preset so ``pytest benchmarks/
 --benchmark-only`` completes in minutes; export ``REPRO_BENCH_SCALE=default``
 (or ``paper``) to regenerate the EXPERIMENTS.md numbers at larger scale.
 Heavy end-to-end benchmarks run exactly once per measurement
-(``benchmark.pedantic`` with one round) — they are experiments, not
-microbenchmarks.
+(``benchmark.pedantic`` with one round, via ``bench_utils.run_once``) —
+they are experiments, not microbenchmarks.
 """
 
 from __future__ import annotations
@@ -23,7 +23,3 @@ def bench_scale():
     name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
     return SCALES[name]
 
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Measure one full execution of an end-to-end experiment."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

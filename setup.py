@@ -1,8 +1,10 @@
 """Setup shim for legacy editable installs (`pip install -e .`).
 
-The environment ships setuptools without the `wheel` package, so PEP 517
-editable builds (which require bdist_wheel) fail; this shim lets pip fall
-back to `setup.py develop`.  All metadata lives in pyproject.toml.
+Some environments (including this repo's own container) ship setuptools
+without the `wheel` package, so PEP 517/660 editable builds — which need
+bdist_wheel — fail.  With this shim present,
+``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``
+and works offline.  All metadata lives in pyproject.toml.
 """
 
 from setuptools import setup

@@ -1,6 +1,7 @@
-"""Command-line interface: match two graphs from JSON files.
+"""Command-line interface: match graphs from JSON files.
 
     python -m repro match PATTERN.json DATA.json [options]
+    python -m repro batch DATA.json PATTERN.json [PATTERN.json ...] [options]
     python -m repro stats GRAPH.json
     python -m repro closure GRAPH.json OUT.json
 
@@ -9,6 +10,13 @@ Similarity defaults to label equality; ``--similarity shingles`` computes
 Broder shingle resemblance over a ``content`` attribute per node, and
 ``--similarity FILE.json`` loads explicit pairs
 (``[["v", "u", 0.8], ...]``).
+
+``batch`` matches many patterns against one data graph through a
+:class:`~repro.core.service.MatchingService` session, so the data graph's
+``G2⁺`` index is built exactly once.  It emits one JSON line per pattern
+followed by a summary line carrying the service statistics (prepares,
+cache hits, prepare vs solve seconds); ``--parallel N`` fans the pattern
+solves out over ``N`` threads.
 """
 
 from __future__ import annotations
@@ -19,12 +27,13 @@ import sys
 
 from repro.core.api import match
 from repro.core.phom import check_phom_mapping
+from repro.core.service import MatchingService
 from repro.graph.closure import transitive_closure_graph
 from repro.graph.io import dump_json, load_json
 from repro.graph.stats import graph_stats
 from repro.similarity.labels import label_equality_matrix
 from repro.similarity.matrix import SimilarityMatrix
-from repro.similarity.shingles import shingle_similarity_matrix
+from repro.similarity.shingles import ShingleIndex, shingle_similarity_matrix
 
 __all__ = ["main"]
 
@@ -77,6 +86,65 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0 if report.matched else 1
 
 
+def _similarity_source(spec: str, data):
+    """The batch similarity source: evaluated per (pattern, data) pair."""
+    if spec == "shingles":
+        # Build the data-side shingle sets + inverted index once for the
+        # whole batch, not once per pattern.
+        index = ShingleIndex(data)
+        return lambda pattern, _data: index.matrix_for(pattern)
+    if spec == "labels":
+        return lambda pattern, data: _load_similarity(spec, pattern, data)
+    return _load_similarity(spec, None, None)  # a file: shared by all patterns
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    data = load_json(args.data)
+    patterns = [load_json(path) for path in args.patterns]
+    service = MatchingService()
+    reports = service.match_many(
+        patterns,
+        data,
+        _similarity_source(args.similarity, data),
+        args.xi,
+        metric=args.metric,
+        injective=args.injective,
+        threshold=args.threshold,
+        partitioned=args.partitioned,
+        symmetric=args.symmetric,
+        max_workers=args.parallel,
+    )
+    out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    try:
+        for path, pattern, report in zip(args.patterns, patterns, reports):
+            line = {
+                "pattern": path,
+                "name": pattern.name,
+                "matched": report.matched,
+                "quality": report.quality,
+                "qual_card": report.result.qual_card,
+                "qual_sim": report.result.qual_sim,
+                "mapping": {
+                    str(v): str(u)
+                    for v, u in sorted(report.result.mapping.items(), key=repr)
+                },
+            }
+            json.dump(line, out)
+            out.write("\n")
+        summary = {
+            "summary": True,
+            "patterns": len(patterns),
+            "matched": sum(1 for report in reports if report.matched),
+            "service": service.stats.snapshot(),
+        }
+        json.dump(summary, out)
+        out.write("\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = load_json(args.graph)
     stats = graph_stats(graph)
@@ -123,6 +191,31 @@ def build_parser() -> argparse.ArgumentParser:
     matcher.add_argument("--symmetric", action="store_true", help="match G1+ (path-to-path)")
     matcher.add_argument("--verify", action="store_true", help="re-check the mapping")
     matcher.set_defaults(handler=_cmd_match)
+
+    batch = sub.add_parser(
+        "batch", help="match many PATTERNs against one DATA graph, JSON-lines out"
+    )
+    batch.add_argument("data")
+    batch.add_argument("patterns", nargs="+", metavar="pattern")
+    batch.add_argument("--xi", type=float, default=0.75, help="similarity threshold")
+    batch.add_argument(
+        "--similarity",
+        default="labels",
+        help="'labels', 'shingles', or a JSON file of [v, u, score] triples",
+    )
+    batch.add_argument(
+        "--metric", choices=("cardinality", "similarity"), default="cardinality"
+    )
+    batch.add_argument("--injective", action="store_true", help="1-1 p-hom")
+    batch.add_argument("--threshold", type=float, default=0.75)
+    batch.add_argument("--partitioned", action="store_true")
+    batch.add_argument("--symmetric", action="store_true", help="match G1+ (path-to-path)")
+    batch.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="solve patterns over N worker threads",
+    )
+    batch.add_argument("--out", default=None, help="write JSON lines here (default stdout)")
+    batch.set_defaults(handler=_cmd_batch)
 
     stats = sub.add_parser("stats", help="Table 2 statistics of one graph")
     stats.add_argument("graph")

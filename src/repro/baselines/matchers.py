@@ -68,9 +68,18 @@ class MatchOutcome:
 
 
 class Matcher:
-    """Base class: a named method mapping (G1, G2, mat, ξ) to an outcome."""
+    """Base class: a named method mapping (G1, G2, mat, ξ) to an outcome.
+
+    ``prepared`` optionally supplies a pre-built index of ``graph2`` (see
+    :mod:`repro.core.prepared`); methods that cannot use one ignore it.
+    The harness passes it when a cell shares data graphs across matchers,
+    so the ``G2⁺`` construction is paid once per graph, not once per run.
+    """
 
     name: str = "matcher"
+    #: Whether :meth:`run` can exploit a prepared index.  The harness
+    #: skips building one for matchers that would ignore it.
+    uses_prepared: bool = False
 
     def run(
         self,
@@ -78,12 +87,15 @@ class Matcher:
         graph2: DiGraph,
         mat: SimilarityMatrix,
         xi: float,
+        prepared=None,
     ) -> MatchOutcome:
         raise NotImplementedError
 
 
 class PHomMatcher(Matcher):
     """One of the paper's four algorithms, selected by metric and 1-1 flag."""
+
+    uses_prepared = True
 
     _RUNNERS: dict[tuple[str, bool], tuple[str, Callable]] = {
         ("cardinality", False): ("compMaxCard", comp_max_card),
@@ -106,8 +118,8 @@ class PHomMatcher(Matcher):
         self.injective = injective
         self.pick = pick
 
-    def run(self, graph1, graph2, mat, xi):
-        result = self._runner(graph1, graph2, mat, xi, pick=self.pick)
+    def run(self, graph1, graph2, mat, xi, prepared=None):
+        result = self._runner(graph1, graph2, mat, xi, pick=self.pick, prepared=prepared)
         quality = result.qual_card if self.metric == "cardinality" else result.qual_sim
         return MatchOutcome(
             matcher=self.name,
@@ -123,7 +135,7 @@ class SimulationMatcher(Matcher):
 
     name = "graphSimulation"
 
-    def run(self, graph1, graph2, mat, xi):
+    def run(self, graph1, graph2, mat, xi, prepared=None):
         result = graph_simulation(graph1, graph2, mat, xi)
         return MatchOutcome(
             matcher=self.name,
@@ -141,7 +153,7 @@ class MCSMatcher(Matcher):
     def __init__(self, budget_seconds: float | None = 10.0) -> None:
         self.budget_seconds = budget_seconds
 
-    def run(self, graph1, graph2, mat, xi):
+    def run(self, graph1, graph2, mat, xi, prepared=None):
         result = maximum_common_subgraph(graph1, graph2, mat, xi, self.budget_seconds)
         return MatchOutcome(
             matcher=self.name,
@@ -201,7 +213,7 @@ class FloodingMatcher(Matcher):
         self.max_iterations = max_iterations
         self.decision = decision
 
-    def run(self, graph1, graph2, mat, xi):
+    def run(self, graph1, graph2, mat, xi, prepared=None):
         with Stopwatch() as watch:
             flooded = similarity_flooding(
                 graph1,
@@ -236,7 +248,7 @@ class VertexSimilarityMatcher(Matcher):
 
     name = "vertexSim"
 
-    def run(self, graph1, graph2, mat, xi):
+    def run(self, graph1, graph2, mat, xi, prepared=None):
         with Stopwatch() as watch:
             result = blondel_vertex_similarity(graph1, graph2)
             quality, mapping = _similarity_only_quality(

@@ -40,7 +40,17 @@ from repro.core.optimize import (
     compress_data_graph,
     pattern_components,
 )
-from repro.core.api import MatchReport, closure_pattern, match
+from repro.core.prepared import PreparedDataGraph, prepare_data_graph
+from repro.core.api import MatchReport, closure_pattern, match, match_prepared
+from repro.core.service import (
+    MatchSession,
+    MatchingService,
+    PreparedGraphCache,
+    ServiceStats,
+    default_service,
+    match_many,
+    reset_default_service,
+)
 from repro.core.bounded import (
     bounded_workspace,
     comp_max_card_bounded,
@@ -92,6 +102,16 @@ __all__ = [
     "MatchReport",
     "closure_pattern",
     "match",
+    "match_prepared",
+    "PreparedDataGraph",
+    "prepare_data_graph",
+    "MatchSession",
+    "MatchingService",
+    "PreparedGraphCache",
+    "ServiceStats",
+    "default_service",
+    "reset_default_service",
+    "match_many",
     "bounded_workspace",
     "comp_max_card_bounded",
     "is_phom_bounded",

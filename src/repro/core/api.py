@@ -1,10 +1,20 @@
 """High-level matching facade.
 
-One entry point, :func:`match`, wires together the metric choice
-(cardinality vs overall similarity), the 1-1 constraint, the Appendix-B
-optimizations, and the match decision rule used throughout the paper's
-experiments (a graph matches when the mapping quality reaches a
-threshold — 0.75 in Section 6).
+Two entry points:
+
+* :func:`match_prepared` is the primitive: it wires together the metric
+  choice (cardinality vs overall similarity), the 1-1 constraint, the
+  Appendix-B optimizations, and the match decision rule used throughout
+  the paper's experiments (a graph matches when the mapping quality
+  reaches a threshold — 0.75 in Section 6), solving one pattern against a
+  :class:`~repro.core.prepared.PreparedDataGraph`.
+* :func:`match` is the convenience wrapper the rest of the code base and
+  the CLI use.  It routes through the process-wide
+  :class:`~repro.core.service.MatchingService`, so repeated calls against
+  the same data graph reuse its prepared ``G2⁺`` index (an LRU cache
+  keyed by content fingerprint) instead of rebuilding it — see
+  :mod:`repro.core.service` for sessions, the ``match_many`` batch API,
+  and per-call statistics.
 
 :func:`closure_pattern` implements the Remark of Section 3.2: replacing
 ``G1`` by its transitive closure ``G1⁺`` turns the edge-to-path semantics
@@ -19,13 +29,20 @@ from typing import Callable
 from repro.core.comp_max_card import comp_max_card, comp_max_card_injective
 from repro.core.comp_max_sim import comp_max_sim, comp_max_sim_injective
 from repro.core.optimize import comp_max_card_partitioned
-from repro.core.phom import PHomResult
+from repro.core.phom import PHomResult, validate_threshold
+from repro.core.prepared import PreparedDataGraph
 from repro.graph.closure import transitive_closure_graph
 from repro.graph.digraph import DiGraph
 from repro.similarity.matrix import SimilarityMatrix
 from repro.utils.errors import InputError
 
-__all__ = ["MatchReport", "match", "closure_pattern"]
+__all__ = [
+    "MatchReport",
+    "match",
+    "match_prepared",
+    "closure_pattern",
+    "validate_match_options",
+]
 
 #: The paper's experimental match-decision threshold (Section 6).
 DEFAULT_MATCH_THRESHOLD = 0.75
@@ -42,6 +59,29 @@ class MatchReport:
     result: PHomResult
 
 
+def validate_match_options(
+    metric: str,
+    threshold: float,
+    xi: float | None = None,
+    partitioned: bool = False,
+) -> None:
+    """Reject bad options *before* any expensive work.
+
+    Shared by :func:`match_prepared` and the service layer, which calls
+    it ahead of index preparation so a typo'd metric (or an unsupported
+    option combination) cannot cost a full ``G2⁺`` construction — or pin
+    one in the cache — before raising.
+    """
+    if metric not in ("cardinality", "similarity"):
+        raise InputError(f"unknown metric {metric!r}")
+    if not 0.0 <= threshold <= 1.0:
+        raise InputError(f"threshold must lie in [0, 1], got {threshold!r}")
+    if partitioned and metric != "cardinality":
+        raise InputError("partitioned matching is implemented for the cardinality metric")
+    if xi is not None:
+        validate_threshold(xi)
+
+
 def closure_pattern(graph1: DiGraph) -> DiGraph:
     """``G1⁺`` — for the symmetric (path-to-path) matching of Section 3.2.
 
@@ -49,6 +89,81 @@ def closure_pattern(graph1: DiGraph) -> DiGraph:
     whether G1⁺ ≾(e,p) G2."
     """
     return transitive_closure_graph(graph1)
+
+
+def match_prepared(
+    graph1: DiGraph,
+    prepared: PreparedDataGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    metric: str = "cardinality",
+    injective: bool = False,
+    threshold: float = DEFAULT_MATCH_THRESHOLD,
+    partitioned: bool = False,
+    symmetric: bool = False,
+) -> MatchReport:
+    """Match ``graph1`` against an already-prepared data graph.
+
+    The deterministic core of :func:`match`: identical inputs produce
+    identical reports whether the prepared index is freshly built or
+    reused, which is what lets sessions and the service cache amortise
+    preparation without changing any output (fingerprints include node
+    enumeration order precisely to keep this true — see
+    :mod:`repro.graph.fingerprint`).  See :func:`match` for parameter
+    semantics.
+    """
+    validate_match_options(metric, threshold, partitioned=partitioned)
+    return _solve_prepared(
+        graph1,
+        prepared,
+        mat,
+        xi,
+        metric=metric,
+        injective=injective,
+        threshold=threshold,
+        partitioned=partitioned,
+        symmetric=symmetric,
+    )
+
+
+def _solve_prepared(
+    graph1: DiGraph,
+    prepared: PreparedDataGraph,
+    mat: SimilarityMatrix,
+    xi: float,
+    metric: str,
+    injective: bool,
+    threshold: float,
+    partitioned: bool,
+    symmetric: bool,
+) -> MatchReport:
+    """:func:`match_prepared` minus validation — for callers (the service
+    layer) that already ran :func:`validate_match_options` pre-flight."""
+    pattern = closure_pattern(graph1) if symmetric else graph1
+    graph2 = prepared.graph
+
+    if metric == "cardinality":
+        if partitioned:
+            result = comp_max_card_partitioned(
+                pattern, graph2, mat, xi, injective=injective, prepared=prepared
+            )
+        elif injective:
+            result = comp_max_card_injective(pattern, graph2, mat, xi, prepared=prepared)
+        else:
+            result = comp_max_card(pattern, graph2, mat, xi, prepared=prepared)
+        quality = result.qual_card
+    else:
+        runner: Callable = comp_max_sim_injective if injective else comp_max_sim
+        result = runner(pattern, graph2, mat, xi, prepared=prepared)
+        quality = result.qual_sim
+
+    return MatchReport(
+        matched=quality >= threshold,
+        quality=quality,
+        threshold=threshold,
+        metric=metric,
+        result=result,
+    )
 
 
 def match(
@@ -61,6 +176,7 @@ def match(
     threshold: float = DEFAULT_MATCH_THRESHOLD,
     partitioned: bool = False,
     symmetric: bool = False,
+    prepared: PreparedDataGraph | None = None,
 ) -> MatchReport:
     """Match ``graph1`` (pattern) against ``graph2`` (data graph).
 
@@ -79,32 +195,37 @@ def match(
         (cardinality metric only).
     symmetric:
         Match ``G1⁺`` instead of ``G1`` (path-to-path semantics).
+    prepared:
+        An explicit pre-built index of ``graph2`` (bypasses the service
+        cache; ``graph2`` is ignored in favour of ``prepared.graph``).
+
+    Without ``prepared`` the call goes through the process-wide
+    :func:`~repro.core.service.default_service`, so back-to-back matches
+    against the same data graph build its ``G2⁺`` index only once.
     """
-    if metric not in ("cardinality", "similarity"):
-        raise InputError(f"unknown metric {metric!r}")
-    if not 0.0 <= threshold <= 1.0:
-        raise InputError(f"threshold must lie in [0, 1], got {threshold!r}")
-    pattern = closure_pattern(graph1) if symmetric else graph1
+    if prepared is not None:
+        return match_prepared(
+            graph1,
+            prepared,
+            mat,
+            xi,
+            metric=metric,
+            injective=injective,
+            threshold=threshold,
+            partitioned=partitioned,
+            symmetric=symmetric,
+        )
+    # Imported lazily: the service module builds on this one.
+    from repro.core.service import default_service
 
-    if metric == "cardinality":
-        if partitioned:
-            result = comp_max_card_partitioned(pattern, graph2, mat, xi, injective=injective)
-        elif injective:
-            result = comp_max_card_injective(pattern, graph2, mat, xi)
-        else:
-            result = comp_max_card(pattern, graph2, mat, xi)
-        quality = result.qual_card
-    else:
-        if partitioned:
-            raise InputError("partitioned matching is implemented for the cardinality metric")
-        runner: Callable = comp_max_sim_injective if injective else comp_max_sim
-        result = runner(pattern, graph2, mat, xi)
-        quality = result.qual_sim
-
-    return MatchReport(
-        matched=quality >= threshold,
-        quality=quality,
-        threshold=threshold,
+    return default_service().match(
+        graph1,
+        graph2,
+        mat,
+        xi,
         metric=metric,
-        result=result,
+        injective=injective,
+        threshold=threshold,
+        partitioned=partitioned,
+        symmetric=symmetric,
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.engine import comp_max_card_engine
 from repro.core.phom import PHomResult
+from repro.core.prepared import PreparedDataGraph
 from repro.core.workspace import MatchingWorkspace
 from repro.graph.digraph import DiGraph
 from repro.similarity.matrix import SimilarityMatrix
@@ -26,9 +27,10 @@ def _run(
     xi: float,
     injective: bool,
     pick: str = "similarity",
+    prepared: PreparedDataGraph | None = None,
 ) -> PHomResult:
     with Stopwatch() as watch:
-        workspace = MatchingWorkspace(graph1, graph2, mat, xi)
+        workspace = MatchingWorkspace(graph1, graph2, mat, xi, prepared=prepared)
         pairs, stats = comp_max_card_engine(
             workspace, workspace.initial_good(), injective=injective, pick=pick
         )
@@ -49,12 +51,16 @@ def comp_max_card(
     mat: SimilarityMatrix,
     xi: float,
     pick: str = "similarity",
+    prepared: PreparedDataGraph | None = None,
 ) -> PHomResult:
     """Approximate CPH: a p-hom mapping maximising ``qualCard``.
 
     ``pick`` selects greedyMatch's candidate rule: ``"similarity"``
     (default — best ``mat()`` first) or ``"arbitrary"`` (the paper's
     unconstrained pick; see ``repro.core.engine.PICK_RULES``).
+    ``prepared`` reuses a pre-built data-graph index (see
+    :mod:`repro.core.prepared`), skipping the ``G2⁺`` construction of
+    lines 5–7.
 
     >>> from repro.graph import DiGraph
     >>> from repro.similarity import label_equality_matrix
@@ -64,7 +70,7 @@ def comp_max_card(
     >>> result.qual_card
     1.0
     """
-    return _run(graph1, graph2, mat, xi, injective=False, pick=pick)
+    return _run(graph1, graph2, mat, xi, injective=False, pick=pick, prepared=prepared)
 
 
 def comp_max_card_injective(
@@ -73,6 +79,7 @@ def comp_max_card_injective(
     mat: SimilarityMatrix,
     xi: float,
     pick: str = "similarity",
+    prepared: PreparedDataGraph | None = None,
 ) -> PHomResult:
     """Approximate CPH^{1-1}: a 1-1 p-hom mapping maximising ``qualCard``."""
-    return _run(graph1, graph2, mat, xi, injective=True, pick=pick)
+    return _run(graph1, graph2, mat, xi, injective=True, pick=pick, prepared=prepared)

@@ -23,6 +23,7 @@ import math
 
 from repro.core.engine import comp_max_card_engine
 from repro.core.phom import PHomResult
+from repro.core.prepared import PreparedDataGraph
 from repro.core.workspace import MatchingWorkspace
 from repro.graph.digraph import DiGraph
 from repro.similarity.matrix import SimilarityMatrix
@@ -73,9 +74,10 @@ def _run(
     xi: float,
     injective: bool,
     pick: str = "similarity",
+    prepared: PreparedDataGraph | None = None,
 ) -> PHomResult:
     with Stopwatch() as watch:
-        workspace = MatchingWorkspace(graph1, graph2, mat, xi)
+        workspace = MatchingWorkspace(graph1, graph2, mat, xi, prepared=prepared)
         groups = partition_pairs_by_weight(workspace)
         best_pairs: list[tuple[int, int]] = []
         best_sim = -1.0
@@ -109,9 +111,10 @@ def comp_max_sim(
     mat: SimilarityMatrix,
     xi: float,
     pick: str = "similarity",
+    prepared: PreparedDataGraph | None = None,
 ) -> PHomResult:
     """Approximate SPH: a p-hom mapping maximising ``qualSim``."""
-    return _run(graph1, graph2, mat, xi, injective=False, pick=pick)
+    return _run(graph1, graph2, mat, xi, injective=False, pick=pick, prepared=prepared)
 
 
 def comp_max_sim_injective(
@@ -120,6 +123,7 @@ def comp_max_sim_injective(
     mat: SimilarityMatrix,
     xi: float,
     pick: str = "similarity",
+    prepared: PreparedDataGraph | None = None,
 ) -> PHomResult:
     """Approximate SPH^{1-1}: a 1-1 p-hom mapping maximising ``qualSim``."""
-    return _run(graph1, graph2, mat, xi, injective=True, pick=pick)
+    return _run(graph1, graph2, mat, xi, injective=True, pick=pick, prepared=prepared)

@@ -34,6 +34,7 @@ from typing import Hashable
 
 from repro.core.engine import comp_max_card_engine
 from repro.core.phom import PHomResult
+from repro.core.prepared import PreparedDataGraph
 from repro.core.quality import qual_card, qual_sim
 from repro.core.workspace import MatchingWorkspace
 from repro.graph.digraph import DiGraph
@@ -90,16 +91,18 @@ def comp_max_card_partitioned(
     mat: SimilarityMatrix,
     xi: float,
     injective: bool = False,
+    prepared: PreparedDataGraph | None = None,
 ) -> PHomResult:
     """compMaxCard with the Appendix-B partitioning optimization.
 
     Each weakly connected component of the candidate-bearing pattern is
     solved independently (Proposition 1); single-node components short-cut
     to their best candidate.  With ``injective`` the components are solved
-    sequentially with used data nodes excluded.
+    sequentially with used data nodes excluded.  ``prepared`` reuses a
+    pre-built data-graph index (see :mod:`repro.core.prepared`).
     """
     with Stopwatch() as watch:
-        workspace = MatchingWorkspace(graph1, graph2, mat, xi)
+        workspace = MatchingWorkspace(graph1, graph2, mat, xi, prepared=prepared)
         components, removed = pattern_components(workspace)
         all_pairs: list[tuple[int, int]] = []
         used_mask = 0

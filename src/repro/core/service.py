@@ -1,0 +1,432 @@
+"""The service-shaped matching core: sessions, caching, batch execution.
+
+The north-star workload is a traffic-serving one: many patterns matched
+against few, large, slowly-changing data graphs (the paper's own
+web-mirror experiments of Section 6 match every archive version against
+one site skeleton).  This module layers that shape on top of the
+algorithms:
+
+:class:`MatchSession`
+    binds one :class:`~repro.core.prepared.PreparedDataGraph` to a
+    similarity source and ξ.  Per-pattern workspaces become thin views
+    over the prepared artifacts, so matching N patterns costs one
+    ``G2⁺`` construction instead of N.
+
+:class:`PreparedGraphCache`
+    an LRU of prepared graphs keyed by
+    :func:`~repro.graph.fingerprint.graph_fingerprint`.  Content keying
+    makes invalidation automatic: mutate a graph and its next lookup is
+    a miss; hand in an equal copy and it is a hit.
+
+:class:`MatchingService`
+    the facade the CLI, :func:`repro.core.api.match` and the batch API
+    route through.  Tracks :class:`ServiceStats` — cache hits/misses,
+    prepare vs solve seconds — and offers :meth:`MatchingService.match_many`
+    with optional :mod:`concurrent.futures` thread fan-out (the solver is
+    pure Python over shared *read-only* prepared rows, so worker threads
+    never contend on locks of ours; results are order-preserving and
+    bit-identical to the sequential path).
+
+A *similarity source* is either a
+:class:`~repro.similarity.matrix.SimilarityMatrix` (used as-is) or a
+callable ``(pattern, data) -> SimilarityMatrix`` (evaluated per pattern —
+how label-equality and shingle similarities are built), so batch calls
+need not precompute matrices for every pattern up front.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.api import (
+    DEFAULT_MATCH_THRESHOLD,
+    MatchReport,
+    _solve_prepared,
+    match_prepared,
+    validate_match_options,
+)
+from repro.core.phom import validate_threshold
+from repro.core.prepared import PreparedDataGraph
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.digraph import DiGraph
+from repro.graph.fingerprint import graph_fingerprint
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "SimilaritySource",
+    "resolve_similarity",
+    "ServiceStats",
+    "PreparedGraphCache",
+    "MatchSession",
+    "MatchingService",
+    "default_service",
+    "reset_default_service",
+    "match_many",
+]
+
+#: A similarity matrix, or a factory evaluated per (pattern, data) pair.
+SimilaritySource = (
+    SimilarityMatrix | Callable[[DiGraph, DiGraph], SimilarityMatrix]
+)
+
+
+def resolve_similarity(
+    source: SimilaritySource, pattern: DiGraph, data: DiGraph
+) -> SimilarityMatrix:
+    """Materialise a similarity source for one (pattern, data) pair."""
+    if isinstance(source, SimilarityMatrix):
+        return source
+    if not callable(source):
+        raise InputError(
+            f"similarity source must be a SimilarityMatrix or callable, got {source!r}"
+        )
+    return source(pattern, data)
+
+
+@dataclass
+class ServiceStats:
+    """Counters a service accumulates across calls (see ``snapshot``)."""
+
+    #: Individual pattern solves (one per pattern in a batch).
+    calls: int = 0
+    #: Prepared-index constructions (== cache misses).
+    prepares: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    #: Seconds spent building prepared indexes (the amortised cost).
+    prepare_seconds: float = 0.0
+    #: Seconds spent solving patterns (workspace + greedy engine).
+    solve_seconds: float = 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, for reports and JSON payloads."""
+        return {
+            "calls": self.calls,
+            "prepares": self.prepares,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "prepare_seconds": self.prepare_seconds,
+            "solve_seconds": self.solve_seconds,
+        }
+
+
+class PreparedGraphCache:
+    """LRU cache of :class:`PreparedDataGraph`, keyed by content fingerprint.
+
+    Fingerprint keying gives mutation safety for free: a structurally
+    changed graph hashes to a new key and is re-prepared, while a
+    content-equal graph instance with the same node enumeration order (a
+    ``copy()``, a JSON round-trip) hits the cached index.  Enumeration
+    order is part of the key on purpose — the greedy engine tie-breaks
+    by node position, so serving a reordered graph from another graph's
+    index would make results depend on process history.
+
+    Concurrency: the LRU order and counters are guarded by a lock, but
+    index *builds* happen outside it — a cold prepare of a huge graph
+    must not stall hits on other graphs (the cache sits behind the
+    process-wide service every ``api.match`` call routes through).
+    Concurrent requests for one not-yet-prepared graph are deduplicated
+    through a per-key in-flight :class:`~concurrent.futures.Future`:
+    the first caller builds, the rest wait on the future (counted as
+    cache hits — they pay no build).
+    """
+
+    def __init__(self, max_entries: int = 8, stats: ServiceStats | None = None) -> None:
+        if max_entries < 1:
+            raise InputError(f"cache needs at least one slot, got {max_entries!r}")
+        self.max_entries = max_entries
+        self.stats = stats if stats is not None else ServiceStats()
+        self._entries: OrderedDict[str, PreparedDataGraph] = OrderedDict()
+        self._building: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._generation = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def clear(self) -> None:
+        """Drop every cached prepared graph (counters are kept).
+
+        Builds in flight still hand their result to their waiters, but a
+        build started before ``clear()`` will not re-populate the cache
+        when it completes (the generation bump below discards it).
+        """
+        with self._lock:
+            self._entries.clear()
+            self._generation += 1
+
+    def prepared_for(self, graph2: DiGraph) -> PreparedDataGraph:
+        """The cached prepared index of ``graph2``, building it on a miss."""
+        key = graph_fingerprint(graph2)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.stats.cache_hits += 1
+                return hit
+            pending = self._building.get(key)
+            if pending is None:
+                future: Future = Future()
+                self._building[key] = future
+                self.stats.cache_misses += 1
+                self.stats.prepares += 1
+                generation = self._generation
+        if pending is not None:
+            # Another thread is preparing this graph: wait off-lock.
+            prepared = pending.result()
+            with self._lock:
+                self.stats.cache_hits += 1
+            return prepared
+        try:
+            prepared = PreparedDataGraph(graph2, fingerprint=key)
+        except BaseException as exc:
+            with self._lock:
+                del self._building[key]
+            future.set_exception(exc)
+            raise
+        with self._lock:
+            self.stats.prepare_seconds += prepared.prepare_seconds
+            if self._building.get(key) is future:
+                del self._building[key]
+            if generation == self._generation:  # not clear()ed meanwhile
+                self._entries[key] = prepared
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+        future.set_result(prepared)
+        return prepared
+
+
+class MatchSession:
+    """One prepared data graph bound to a similarity source and ξ.
+
+    The cheap way to match many patterns against one data graph: every
+    :meth:`match` builds only the pattern-side workspace (similarity rows
+    and pattern adjacency), reusing the session's ``G2⁺`` index.
+
+    ``data_graph`` is the graph callable similarity sources are resolved
+    against.  It defaults to ``prepared.graph``, but a cache-backed
+    session passes the *caller's* graph object: fingerprints ignore node
+    attrs (page contents etc.), so a cache hit may return an index
+    prepared from an older, structurally identical graph whose attrs —
+    which similarity functions do read — have since changed.
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedDataGraph,
+        similarity: SimilaritySource,
+        xi: float,
+        data_graph: DiGraph | None = None,
+        service: "MatchingService | None" = None,
+    ) -> None:
+        validate_threshold(xi)
+        self.prepared = prepared
+        self.similarity = similarity
+        self.xi = xi
+        #: The data graph the session serves (similarity-resolution view).
+        self.data_graph = prepared.graph if data_graph is None else data_graph
+        #: The service whose stats this session's solves count toward.
+        self.service = service
+        #: Patterns solved through this session (sequential paths only).
+        self.patterns_matched = 0
+
+    def matrix_for(self, graph1: DiGraph) -> SimilarityMatrix:
+        """The session's similarity matrix for one pattern."""
+        return resolve_similarity(self.similarity, graph1, self.data_graph)
+
+    def workspace(self, graph1: DiGraph) -> MatchingWorkspace:
+        """A pattern workspace as a thin view over the prepared index."""
+        return MatchingWorkspace(
+            graph1, self.data_graph, self.matrix_for(graph1), self.xi,
+            prepared=self.prepared,
+        )
+
+    def match(
+        self,
+        graph1: DiGraph,
+        metric: str = "cardinality",
+        injective: bool = False,
+        threshold: float = DEFAULT_MATCH_THRESHOLD,
+        partitioned: bool = False,
+        symmetric: bool = False,
+    ) -> MatchReport:
+        """Match one pattern; parameters as in :func:`repro.core.api.match`."""
+        with Stopwatch() as watch:
+            report = match_prepared(
+                graph1,
+                self.prepared,
+                self.matrix_for(graph1),
+                self.xi,
+                metric=metric,
+                injective=injective,
+                threshold=threshold,
+                partitioned=partitioned,
+                symmetric=symmetric,
+            )
+        self.patterns_matched += 1
+        if self.service is not None:
+            self.service._record_solves(1, watch.elapsed)
+        return report
+
+
+class MatchingService:
+    """Cached, stat-tracking, batch-capable matching facade.
+
+    ``max_prepared`` bounds the LRU of prepared data graphs (each costs
+    ~|V2|²/8 bytes of bitmask rows).
+    """
+
+    def __init__(self, max_prepared: int = 8) -> None:
+        self.stats = ServiceStats()
+        self.cache = PreparedGraphCache(max_prepared, stats=self.stats)
+        self._stats_lock = threading.Lock()
+
+    def prepared_for(self, graph2: DiGraph) -> PreparedDataGraph:
+        """The (cached) prepared index of ``graph2``."""
+        return self.cache.prepared_for(graph2)
+
+    def _record_solves(self, count: int, elapsed: float) -> None:
+        with self._stats_lock:
+            self.stats.calls += count
+            self.stats.solve_seconds += elapsed
+
+    def session(
+        self, graph2: DiGraph, similarity: SimilaritySource, xi: float
+    ) -> MatchSession:
+        """Open a session against ``graph2`` (preparing it if needed).
+
+        Solves through the session count toward this service's stats.
+        """
+        return MatchSession(
+            self.prepared_for(graph2), similarity, xi, data_graph=graph2, service=self
+        )
+
+    def match(
+        self,
+        graph1: DiGraph,
+        graph2: DiGraph,
+        mat: SimilaritySource,
+        xi: float,
+        metric: str = "cardinality",
+        injective: bool = False,
+        threshold: float = DEFAULT_MATCH_THRESHOLD,
+        partitioned: bool = False,
+        symmetric: bool = False,
+    ) -> MatchReport:
+        """One pattern against one data graph, through the prepared cache."""
+        validate_match_options(metric, threshold, xi, partitioned)  # pre-flight
+        prepared = self.prepared_for(graph2)
+        with Stopwatch() as watch:
+            report = _solve_prepared(
+                graph1,
+                prepared,
+                resolve_similarity(mat, graph1, graph2),
+                xi,
+                metric=metric,
+                injective=injective,
+                threshold=threshold,
+                partitioned=partitioned,
+                symmetric=symmetric,
+            )
+        self._record_solves(1, watch.elapsed)
+        return report
+
+    def match_many(
+        self,
+        patterns: Sequence[DiGraph],
+        graph2: DiGraph,
+        mat: SimilaritySource,
+        xi: float,
+        metric: str = "cardinality",
+        injective: bool = False,
+        threshold: float = DEFAULT_MATCH_THRESHOLD,
+        partitioned: bool = False,
+        symmetric: bool = False,
+        max_workers: int | None = None,
+    ) -> list[MatchReport]:
+        """Match every pattern against one data graph, preparing it once.
+
+        Reports come back in pattern order.  ``max_workers > 1`` fans the
+        (independent, read-only-shared) solves out over a thread pool;
+        the results are identical to the sequential path.
+        """
+        validate_match_options(metric, threshold, xi, partitioned)  # pre-flight
+        patterns = list(patterns)
+        prepared = self.prepared_for(graph2)
+
+        def solve(graph1: DiGraph) -> MatchReport:
+            return _solve_prepared(
+                graph1,
+                prepared,
+                resolve_similarity(mat, graph1, graph2),
+                xi,
+                metric=metric,
+                injective=injective,
+                threshold=threshold,
+                partitioned=partitioned,
+                symmetric=symmetric,
+            )
+
+        with Stopwatch() as watch:
+            if max_workers is not None and max_workers > 1 and len(patterns) > 1:
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    reports = list(pool.map(solve, patterns))
+            else:
+                reports = [solve(graph1) for graph1 in patterns]
+        self._record_solves(len(patterns), watch.elapsed)
+        return reports
+
+
+_default_service: MatchingService | None = None
+_default_service_lock = threading.Lock()
+
+
+def default_service() -> MatchingService:
+    """The process-wide service :func:`repro.core.api.match` routes through.
+
+    Its cache pins up to ``max_prepared`` (default 8) data graphs and
+    their O(|V2|²/8)-byte bitmask indexes for the life of the process.
+    One-shot callers matching against a huge graph who do not want that
+    retention can bypass the cache entirely with
+    ``match(..., prepared=prepare_data_graph(graph2))`` or drop it
+    afterwards via :func:`reset_default_service`.
+    """
+    global _default_service
+    with _default_service_lock:
+        if _default_service is None:
+            _default_service = MatchingService()
+        return _default_service
+
+
+def reset_default_service(max_prepared: int = 8) -> MatchingService:
+    """Replace the process-wide service, releasing every cached index.
+
+    Returns the fresh service; ``max_prepared`` resizes its LRU.
+    """
+    global _default_service
+    with _default_service_lock:
+        _default_service = MatchingService(max_prepared=max_prepared)
+        return _default_service
+
+
+def match_many(
+    patterns: Sequence[DiGraph],
+    graph2: DiGraph,
+    mat: SimilaritySource,
+    xi: float,
+    **options,
+) -> list[MatchReport]:
+    """Batch :func:`repro.core.api.match` through the default service."""
+    return default_service().match_many(patterns, graph2, mat, xi, **options)

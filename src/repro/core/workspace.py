@@ -22,16 +22,28 @@ indices and bitmask rows:
   matching condition (b) of the product-graph construction in the proof of
   Theorem 5.1 (an edge ``(v, v)`` must map to a nonempty path
   ``σ(v) ⇝ σ(v)``).
+
+Since the prepared/session split, the *data-graph* half of this
+precomputation (node indexing, ``from_mask``/``to_mask``/``cycle_mask`` —
+the paper's lines 5–7) lives in
+:class:`~repro.core.prepared.PreparedDataGraph` and is only *referenced*
+here.  A workspace built with an explicit ``prepared`` index is therefore
+a thin pattern-side view: construction touches ``G1`` and the similarity
+rows only, never the SCC condensation of ``G2``.  Sessions and the
+service (:mod:`repro.core.service`) exploit this to amortise data-graph
+preparation across many patterns; a workspace built without ``prepared``
+simply prepares privately and behaves exactly as before.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
 
-from repro.graph.closure import ReachabilityIndex
+from repro.core.prepared import PreparedDataGraph
 from repro.graph.digraph import DiGraph
 from repro.similarity.matrix import SimilarityMatrix
 from repro.core.phom import validate_threshold
+from repro.utils.errors import InputError
 
 __all__ = ["MatchingWorkspace"]
 
@@ -39,25 +51,47 @@ Node = Hashable
 
 
 class MatchingWorkspace:
-    """Index structures for matching ``graph1`` against ``graph2``."""
+    """Index structures for matching ``graph1`` against ``graph2``.
+
+    ``prepared`` supplies a pre-built data-graph index (reachability
+    bitmasks, node indexing, cycle mask).  When given, ``graph2`` may be
+    ``None``; when both are given they must describe the same graph —
+    callers that reuse a prepared index across content-equal graph
+    objects (the service cache does) pass ``prepared`` alone.
+    """
 
     def __init__(
         self,
         graph1: DiGraph,
-        graph2: DiGraph,
+        graph2: DiGraph | None,
         mat: SimilarityMatrix,
         xi: float,
+        prepared: PreparedDataGraph | None = None,
     ) -> None:
         validate_threshold(xi)
+        if prepared is None:
+            if graph2 is None:
+                raise InputError("MatchingWorkspace needs graph2 or a prepared index")
+            prepared = PreparedDataGraph(graph2)
+        elif (
+            graph2 is not None
+            and graph2 is not prepared.graph
+            and (
+                graph2.num_nodes() != prepared.num_nodes()
+                or graph2.num_edges() != prepared.num_edges()
+            )
+        ):
+            # Cheap sanity guard; the full contract (content equality) is
+            # the service layer's fingerprint-keyed cache.
+            raise InputError("prepared index does not match the given data graph")
+        self.prepared = prepared
         self.graph1 = graph1
-        self.graph2 = graph2
+        self.graph2 = prepared.graph if graph2 is None else graph2
         self.mat = mat
         self.xi = xi
 
         self.nodes1: list[Node] = list(graph1.nodes())
-        self.nodes2: list[Node] = list(graph2.nodes())
         self.index1: dict[Node, int] = {node: i for i, node in enumerate(self.nodes1)}
-        self.index2: dict[Node, int] = {node: i for i, node in enumerate(self.nodes2)}
 
         # Pattern adjacency (H1 of the paper).
         self.prev: list[list[int]] = [
@@ -67,18 +101,13 @@ class MatchingWorkspace:
             [self.index1[s] for s in graph1.successors(v)] for v in self.nodes1
         ]
 
-        # Reachability over G2 (H2 of the paper), forward and backward.
-        forward = ReachabilityIndex(graph2)
-        backward = ReachabilityIndex(graph2.reversed())
-        # Both indexes enumerate graph2's nodes in insertion order, so their
-        # bit positions agree; the assertion guards that invariant.
-        assert forward.position_of == backward.position_of
-        self.from_mask: list[int] = [forward.row(u) for u in self.nodes2]
-        self.to_mask: list[int] = [backward.row(u) for u in self.nodes2]
-        self.cycle_mask: int = 0
-        for i in range(len(self.nodes2)):
-            if self.from_mask[i] >> i & 1:
-                self.cycle_mask |= 1 << i
+        # Data-graph artifacts (H2 of the paper), shared by reference with
+        # the prepared index — read-only from here on.
+        self.nodes2: list[Node] = prepared.nodes2
+        self.index2: dict[Node, int] = prepared.index2
+        self.from_mask: list[int] = prepared.from_mask
+        self.to_mask: list[int] = prepared.to_mask
+        self.cycle_mask: int = prepared.cycle_mask
 
         # Candidates and per-pair scores (sparse: only pairs with mat ≥ ξ).
         self.scores: list[dict[int, float]] = []

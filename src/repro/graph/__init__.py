@@ -22,6 +22,7 @@ from repro.graph.traversal import (
 from repro.graph.scc import Condensation, condensation, strongly_connected_components
 from repro.graph.components import is_weakly_connected, weakly_connected_components
 from repro.graph.closure import ReachabilityIndex, transitive_closure_graph
+from repro.graph.fingerprint import graph_fingerprint
 from repro.graph.stats import GraphStats, degree_histogram, graph_stats
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "is_weakly_connected",
     "ReachabilityIndex",
     "transitive_closure_graph",
+    "graph_fingerprint",
     "GraphStats",
     "graph_stats",
     "degree_histogram",

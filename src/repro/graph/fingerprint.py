@@ -1,0 +1,65 @@
+"""Content fingerprints for graphs.
+
+The serving layer (:mod:`repro.core.service`) caches prepared data-graph
+indexes — reachability bitmasks over ``G2⁺`` — across calls, and needs a
+key that changes whenever anything the matching algorithms can observe
+changes: the node set, labels, weights, edges, *or node enumeration
+order*.  Order is included deliberately: the greedy engine breaks
+similarity ties by node enumeration position, so two content-equal
+graphs whose nodes were inserted in different orders can legitimately
+produce different (equally valid) mappings — hashing the order keeps
+``match()`` a pure function of its inputs, never of which equal graph
+instance happened to be cached first.  A ``copy()`` preserves insertion
+order, so the common reuse shapes (same object, fresh copy, JSON
+round-trip) still hit the cache.
+
+Node identifiers are arbitrary hashables; they are canonicalised through
+``repr``, which is stable within a process for every identifier type the
+code base uses (strings, ints, tuples).  Free-form node ``attrs`` are
+deliberately *excluded*: the matchers never read them (they carry dataset
+metadata such as page contents), and hashing megabytes of page text per
+call would defeat the purpose of the cache.  Layers that do read attrs —
+similarity sources — are therefore always resolved against the caller's
+own graph object, not a cache-served one (see
+:class:`repro.core.service.MatchSession`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["graph_fingerprint"]
+
+
+def graph_fingerprint(graph: DiGraph) -> str:
+    """A hex digest identifying ``graph`` up to matching-relevant content.
+
+    Two graphs with the same nodes, labels, weights and edges — inserted
+    in the same order — fingerprint identically; any structural,
+    label/weight, or enumeration-order difference yields a fresh digest.
+
+    >>> a = DiGraph.from_edges([("x", "y"), ("y", "z")])
+    >>> graph_fingerprint(a) == graph_fingerprint(a.copy())
+    True
+    >>> b = a.copy()
+    >>> b.add_edge("z", "x")
+    >>> graph_fingerprint(a) == graph_fingerprint(b)
+    False
+    """
+    digest = hashlib.sha256()
+    for node in graph.nodes():
+        key = f"{node!r}\x1f{graph.label(node)!r}\x1f{graph.weight(node)!r}"
+        digest.update(key.encode("utf-8", "backslashreplace"))
+        digest.update(b"\x1e")
+    digest.update(b"\x1d")
+    for tail in graph.nodes():
+        # Successors are a set whose iteration order is not reproducible;
+        # sorting makes the digest a function of the edge *relation* (the
+        # only thing the algorithms read — unlike node order, head order
+        # never influences a result).
+        for head_key in sorted(repr(head) for head in graph.successors(tail)):
+            digest.update(f"{tail!r}\x1f{head_key}".encode("utf-8", "backslashreplace"))
+            digest.update(b"\x1e")
+    return digest.hexdigest()

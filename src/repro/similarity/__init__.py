@@ -14,6 +14,7 @@ from repro.similarity.labels import (
     label_group_matrix,
 )
 from repro.similarity.shingles import (
+    ShingleIndex,
     containment,
     resemblance,
     shingle_set,
@@ -38,6 +39,7 @@ __all__ = [
     "LabelGroupSimilarity",
     "label_equality_matrix",
     "label_group_matrix",
+    "ShingleIndex",
     "shingle_set",
     "resemblance",
     "containment",

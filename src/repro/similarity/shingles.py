@@ -21,6 +21,7 @@ __all__ = [
     "shingle_set",
     "resemblance",
     "containment",
+    "ShingleIndex",
     "shingle_similarity_matrix",
 ]
 
@@ -73,6 +74,72 @@ def containment(shingles1: frozenset, shingles2: frozenset) -> float:
     return len(shingles1 & shingles2) / len(shingles1)
 
 
+class ShingleIndex:
+    """The data-graph side of shingle similarity, reusable across patterns.
+
+    Holds one shingle set per ``graph2`` node plus an inverted index from
+    shingle to the nodes containing it.  Building these dominates the
+    cost of :func:`shingle_similarity_matrix` on web-archive workloads,
+    and depends on the data graph alone — so batch callers (the CLI's
+    ``batch`` subcommand, sessions) build the index once and call
+    :meth:`matrix_for` per pattern, mirroring what
+    :class:`~repro.core.prepared.PreparedDataGraph` does for ``G2⁺``.
+    """
+
+    def __init__(
+        self,
+        graph2: DiGraph,
+        width: int = DEFAULT_SHINGLE_WIDTH,
+        content_attr: str = CONTENT_ATTR,
+    ) -> None:
+        self.graph = graph2
+        self.width = width
+        self.content_attr = content_attr
+        self.shingles2: dict[Node, frozenset] = {
+            u: shingle_set(graph2.attrs(u).get(content_attr, ()), width)
+            for u in graph2.nodes()
+        }
+        self.inverted: dict[tuple[str, ...], list[Node]] = {}
+        for u, shingles in self.shingles2.items():
+            for shingle in shingles:
+                self.inverted.setdefault(shingle, []).append(u)
+
+    def matrix_for(
+        self,
+        graph1: DiGraph,
+        min_score: float = 0.0,
+        measure: str = "resemblance",
+    ) -> SimilarityMatrix:
+        """The shingle-similarity matrix of one pattern against the data.
+
+        The inverted index restricts evaluation to pairs sharing at least
+        one shingle, so the common case costs far less than |V1|·|V2|
+        full comparisons.  Pairs scoring at or below ``min_score`` are
+        dropped to keep the matrix sparse.
+        """
+        if measure == "resemblance":
+            score_fn = resemblance
+        elif measure == "containment":
+            score_fn = containment
+        else:
+            raise InputError(
+                f"unknown measure {measure!r}; use 'resemblance' or 'containment'"
+            )
+        mat = SimilarityMatrix()
+        for v in graph1.nodes():
+            shingles_v = shingle_set(
+                graph1.attrs(v).get(self.content_attr, ()), self.width
+            )
+            touched: set[Node] = set()
+            for shingle in shingles_v:
+                touched.update(self.inverted.get(shingle, ()))
+            for u in touched:
+                value = score_fn(shingles_v, self.shingles2[u])
+                if value > min_score:
+                    mat.set(v, u, value)
+        return mat
+
+
 def shingle_similarity_matrix(
     graph1: DiGraph,
     graph2: DiGraph,
@@ -85,36 +152,8 @@ def shingle_similarity_matrix(
 
     Every node is expected to carry a token sequence in
     ``graph.attrs(node)[content_attr]`` (as produced by
-    :mod:`repro.datasets.webbase`).  Pairs scoring at or below ``min_score``
-    are dropped to keep the matrix sparse.
-
-    An inverted index from shingle to ``graph2`` nodes restricts the pair
-    evaluation to pairs sharing at least one shingle, so the common case
-    costs far less than |V1|·|V2| full comparisons.
+    :mod:`repro.datasets.webbase`).  One-shot convenience over
+    :class:`ShingleIndex`; callers matching many patterns against one
+    data graph should build the index once instead.
     """
-    if measure == "resemblance":
-        score_fn = resemblance
-    elif measure == "containment":
-        score_fn = containment
-    else:
-        raise InputError(f"unknown measure {measure!r}; use 'resemblance' or 'containment'")
-
-    shingles2: dict[Node, frozenset] = {
-        u: shingle_set(graph2.attrs(u).get(content_attr, ()), width) for u in graph2.nodes()
-    }
-    inverted: dict[tuple[str, ...], list[Node]] = {}
-    for u, shingles in shingles2.items():
-        for shingle in shingles:
-            inverted.setdefault(shingle, []).append(u)
-
-    mat = SimilarityMatrix()
-    for v in graph1.nodes():
-        shingles_v = shingle_set(graph1.attrs(v).get(content_attr, ()), width)
-        touched: set[Node] = set()
-        for shingle in shingles_v:
-            touched.update(inverted.get(shingle, ()))
-        for u in touched:
-            value = score_fn(shingles_v, shingles2[u])
-            if value > min_score:
-                mat.set(v, u, value)
-    return mat
+    return ShingleIndex(graph2, width, content_attr).matrix_for(graph1, min_score, measure)

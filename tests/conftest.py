@@ -2,12 +2,9 @@
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.graph.digraph import DiGraph
-from repro.graph.generators import random_digraph
 from repro.similarity.matrix import SimilarityMatrix
 
 
@@ -126,25 +123,10 @@ def fig2_pairs() -> dict:
 # ----------------------------------------------------------------------
 # Random-instance helpers for cross-validation tests
 # ----------------------------------------------------------------------
-def make_random_instance(
-    seed: int,
-    n1: int = 5,
-    n2: int = 7,
-    density: float = 0.25,
-    sim_density: float = 0.5,
-) -> tuple[DiGraph, DiGraph, SimilarityMatrix]:
-    """A small random (G1, G2, mat) triple for exact-vs-approx testing."""
-    rng = random.Random(seed)
-    m1 = max(1, int(density * n1 * (n1 - 1)))
-    m2 = max(1, int(density * n2 * (n2 - 1)))
-    graph1 = random_digraph(n1, min(m1, n1 * (n1 - 1)), rng, name=f"rand1-{seed}")
-    graph2 = random_digraph(n2, min(m2, n2 * (n2 - 1)), rng, name=f"rand2-{seed}")
-    mat = SimilarityMatrix()
-    for v in graph1.nodes():
-        for u in graph2.nodes():
-            if rng.random() < sim_density:
-                mat.set(v, u, round(rng.uniform(0.3, 1.0), 3))
-    return graph1, graph2, mat
+# The builder itself lives in tests/helpers.py so test modules can import
+# it explicitly (``from helpers import make_random_instance``) instead of
+# the ambiguous ``from conftest import ...``.
+from helpers import make_random_instance  # noqa: E402  (re-export for fixtures)
 
 
 @pytest.fixture

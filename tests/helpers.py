@@ -1,0 +1,39 @@
+"""Shared test builders, importable explicitly (``from helpers import ...``).
+
+This module exists so test modules never ``import conftest``: pytest puts
+both ``tests/`` and ``benchmarks/`` on ``sys.path`` (rootdir mode), and a
+bare ``conftest`` import resolves to whichever directory got there first —
+the collection failure this layout fixes.  Fixtures stay in
+``tests/conftest.py``; plain helper functions live here.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph
+from repro.similarity.matrix import SimilarityMatrix
+
+__all__ = ["make_random_instance"]
+
+
+def make_random_instance(
+    seed: int,
+    n1: int = 5,
+    n2: int = 7,
+    density: float = 0.25,
+    sim_density: float = 0.5,
+) -> tuple[DiGraph, DiGraph, SimilarityMatrix]:
+    """A small random (G1, G2, mat) triple for exact-vs-approx testing."""
+    rng = random.Random(seed)
+    m1 = max(1, int(density * n1 * (n1 - 1)))
+    m2 = max(1, int(density * n2 * (n2 - 1)))
+    graph1 = random_digraph(n1, min(m1, n1 * (n1 - 1)), rng, name=f"rand1-{seed}")
+    graph2 = random_digraph(n2, min(m2, n2 * (n2 - 1)), rng, name=f"rand2-{seed}")
+    mat = SimilarityMatrix()
+    for v in graph1.nodes():
+        for u in graph2.nodes():
+            if rng.random() < sim_density:
+                mat.set(v, u, round(rng.uniform(0.3, 1.0), 3))
+    return graph1, graph2, mat

@@ -16,7 +16,7 @@ from repro.graph.digraph import DiGraph
 from repro.similarity.labels import label_equality_matrix
 from repro.utils.errors import InputError
 
-from conftest import make_random_instance
+from helpers import make_random_instance
 
 
 @pytest.fixture

@@ -10,7 +10,7 @@ from repro.graph.generators import cycle_graph, path_graph
 from repro.similarity.labels import label_equality_matrix
 from repro.similarity.matrix import SimilarityMatrix
 
-from conftest import make_random_instance
+from helpers import make_random_instance
 
 
 def brute_force_max_simulation(g1, g2, mat, xi):

@@ -53,6 +53,59 @@ class TestMatchCommand:
         assert payload["metric"] == "similarity"
 
 
+class TestBatchCommand:
+    @pytest.fixture
+    def batch_files(self, tmp_path):
+        data = DiGraph.from_edges(
+            [("x", "m"), ("m", "y"), ("y", "z")],
+            labels={"x": "A", "m": "M", "y": "B", "z": "C"},
+            name="dat",
+        )
+        dpath = tmp_path / "data.json"
+        dump_json(data, dpath)
+        specs = [
+            ("hit", [("a", "b")], {"a": "A", "b": "B"}),
+            ("deep", [("a", "c")], {"a": "A", "c": "C"}),
+            ("miss", [("a", "b")], {"a": "NOPE", "b": "ALSO_NOPE"}),
+        ]
+        ppaths = []
+        for name, edges, labels in specs:
+            pattern = DiGraph.from_edges(edges, labels=labels, name=name)
+            path = tmp_path / f"{name}.json"
+            dump_json(pattern, path)
+            ppaths.append(str(path))
+        return str(dpath), ppaths
+
+    def test_batch_jsonl_and_summary(self, batch_files, capsys):
+        dpath, ppaths = batch_files
+        assert main(["batch", dpath, *ppaths, "--xi", "0.9"]) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 4  # one per pattern + summary
+        per_pattern, summary = lines[:-1], lines[-1]
+        assert [line["name"] for line in per_pattern] == ["hit", "deep", "miss"]
+        assert per_pattern[0]["matched"] is True
+        assert per_pattern[1]["matched"] is True  # a->c rides the x ~> z path
+        assert per_pattern[2]["matched"] is False
+        assert summary["summary"] is True
+        assert summary["patterns"] == 3
+        assert summary["matched"] == 2
+        # The data graph is prepared exactly once for the whole batch.
+        assert summary["service"]["prepares"] == 1
+        assert summary["service"]["calls"] == 3
+
+    def test_batch_parallel_and_outfile(self, batch_files, tmp_path):
+        dpath, ppaths = batch_files
+        out = tmp_path / "report.jsonl"
+        code = main(
+            ["batch", dpath, *ppaths, "--xi", "0.9", "--parallel", "2",
+             "--out", str(out)]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [line["name"] for line in lines[:-1]] == ["hit", "deep", "miss"]
+        assert lines[-1]["service"]["prepares"] == 1
+
+
 class TestOtherCommands:
     def test_stats(self, graph_files, capsys):
         ppath, _ = graph_files

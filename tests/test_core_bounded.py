@@ -16,7 +16,7 @@ from repro.similarity.labels import label_equality_matrix
 from repro.similarity.matrix import SimilarityMatrix
 from repro.utils.errors import InputError
 
-from conftest import make_random_instance
+from helpers import make_random_instance
 
 
 class TestBoundedMasks:

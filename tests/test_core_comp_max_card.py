@@ -9,7 +9,7 @@ from repro.graph.digraph import DiGraph
 from repro.similarity.labels import label_equality_matrix
 from repro.similarity.matrix import SimilarityMatrix
 
-from conftest import make_random_instance
+from helpers import make_random_instance
 
 
 class TestFigure1:

@@ -15,7 +15,7 @@ from repro.core.workspace import MatchingWorkspace
 from repro.graph.digraph import DiGraph
 from repro.similarity.matrix import SimilarityMatrix
 
-from conftest import make_random_instance
+from helpers import make_random_instance
 
 
 @pytest.fixture

@@ -13,7 +13,7 @@ from repro.similarity.labels import label_equality_matrix
 from repro.similarity.matrix import SimilarityMatrix
 from repro.utils.errors import TimeBudgetExceeded
 
-from conftest import make_random_instance
+from helpers import make_random_instance
 
 
 def brute_force_is_phom(g1, g2, mat, xi, injective=False) -> bool:

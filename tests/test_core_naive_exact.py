@@ -15,7 +15,7 @@ from repro.graph.digraph import DiGraph
 from repro.similarity.labels import label_equality_matrix
 from repro.utils.errors import TimeBudgetExceeded
 
-from conftest import make_random_instance
+from helpers import make_random_instance
 
 
 class TestNaive:

@@ -24,7 +24,7 @@ from repro.graph.digraph import DiGraph
 from repro.similarity.matrix import SimilarityMatrix
 from repro.utils.errors import InputError
 
-from conftest import make_random_instance
+from helpers import make_random_instance
 
 
 class TestConstruction:

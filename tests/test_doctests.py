@@ -17,6 +17,7 @@ MODULES = [
         "repro.utils.rng",
         "repro.utils.timing",
         "repro.core.comp_max_card",
+        "repro.graph.fingerprint",
     )
 ]
 

@@ -19,7 +19,7 @@ from repro.experiments.structure import (
 from repro.graph.digraph import DiGraph
 from repro.similarity.matrix import SimilarityMatrix
 
-from conftest import make_random_instance
+from helpers import make_random_instance
 
 SMOKE = SCALES["smoke"]
 

@@ -2,6 +2,9 @@
 
     python -m repro match PATTERN.json DATA.json [options]
     python -m repro batch DATA.json PATTERN.json [PATTERN.json ...] [options]
+    python -m repro index warm STORE_DIR DATA.json [DATA.json ...]
+    python -m repro index ls STORE_DIR
+    python -m repro index rm STORE_DIR FINGERPRINT... | --all
     python -m repro stats GRAPH.json
     python -m repro closure GRAPH.json OUT.json
 
@@ -17,6 +20,12 @@ Broder shingle resemblance over a ``content`` attribute per node, and
 followed by a summary line carrying the service statistics (prepares,
 cache hits, prepare vs solve seconds); ``--parallel N`` fans the pattern
 solves out over ``N`` threads.
+
+``--store-dir DIR`` (on ``match`` and ``batch``) attaches a persistent
+:class:`~repro.core.store.PreparedIndexStore`: prepared ``G2⁺`` indexes
+are loaded from — and saved to — ``DIR``, so separate process runs share
+preparation work.  ``index warm`` pre-builds a store for a fleet of cold
+workers; ``index ls`` / ``index rm`` inspect and prune it.
 """
 
 from __future__ import annotations
@@ -27,13 +36,17 @@ import sys
 
 from repro.core.api import match
 from repro.core.phom import check_phom_mapping
+from repro.core.prepared import PreparedDataGraph
 from repro.core.service import MatchingService
+from repro.core.store import PreparedIndexStore
 from repro.graph.closure import transitive_closure_graph
+from repro.graph.fingerprint import graph_fingerprint, is_fingerprint
 from repro.graph.io import dump_json, load_json
 from repro.graph.stats import graph_stats
 from repro.similarity.labels import label_equality_matrix
 from repro.similarity.matrix import SimilarityMatrix
 from repro.similarity.shingles import ShingleIndex, shingle_similarity_matrix
+from repro.utils.timing import Stopwatch
 
 __all__ = ["main"]
 
@@ -55,17 +68,21 @@ def _cmd_match(args: argparse.Namespace) -> int:
     pattern = load_json(args.pattern)
     data = load_json(args.data)
     mat = _load_similarity(args.similarity, pattern, data)
-    report = match(
-        pattern,
-        data,
-        mat,
+    options = dict(
         xi=args.xi,
         metric=args.metric,
         injective=args.injective,
         threshold=args.threshold,
         partitioned=args.partitioned,
         symmetric=args.symmetric,
+        pick=args.pick,
     )
+    if args.store_dir is not None:
+        # A dedicated service so the disk tier is read *and* warmed.
+        service = MatchingService(store_dir=args.store_dir)
+        report = service.match(pattern, data, mat, **options)
+    else:
+        report = match(pattern, data, mat, **options)
     payload = {
         "matched": report.matched,
         "quality": report.quality,
@@ -101,7 +118,7 @@ def _similarity_source(spec: str, data):
 def _cmd_batch(args: argparse.Namespace) -> int:
     data = load_json(args.data)
     patterns = [load_json(path) for path in args.patterns]
-    service = MatchingService()
+    service = MatchingService(store_dir=args.store_dir)
     reports = service.match_many(
         patterns,
         data,
@@ -112,6 +129,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         partitioned=args.partitioned,
         symmetric=args.symmetric,
+        pick=args.pick,
         max_workers=args.parallel,
     )
     out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
@@ -143,6 +161,74 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if out is not sys.stdout:
             out.close()
     return 0
+
+
+def _cmd_index_warm(args: argparse.Namespace) -> int:
+    """Prepare every data graph and persist its index into the store."""
+    store = PreparedIndexStore(args.store_dir)
+    for path in args.graphs:
+        graph = load_json(path)
+        fingerprint = graph_fingerprint(graph)
+        # "exists" only counts when the stored file actually loads — a
+        # corrupt or stale file must be rebuilt, not reported as warm.
+        if not args.force and store.load(fingerprint, graph) is not None:
+            line = {"graph": path, "fingerprint": fingerprint, "action": "exists"}
+        else:
+            prepared = PreparedDataGraph(graph, fingerprint=fingerprint)
+            with Stopwatch() as watch:
+                stored_at = store.save(prepared)
+            line = {
+                "graph": path,
+                "fingerprint": fingerprint,
+                "action": "stored",
+                "nodes": prepared.num_nodes(),
+                "edges": prepared.num_edges(),
+                "prepare_seconds": prepared.prepare_seconds,
+                "store_seconds": watch.elapsed,
+                "path": str(stored_at),
+            }
+        json.dump(line, sys.stdout)
+        print()
+    return 0
+
+
+def _cmd_index_ls(args: argparse.Namespace) -> int:
+    store = PreparedIndexStore(args.store_dir, create=False)
+    entries = store.entries()
+    for entry in entries:
+        json.dump(entry.as_dict(), sys.stdout)
+        print()
+    json.dump({"summary": True, "entries": len(entries)}, sys.stdout)
+    print()
+    return 0
+
+
+def _cmd_index_rm(args: argparse.Namespace) -> int:
+    store = PreparedIndexStore(args.store_dir, create=False)
+    if args.all:
+        removed = store.clear()
+    else:
+        if not args.fingerprints:
+            print("index rm needs fingerprints or --all", file=sys.stderr)
+            return 2
+        removed = 0
+        for spec in args.fingerprints:
+            if not is_fingerprint(spec, prefix=True):
+                print(f"not a fingerprint (prefix): {spec!r}", file=sys.stderr)
+                return 2
+            matches = [fp for fp in store.fingerprints() if fp.startswith(spec)]
+            if len(matches) > 1:
+                print(f"ambiguous fingerprint prefix: {spec!r}", file=sys.stderr)
+                return 2
+            if matches and store.remove(matches[0]):
+                removed += 1
+    json.dump({"removed": removed}, sys.stdout)
+    print()
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    return args.index_handler(args)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -189,6 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
     matcher.add_argument("--threshold", type=float, default=0.75)
     matcher.add_argument("--partitioned", action="store_true")
     matcher.add_argument("--symmetric", action="store_true", help="match G1+ (path-to-path)")
+    matcher.add_argument(
+        "--pick", choices=("similarity", "arbitrary"), default="similarity",
+        help="greedyMatch candidate rule",
+    )
+    matcher.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persistent prepared-index store to read/warm",
+    )
     matcher.add_argument("--verify", action="store_true", help="re-check the mapping")
     matcher.set_defaults(handler=_cmd_match)
 
@@ -211,11 +305,47 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--partitioned", action="store_true")
     batch.add_argument("--symmetric", action="store_true", help="match G1+ (path-to-path)")
     batch.add_argument(
+        "--pick", choices=("similarity", "arbitrary"), default="similarity",
+        help="greedyMatch candidate rule",
+    )
+    batch.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persistent prepared-index store to read/warm",
+    )
+    batch.add_argument(
         "--parallel", type=int, default=None, metavar="N",
         help="solve patterns over N worker threads",
     )
     batch.add_argument("--out", default=None, help="write JSON lines here (default stdout)")
     batch.set_defaults(handler=_cmd_batch)
+
+    index = sub.add_parser(
+        "index", help="manage a persistent prepared-index store directory"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    warm = index_sub.add_parser(
+        "warm", help="prepare data graphs and persist their G2+ indexes"
+    )
+    warm.add_argument("store_dir", help="store directory (created if missing)")
+    warm.add_argument("graphs", nargs="+", metavar="graph", help="data graph JSON files")
+    warm.add_argument(
+        "--force", action="store_true", help="re-prepare even when already stored"
+    )
+    warm.set_defaults(handler=_cmd_index, index_handler=_cmd_index_warm)
+
+    ls = index_sub.add_parser("ls", help="list stored indexes (JSON lines)")
+    ls.add_argument("store_dir")
+    ls.set_defaults(handler=_cmd_index, index_handler=_cmd_index_ls)
+
+    rm = index_sub.add_parser("rm", help="remove stored indexes by fingerprint")
+    rm.add_argument("store_dir")
+    rm.add_argument(
+        "fingerprints", nargs="*", metavar="fingerprint",
+        help="full digests or unambiguous prefixes",
+    )
+    rm.add_argument("--all", action="store_true", help="remove every stored index")
+    rm.set_defaults(handler=_cmd_index, index_handler=_cmd_index_rm)
 
     stats = sub.add_parser("stats", help="Table 2 statistics of one graph")
     stats.add_argument("graph")

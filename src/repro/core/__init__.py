@@ -41,6 +41,7 @@ from repro.core.optimize import (
     pattern_components,
 )
 from repro.core.prepared import PreparedDataGraph, prepare_data_graph
+from repro.core.store import PreparedIndexStore, StoreEntry
 from repro.core.api import MatchReport, closure_pattern, match, match_prepared
 from repro.core.service import (
     MatchSession,
@@ -105,6 +106,8 @@ __all__ = [
     "match_prepared",
     "PreparedDataGraph",
     "prepare_data_graph",
+    "PreparedIndexStore",
+    "StoreEntry",
     "MatchSession",
     "MatchingService",
     "PreparedGraphCache",

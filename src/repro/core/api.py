@@ -28,6 +28,7 @@ from typing import Callable
 
 from repro.core.comp_max_card import comp_max_card, comp_max_card_injective
 from repro.core.comp_max_sim import comp_max_sim, comp_max_sim_injective
+from repro.core.engine import PICK_RULES
 from repro.core.optimize import comp_max_card_partitioned
 from repro.core.phom import PHomResult, validate_threshold
 from repro.core.prepared import PreparedDataGraph
@@ -64,6 +65,7 @@ def validate_match_options(
     threshold: float,
     xi: float | None = None,
     partitioned: bool = False,
+    pick: str = "similarity",
 ) -> None:
     """Reject bad options *before* any expensive work.
 
@@ -78,6 +80,8 @@ def validate_match_options(
         raise InputError(f"threshold must lie in [0, 1], got {threshold!r}")
     if partitioned and metric != "cardinality":
         raise InputError("partitioned matching is implemented for the cardinality metric")
+    if pick not in PICK_RULES:
+        raise InputError(f"unknown pick rule {pick!r}; choose one of {PICK_RULES}")
     if xi is not None:
         validate_threshold(xi)
 
@@ -101,6 +105,7 @@ def match_prepared(
     threshold: float = DEFAULT_MATCH_THRESHOLD,
     partitioned: bool = False,
     symmetric: bool = False,
+    pick: str = "similarity",
 ) -> MatchReport:
     """Match ``graph1`` against an already-prepared data graph.
 
@@ -112,7 +117,7 @@ def match_prepared(
     :mod:`repro.graph.fingerprint`).  See :func:`match` for parameter
     semantics.
     """
-    validate_match_options(metric, threshold, partitioned=partitioned)
+    validate_match_options(metric, threshold, partitioned=partitioned, pick=pick)
     return _solve_prepared(
         graph1,
         prepared,
@@ -123,6 +128,7 @@ def match_prepared(
         threshold=threshold,
         partitioned=partitioned,
         symmetric=symmetric,
+        pick=pick,
     )
 
 
@@ -136,6 +142,7 @@ def _solve_prepared(
     threshold: float,
     partitioned: bool,
     symmetric: bool,
+    pick: str = "similarity",
 ) -> MatchReport:
     """:func:`match_prepared` minus validation — for callers (the service
     layer) that already ran :func:`validate_match_options` pre-flight."""
@@ -145,16 +152,19 @@ def _solve_prepared(
     if metric == "cardinality":
         if partitioned:
             result = comp_max_card_partitioned(
-                pattern, graph2, mat, xi, injective=injective, prepared=prepared
+                pattern, graph2, mat, xi, injective=injective, pick=pick,
+                prepared=prepared,
             )
         elif injective:
-            result = comp_max_card_injective(pattern, graph2, mat, xi, prepared=prepared)
+            result = comp_max_card_injective(
+                pattern, graph2, mat, xi, pick=pick, prepared=prepared
+            )
         else:
-            result = comp_max_card(pattern, graph2, mat, xi, prepared=prepared)
+            result = comp_max_card(pattern, graph2, mat, xi, pick=pick, prepared=prepared)
         quality = result.qual_card
     else:
         runner: Callable = comp_max_sim_injective if injective else comp_max_sim
-        result = runner(pattern, graph2, mat, xi, prepared=prepared)
+        result = runner(pattern, graph2, mat, xi, pick=pick, prepared=prepared)
         quality = result.qual_sim
 
     return MatchReport(
@@ -176,6 +186,7 @@ def match(
     threshold: float = DEFAULT_MATCH_THRESHOLD,
     partitioned: bool = False,
     symmetric: bool = False,
+    pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
 ) -> MatchReport:
     """Match ``graph1`` (pattern) against ``graph2`` (data graph).
@@ -195,6 +206,9 @@ def match(
         (cardinality metric only).
     symmetric:
         Match ``G1⁺`` instead of ``G1`` (path-to-path semantics).
+    pick:
+        greedyMatch's candidate rule — ``"similarity"`` (default) or
+        ``"arbitrary"``; see ``repro.core.engine.PICK_RULES``.
     prepared:
         An explicit pre-built index of ``graph2`` (bypasses the service
         cache; ``graph2`` is ignored in favour of ``prepared.graph``).
@@ -214,6 +228,7 @@ def match(
             threshold=threshold,
             partitioned=partitioned,
             symmetric=symmetric,
+            pick=pick,
         )
     # Imported lazily: the service module builds on this one.
     from repro.core.service import default_service
@@ -228,4 +243,5 @@ def match(
         threshold=threshold,
         partitioned=partitioned,
         symmetric=symmetric,
+        pick=pick,
     )

@@ -103,7 +103,12 @@ def greedy_match(
                     if good_v >> cand_u & 1:
                         u = cand_u
                         break
-            else:
+            if u < 0:
+                # Arbitrary pick, or a good bit with no similarity row —
+                # callers of comp_max_card_engine may seed candidates
+                # beyond the workspace's mat ≥ ξ pairs (restricted or
+                # partitioned groups), so the preference scan can come up
+                # empty on a nonempty mask.
                 u = (good_v & -good_v).bit_length() - 1  # lowest set bit
             u_bit = 1 << u
             frame[_V], frame[_U] = v, u

@@ -32,7 +32,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Hashable
 
-from repro.core.engine import comp_max_card_engine
+from repro.core.engine import PICK_RULES, comp_max_card_engine
 from repro.core.phom import PHomResult
 from repro.core.prepared import PreparedDataGraph
 from repro.core.quality import qual_card, qual_sim
@@ -91,6 +91,7 @@ def comp_max_card_partitioned(
     mat: SimilarityMatrix,
     xi: float,
     injective: bool = False,
+    pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
 ) -> PHomResult:
     """compMaxCard with the Appendix-B partitioning optimization.
@@ -98,9 +99,14 @@ def comp_max_card_partitioned(
     Each weakly connected component of the candidate-bearing pattern is
     solved independently (Proposition 1); single-node components short-cut
     to their best candidate.  With ``injective`` the components are solved
-    sequentially with used data nodes excluded.  ``prepared`` reuses a
-    pre-built data-graph index (see :mod:`repro.core.prepared`).
+    sequentially with used data nodes excluded.  ``pick`` selects the
+    candidate rule exactly as in :func:`~repro.core.comp_max_card.comp_max_card`
+    — it governs both the engine runs and the single-node short-cut.
+    ``prepared`` reuses a pre-built data-graph index (see
+    :mod:`repro.core.prepared`).
     """
+    if pick not in PICK_RULES:
+        raise ValueError(f"unknown pick rule {pick!r}; choose one of {PICK_RULES}")
     with Stopwatch() as watch:
         workspace = MatchingWorkspace(graph1, graph2, mat, xi, prepared=prepared)
         components, removed = pattern_components(workspace)
@@ -109,21 +115,29 @@ def comp_max_card_partitioned(
         rounds = 0
         for component in components:
             if len(component) == 1:
-                # Paper: "a match is simply {(v, u)} where mat(v, u) is best".
+                # Paper: "a match is simply {(v, u)} where mat(v, u) is best"
+                # — under the arbitrary rule, any candidate (lowest index).
                 v = component[0]
                 mask = workspace.cand_mask[v] & ~used_mask
-                chosen = next((u for u in workspace.pref[v] if mask >> u & 1), None)
-                if chosen is not None:
-                    all_pairs.append((v, chosen))
-                    if injective:
-                        used_mask |= 1 << chosen
+                if not mask:
+                    continue
+                chosen = None
+                if pick == "similarity":
+                    chosen = next((u for u in workspace.pref[v] if mask >> u & 1), None)
+                if chosen is None:
+                    chosen = (mask & -mask).bit_length() - 1  # lowest set bit
+                all_pairs.append((v, chosen))
+                if injective:
+                    used_mask |= 1 << chosen
                 continue
             initial = {
                 v: workspace.cand_mask[v] & ~used_mask
                 for v in component
                 if workspace.cand_mask[v] & ~used_mask
             }
-            pairs, stats = comp_max_card_engine(workspace, initial, injective=injective)
+            pairs, stats = comp_max_card_engine(
+                workspace, initial, injective=injective, pick=pick
+            )
             rounds += stats["rounds"]
             all_pairs.extend(pairs)
             if injective:

@@ -24,6 +24,7 @@ and a ``MatchingService`` keeps an LRU cache of prepared graphs keyed by
 
 from __future__ import annotations
 
+import json
 from typing import Hashable
 
 from repro.graph.closure import ReachabilityIndex
@@ -87,6 +88,88 @@ class PreparedDataGraph:
         if self._fingerprint is None:
             self._fingerprint = graph_fingerprint(self.graph)
         return self._fingerprint
+
+    # ------------------------------------------------------------------
+    # Serialization (the payload of repro.core.store's index files)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> bytes:
+        """Encode the index as bytes: a JSON header line + raw mask rows.
+
+        The header records the fingerprint, node/edge counts, the node
+        enumeration order (as ``repr`` strings — the order is part of the
+        index semantics: bit *i* of every mask refers to ``nodes2[i]``),
+        and the original build time.  Mask rows follow as fixed-width
+        little-endian integers: ``from_mask`` rows, ``to_mask`` rows,
+        then the cycle mask.  File framing (magic, version, checksum) is
+        :mod:`repro.core.store`'s concern.
+        """
+        n = len(self.nodes2)
+        width = (n + 7) // 8
+        header = {
+            "fingerprint": self.fingerprint,
+            "num_nodes": n,
+            "num_edges": self._num_edges,
+            "row_bytes": width,
+            "node_reprs": [repr(node) for node in self.nodes2],
+            "prepare_seconds": self.prepare_seconds,
+        }
+        parts = [json.dumps(header, separators=(",", ":")).encode("utf-8"), b"\n"]
+        parts.extend(mask.to_bytes(width, "little") for mask in self.from_mask)
+        parts.extend(mask.to_bytes(width, "little") for mask in self.to_mask)
+        parts.append(self.cycle_mask.to_bytes(width, "little"))
+        return b"".join(parts)
+
+    @staticmethod
+    def payload_header(payload: bytes) -> dict:
+        """The decoded JSON header of a payload (no mask validation)."""
+        header = json.loads(payload[: payload.index(b"\n")])
+        if not isinstance(header, dict):
+            raise ValueError("payload header is not a JSON object")
+        return header
+
+    @classmethod
+    def from_payload(cls, graph2: DiGraph, payload: bytes) -> "PreparedDataGraph":
+        """Rebuild a prepared index from :meth:`to_payload` bytes.
+
+        ``graph2`` must be the very graph the payload was derived from —
+        node count, edge count, and node enumeration order are all
+        verified against the header, and any mismatch (or a malformed /
+        truncated payload) raises :class:`ValueError`.  The store layer
+        treats such failures as cache misses.
+        """
+        header = cls.payload_header(payload)
+        n = header["num_nodes"]
+        width = header["row_bytes"]
+        if not (isinstance(n, int) and isinstance(width, int) and width == (n + 7) // 8):
+            raise ValueError("inconsistent payload header geometry")
+        if graph2.num_nodes() != n or graph2.num_edges() != header["num_edges"]:
+            raise ValueError("payload does not describe this graph (counts differ)")
+        nodes2 = list(graph2.nodes())
+        if [repr(node) for node in nodes2] != header["node_reprs"]:
+            raise ValueError("payload node order differs from the graph's")
+        # Zero-copy row decoding: a loaded index should cost I/O plus
+        # int.from_bytes, not an extra megabyte of slice copies.
+        body = memoryview(payload)[payload.index(b"\n") + 1 :]
+        if len(body) != (2 * n + 1) * width:
+            raise ValueError("payload mask section is truncated or oversized")
+
+        self = cls.__new__(cls)
+        self.graph = graph2
+        self.nodes2 = nodes2
+        self.index2 = {node: i for i, node in enumerate(nodes2)}
+        self._num_edges = header["num_edges"]
+        from_bytes = int.from_bytes
+        rows = [
+            from_bytes(body[i * width : (i + 1) * width], "little")
+            for i in range(2 * n + 1)
+        ]
+        self.from_mask = rows[:n]
+        self.to_mask = rows[n : 2 * n]
+        self.cycle_mask = rows[2 * n]
+        #: The *original* build cost — a loaded index never paid it again.
+        self.prepare_seconds = float(header["prepare_seconds"])
+        self._fingerprint = header["fingerprint"]
+        return self
 
     def num_nodes(self) -> int:
         """|V2|: number of data-graph nodes covered by the index."""

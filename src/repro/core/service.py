@@ -16,7 +16,11 @@ algorithms:
     an LRU of prepared graphs keyed by
     :func:`~repro.graph.fingerprint.graph_fingerprint`.  Content keying
     makes invalidation automatic: mutate a graph and its next lookup is
-    a miss; hand in an equal copy and it is a hit.
+    a miss; hand in an equal copy and it is a hit.  With a
+    :class:`~repro.core.store.PreparedIndexStore` attached the cache is
+    **two-tier** — memory LRU → disk store → build — so a cold process
+    pointed at a pre-warmed store directory skips ``G2⁺`` construction
+    entirely, and every fresh build is persisted for the next process.
 
 :class:`MatchingService`
     the facade the CLI, :func:`repro.core.api.match` and the batch API
@@ -51,6 +55,7 @@ from repro.core.api import (
 )
 from repro.core.phom import validate_threshold
 from repro.core.prepared import PreparedDataGraph
+from repro.core.store import PreparedIndexStore
 from repro.core.workspace import MatchingWorkspace
 from repro.graph.digraph import DiGraph
 from repro.graph.fingerprint import graph_fingerprint
@@ -95,15 +100,27 @@ class ServiceStats:
 
     #: Individual pattern solves (one per pattern in a batch).
     calls: int = 0
-    #: Prepared-index constructions (== cache misses).
+    #: Prepared-index constructions (memory *and* disk both missed).
     prepares: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     evictions: int = 0
+    #: Disk-store lookups that restored an index (two-tier cache only).
+    disk_hits: int = 0
+    #: Disk-store lookups that found no usable file (two-tier cache only).
+    disk_misses: int = 0
     #: Seconds spent building prepared indexes (the amortised cost).
     prepare_seconds: float = 0.0
-    #: Seconds spent solving patterns (workspace + greedy engine).
+    #: Seconds spent solving patterns, summed per solve — a parallel
+    #: batch reports the same value as the identical sequential batch.
     solve_seconds: float = 0.0
+    #: Seconds spent loading prepared indexes from the disk store.
+    load_seconds: float = 0.0
+    #: Seconds spent persisting freshly built indexes to the disk store.
+    store_seconds: float = 0.0
+    #: Wall-clock seconds of ``match_many`` batches (pool time; with
+    #: thread fan-out this is less than the batch's ``solve_seconds``).
+    batch_seconds: float = 0.0
 
     def snapshot(self) -> dict:
         """A plain-dict copy, for reports and JSON payloads."""
@@ -113,8 +130,13 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
             "prepare_seconds": self.prepare_seconds,
             "solve_seconds": self.solve_seconds,
+            "load_seconds": self.load_seconds,
+            "store_seconds": self.store_seconds,
+            "batch_seconds": self.batch_seconds,
         }
 
 
@@ -129,21 +151,35 @@ class PreparedGraphCache:
     by node position, so serving a reordered graph from another graph's
     index would make results depend on process history.
 
+    ``store`` attaches a :class:`~repro.core.store.PreparedIndexStore`
+    as a second tier below the LRU: a memory miss first tries a disk
+    load (counted in ``disk_hits``/``load_seconds``), and only a double
+    miss builds — after which the fresh index is persisted best-effort
+    (``store_seconds``; persistence failures are swallowed, the serving
+    path never fails because a disk filled up).
+
     Concurrency: the LRU order and counters are guarded by a lock, but
-    index *builds* happen outside it — a cold prepare of a huge graph
-    must not stall hits on other graphs (the cache sits behind the
-    process-wide service every ``api.match`` call routes through).
-    Concurrent requests for one not-yet-prepared graph are deduplicated
-    through a per-key in-flight :class:`~concurrent.futures.Future`:
-    the first caller builds, the rest wait on the future (counted as
-    cache hits — they pay no build).
+    index *builds and disk loads* happen outside it — a cold prepare of
+    a huge graph must not stall hits on other graphs (the cache sits
+    behind the process-wide service every ``api.match`` call routes
+    through).  Concurrent requests for one not-yet-prepared graph are
+    deduplicated through a per-key in-flight
+    :class:`~concurrent.futures.Future`: the first caller loads/builds,
+    the rest wait on the future (counted as cache hits — they pay no
+    build).
     """
 
-    def __init__(self, max_entries: int = 8, stats: ServiceStats | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int = 8,
+        stats: ServiceStats | None = None,
+        store: PreparedIndexStore | None = None,
+    ) -> None:
         if max_entries < 1:
             raise InputError(f"cache needs at least one slot, got {max_entries!r}")
         self.max_entries = max_entries
         self.stats = stats if stats is not None else ServiceStats()
+        self.store = store
         self._entries: OrderedDict[str, PreparedDataGraph] = OrderedDict()
         self._building: dict[str, Future] = {}
         self._lock = threading.Lock()
@@ -167,7 +203,11 @@ class PreparedGraphCache:
             self._generation += 1
 
     def prepared_for(self, graph2: DiGraph) -> PreparedDataGraph:
-        """The cached prepared index of ``graph2``, building it on a miss."""
+        """The cached prepared index of ``graph2``.
+
+        Tier order on a miss: disk store (when attached), then a fresh
+        build (persisted back to the store, best-effort).
+        """
         key = graph_fingerprint(graph2)
         with self._lock:
             hit = self._entries.get(key)
@@ -180,7 +220,6 @@ class PreparedGraphCache:
                 future: Future = Future()
                 self._building[key] = future
                 self.stats.cache_misses += 1
-                self.stats.prepares += 1
                 generation = self._generation
         if pending is not None:
             # Another thread is preparing this graph: wait off-lock.
@@ -189,14 +228,13 @@ class PreparedGraphCache:
                 self.stats.cache_hits += 1
             return prepared
         try:
-            prepared = PreparedDataGraph(graph2, fingerprint=key)
+            prepared = self._load_or_build(key, graph2)
         except BaseException as exc:
             with self._lock:
                 del self._building[key]
             future.set_exception(exc)
             raise
         with self._lock:
-            self.stats.prepare_seconds += prepared.prepare_seconds
             if self._building.get(key) is future:
                 del self._building[key]
             if generation == self._generation:  # not clear()ed meanwhile
@@ -205,6 +243,33 @@ class PreparedGraphCache:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
         future.set_result(prepared)
+        return prepared
+
+    def _load_or_build(self, key: str, graph2: DiGraph) -> PreparedDataGraph:
+        """Disk tier, then build tier — runs off-lock, updates counters."""
+        if self.store is not None:
+            with Stopwatch() as watch:
+                loaded = self.store.load(key, graph2)  # any defect -> None
+            if loaded is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self.stats.load_seconds += watch.elapsed
+                return loaded
+            with self._lock:
+                self.stats.disk_misses += 1
+        prepared = PreparedDataGraph(graph2, fingerprint=key)
+        with self._lock:
+            self.stats.prepares += 1
+            self.stats.prepare_seconds += prepared.prepare_seconds
+        if self.store is not None:
+            try:
+                with Stopwatch() as watch:
+                    self.store.save(prepared)
+            except OSError:
+                pass  # persistence is best-effort; serving must not fail
+            else:
+                with self._lock:
+                    self.stats.store_seconds += watch.elapsed
         return prepared
 
 
@@ -261,6 +326,7 @@ class MatchSession:
         threshold: float = DEFAULT_MATCH_THRESHOLD,
         partitioned: bool = False,
         symmetric: bool = False,
+        pick: str = "similarity",
     ) -> MatchReport:
         """Match one pattern; parameters as in :func:`repro.core.api.match`."""
         with Stopwatch() as watch:
@@ -274,6 +340,7 @@ class MatchSession:
                 threshold=threshold,
                 partitioned=partitioned,
                 symmetric=symmetric,
+                pick=pick,
             )
         self.patterns_matched += 1
         if self.service is not None:
@@ -285,22 +352,43 @@ class MatchingService:
     """Cached, stat-tracking, batch-capable matching facade.
 
     ``max_prepared`` bounds the LRU of prepared data graphs (each costs
-    ~|V2|²/8 bytes of bitmask rows).
+    ~|V2|²/8 bytes of bitmask rows).  ``store`` (an existing
+    :class:`~repro.core.store.PreparedIndexStore`) or ``store_dir`` (a
+    directory path, from which one is built) opt into the persistent
+    second cache tier — see :class:`PreparedGraphCache`.
     """
 
-    def __init__(self, max_prepared: int = 8) -> None:
+    def __init__(
+        self,
+        max_prepared: int = 8,
+        store: PreparedIndexStore | None = None,
+        store_dir: str | None = None,
+    ) -> None:
+        if store is not None and store_dir is not None:
+            raise InputError("pass either store= or store_dir=, not both")
+        if store_dir is not None:
+            store = PreparedIndexStore(store_dir)
         self.stats = ServiceStats()
-        self.cache = PreparedGraphCache(max_prepared, stats=self.stats)
+        self.cache = PreparedGraphCache(max_prepared, stats=self.stats, store=store)
         self._stats_lock = threading.Lock()
+
+    @property
+    def store(self) -> PreparedIndexStore | None:
+        """The disk tier, if one is attached."""
+        return self.cache.store
 
     def prepared_for(self, graph2: DiGraph) -> PreparedDataGraph:
         """The (cached) prepared index of ``graph2``."""
         return self.cache.prepared_for(graph2)
 
-    def _record_solves(self, count: int, elapsed: float) -> None:
+    def _record_solves(
+        self, count: int, elapsed: float, batch_elapsed: float | None = None
+    ) -> None:
         with self._stats_lock:
             self.stats.calls += count
             self.stats.solve_seconds += elapsed
+            if batch_elapsed is not None:
+                self.stats.batch_seconds += batch_elapsed
 
     def session(
         self, graph2: DiGraph, similarity: SimilaritySource, xi: float
@@ -324,9 +412,10 @@ class MatchingService:
         threshold: float = DEFAULT_MATCH_THRESHOLD,
         partitioned: bool = False,
         symmetric: bool = False,
+        pick: str = "similarity",
     ) -> MatchReport:
         """One pattern against one data graph, through the prepared cache."""
-        validate_match_options(metric, threshold, xi, partitioned)  # pre-flight
+        validate_match_options(metric, threshold, xi, partitioned, pick)  # pre-flight
         prepared = self.prepared_for(graph2)
         with Stopwatch() as watch:
             report = _solve_prepared(
@@ -339,6 +428,7 @@ class MatchingService:
                 threshold=threshold,
                 partitioned=partitioned,
                 symmetric=symmetric,
+                pick=pick,
             )
         self._record_solves(1, watch.elapsed)
         return report
@@ -354,38 +444,50 @@ class MatchingService:
         threshold: float = DEFAULT_MATCH_THRESHOLD,
         partitioned: bool = False,
         symmetric: bool = False,
+        pick: str = "similarity",
         max_workers: int | None = None,
     ) -> list[MatchReport]:
         """Match every pattern against one data graph, preparing it once.
 
         Reports come back in pattern order.  ``max_workers > 1`` fans the
         (independent, read-only-shared) solves out over a thread pool;
-        the results are identical to the sequential path.
+        the results are identical to the sequential path.  Stats:
+        ``solve_seconds`` accumulates the *sum of per-solve times* (so a
+        parallel batch reports the same figure as the sequential one),
+        while the pool's wall-clock lands in ``batch_seconds``.
         """
-        validate_match_options(metric, threshold, xi, partitioned)  # pre-flight
+        validate_match_options(metric, threshold, xi, partitioned, pick)  # pre-flight
         patterns = list(patterns)
         prepared = self.prepared_for(graph2)
 
-        def solve(graph1: DiGraph) -> MatchReport:
-            return _solve_prepared(
-                graph1,
-                prepared,
-                resolve_similarity(mat, graph1, graph2),
-                xi,
-                metric=metric,
-                injective=injective,
-                threshold=threshold,
-                partitioned=partitioned,
-                symmetric=symmetric,
-            )
+        def solve(graph1: DiGraph) -> tuple[MatchReport, float]:
+            with Stopwatch() as solve_watch:
+                report = _solve_prepared(
+                    graph1,
+                    prepared,
+                    resolve_similarity(mat, graph1, graph2),
+                    xi,
+                    metric=metric,
+                    injective=injective,
+                    threshold=threshold,
+                    partitioned=partitioned,
+                    symmetric=symmetric,
+                    pick=pick,
+                )
+            return report, solve_watch.elapsed
 
         with Stopwatch() as watch:
             if max_workers is not None and max_workers > 1 and len(patterns) > 1:
                 with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                    reports = list(pool.map(solve, patterns))
+                    timed = list(pool.map(solve, patterns))
             else:
-                reports = [solve(graph1) for graph1 in patterns]
-        self._record_solves(len(patterns), watch.elapsed)
+                timed = [solve(graph1) for graph1 in patterns]
+        reports = [report for report, _ in timed]
+        self._record_solves(
+            len(patterns),
+            sum(elapsed for _, elapsed in timed),
+            batch_elapsed=watch.elapsed,
+        )
         return reports
 
 
@@ -410,14 +512,23 @@ def default_service() -> MatchingService:
         return _default_service
 
 
-def reset_default_service(max_prepared: int = 8) -> MatchingService:
+def reset_default_service(
+    max_prepared: int = 8,
+    store: PreparedIndexStore | None = None,
+    store_dir: str | None = None,
+) -> MatchingService:
     """Replace the process-wide service, releasing every cached index.
 
-    Returns the fresh service; ``max_prepared`` resizes its LRU.
+    Returns the fresh service; ``max_prepared`` resizes its LRU, and
+    ``store``/``store_dir`` attach a persistent index store so every
+    subsequent :func:`repro.core.api.match` call reads through (and
+    warms) the disk tier.
     """
     global _default_service
     with _default_service_lock:
-        _default_service = MatchingService(max_prepared=max_prepared)
+        _default_service = MatchingService(
+            max_prepared=max_prepared, store=store, store_dir=store_dir
+        )
         return _default_service
 
 

@@ -1,0 +1,248 @@
+"""Persistent prepared-index store: ``G2⁺`` bitmask indexes on disk.
+
+The web-mirror workload of Section 6 — and any serving deployment —
+matches many patterns against few, large, slowly-changing data graphs.
+The in-process LRU (:class:`~repro.core.service.PreparedGraphCache`)
+amortises ``compMaxCard``'s dominant setup cost (materialising ``H2``,
+Fig. 3 lines 5–7) across the *calls of one process*; this module
+amortises it across *processes and restarts*: a fleet of cold workers
+can load a pre-warmed index in milliseconds instead of each rebuilding
+the transitive closure.
+
+:class:`PreparedIndexStore`
+    a directory of index files, one per data graph, named by the graph's
+    content fingerprint (:func:`~repro.graph.fingerprint.graph_fingerprint`
+    — so invalidation stays automatic: a mutated graph hashes to a new
+    file name and the old file is simply never requested again).
+
+File format (version 1)::
+
+    magic    8 bytes   b"RPHOMIDX"
+    version  4 bytes   little-endian uint32
+    length   8 bytes   little-endian uint64, payload byte count
+    checksum 32 bytes  sha256 of the payload
+    payload            PreparedDataGraph.to_payload() bytes
+
+Writes are atomic (tmp file + ``os.replace``) so a concurrent reader
+never observes a half-written index, and loads are corruption-tolerant:
+*any* defect — missing file, bad magic, unknown version, checksum or
+length mismatch, malformed header, truncated masks, stale content — is
+reported as a miss (``None``), never an exception.  A corrupt file costs
+one rebuild, exactly like a cold cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.prepared import PreparedDataGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.fingerprint import is_fingerprint
+from repro.utils.errors import InputError
+
+__all__ = ["PreparedIndexStore", "StoreEntry", "STORE_SUFFIX", "STORE_VERSION"]
+
+_MAGIC = b"RPHOMIDX"
+_HEADER_LEN = len(_MAGIC) + 4 + 8 + 32
+
+#: Current on-disk format version; files from other versions are misses.
+STORE_VERSION = 1
+
+#: File name suffix of index files (``<fingerprint>.phomidx``).
+STORE_SUFFIX = ".phomidx"
+
+#: Monotonic per-process discriminator for tmp-file names.
+_tmp_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Metadata of one stored index, as listed by ``index ls``."""
+
+    fingerprint: str
+    path: Path
+    num_nodes: int
+    num_edges: int
+    file_bytes: int
+    prepare_seconds: float
+
+    def as_dict(self) -> dict:
+        """A JSON-serialisable view (CLI output)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "path": str(self.path),
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "bytes": self.file_bytes,
+            "prepare_seconds": self.prepare_seconds,
+        }
+
+
+class PreparedIndexStore:
+    """A directory of fingerprint-keyed :class:`PreparedDataGraph` files.
+
+    The store is safe to share between processes: writers are atomic,
+    readers validate everything they read, and there is no cross-file
+    state.  It keeps no open handles, so instances are cheap and
+    thread-safe (every operation is a self-contained filesystem call).
+    """
+
+    def __init__(self, store_dir: str | os.PathLike, create: bool = True) -> None:
+        self.store_dir = Path(store_dir)
+        if create:
+            self.store_dir.mkdir(parents=True, exist_ok=True)
+        elif not self.store_dir.is_dir():
+            raise InputError(f"index store directory {str(self.store_dir)!r} does not exist")
+
+    # ------------------------------------------------------------------
+    # Paths and listing
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> Path:
+        """The file an index for ``fingerprint`` lives at (existing or not)."""
+        if not is_fingerprint(fingerprint):
+            raise InputError(f"not a graph fingerprint: {fingerprint!r}")
+        return self.store_dir / f"{fingerprint}{STORE_SUFFIX}"
+
+    def fingerprints(self) -> list[str]:
+        """Fingerprints with a stored file, sorted (validity not checked)."""
+        return sorted(
+            path.stem
+            for path in self.store_dir.glob(f"*{STORE_SUFFIX}")
+            if is_fingerprint(path.stem)
+        )
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return is_fingerprint(fingerprint) and self.path_for(fingerprint).is_file()
+
+    def entries(self) -> list[StoreEntry]:
+        """Metadata of every *readable* stored index (corrupt files skipped)."""
+        listed = []
+        for fingerprint in self.fingerprints():
+            path = self.path_for(fingerprint)
+            payload = self._read_payload(path)
+            if payload is None:
+                continue
+            try:
+                header = PreparedDataGraph.payload_header(payload)
+                listed.append(
+                    StoreEntry(
+                        fingerprint=fingerprint,
+                        path=path,
+                        num_nodes=int(header["num_nodes"]),
+                        num_edges=int(header["num_edges"]),
+                        file_bytes=path.stat().st_size,
+                        prepare_seconds=float(header["prepare_seconds"]),
+                    )
+                )
+            except (ValueError, KeyError, TypeError, OSError):
+                continue
+        return listed
+
+    # ------------------------------------------------------------------
+    # Save / load / remove
+    # ------------------------------------------------------------------
+    def save(self, prepared: PreparedDataGraph) -> Path:
+        """Write ``prepared`` to the store atomically; returns the path.
+
+        An existing file for the same fingerprint is replaced (it
+        necessarily described identical content, so this is idempotent).
+        """
+        payload = prepared.to_payload()
+        blob = b"".join(
+            (
+                _MAGIC,
+                STORE_VERSION.to_bytes(4, "little"),
+                len(payload).to_bytes(8, "little"),
+                hashlib.sha256(payload).digest(),
+                payload,
+            )
+        )
+        path = self.path_for(prepared.fingerprint)
+        # The tmp name must be unique per writer: pid alone is not enough
+        # (two services in one process can save one fingerprint
+        # concurrently), so the thread id and a counter disambiguate.
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}.{next(_tmp_counter)}"
+        )
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        return path
+
+    def load(self, fingerprint: str, graph2: DiGraph) -> PreparedDataGraph | None:
+        """The stored index for ``fingerprint``, restored onto ``graph2``.
+
+        Returns ``None`` on any miss: no file, unreadable, wrong
+        magic/version, checksum mismatch, malformed or stale payload.
+        ``graph2`` must be the graph that fingerprints to ``fingerprint``
+        (the caller computed the digest from it); the payload's own node
+        order and counts are verified against it as well.
+        """
+        if not is_fingerprint(fingerprint):
+            return None
+        payload = self._read_payload(self.path_for(fingerprint))
+        if payload is None:
+            return None
+        try:
+            prepared = PreparedDataGraph.from_payload(graph2, payload)
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            return None
+        if prepared.fingerprint != fingerprint:
+            return None  # file content answers a different graph
+        return prepared
+
+    def remove(self, fingerprint: str) -> bool:
+        """Delete the stored index for ``fingerprint``; True if one existed."""
+        path = self.path_for(fingerprint)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Delete every stored index; returns how many were removed."""
+        removed = 0
+        for fingerprint in self.fingerprints():
+            if self.remove(fingerprint):
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    def _read_payload(self, path: Path) -> bytes | None:
+        """Read and validate one file's envelope; ``None`` on any defect."""
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        if len(blob) < _HEADER_LEN or not blob.startswith(_MAGIC):
+            return None
+        offset = len(_MAGIC)
+        version = int.from_bytes(blob[offset : offset + 4], "little")
+        if version != STORE_VERSION:
+            return None
+        offset += 4
+        length = int.from_bytes(blob[offset : offset + 8], "little")
+        offset += 8
+        checksum = blob[offset : offset + 32]
+        payload = blob[_HEADER_LEN:]
+        if len(payload) != length:
+            return None
+        if hashlib.sha256(payload).digest() != checksum:
+            return None
+        return payload
+
+    def __repr__(self) -> str:
+        return f"<PreparedIndexStore {str(self.store_dir)!r} entries={len(self)}>"

@@ -41,6 +41,7 @@ from typing import Hashable
 
 from repro.core.prepared import PreparedDataGraph
 from repro.graph.digraph import DiGraph
+from repro.graph.fingerprint import graph_fingerprint
 from repro.similarity.matrix import SimilarityMatrix
 from repro.core.phom import validate_threshold
 from repro.utils.errors import InputError
@@ -73,17 +74,27 @@ class MatchingWorkspace:
             if graph2 is None:
                 raise InputError("MatchingWorkspace needs graph2 or a prepared index")
             prepared = PreparedDataGraph(graph2)
-        elif (
-            graph2 is not None
-            and graph2 is not prepared.graph
-            and (
+        elif graph2 is not None and graph2 is not prepared.graph:
+            # Mismatch guard.  Counts alone are not enough: a different
+            # graph with equal node/edge counts would silently produce
+            # mappings onto the wrong graph's nodes.  The cheap checks
+            # (counts, node enumeration — which fixes every mask's bit
+            # meaning) run first so the common error reports precisely;
+            # the fingerprint comparison then enforces the full content
+            # contract (edge relation, labels, weights).  Same-object
+            # callers — every internal prepared-reuse path — never reach
+            # here, so the digest cost lands only on callers pairing a
+            # prepared index with a *different* graph object.
+            if (
                 graph2.num_nodes() != prepared.num_nodes()
                 or graph2.num_edges() != prepared.num_edges()
-            )
-        ):
-            # Cheap sanity guard; the full contract (content equality) is
-            # the service layer's fingerprint-keyed cache.
-            raise InputError("prepared index does not match the given data graph")
+                or list(graph2.nodes()) != prepared.nodes2
+            ):
+                raise InputError("prepared index does not match the given data graph")
+            if graph_fingerprint(graph2) != prepared.fingerprint:
+                raise InputError(
+                    "prepared index fingerprint does not match the given data graph"
+                )
         self.prepared = prepared
         self.graph1 = graph1
         self.graph2 = prepared.graph if graph2 is None else graph2

@@ -27,10 +27,32 @@ own graph object, not a cache-served one (see
 from __future__ import annotations
 
 import hashlib
+import string
 
 from repro.graph.digraph import DiGraph
 
-__all__ = ["graph_fingerprint"]
+__all__ = ["graph_fingerprint", "is_fingerprint", "FINGERPRINT_HEX_LEN"]
+
+#: Length of a :func:`graph_fingerprint` digest (sha256, hex-encoded).
+FINGERPRINT_HEX_LEN = 64
+
+_HEX_DIGITS = frozenset(string.hexdigits.lower())
+
+
+def is_fingerprint(text: str, prefix: bool = False) -> bool:
+    """True when ``text`` looks like a :func:`graph_fingerprint` digest.
+
+    The persistent index store names its files after fingerprints and the
+    ``index`` CLI accepts them as arguments; this validator keeps both
+    from treating stray files (or typos) as digests.  With ``prefix``,
+    any nonempty leading slice of a digest is accepted.
+    """
+    if prefix:
+        if not 0 < len(text) <= FINGERPRINT_HEX_LEN:
+            return False
+    elif len(text) != FINGERPRINT_HEX_LEN:
+        return False
+    return all(c in _HEX_DIGITS for c in text)
 
 
 def graph_fingerprint(graph: DiGraph) -> str:

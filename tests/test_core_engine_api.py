@@ -100,6 +100,29 @@ class TestGreedyMatch:
         assert stats["rounds"] >= 1
         assert stats["pairs_removed"] >= 1
 
+    def test_similarity_pick_falls_back_on_candidates_outside_pref(self):
+        """Regression: caller-seeded candidate bits with no similarity row
+        used to crash the preference scan with a negative shift count."""
+        g1 = DiGraph.from_edges([("a", "b")])
+        g2 = DiGraph.from_edges([("x", "y")])
+        mat = SimilarityMatrix.from_pairs({("a", "x"): 1.0, ("b", "y"): 1.0})
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        # Bit 1 ('y') is a candidate for 'a' here, but mat('a','y') < ξ so
+        # it appears in no workspace.pref row.
+        pairs, stats = comp_max_card_engine(workspace, {0: 0b10}, pick="similarity")
+        assert pairs == [(0, 1)]
+        assert stats["rounds"] >= 1
+
+    def test_similarity_pick_prefers_scored_candidates_over_fallback(self):
+        g1 = DiGraph.from_edges([], nodes=["a"])
+        g2 = DiGraph.from_edges([], nodes=["u0", "u1"])
+        mat = SimilarityMatrix.from_pairs({("a", "u1"): 0.9})
+        workspace = MatchingWorkspace(g1, g2, mat, 0.5)
+        # Both bits seeded; only u1 has a similarity row — the scan must
+        # still win over the lowest-set-bit fallback.
+        pairs, _ = comp_max_card_engine(workspace, {0: 0b11}, pick="similarity")
+        assert pairs == [(0, 1)]
+
 
 class TestMatchFacade:
     def test_match_decision_fig1(self, fig1_pattern, fig1_data, fig1_mat):

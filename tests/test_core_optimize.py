@@ -78,6 +78,31 @@ class TestPartitioning:
         assert result.stats["components"] == 2
         assert result.stats["candidate_free"] == 0
 
+    def test_pick_rule_reaches_single_node_shortcut(self):
+        """Regression: the pick rule used to be ignored entirely."""
+        g1 = DiGraph.from_edges([], nodes=["solo"])
+        g2 = DiGraph.from_edges([], nodes=["u1", "u2"])
+        mat = SimilarityMatrix.from_pairs({("solo", "u1"): 0.6, ("solo", "u2"): 0.9})
+        by_sim = comp_max_card_partitioned(g1, g2, mat, 0.5, pick="similarity")
+        assert by_sim.mapping == {"solo": "u2"}
+        arbitrary = comp_max_card_partitioned(g1, g2, mat, 0.5, pick="arbitrary")
+        assert arbitrary.mapping == {"solo": "u1"}  # lowest index, like the engine
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pick_rule_forwarded_to_engine(self, seed):
+        """Partitioned and unpartitioned agree per pick rule; both valid."""
+        g1, g2, mat = make_random_instance(seed, n1=6, n2=7)
+        for pick in ("similarity", "arbitrary"):
+            parts = comp_max_card_partitioned(g1, g2, mat, 0.5, pick=pick)
+            assert check_phom_mapping(g1, g2, parts.mapping, mat, 0.5) == []
+            whole = comp_max_card(g1, g2, mat, 0.5, pick=pick)
+            assert parts.qual_card >= whole.qual_card - 1e-9
+
+    def test_unknown_pick_rejected_before_work(self):
+        g1, g2, mat = make_random_instance(0)
+        with pytest.raises(ValueError):
+            comp_max_card_partitioned(g1, g2, mat, 0.5, pick="best")
+
 
 class TestCompression:
     def test_figure_10b_compression(self):

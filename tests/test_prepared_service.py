@@ -543,6 +543,138 @@ class TestMatchingService:
 
 
 # ----------------------------------------------------------------------
+# Solve-time accounting: per-solve sums, not pool wall-clock
+# ----------------------------------------------------------------------
+class TestSolveSecondsAccounting:
+    #: Per-solve sleep injected through the similarity callable (the
+    #: service resolves it inside the timed solve).
+    NAP = 0.03
+
+    def slow_similarity(self, pattern, data):
+        import time
+
+        time.sleep(self.NAP)
+        return label_equality_matrix(pattern, data)
+
+    def batch(self, max_workers):
+        g2 = DiGraph.from_edges([("x", "m"), ("m", "y")])
+        patterns = [DiGraph.from_edges([("x", "y")], name=f"p{i}") for i in range(4)]
+        service = MatchingService()
+        service.match_many(
+            patterns, g2, self.slow_similarity, 0.5, max_workers=max_workers
+        )
+        return service.stats
+
+    def test_parallel_solve_seconds_match_sequential(self):
+        """Regression: threaded batches used to record pool wall-clock as
+        solve_seconds, under-reporting against the sequential batch."""
+        floor = 4 * self.NAP  # 4 solves, each at least one nap long
+        sequential = self.batch(max_workers=None)
+        parallel = self.batch(max_workers=4)
+        assert sequential.solve_seconds >= floor
+        assert parallel.solve_seconds >= floor  # the old code reported ~1 nap
+
+    def test_batch_seconds_is_the_pool_wall_clock(self):
+        sequential = self.batch(max_workers=None)
+        assert sequential.batch_seconds >= 4 * self.NAP
+        parallel = self.batch(max_workers=4)
+        # Four 30ms naps across four threads: the wall-clock must come in
+        # well under the per-solve sum (the gap the old stat conflated).
+        assert parallel.batch_seconds < parallel.solve_seconds
+        assert parallel.batch_seconds < 3 * self.NAP
+        assert "batch_seconds" in sequential.snapshot()
+
+    def test_single_match_does_not_touch_batch_seconds(self):
+        g1, g2, mat = make_random_instance(21)
+        service = MatchingService()
+        service.match(g1, g2, mat, 0.4)
+        assert service.stats.batch_seconds == 0.0
+        assert service.stats.solve_seconds > 0.0
+
+
+# ----------------------------------------------------------------------
+# Workspace prepared-mismatch guard
+# ----------------------------------------------------------------------
+class TestPreparedMismatchGuard:
+    def test_equal_counts_different_nodes_rejected(self):
+        """Regression: equal node/edge counts used to slip through and
+        produce mappings onto the wrong graph's nodes."""
+        g2 = DiGraph.from_edges([("x", "m"), ("m", "y")])
+        impostor = DiGraph.from_edges([("p", "q"), ("q", "r")])
+        prepared = prepare_data_graph(g2)
+        assert impostor.num_nodes() == g2.num_nodes()
+        assert impostor.num_edges() == g2.num_edges()
+        with pytest.raises(InputError):
+            MatchingWorkspace(DiGraph(), impostor, SimilarityMatrix(), 0.5, prepared=prepared)
+
+    @pytest.mark.parametrize("with_fingerprint", [True, False])
+    def test_same_nodes_different_edges_rejected_via_fingerprint(self, with_fingerprint):
+        g2 = DiGraph.from_edges([("a", "b"), ("c", "d")])
+        rewired = DiGraph.from_edges([("a", "c"), ("b", "d")])
+        # Force identical node enumeration order in both graphs.
+        rewired2 = DiGraph()
+        for node in g2.nodes():
+            rewired2.add_node(node)
+        rewired2.add_edges(rewired.edges())
+        # The guard must hold whether or not the digest was precomputed
+        # (a lazily fingerprinted index computes it on demand).
+        fingerprint = graph_fingerprint(g2) if with_fingerprint else None
+        prepared = PreparedDataGraph(g2, fingerprint=fingerprint)
+        assert list(rewired2.nodes()) == list(g2.nodes())
+        with pytest.raises(InputError):
+            MatchingWorkspace(DiGraph(), rewired2, SimilarityMatrix(), 0.5, prepared=prepared)
+
+    def test_content_equal_copy_accepted(self):
+        g1, g2, mat = make_random_instance(8)
+        prepared = PreparedDataGraph(g2, fingerprint=graph_fingerprint(g2))
+        workspace = MatchingWorkspace(g1, g2.copy(), mat, 0.5, prepared=prepared)
+        assert workspace.from_mask is prepared.from_mask
+
+    def test_attrs_only_difference_accepted(self):
+        """The session contract: attrs may drift, structure may not."""
+        g1, g2, mat = make_random_instance(9)
+        prepared = PreparedDataGraph(g2, fingerprint=graph_fingerprint(g2))
+        refreshed = g2.copy()
+        refreshed.attrs(next(refreshed.nodes()))["content"] = "new page text"
+        workspace = MatchingWorkspace(g1, refreshed, mat, 0.5, prepared=prepared)
+        assert workspace.graph2 is refreshed
+
+
+# ----------------------------------------------------------------------
+# The pick rule is surfaced end to end
+# ----------------------------------------------------------------------
+class TestPickSurfaced:
+    def scenario(self):
+        g1 = DiGraph.from_edges([], nodes=["solo"])
+        g2 = DiGraph.from_edges([], nodes=["u1", "u2"])
+        mat = SimilarityMatrix.from_pairs({("solo", "u1"): 0.6, ("solo", "u2"): 0.9})
+        return g1, g2, mat
+
+    def test_api_match_forwards_pick_to_partitioned(self):
+        g1, g2, mat = self.scenario()
+        by_sim = match(g1, g2, mat, 0.5, partitioned=True, pick="similarity")
+        assert by_sim.result.mapping == {"solo": "u2"}
+        arbitrary = match(g1, g2, mat, 0.5, partitioned=True, pick="arbitrary")
+        assert arbitrary.result.mapping == {"solo": "u1"}
+
+    def test_service_rejects_unknown_pick_preflight(self):
+        g1, g2, mat = self.scenario()
+        service = MatchingService()
+        with pytest.raises(InputError):
+            service.match(g1, g2, mat, 0.5, pick="best")
+        with pytest.raises(InputError):
+            service.match_many([g1], g2, mat, 0.5, pick="best")
+        assert service.stats.prepares == 0  # rejected before preparing
+
+    def test_session_match_accepts_pick(self):
+        g1, g2, mat = self.scenario()
+        session = MatchingService().session(g2, mat, 0.5)
+        assert session.match(g1, pick="arbitrary", partitioned=True).result.mapping == {
+            "solo": "u1"
+        }
+
+
+# ----------------------------------------------------------------------
 # The acceptance-criterion scenario: ≥50 patterns vs one 500-node graph
 # ----------------------------------------------------------------------
 class TestAmortizationAtScale:

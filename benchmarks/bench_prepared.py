@@ -5,7 +5,9 @@ patterns matched against one data graph, once rebuilding the ``G2⁺``
 reachability index per call (the pre-refactor behaviour) and once through
 ``MatchingService.match_many`` which prepares the data graph exactly one
 time.  ``test_amortized_speedup`` asserts the session path actually wins
-and prints the ratio recorded in CHANGES.md.
+and prints the ratio recorded in CHANGES.md; under ``--json PATH`` it
+also writes ``BENCH_prepared.json`` (see ``bench_utils.make_json_writer``)
+so the amortization trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -63,7 +65,7 @@ def test_session_match_many(benchmark):
     assert len(reports) == NUM_PATTERNS
 
 
-def test_amortized_speedup():
+def test_amortized_speedup(bench_json):
     """Session reuse must beat N cold calls, with identical reports."""
     data, patterns = _workload()
 
@@ -86,6 +88,16 @@ def test_amortized_speedup():
     print(
         f"\ncold={cold_seconds:.3f}s session={warm_seconds:.3f}s "
         f"speedup={speedup:.1f}x over {NUM_PATTERNS} patterns"
+    )
+    bench_json(
+        "prepared",
+        {
+            "patterns": NUM_PATTERNS,
+            "data_nodes": DATA_NODES,
+            "cold_seconds": cold_seconds,
+            "session_seconds": warm_seconds,
+            "speedup": speedup,
+        },
     )
     # The prepared index dominates the cold cost at this shape; 2x is a
     # deliberately loose floor so CI noise cannot flake the assertion.

@@ -4,13 +4,51 @@ Benchmark modules import from here rather than from ``conftest`` so that
 no module in the repo ever does a bare ``import conftest`` — with both
 ``tests/`` and ``benchmarks/`` on ``sys.path``, that import is ambiguous
 and used to break collection from the repo root.
+
+Machine-readable results: running ``pytest benchmarks/... --json PATH``
+(option registered in ``benchmarks/conftest.py``) hands benchmarks a
+writer — the ``bench_json`` fixture — that drops one ``BENCH_<name>.json``
+per benchmark into ``PATH`` (a directory, or an exact ``.json`` file
+path when only one benchmark writes).  The files are the perf trajectory
+across PRs: commit-comparable numbers instead of eyeballed console
+output.  Without ``--json`` the writer is a no-op, so benchmarks always
+call it unconditionally.
 """
 
 from __future__ import annotations
 
-__all__ = ["run_once"]
+import json
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["run_once", "make_json_writer"]
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Measure one full execution of an end-to-end experiment."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def make_json_writer(target: str | None) -> Callable[[str, dict], Path | None]:
+    """A ``write(name, payload)`` callable for the ``--json`` option.
+
+    ``target`` of ``None`` (option not given) returns a no-op writer.  A
+    ``*.json`` target is written verbatim; anything else is treated as a
+    directory (created if needed) receiving ``BENCH_<name>.json``.
+    Returns the written path, or ``None`` when disabled.
+    """
+
+    def write(name: str, payload: dict) -> Path | None:
+        if target is None:
+            return None
+        path = Path(target)
+        if path.suffix == ".json":
+            path.parent.mkdir(parents=True, exist_ok=True)
+            out = path
+        else:
+            path.mkdir(parents=True, exist_ok=True)
+            out = path / f"BENCH_{name}.json"
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        return out
+
+    return write

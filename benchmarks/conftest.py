@@ -6,6 +6,11 @@ Benchmarks default to the 'smoke' preset so ``pytest benchmarks/
 Heavy end-to-end benchmarks run exactly once per measurement
 (``benchmark.pedantic`` with one round, via ``bench_utils.run_once``) —
 they are experiments, not microbenchmarks.
+
+``--json PATH`` makes result-bearing benchmarks (``bench_backends``,
+``bench_prepared``) additionally write machine-readable
+``BENCH_<name>.json`` files into ``PATH`` — see
+``bench_utils.make_json_writer``.
 """
 
 from __future__ import annotations
@@ -14,7 +19,19 @@ import os
 
 import pytest
 
+from bench_utils import make_json_writer
 from repro.experiments.config import SCALES
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write BENCH_<name>.json result files into PATH "
+        "(a directory, or a single .json file path)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -23,3 +40,8 @@ def bench_scale():
     name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
     return SCALES[name]
 
+
+@pytest.fixture(scope="session")
+def bench_json(request):
+    """``write(name, payload)`` — no-op unless ``--json PATH`` was given."""
+    return make_json_writer(request.config.getoption("--json"))

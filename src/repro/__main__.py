@@ -4,7 +4,8 @@
     python -m repro batch DATA.json PATTERN.json [PATTERN.json ...] [options]
     python -m repro index warm STORE_DIR DATA.json [DATA.json ...]
     python -m repro index ls STORE_DIR
-    python -m repro index rm STORE_DIR FINGERPRINT... | --all
+    python -m repro index rm STORE_DIR FINGERPRINT... | --all | --older-than SECONDS
+    python -m repro index gc STORE_DIR --max-bytes N
     python -m repro stats GRAPH.json
     python -m repro closure GRAPH.json OUT.json
 
@@ -25,7 +26,16 @@ solves out over ``N`` threads.
 :class:`~repro.core.store.PreparedIndexStore`: prepared ``G2⁺`` indexes
 are loaded from — and saved to — ``DIR``, so separate process runs share
 preparation work.  ``index warm`` pre-builds a store for a fleet of cold
-workers; ``index ls`` / ``index rm`` inspect and prune it.
+workers; ``index ls`` / ``index rm`` inspect and prune it, and the GC
+pair — ``index rm --older-than SECONDS`` (age-based) and ``index gc
+--max-bytes N`` (size budget, oldest-mtime evicted first) — keeps a
+long-lived fleet's store bounded.
+
+``--backend {python,numpy}`` (on ``match``, ``batch`` and ``index
+warm``) selects the solver mask representation — results are
+bit-identical, only speed differs; the ``REPRO_BACKEND`` environment
+variable changes the default.  Output summaries record which backend
+served (``backend`` / ``solved_by``) so operators can audit a fleet.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ import json
 import sys
 
 from repro.core.api import match
+from repro.core.backends import BACKEND_NAMES, get_backend
 from repro.core.phom import check_phom_mapping
 from repro.core.prepared import PreparedDataGraph
 from repro.core.service import MatchingService
@@ -49,6 +60,12 @@ from repro.similarity.shingles import ShingleIndex, shingle_similarity_matrix
 from repro.utils.timing import Stopwatch
 
 __all__ = ["main"]
+
+#: Shared ``--backend`` help string (match / batch / index warm).
+BACKEND_HELP = (
+    "solver backend (default: REPRO_BACKEND or 'python'); "
+    "results are identical across backends, only speed differs"
+)
 
 
 def _load_similarity(spec: str, pattern, data) -> SimilarityMatrix:
@@ -76,6 +93,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         partitioned=args.partitioned,
         symmetric=args.symmetric,
         pick=args.pick,
+        backend=args.backend,
     )
     if args.store_dir is not None:
         # A dedicated service so the disk tier is read *and* warmed.
@@ -88,6 +106,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         "quality": report.quality,
         "metric": report.metric,
         "threshold": report.threshold,
+        "backend": get_backend(args.backend).name,
         "qual_card": report.result.qual_card,
         "qual_sim": report.result.qual_sim,
         "mapping": {str(v): str(u) for v, u in sorted(report.result.mapping.items(), key=repr)},
@@ -118,7 +137,7 @@ def _similarity_source(spec: str, data):
 def _cmd_batch(args: argparse.Namespace) -> int:
     data = load_json(args.data)
     patterns = [load_json(path) for path in args.patterns]
-    service = MatchingService(store_dir=args.store_dir)
+    service = MatchingService(store_dir=args.store_dir, backend=args.backend)
     reports = service.match_many(
         patterns,
         data,
@@ -153,6 +172,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "summary": True,
             "patterns": len(patterns),
             "matched": sum(1 for report in reports if report.matched),
+            "backend": service.backend.name,
             "service": service.stats.snapshot(),
         }
         json.dump(summary, out)
@@ -164,23 +184,39 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_index_warm(args: argparse.Namespace) -> int:
-    """Prepare every data graph and persist its index into the store."""
+    """Prepare every data graph and persist its index into the store.
+
+    The store format is backend-neutral; ``--backend`` additionally
+    hydrates each warmed index's rows under the named backend, both as a
+    verification pass and so the warm's cost profile matches the serving
+    fleet's.
+    """
     store = PreparedIndexStore(args.store_dir)
+    backend = get_backend(args.backend)
     for path in args.graphs:
         graph = load_json(path)
         fingerprint = graph_fingerprint(graph)
         # "exists" only counts when the stored file actually loads — a
         # corrupt or stale file must be rebuilt, not reported as warm.
-        if not args.force and store.load(fingerprint, graph) is not None:
-            line = {"graph": path, "fingerprint": fingerprint, "action": "exists"}
+        loaded = None if args.force else store.load(fingerprint, graph)
+        if loaded is not None:
+            loaded.backend_rows(backend)  # hydration check
+            line = {
+                "graph": path,
+                "fingerprint": fingerprint,
+                "action": "exists",
+                "backend": backend.name,
+            }
         else:
             prepared = PreparedDataGraph(graph, fingerprint=fingerprint)
             with Stopwatch() as watch:
                 stored_at = store.save(prepared)
+            prepared.backend_rows(backend)  # hydration check
             line = {
                 "graph": path,
                 "fingerprint": fingerprint,
                 "action": "stored",
+                "backend": backend.name,
                 "nodes": prepared.num_nodes(),
                 "edges": prepared.num_edges(),
                 "prepare_seconds": prepared.prepare_seconds,
@@ -205,11 +241,25 @@ def _cmd_index_ls(args: argparse.Namespace) -> int:
 
 def _cmd_index_rm(args: argparse.Namespace) -> int:
     store = PreparedIndexStore(args.store_dir, create=False)
-    if args.all:
+    if args.older_than is not None:
+        if args.all or args.fingerprints:
+            print(
+                "index rm --older-than cannot be combined with fingerprints or --all",
+                file=sys.stderr,
+            )
+            return 2
+        if args.older_than < 0:
+            print("index rm --older-than needs a nonnegative age", file=sys.stderr)
+            return 2
+        removed = store.remove_older_than(args.older_than)
+    elif args.all:
         removed = store.clear()
     else:
         if not args.fingerprints:
-            print("index rm needs fingerprints or --all", file=sys.stderr)
+            print(
+                "index rm needs fingerprints, --all, or --older-than",
+                file=sys.stderr,
+            )
             return 2
         removed = 0
         for spec in args.fingerprints:
@@ -223,6 +273,16 @@ def _cmd_index_rm(args: argparse.Namespace) -> int:
             if matches and store.remove(matches[0]):
                 removed += 1
     json.dump({"removed": removed}, sys.stdout)
+    print()
+    return 0
+
+
+def _cmd_index_gc(args: argparse.Namespace) -> int:
+    store = PreparedIndexStore(args.store_dir, create=False)
+    if args.max_bytes < 0:
+        print("index gc needs a nonnegative --max-bytes", file=sys.stderr)
+        return 2
+    json.dump(store.gc_max_bytes(args.max_bytes), sys.stdout)
     print()
     return 0
 
@@ -283,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-dir", default=None, metavar="DIR",
         help="persistent prepared-index store to read/warm",
     )
+    matcher.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="%s" % BACKEND_HELP,
+    )
     matcher.add_argument("--verify", action="store_true", help="re-check the mapping")
     matcher.set_defaults(handler=_cmd_match)
 
@@ -313,6 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent prepared-index store to read/warm",
     )
     batch.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="%s" % BACKEND_HELP,
+    )
+    batch.add_argument(
         "--parallel", type=int, default=None, metavar="N",
         help="solve patterns over N worker threads",
     )
@@ -332,6 +400,10 @@ def build_parser() -> argparse.ArgumentParser:
     warm.add_argument(
         "--force", action="store_true", help="re-prepare even when already stored"
     )
+    warm.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="%s" % BACKEND_HELP,
+    )
     warm.set_defaults(handler=_cmd_index, index_handler=_cmd_index_warm)
 
     ls = index_sub.add_parser("ls", help="list stored indexes (JSON lines)")
@@ -345,7 +417,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="full digests or unambiguous prefixes",
     )
     rm.add_argument("--all", action="store_true", help="remove every stored index")
+    rm.add_argument(
+        "--older-than", type=float, default=None, metavar="SECONDS",
+        help="remove indexes whose file mtime is older than SECONDS ago",
+    )
     rm.set_defaults(handler=_cmd_index, index_handler=_cmd_index_rm)
+
+    gc = index_sub.add_parser(
+        "gc", help="evict oldest-mtime indexes until the store fits a byte budget"
+    )
+    gc.add_argument("store_dir")
+    gc.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="total store size to shrink to (oldest files evicted first)",
+    )
+    gc.set_defaults(handler=_cmd_index, index_handler=_cmd_index_gc)
 
     stats = sub.add_parser("stats", help="Table 2 statistics of one graph")
     stats.add_argument("graph")

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.backends import SolverBackend, get_backend
 from repro.core.comp_max_card import comp_max_card, comp_max_card_injective
 from repro.core.comp_max_sim import comp_max_sim, comp_max_sim_injective
 from repro.core.engine import PICK_RULES
@@ -66,6 +67,7 @@ def validate_match_options(
     xi: float | None = None,
     partitioned: bool = False,
     pick: str = "similarity",
+    backend: "str | SolverBackend | None" = None,
 ) -> None:
     """Reject bad options *before* any expensive work.
 
@@ -82,6 +84,7 @@ def validate_match_options(
         raise InputError("partitioned matching is implemented for the cardinality metric")
     if pick not in PICK_RULES:
         raise InputError(f"unknown pick rule {pick!r}; choose one of {PICK_RULES}")
+    get_backend(backend)  # raises on unknown names / missing dependencies
     if xi is not None:
         validate_threshold(xi)
 
@@ -106,6 +109,7 @@ def match_prepared(
     partitioned: bool = False,
     symmetric: bool = False,
     pick: str = "similarity",
+    backend: "str | SolverBackend | None" = None,
 ) -> MatchReport:
     """Match ``graph1`` against an already-prepared data graph.
 
@@ -117,7 +121,9 @@ def match_prepared(
     :mod:`repro.graph.fingerprint`).  See :func:`match` for parameter
     semantics.
     """
-    validate_match_options(metric, threshold, partitioned=partitioned, pick=pick)
+    validate_match_options(
+        metric, threshold, partitioned=partitioned, pick=pick, backend=backend
+    )
     return _solve_prepared(
         graph1,
         prepared,
@@ -129,6 +135,7 @@ def match_prepared(
         partitioned=partitioned,
         symmetric=symmetric,
         pick=pick,
+        backend=backend,
     )
 
 
@@ -143,6 +150,7 @@ def _solve_prepared(
     partitioned: bool,
     symmetric: bool,
     pick: str = "similarity",
+    backend: "str | SolverBackend | None" = None,
 ) -> MatchReport:
     """:func:`match_prepared` minus validation — for callers (the service
     layer) that already ran :func:`validate_match_options` pre-flight."""
@@ -153,18 +161,24 @@ def _solve_prepared(
         if partitioned:
             result = comp_max_card_partitioned(
                 pattern, graph2, mat, xi, injective=injective, pick=pick,
-                prepared=prepared,
+                prepared=prepared, backend=backend,
             )
         elif injective:
             result = comp_max_card_injective(
-                pattern, graph2, mat, xi, pick=pick, prepared=prepared
+                pattern, graph2, mat, xi, pick=pick, prepared=prepared,
+                backend=backend,
             )
         else:
-            result = comp_max_card(pattern, graph2, mat, xi, pick=pick, prepared=prepared)
+            result = comp_max_card(
+                pattern, graph2, mat, xi, pick=pick, prepared=prepared,
+                backend=backend,
+            )
         quality = result.qual_card
     else:
         runner: Callable = comp_max_sim_injective if injective else comp_max_sim
-        result = runner(pattern, graph2, mat, xi, pick=pick, prepared=prepared)
+        result = runner(
+            pattern, graph2, mat, xi, pick=pick, prepared=prepared, backend=backend
+        )
         quality = result.qual_sim
 
     return MatchReport(
@@ -188,6 +202,7 @@ def match(
     symmetric: bool = False,
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
+    backend: "str | SolverBackend | None" = None,
 ) -> MatchReport:
     """Match ``graph1`` (pattern) against ``graph2`` (data graph).
 
@@ -209,6 +224,12 @@ def match(
     pick:
         greedyMatch's candidate rule — ``"similarity"`` (default) or
         ``"arbitrary"``; see ``repro.core.engine.PICK_RULES``.
+    backend:
+        Solver mask representation — ``"python"`` (big-int reference,
+        default) or ``"numpy"`` (vectorized uint64 blocks); a
+        :class:`~repro.core.backends.base.SolverBackend` instance also
+        works.  ``None`` defers to ``REPRO_BACKEND``.  Results are
+        bit-identical across backends; only speed differs.
     prepared:
         An explicit pre-built index of ``graph2`` (bypasses the service
         cache; ``graph2`` is ignored in favour of ``prepared.graph``).
@@ -229,6 +250,7 @@ def match(
             partitioned=partitioned,
             symmetric=symmetric,
             pick=pick,
+            backend=backend,
         )
     # Imported lazily: the service module builds on this one.
     from repro.core.service import default_service
@@ -244,4 +266,5 @@ def match(
         partitioned=partitioned,
         symmetric=symmetric,
         pick=pick,
+        backend=backend,
     )

@@ -1,0 +1,100 @@
+"""Pluggable solver backends for the greedy matching engine.
+
+The engine (:mod:`repro.core.engine`) is generic over a
+:class:`~repro.core.backends.base.SolverBackend` that owns the candidate
+mask representation; this package holds the protocol, the registry, and
+the two implementations:
+
+``"python"`` — :class:`~repro.core.backends.python_int.PythonIntBackend`
+    the reference: big-int bitmask rows, the seed implementation's exact
+    semantics.  Always available; the default.
+
+``"numpy"`` — :class:`~repro.core.backends.numpy_block.NumpyBlockBackend`
+    masks as ``uint64`` block matrices with vectorized trimMatching
+    row-ANDs and ``bitwise_count``/SWAR popcounts.  Bit-identical
+    results; requires numpy.
+
+Selection: pass ``backend=`` (a name or a backend instance) anywhere the
+matching stack accepts it — :func:`repro.core.api.match`,
+:class:`~repro.core.service.MatchingService`,
+:class:`~repro.core.workspace.MatchingWorkspace`, the CLI's
+``--backend`` flag — or set the ``REPRO_BACKEND`` environment variable
+to change the process default (explicit arguments win).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.backends.base import MatchingList, SolverBackend
+from repro.core.backends.python_int import PythonIntBackend, PythonMatchingList
+from repro.core.backends.numpy_block import (
+    NumpyBlockBackend,
+    NumpyMatchingList,
+    numpy_available,
+)
+from repro.utils.errors import InputError
+
+__all__ = [
+    "MatchingList",
+    "SolverBackend",
+    "PythonIntBackend",
+    "PythonMatchingList",
+    "NumpyBlockBackend",
+    "NumpyMatchingList",
+    "BACKEND_NAMES",
+    "BACKEND_ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "numpy_available",
+]
+
+#: Every registered backend name, in preference/registration order.
+BACKEND_NAMES: tuple[str, ...] = ("python", "numpy")
+
+#: Environment variable supplying the process-default backend name.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_FACTORIES = {
+    "python": PythonIntBackend,
+    "numpy": NumpyBlockBackend,
+}
+
+#: Constructed backends are stateless — cache one instance per name.
+_instances: dict[str, SolverBackend] = {}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names whose dependencies are importable right now."""
+    return tuple(
+        name
+        for name in BACKEND_NAMES
+        if name != "numpy" or numpy_available()
+    )
+
+
+def get_backend(spec: "str | SolverBackend | None" = None) -> SolverBackend:
+    """Resolve a backend: an instance, a registry name, or the default.
+
+    ``None`` consults ``REPRO_BACKEND`` and falls back to ``"python"``.
+    Unknown names — and known names whose dependency is missing — raise
+    :class:`~repro.utils.errors.InputError` before any expensive work.
+    """
+    if isinstance(spec, SolverBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or "python"
+    if not isinstance(spec, str):
+        raise InputError(
+            f"solver backend must be a name or SolverBackend, got {spec!r}"
+        )
+    name = spec.strip().lower()
+    if name not in _FACTORIES:
+        raise InputError(
+            f"unknown solver backend {spec!r}; choose one of {BACKEND_NAMES}"
+        )
+    backend = _instances.get(name)
+    if backend is None:
+        backend = _FACTORIES[name]()  # may raise InputError (missing dep)
+        _instances[name] = backend
+    return backend

@@ -1,0 +1,415 @@
+"""The vectorized backend: candidate masks as ``uint64`` block matrices.
+
+Profiling the reference backend shows the greedy recursion's frames are
+bimodal: a short *spine* of wide matching lists (the ``H⁺`` chain of the
+top-level list — tens to hundreds of rows) and a long tail of tiny
+``H⁻`` lists, 80 %+ of them single-row chains that burn one full frame
+per candidate bit.  This backend attacks both ends, adaptively:
+
+**Dense mode** (row count > ``SMALL_CUTOFF``) — the matching list is
+``keys`` (present pattern indices, ascending) plus ``good`` / ``minus``
+as ``(k, W)`` ``uint64`` matrices, word ``w`` of a row holding data-node
+bits ``64·w … 64·w+63`` (little-endian, matching ``int.to_bytes``).
+Every loop the reference runs row-by-row through a Python dict becomes
+one whole-matrix kernel: line 2's "largest good list" is a
+``bitwise_count`` + ``argmax`` (ties resolve to the smallest pattern
+index for free because ``keys`` is sorted); trimMatching is a
+fancy-indexed row-AND for all surviving parents (children) at once; the
+1-1 capacity sweep is a single column test; the ``H⁺``/``H⁻`` partition
+is two ``any`` reductions and boolean-mask row copies.
+
+**Small mode** (row count ≤ ``SMALL_CUTOFF``) — numpy kernels cost ~µs
+each regardless of size, so tiny lists fall back to the reference
+representation (``{v: [good, minus]}`` big-int dicts, converted once at
+partition time) where CPython's C-level big-int ops win.  The dict
+operations are *delegated to* :mod:`~repro.core.backends.python_int`'s
+``*_entries`` functions, not re-implemented, so the two backends cannot
+drift apart in this regime.
+
+**Trivial chains** — a single-row list ``{v: mask}`` cannot trim or
+exhaust anything (both operations only touch *other* rows), so its
+entire recursion subtree has a closed form: ``σ = [(v, u₁)]`` and
+``I = [(v, u_c), …, (v, u₁)]`` where ``u₁ … u_c`` is the pick sequence
+(preference-ordered surviving candidates, then remaining bits
+ascending — exactly what re-running line 2 per frame yields).
+``solve_trivial`` returns that in O(c) instead of c frames; capacities
+are irrelevant on the way (nothing else is left to exhaust).
+
+Popcounts use ``numpy.bitwise_count`` (NumPy ≥ 2.0) with a SWAR
+(SIMD-within-a-register) fallback for older NumPy.  Results are
+bit-identical to :class:`~repro.core.backends.python_int.PythonIntBackend`
+— the backend equivalence suite and ``benchmarks/bench_backends.py``
+assert it, including the pick order inside collapsed chains — only the
+time budget moves.
+
+The module imports without numpy installed; constructing the backend
+then raises a :class:`~repro.utils.errors.InputError` naming the fix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.backends.base import MatchingList, SolverBackend
+from repro.core.backends.python_int import (
+    exhaust_entries,
+    partition_entries,
+    pick_candidate_entries,
+    pick_node_entries,
+    settle_entries,
+    trim_entries,
+)
+from repro.utils.errors import InputError
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+__all__ = ["NumpyBlockBackend", "NumpyMatchingList", "numpy_available", "SMALL_CUTOFF"]
+
+#: Lists at or below this many rows use the big-int dict representation;
+#: above it, uint64 block matrices.  Around this size the fixed cost of
+#: a numpy kernel launch crosses the per-row cost of a C big-int op.
+SMALL_CUTOFF = 48
+
+
+def numpy_available() -> bool:
+    """True iff numpy is importable (the backend is constructible)."""
+    return np is not None
+
+
+if np is not None:
+    _U1 = np.uint64(1)
+    _U6 = np.uint64(6)
+    _U63 = np.uint64(63)
+    #: Per-bit set / clear words, precomputed once.
+    _BIT = np.array([1 << b for b in range(64)], dtype=np.uint64)
+    _INV = np.array(
+        [((1 << 64) - 1) ^ (1 << b) for b in range(64)], dtype=np.uint64
+    )
+
+    if hasattr(np, "bitwise_count"):
+
+        def _popcount_rows(matrix):
+            """Per-row popcounts of a ``(k, W)`` uint64 matrix."""
+            return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
+
+    else:  # pragma: no cover - NumPy < 2.0 fallback
+
+        _M1 = np.uint64(0x5555555555555555)
+        _M2 = np.uint64(0x3333333333333333)
+        _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+        _H01 = np.uint64(0x0101010101010101)
+
+        def _popcount_rows(matrix):
+            """SWAR popcount (Hacker's Delight 5-2), vectorized per word."""
+            x = matrix - ((matrix >> _U1) & _M1)
+            x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+            x = (x + (x >> np.uint64(4))) & _M4
+            return ((x * _H01) >> np.uint64(56)).sum(axis=1, dtype=np.int64)
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise InputError(
+            "the 'numpy' solver backend needs numpy installed; "
+            "pip install numpy, or select REPRO_BACKEND=python"
+        )
+
+
+class _NumpyRows:
+    """Closure rows, both native ``(n, W)`` uint64 matrices *and* the
+    original big-int lists (shared by reference — small mode trims with
+    ints, dense mode with matrix rows)."""
+
+    __slots__ = ("from_rows", "to_rows", "from_ints", "to_ints", "num_bits", "words")
+
+    def __init__(self, from_rows, to_rows, from_ints, to_ints, num_bits, words):
+        self.from_rows = from_rows
+        self.to_rows = to_rows
+        self.from_ints = from_ints
+        self.to_ints = to_ints
+        self.num_bits = num_bits
+        self.words = words
+
+
+class _NumpyContext:
+    """Engine context: native closure rows + pattern-side index tables."""
+
+    __slots__ = (
+        "rows",
+        "num_pattern",
+        "prev",
+        "post",
+        "pref",
+        "prev_idx",
+        "post_idx",
+        "pref_idx",
+        "_pref_rank",
+    )
+
+    def __init__(self, rows: _NumpyRows, num_pattern: int, prev, post, pref) -> None:
+        self.rows = rows
+        self.num_pattern = num_pattern
+        self.prev = prev
+        self.post = post
+        self.pref = pref
+        # Dense-mode trim tables: unique neighbor indices with the owner
+        # itself removed (the ``neighbor != v`` guard, hoisted out of the
+        # hot loop).
+        self.prev_idx = [
+            np.unique(np.array([p for p in row if p != v], dtype=np.int64))
+            for v, row in enumerate(prev)
+        ]
+        self.post_idx = [
+            np.unique(np.array([s for s in row if s != v], dtype=np.int64))
+            for v, row in enumerate(post)
+        ]
+        #: Preference orders as uint64 index arrays (dense similarity pick).
+        self.pref_idx = [np.array(row, dtype=np.uint64) for row in pref]
+        #: Lazy per-node candidate→preference-rank maps (trivial chains).
+        self._pref_rank: list[dict[int, int] | None] = [None] * len(pref)
+
+    def pref_rank(self, v: int) -> dict[int, int]:
+        rank = self._pref_rank[v]
+        if rank is None:
+            rank = {u: i for i, u in enumerate(self.pref[v])}
+            self._pref_rank[v] = rank
+        return rank
+
+
+def _masks_to_matrix(masks: Sequence[int], words: int):
+    """Pack big-int rows into a ``(len(masks), words)`` uint64 matrix."""
+    if not masks:
+        return np.zeros((0, words), dtype=np.uint64)
+    nbytes = words * 8
+    buffer = b"".join(mask.to_bytes(nbytes, "little") for mask in masks)
+    return np.frombuffer(buffer, dtype="<u8").reshape(len(masks), words).copy()
+
+
+def _row_to_int(row) -> int:
+    return int.from_bytes(row.tobytes(), "little")
+
+
+def _mask_bits(mask: int) -> list[int]:
+    """Set-bit indices of ``mask``, ascending."""
+    bits = []
+    while mask:
+        low = mask & -mask
+        bits.append(low.bit_length() - 1)
+        mask ^= low
+    return bits
+
+
+class NumpyMatchingList(MatchingList):
+    """``H`` in adaptive representation: block matrices or a big-int dict.
+
+    Exactly one of ``entries`` (small mode) and ``keys``/``good``/``minus``
+    (dense mode) is populated; partitioning demotes children that fall to
+    ``SMALL_CUTOFF`` rows or fewer, and lists never grow, so a demoted
+    list stays small for the rest of its subtree.
+    """
+
+    __slots__ = ("ctx", "entries", "keys", "good", "minus", "_pos")
+
+    def __init__(self, ctx: _NumpyContext, entries=None, keys=None, good=None, minus=None):
+        self.ctx = ctx
+        self.entries = entries
+        self.keys = keys
+        self.good = good
+        self.minus = minus
+        if entries is None:
+            # Dense position table: _pos[v] = row of v, -1 when absent.
+            # The pattern side is small, so one vectorized rebuild per
+            # frame beats a searchsorted on every settle/trim.
+            pos = np.full(ctx.num_pattern, -1, dtype=np.int64)
+            if keys.size:
+                pos[keys] = np.arange(keys.size, dtype=np.int64)
+            self._pos = pos
+        else:
+            self._pos = None
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        if self.entries is not None:
+            return not self.entries
+        return self.keys.size == 0
+
+    def solve_trivial(self, by_similarity: bool):
+        entries = self.entries
+        if entries is None or len(entries) != 1:
+            return None
+        ((v, masks),) = entries.items()
+        bits = _mask_bits(masks[0])
+        if by_similarity:
+            # Stepwise pick order: preferred candidates in preference
+            # order, then the un-ranked rest ascending — re-picking per
+            # frame never reorders survivors, so one sort reproduces it.
+            rank = self.ctx.pref_rank(v)
+            missing = len(rank)
+            bits.sort(key=lambda u: (rank.get(u, missing), u))
+        sigma = [(v, bits[0])]
+        iset = [(v, u) for u in reversed(bits)]
+        return sigma, iset
+
+    def pick_node(self) -> int:
+        if self.entries is not None:
+            return pick_node_entries(self.entries)
+        counts = _popcount_rows(self.good)
+        return int(self.keys[int(np.argmax(counts))])  # first max == smallest key
+
+    def pick_candidate(self, v: int, pref: Sequence[int] | None) -> int:
+        if self.entries is not None:
+            return pick_candidate_entries(self.entries, v, pref)
+        row = self.good[self._pos[v]]
+        if pref is not None and len(pref):
+            order = self.ctx.pref_idx[v]
+            words = row[(order >> _U6).astype(np.intp)]
+            hits = ((words >> (order & _U63)) & _U1).nonzero()[0]
+            if hits.size:
+                return int(order[hits[0]])
+        nonzero_words = row.nonzero()[0]
+        w = int(nonzero_words[0])
+        word = int(row[w])
+        return (w << 6) + ((word & -word).bit_length() - 1)
+
+    def settle(self, v: int, u: int) -> None:
+        if self.entries is not None:
+            settle_entries(self.entries, v, u)
+            return
+        i = self._pos[v]
+        w, b = u >> 6, u & 63
+        self.minus[i, :] = self.good[i, :]
+        self.minus[i, w] &= _INV[b]
+        self.good[i, :] = 0
+
+    def exhaust(self, u: int, v: int) -> None:
+        if self.entries is not None:
+            exhaust_entries(self.entries, u, v)
+            return
+        # settle() already zeroed v's good row, so the column test never
+        # selects it; no explicit skip needed.
+        w, b = u >> 6, u & 63
+        bit = _BIT[b]
+        column = (self.good[:, w] & bit) != 0
+        if column.any():
+            self.minus[column, w] |= bit
+            self.good[column, w] &= _INV[b]
+
+    def trim(self, v: int, u: int) -> None:
+        ctx = self.ctx
+        if self.entries is not None:
+            trim_entries(self.entries, ctx.prev[v], v, ctx.rows.to_ints[u])
+            trim_entries(self.entries, ctx.post[v], v, ctx.rows.from_ints[u])
+            return
+        pos = self._pos
+        for neighbors, mask_row in (
+            (ctx.prev_idx[v], ctx.rows.to_rows[u]),
+            (ctx.post_idx[v], ctx.rows.from_rows[u]),
+        ):
+            if neighbors.size == 0:
+                continue
+            present = pos[neighbors]
+            present = present[present >= 0]
+            if present.size == 0:
+                continue
+            selected = self.good[present]
+            bad = selected & ~mask_row
+            self.good[present] = selected & mask_row
+            self.minus[present] |= bad
+
+    def partition(self) -> tuple["NumpyMatchingList", "NumpyMatchingList"]:
+        ctx = self.ctx
+        if self.entries is not None:
+            h_plus, h_minus = partition_entries(self.entries)
+            return (
+                NumpyMatchingList(ctx, entries=h_plus),
+                NumpyMatchingList(ctx, entries=h_minus),
+            )
+        children = []
+        for matrix in (self.good, self.minus):
+            alive = matrix.any(axis=1)
+            count = int(alive.sum())
+            keys = self.keys[alive]
+            rows = matrix[alive]
+            if count <= SMALL_CUTOFF:
+                # Demote: below the cutoff the dict representation wins.
+                entries = {
+                    int(keys[i]): [_row_to_int(rows[i]), 0] for i in range(count)
+                }
+                children.append(NumpyMatchingList(ctx, entries=entries))
+            else:
+                children.append(
+                    NumpyMatchingList(
+                        ctx, keys=keys, good=rows, minus=np.zeros_like(rows)
+                    )
+                )
+        return children[0], children[1]
+
+    def to_masks(self) -> dict[int, tuple[int, int]]:
+        if self.entries is not None:
+            return {v: (masks[0], masks[1]) for v, masks in self.entries.items()}
+        return {
+            int(v): (_row_to_int(self.good[i]), _row_to_int(self.minus[i]))
+            for i, v in enumerate(self.keys)
+        }
+
+
+class NumpyBlockBackend(SolverBackend):
+    """Adaptive uint64-block / big-int engine; requires numpy."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        _require_numpy()
+
+    @staticmethod
+    def _words_for(num_bits: int) -> int:
+        return max(1, (num_bits + 63) // 64)
+
+    def build_rows(
+        self, from_mask: Sequence[int], to_mask: Sequence[int], num_bits: int
+    ) -> _NumpyRows:
+        words = self._words_for(num_bits)
+        return _NumpyRows(
+            _masks_to_matrix(from_mask, words),
+            _masks_to_matrix(to_mask, words),
+            from_mask,
+            to_mask,
+            num_bits,
+            words,
+        )
+
+    def build_context(self, workspace) -> _NumpyContext:
+        prepared = workspace.prepared
+        if (
+            prepared is not None
+            and workspace.from_mask is prepared.from_mask
+            and workspace.to_mask is prepared.to_mask
+        ):
+            # Shared closure rows: the conversion is cached on the
+            # prepared index, paid once per data graph, not per pattern.
+            rows = prepared.backend_rows(self)
+        else:
+            # Overridden rows (hop-bounded matching, tests): private.
+            rows = self.build_rows(
+                workspace.from_mask, workspace.to_mask, len(workspace.nodes2)
+            )
+        return _NumpyContext(
+            rows, len(workspace.nodes1), workspace.prev, workspace.post, workspace.pref
+        )
+
+    def matching_list(
+        self, top_good: dict[int, int], context: _NumpyContext
+    ) -> NumpyMatchingList:
+        live = sorted((v, mask) for v, mask in top_good.items() if mask)
+        if len(live) <= SMALL_CUTOFF:
+            return NumpyMatchingList(
+                context, entries={v: [mask, 0] for v, mask in live}
+            )
+        keys = np.fromiter((v for v, _ in live), dtype=np.int64, count=len(live))
+        good = _masks_to_matrix([mask for _, mask in live], context.rows.words)
+        return NumpyMatchingList(
+            context, keys=keys, good=good, minus=np.zeros_like(good)
+        )

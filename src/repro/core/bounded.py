@@ -78,6 +78,7 @@ def bounded_workspace(
     mat: SimilarityMatrix,
     xi: float,
     max_hops: int,
+    backend=None,
 ) -> MatchingWorkspace:
     """A matching workspace whose reachability is hop-bounded.
 
@@ -86,7 +87,10 @@ def bounded_workspace(
     hop-bounded ones, and candidates of self-loop pattern nodes are
     re-filtered against the bounded cycle mask.
     """
-    workspace = MatchingWorkspace(graph1, graph2, mat, xi)
+    workspace = MatchingWorkspace(graph1, graph2, mat, xi, backend=backend)
+    # Replacing the rows after construction is safe for every backend:
+    # engine contexts are built lazily on first solve, so they observe
+    # the bounded rows, not the prepared index's unbounded ones.
     workspace.from_mask = bounded_reachability_masks(graph2, max_hops, workspace.nodes2)
     workspace.to_mask = bounded_reachability_masks(
         graph2.reversed(), max_hops, workspace.nodes2
@@ -120,10 +124,11 @@ def comp_max_card_bounded(
     max_hops: int,
     injective: bool = False,
     pick: str = "similarity",
+    backend=None,
 ) -> PHomResult:
     """compMaxCard under the k-bounded path semantics."""
     with Stopwatch() as watch:
-        workspace = bounded_workspace(graph1, graph2, mat, xi, max_hops)
+        workspace = bounded_workspace(graph1, graph2, mat, xi, max_hops, backend=backend)
         pairs, stats = comp_max_card_engine(
             workspace, workspace.initial_good(), injective=injective, pick=pick
         )

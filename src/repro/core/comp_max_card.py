@@ -28,9 +28,12 @@ def _run(
     injective: bool,
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
+    backend=None,
 ) -> PHomResult:
     with Stopwatch() as watch:
-        workspace = MatchingWorkspace(graph1, graph2, mat, xi, prepared=prepared)
+        workspace = MatchingWorkspace(
+            graph1, graph2, mat, xi, prepared=prepared, backend=backend
+        )
         pairs, stats = comp_max_card_engine(
             workspace, workspace.initial_good(), injective=injective, pick=pick
         )
@@ -52,6 +55,7 @@ def comp_max_card(
     xi: float,
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
+    backend=None,
 ) -> PHomResult:
     """Approximate CPH: a p-hom mapping maximising ``qualCard``.
 
@@ -60,7 +64,8 @@ def comp_max_card(
     unconstrained pick; see ``repro.core.engine.PICK_RULES``).
     ``prepared`` reuses a pre-built data-graph index (see
     :mod:`repro.core.prepared`), skipping the ``G2⁺`` construction of
-    lines 5–7.
+    lines 5–7.  ``backend`` selects the solver mask representation (see
+    :mod:`repro.core.backends`); results are backend-independent.
 
     >>> from repro.graph import DiGraph
     >>> from repro.similarity import label_equality_matrix
@@ -70,7 +75,10 @@ def comp_max_card(
     >>> result.qual_card
     1.0
     """
-    return _run(graph1, graph2, mat, xi, injective=False, pick=pick, prepared=prepared)
+    return _run(
+        graph1, graph2, mat, xi, injective=False, pick=pick, prepared=prepared,
+        backend=backend,
+    )
 
 
 def comp_max_card_injective(
@@ -80,6 +88,10 @@ def comp_max_card_injective(
     xi: float,
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
+    backend=None,
 ) -> PHomResult:
     """Approximate CPH^{1-1}: a 1-1 p-hom mapping maximising ``qualCard``."""
-    return _run(graph1, graph2, mat, xi, injective=True, pick=pick, prepared=prepared)
+    return _run(
+        graph1, graph2, mat, xi, injective=True, pick=pick, prepared=prepared,
+        backend=backend,
+    )

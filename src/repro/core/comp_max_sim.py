@@ -75,9 +75,12 @@ def _run(
     injective: bool,
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
+    backend=None,
 ) -> PHomResult:
     with Stopwatch() as watch:
-        workspace = MatchingWorkspace(graph1, graph2, mat, xi, prepared=prepared)
+        workspace = MatchingWorkspace(
+            graph1, graph2, mat, xi, prepared=prepared, backend=backend
+        )
         groups = partition_pairs_by_weight(workspace)
         best_pairs: list[tuple[int, int]] = []
         best_sim = -1.0
@@ -112,9 +115,13 @@ def comp_max_sim(
     xi: float,
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
+    backend=None,
 ) -> PHomResult:
     """Approximate SPH: a p-hom mapping maximising ``qualSim``."""
-    return _run(graph1, graph2, mat, xi, injective=False, pick=pick, prepared=prepared)
+    return _run(
+        graph1, graph2, mat, xi, injective=False, pick=pick, prepared=prepared,
+        backend=backend,
+    )
 
 
 def comp_max_sim_injective(
@@ -124,6 +131,10 @@ def comp_max_sim_injective(
     xi: float,
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
+    backend=None,
 ) -> PHomResult:
     """Approximate SPH^{1-1}: a 1-1 p-hom mapping maximising ``qualSim``."""
-    return _run(graph1, graph2, mat, xi, injective=True, pick=pick, prepared=prepared)
+    return _run(
+        graph1, graph2, mat, xi, injective=True, pick=pick, prepared=prepared,
+        backend=backend,
+    )

@@ -28,10 +28,20 @@ generalises this to integer *capacities* (a data node may absorb up to
 compression needs — a compressed clique node can host as many pattern
 nodes as it has members.  Plain 1-1 is the all-ones capacity, implemented
 without materialising the capacity map.
+
+Since the backend split, the engine owns only the *recursion* — pick
+order, capacity bookkeeping, the σ/I combination rule — while every
+mask-touching operation (popcount scans, bit picks, trims, the
+``H⁺``/``H⁻`` partition) lives behind a
+:class:`~repro.core.backends.base.SolverBackend`.  ``backend=`` selects
+it per call; by default the workspace's backend (in turn ``REPRO_BACKEND``
+or the big-int reference implementation) is used, and every backend is
+bit-identical by contract, so the choice changes speed, never results.
 """
 
 from __future__ import annotations
 
+from repro.core.backends import SolverBackend, get_backend
 from repro.core.workspace import MatchingWorkspace
 
 __all__ = ["greedy_match", "comp_max_card_engine"]
@@ -43,7 +53,7 @@ _PICK, _LEFT_DONE, _RIGHT_DONE = 0, 1, 2
 Pair = tuple[int, int]
 
 
-def _new_frame(H: dict[int, list[int]], cap: dict[int, int] | None) -> list:
+def _new_frame(H, cap: dict[int, int] | None) -> list:
     return [_PICK, H, cap, -1, -1, None, None, None]
 
 
@@ -62,61 +72,53 @@ def greedy_match(
     injective: bool = False,
     capacities: dict[int, int] | None = None,
     pick: str = "similarity",
+    backend: "str | SolverBackend | None" = None,
 ) -> tuple[list[Pair], list[Pair]]:
     """Procedure greedyMatch (paper Fig. 4) over an indexed matching list.
 
-    ``top_good`` maps pattern-node index to candidate bitmask.  Returns
+    ``top_good`` maps pattern-node index to candidate bitmask (a plain
+    Python int — the backend-neutral currency).  Returns
     ``(sigma, iset)``: a p-hom mapping for a subgraph of ``G1[H]`` and a
     nonempty (for nonempty input) set of pairwise contradictory pairs.
+    ``backend`` overrides the workspace's solver backend for this call.
     """
     if pick not in PICK_RULES:
         raise ValueError(f"unknown pick rule {pick!r}; choose one of {PICK_RULES}")
+    engine_backend = workspace.backend if backend is None else get_backend(backend)
     by_similarity = pick == "similarity"
-    initial = {v: [mask, 0] for v, mask in top_good.items() if mask}
-    stack: list[list] = [_new_frame(initial, capacities)]
-    results: list[tuple[list[Pair], list[Pair]]] = []
-    prev, post = workspace.prev, workspace.post
-    to_mask, from_mask = workspace.to_mask, workspace.from_mask
+    context = workspace.engine_context(engine_backend)
     pref = workspace.pref
+    stack: list[list] = [
+        _new_frame(engine_backend.matching_list(top_good, context), capacities)
+    ]
+    results: list[tuple[list[Pair], list[Pair]]] = []
 
     while stack:
         frame = stack[-1]
         phase = frame[_PHASE]
         if phase == _PICK:
             H = frame[_H]
-            if not H:
+            if H.is_empty():
                 results.append(([], []))
+                stack.pop()
+                continue
+            # Backend accelerator hook: degenerate lists (single-row
+            # chains) may resolve their whole subtree in closed form —
+            # bit-identical to the recursion below by contract.
+            trivial = H.solve_trivial(by_similarity)
+            if trivial is not None:
+                results.append(trivial)
                 stack.pop()
                 continue
             # Line 2: pick the node with the maximal good list (deterministic
             # tie-break on the smaller index), then its best-scoring candidate.
-            v = -1
-            best_count = 0
-            for cand_v, masks in H.items():
-                count = masks[0].bit_count()
-                if count > best_count or (count == best_count and cand_v < v):
-                    v, best_count = cand_v, count
-            good_v = H[v][0]
-            u = -1
-            if by_similarity:
-                for cand_u in pref[v]:
-                    if good_v >> cand_u & 1:
-                        u = cand_u
-                        break
-            if u < 0:
-                # Arbitrary pick, or a good bit with no similarity row —
-                # callers of comp_max_card_engine may seed candidates
-                # beyond the workspace's mat ≥ ξ pairs (restricted or
-                # partitioned groups), so the preference scan can come up
-                # empty on a nonempty mask.
-                u = (good_v & -good_v).bit_length() - 1  # lowest set bit
-            u_bit = 1 << u
+            v = H.pick_node()
+            u = H.pick_candidate(v, pref[v] if by_similarity else None)
             frame[_V], frame[_U] = v, u
 
             # Line 3: v keeps no further good candidates; the rejected ones
             # become its minus list.
-            H[v][0] = 0
-            H[v][1] = good_v & ~u_bit
+            H.settle(v, u)
 
             # 1-1 extra step / capacity bookkeeping: when u's capacity is
             # exhausted by this pick, u leaves every other good list.
@@ -131,39 +133,15 @@ def greedy_match(
             else:
                 exhausted = False
             if exhausted:
-                for other_v, masks in H.items():
-                    if other_v != v and masks[0] >> u & 1:
-                        masks[0] &= ~u_bit
-                        masks[1] |= u_bit
+                H.exhaust(u, v)
 
             # Line 4: trimMatching — prune parents to nodes that reach u and
             # children to nodes reachable from u.
-            mask = to_mask[u]
-            for neighbor in prev[v]:
-                masks = H.get(neighbor)
-                if masks is not None and neighbor != v:
-                    bad = masks[0] & ~mask
-                    if bad:
-                        masks[0] &= mask
-                        masks[1] |= bad
-            mask = from_mask[u]
-            for neighbor in post[v]:
-                masks = H.get(neighbor)
-                if masks is not None and neighbor != v:
-                    bad = masks[0] & ~mask
-                    if bad:
-                        masks[0] &= mask
-                        masks[1] |= bad
+            H.trim(v, u)
 
             # Lines 5-9: partition into H+ (nonempty good) and H- (nonempty
             # minus); a node may appear in both.
-            h_plus: dict[int, list[int]] = {}
-            h_minus: dict[int, list[int]] = {}
-            for node, (good, minus) in H.items():
-                if good:
-                    h_plus[node] = [good, 0]
-                if minus:
-                    h_minus[node] = [minus, 0]
+            h_plus, h_minus = H.partition()
             frame[_H] = None  # allow the partitioned list to be collected
             frame[_HMINUS] = h_minus
             frame[_PHASE] = _LEFT_DONE
@@ -178,10 +156,10 @@ def greedy_match(
         else:  # _RIGHT_DONE — line 12: combine the two branches.
             sigma2, iset2 = results.pop()
             sigma1, iset1 = frame[_SIGMA1], frame[_I1]
-            pick = (frame[_V], frame[_U])
-            with_pick = sigma1 + [pick]
+            chosen = (frame[_V], frame[_U])
+            with_pick = sigma1 + [chosen]
             sigma = with_pick if len(with_pick) >= len(sigma2) else sigma2
-            iset2_plus = iset2 + [pick]
+            iset2_plus = iset2 + [chosen]
             iset = iset1 if len(iset1) > len(iset2_plus) else iset2_plus
             results.append((sigma, iset))
             stack.pop()
@@ -194,22 +172,29 @@ def comp_max_card_engine(
     injective: bool = False,
     capacities: dict[int, int] | None = None,
     pick: str = "similarity",
+    backend: "str | SolverBackend | None" = None,
 ) -> tuple[list[Pair], dict]:
     """Algorithm compMaxCard's outer loop (paper Fig. 3, lines 8-12).
 
     Repeatedly runs greedyMatch, removes the returned contradictory pairs I
     from the matching list, and keeps the largest mapping, until the list
-    cannot beat the incumbent (``sizeof(H) ≤ sizeof(σ_m)``).
+    cannot beat the incumbent (``sizeof(H) ≤ sizeof(σ_m)``).  The outer
+    list stays in backend-neutral big-int masks; ``backend`` selects the
+    solver representation used inside each greedyMatch run.
 
-    Returns ``(pairs, stats)`` with the mapping as index pairs.
+    Returns ``(pairs, stats)`` with the mapping as index pairs; stats
+    record which backend solved.
     """
+    engine_backend = workspace.backend if backend is None else get_backend(backend)
     h_top = {v: mask for v, mask in initial_good.items() if mask}
     sigma_m: list[Pair] = []
     rounds = 0
     removed = 0
     while len(h_top) > len(sigma_m):
         rounds += 1
-        sigma, iset = greedy_match(workspace, h_top, injective, capacities, pick)
+        sigma, iset = greedy_match(
+            workspace, h_top, injective, capacities, pick, backend=engine_backend
+        )
         for v, u in iset:
             mask = h_top.get(v)
             if mask is None:
@@ -224,5 +209,9 @@ def comp_max_card_engine(
             sigma_m = sigma
         if not iset:
             break  # defensive: greedyMatch guarantees nonempty I on nonempty H
-    stats = {"rounds": rounds, "pairs_removed": removed}
+    stats = {
+        "rounds": rounds,
+        "pairs_removed": removed,
+        "backend": engine_backend.name,
+    }
     return sigma_m, stats

@@ -93,6 +93,7 @@ def comp_max_card_partitioned(
     injective: bool = False,
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
+    backend=None,
 ) -> PHomResult:
     """compMaxCard with the Appendix-B partitioning optimization.
 
@@ -103,12 +104,15 @@ def comp_max_card_partitioned(
     candidate rule exactly as in :func:`~repro.core.comp_max_card.comp_max_card`
     — it governs both the engine runs and the single-node short-cut.
     ``prepared`` reuses a pre-built data-graph index (see
-    :mod:`repro.core.prepared`).
+    :mod:`repro.core.prepared`); ``backend`` selects the solver mask
+    representation for every component's engine run.
     """
     if pick not in PICK_RULES:
         raise ValueError(f"unknown pick rule {pick!r}; choose one of {PICK_RULES}")
     with Stopwatch() as watch:
-        workspace = MatchingWorkspace(graph1, graph2, mat, xi, prepared=prepared)
+        workspace = MatchingWorkspace(
+            graph1, graph2, mat, xi, prepared=prepared, backend=backend
+        )
         components, removed = pattern_components(workspace)
         all_pairs: list[tuple[int, int]] = []
         used_mask = 0
@@ -285,6 +289,7 @@ def comp_max_card_compressed(
     mat: SimilarityMatrix,
     xi: float,
     injective: bool = False,
+    backend=None,
 ) -> PHomResult:
     """compMaxCard against the SCC-compressed data graph, then decompress.
 
@@ -297,7 +302,9 @@ def comp_max_card_compressed(
     with Stopwatch() as watch:
         compressed = compress_data_graph(graph2)
         mat_star = compressed.compressed_matrix(mat, graph1)
-        workspace = MatchingWorkspace(graph1, compressed.star, mat_star, xi)
+        workspace = MatchingWorkspace(
+            graph1, compressed.star, mat_star, xi, backend=backend
+        )
         capacities = compressed.capacities_for(workspace) if injective else None
         pairs, stats = comp_max_card_engine(
             workspace,

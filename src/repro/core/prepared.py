@@ -76,6 +76,9 @@ class PreparedDataGraph:
         #: half of a cold call; the service aggregates these).
         self.prepare_seconds: float = watch.elapsed
         self._fingerprint = fingerprint
+        #: Backend-native row materializations, keyed by backend name —
+        #: see :meth:`backend_rows`.
+        self._backend_rows: dict[str, object] = {}
 
     @property
     def fingerprint(self) -> str:
@@ -169,7 +172,27 @@ class PreparedDataGraph:
         #: The *original* build cost — a loaded index never paid it again.
         self.prepare_seconds = float(header["prepare_seconds"])
         self._fingerprint = header["fingerprint"]
+        self._backend_rows = {}
         return self
+
+    # ------------------------------------------------------------------
+    def backend_rows(self, backend) -> object:
+        """This index's closure rows in ``backend``-native layout, cached.
+
+        The canonical representation stays the big-int ``from_mask`` /
+        ``to_mask`` lists (what :meth:`to_payload` serialises — the store
+        format is backend-neutral, so one disk file hydrates into every
+        backend); a :class:`~repro.core.backends.base.SolverBackend` that
+        wants a different in-memory layout converts here, once per data
+        graph instead of once per pattern.  Thread-safety note: a race
+        costs at most a duplicate conversion (last write wins), never a
+        wrong answer — the rows are pure functions of the masks.
+        """
+        rows = self._backend_rows.get(backend.name)
+        if rows is None:
+            rows = backend.build_rows(self.from_mask, self.to_mask, len(self.nodes2))
+            self._backend_rows[backend.name] = rows
+        return rows
 
     def num_nodes(self) -> int:
         """|V2|: number of data-graph nodes covered by the index."""

@@ -43,7 +43,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.api import (
@@ -53,6 +53,7 @@ from repro.core.api import (
     match_prepared,
     validate_match_options,
 )
+from repro.core.backends import SolverBackend, get_backend
 from repro.core.phom import validate_threshold
 from repro.core.prepared import PreparedDataGraph
 from repro.core.store import PreparedIndexStore
@@ -121,6 +122,17 @@ class ServiceStats:
     #: Wall-clock seconds of ``match_many`` batches (pool time; with
     #: thread fan-out this is less than the batch's ``solve_seconds``).
     batch_seconds: float = 0.0
+    #: The service's default solver backend name (``""`` until a service
+    #: adopts these stats).
+    backend: str = ""
+    #: Solves per backend name — per-call ``backend=`` overrides mean a
+    #: service can serve through several engines; operators audit which
+    #: one actually answered here.
+    solved_by: dict = field(default_factory=dict)
+
+    def record_backend(self, name: str, count: int = 1) -> None:
+        """Count ``count`` solves against backend ``name``."""
+        self.solved_by[name] = self.solved_by.get(name, 0) + count
 
     def snapshot(self) -> dict:
         """A plain-dict copy, for reports and JSON payloads."""
@@ -137,6 +149,8 @@ class ServiceStats:
             "load_seconds": self.load_seconds,
             "store_seconds": self.store_seconds,
             "batch_seconds": self.batch_seconds,
+            "backend": self.backend,
+            "solved_by": dict(self.solved_by),
         }
 
 
@@ -295,11 +309,18 @@ class MatchSession:
         xi: float,
         data_graph: DiGraph | None = None,
         service: "MatchingService | None" = None,
+        backend: "str | SolverBackend | None" = None,
     ) -> None:
         validate_threshold(xi)
         self.prepared = prepared
         self.similarity = similarity
         self.xi = xi
+        #: The solver backend this session's solves run on (inherits the
+        #: service's default, then the process default).
+        if backend is None and service is not None:
+            self.backend = service.backend
+        else:
+            self.backend = get_backend(backend)
         #: The data graph the session serves (similarity-resolution view).
         self.data_graph = prepared.graph if data_graph is None else data_graph
         #: The service whose stats this session's solves count toward.
@@ -315,7 +336,7 @@ class MatchSession:
         """A pattern workspace as a thin view over the prepared index."""
         return MatchingWorkspace(
             graph1, self.data_graph, self.matrix_for(graph1), self.xi,
-            prepared=self.prepared,
+            prepared=self.prepared, backend=self.backend,
         )
 
     def match(
@@ -341,10 +362,11 @@ class MatchSession:
                 partitioned=partitioned,
                 symmetric=symmetric,
                 pick=pick,
+                backend=self.backend,
             )
         self.patterns_matched += 1
         if self.service is not None:
-            self.service._record_solves(1, watch.elapsed)
+            self.service._record_solves(1, watch.elapsed, backend=self.backend)
         return report
 
 
@@ -363,12 +385,17 @@ class MatchingService:
         max_prepared: int = 8,
         store: PreparedIndexStore | None = None,
         store_dir: str | None = None,
+        backend: "str | SolverBackend | None" = None,
     ) -> None:
         if store is not None and store_dir is not None:
             raise InputError("pass either store= or store_dir=, not both")
         if store_dir is not None:
             store = PreparedIndexStore(store_dir)
-        self.stats = ServiceStats()
+        #: Default solver backend for every solve this service runs
+        #: (per-call ``backend=`` overrides win); resolved eagerly so a
+        #: misconfigured service fails at construction, not under load.
+        self.backend: SolverBackend = get_backend(backend)
+        self.stats = ServiceStats(backend=self.backend.name)
         self.cache = PreparedGraphCache(max_prepared, stats=self.stats, store=store)
         self._stats_lock = threading.Lock()
 
@@ -382,23 +409,36 @@ class MatchingService:
         return self.cache.prepared_for(graph2)
 
     def _record_solves(
-        self, count: int, elapsed: float, batch_elapsed: float | None = None
+        self,
+        count: int,
+        elapsed: float,
+        batch_elapsed: float | None = None,
+        backend: SolverBackend | None = None,
     ) -> None:
         with self._stats_lock:
             self.stats.calls += count
             self.stats.solve_seconds += elapsed
             if batch_elapsed is not None:
                 self.stats.batch_seconds += batch_elapsed
+            if backend is not None:
+                self.stats.record_backend(backend.name, count)
 
     def session(
-        self, graph2: DiGraph, similarity: SimilaritySource, xi: float
+        self,
+        graph2: DiGraph,
+        similarity: SimilaritySource,
+        xi: float,
+        backend: "str | SolverBackend | None" = None,
     ) -> MatchSession:
         """Open a session against ``graph2`` (preparing it if needed).
 
-        Solves through the session count toward this service's stats.
+        Solves through the session count toward this service's stats;
+        ``backend`` overrides the service's solver backend for the
+        session's lifetime.
         """
         return MatchSession(
-            self.prepared_for(graph2), similarity, xi, data_graph=graph2, service=self
+            self.prepared_for(graph2), similarity, xi, data_graph=graph2,
+            service=self, backend=self.backend if backend is None else backend,
         )
 
     def match(
@@ -413,9 +453,13 @@ class MatchingService:
         partitioned: bool = False,
         symmetric: bool = False,
         pick: str = "similarity",
+        backend: "str | SolverBackend | None" = None,
     ) -> MatchReport:
         """One pattern against one data graph, through the prepared cache."""
-        validate_match_options(metric, threshold, xi, partitioned, pick)  # pre-flight
+        solver = self.backend if backend is None else get_backend(backend)
+        validate_match_options(
+            metric, threshold, xi, partitioned, pick, backend=solver
+        )  # pre-flight
         prepared = self.prepared_for(graph2)
         with Stopwatch() as watch:
             report = _solve_prepared(
@@ -429,8 +473,9 @@ class MatchingService:
                 partitioned=partitioned,
                 symmetric=symmetric,
                 pick=pick,
+                backend=solver,
             )
-        self._record_solves(1, watch.elapsed)
+        self._record_solves(1, watch.elapsed, backend=solver)
         return report
 
     def match_many(
@@ -446,6 +491,7 @@ class MatchingService:
         symmetric: bool = False,
         pick: str = "similarity",
         max_workers: int | None = None,
+        backend: "str | SolverBackend | None" = None,
     ) -> list[MatchReport]:
         """Match every pattern against one data graph, preparing it once.
 
@@ -456,7 +502,10 @@ class MatchingService:
         parallel batch reports the same figure as the sequential one),
         while the pool's wall-clock lands in ``batch_seconds``.
         """
-        validate_match_options(metric, threshold, xi, partitioned, pick)  # pre-flight
+        solver = self.backend if backend is None else get_backend(backend)
+        validate_match_options(
+            metric, threshold, xi, partitioned, pick, backend=solver
+        )  # pre-flight
         patterns = list(patterns)
         prepared = self.prepared_for(graph2)
 
@@ -473,6 +522,7 @@ class MatchingService:
                     partitioned=partitioned,
                     symmetric=symmetric,
                     pick=pick,
+                    backend=solver,
                 )
             return report, solve_watch.elapsed
 
@@ -487,6 +537,7 @@ class MatchingService:
             len(patterns),
             sum(elapsed for _, elapsed in timed),
             batch_elapsed=watch.elapsed,
+            backend=solver,
         )
         return reports
 
@@ -516,18 +567,21 @@ def reset_default_service(
     max_prepared: int = 8,
     store: PreparedIndexStore | None = None,
     store_dir: str | None = None,
+    backend: "str | SolverBackend | None" = None,
 ) -> MatchingService:
     """Replace the process-wide service, releasing every cached index.
 
-    Returns the fresh service; ``max_prepared`` resizes its LRU, and
+    Returns the fresh service; ``max_prepared`` resizes its LRU,
     ``store``/``store_dir`` attach a persistent index store so every
     subsequent :func:`repro.core.api.match` call reads through (and
-    warms) the disk tier.
+    warms) the disk tier, and ``backend`` sets the default solver
+    backend for every routed call.
     """
     global _default_service
     with _default_service_lock:
         _default_service = MatchingService(
-            max_prepared=max_prepared, store=store, store_dir=store_dir
+            max_prepared=max_prepared, store=store, store_dir=store_dir,
+            backend=backend,
         )
         return _default_service
 

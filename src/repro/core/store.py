@@ -38,6 +38,7 @@ import itertools
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -219,6 +220,73 @@ class PreparedIndexStore:
             if self.remove(fingerprint):
                 removed += 1
         return removed
+
+    # ------------------------------------------------------------------
+    # Garbage collection (long-lived serving fleets)
+    # ------------------------------------------------------------------
+    def _stat_entries(self) -> list[tuple[float, int, str]]:
+        """``(mtime, size, fingerprint)`` of every stored file, oldest
+        first; files that vanish mid-scan are skipped (concurrent GC)."""
+        stats = []
+        for fingerprint in self.fingerprints():
+            try:
+                info = self.path_for(fingerprint).stat()
+            except OSError:
+                continue
+            stats.append((info.st_mtime, info.st_size, fingerprint))
+        stats.sort()
+        return stats
+
+    def total_bytes(self) -> int:
+        """Total size of every stored index file."""
+        return sum(size for _, size, _ in self._stat_entries())
+
+    def remove_older_than(self, seconds: float, now: float | None = None) -> int:
+        """Delete indexes whose file mtime is more than ``seconds`` ago.
+
+        Age is file *modification* time: a ``save()`` (even an idempotent
+        re-save of identical content) refreshes it, so warm-and-serve
+        loops keep their hot indexes alive.  Returns the removal count.
+        """
+        if seconds < 0:
+            raise InputError(f"age must be nonnegative, got {seconds!r}")
+        cutoff = (time.time() if now is None else now) - seconds
+        removed = 0
+        for mtime, _, fingerprint in self._stat_entries():
+            if mtime < cutoff and self.remove(fingerprint):
+                removed += 1
+        return removed
+
+    def gc_max_bytes(self, max_bytes: int) -> dict:
+        """Evict oldest-mtime-first until total size fits ``max_bytes``.
+
+        The eviction order mirrors the serving cache's LRU intuition at
+        fleet granularity: the file least recently (re-)warmed goes
+        first.  Returns ``{"removed": n, "remaining": k,
+        "remaining_bytes": b}`` — the CLI's ``index gc`` output.
+        """
+        if max_bytes < 0:
+            raise InputError(f"byte budget must be nonnegative, got {max_bytes!r}")
+        entries = self._stat_entries()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        gone = 0
+        for _, size, fingerprint in entries:
+            if total <= max_bytes:
+                break
+            if self.remove(fingerprint):
+                removed += 1
+            # A False remove() means a concurrent GC beat us to the file
+            # (stores are shared across fleet hosts): its bytes are gone
+            # either way, so the budget math must not keep charging them
+            # — or this loop would over-evict still-warm younger indexes.
+            gone += 1
+            total -= size
+        return {
+            "removed": removed,
+            "remaining": len(entries) - gone,
+            "remaining_bytes": total,
+        }
 
     # ------------------------------------------------------------------
     def _read_payload(self, path: Path) -> bytes | None:

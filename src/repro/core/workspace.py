@@ -33,12 +33,21 @@ rows only, never the SCC condensation of ``G2``.  Sessions and the
 service (:mod:`repro.core.service`) exploit this to amortise data-graph
 preparation across many patterns; a workspace built without ``prepared``
 simply prepares privately and behaves exactly as before.
+
+The workspace also carries the *solver backend*
+(:mod:`repro.core.backends`) the engine will run on — ``backend=``
+selects it (name or instance; default ``REPRO_BACKEND``, then the
+big-int reference).  All workspace tables stay backend-neutral Python
+ints; :meth:`MatchingWorkspace.engine_context` materialises (and caches)
+the backend-native view on first use, so switching backends never
+changes what a workspace *is*, only how the engine walks it.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
 
+from repro.core.backends import SolverBackend, get_backend
 from repro.core.prepared import PreparedDataGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.fingerprint import graph_fingerprint
@@ -68,8 +77,16 @@ class MatchingWorkspace:
         mat: SimilarityMatrix,
         xi: float,
         prepared: PreparedDataGraph | None = None,
+        backend: "str | SolverBackend | None" = None,
     ) -> None:
         validate_threshold(xi)
+        #: The solver backend engine runs default to (resolved eagerly so
+        #: a typo'd name fails here, not mid-solve).
+        self.backend: SolverBackend = get_backend(backend)
+        #: Backend-native engine contexts, built lazily per backend name
+        #: (lazily on purpose: hop-bounded callers override the closure
+        #: rows *after* construction, and the context must see that).
+        self._engine_contexts: dict[str, object] = {}
         if prepared is None:
             if graph2 is None:
                 raise InputError("MatchingWorkspace needs graph2 or a prepared index")
@@ -144,6 +161,21 @@ class MatchingWorkspace:
         self.total_weight1: float = sum(self.weights1)
 
     # ------------------------------------------------------------------
+    def engine_context(self, backend: SolverBackend) -> object:
+        """The backend-native engine view of this workspace, cached.
+
+        Built on first use so post-construction row overrides (the
+        hop-bounded variant replaces ``from_mask``/``to_mask`` wholesale)
+        are reflected.  Callers that mutate workspace tables *after* an
+        engine run must build a fresh workspace — contexts are never
+        invalidated, matching the read-only contract of prepared rows.
+        """
+        context = self._engine_contexts.get(backend.name)
+        if context is None:
+            context = backend.build_context(self)
+            self._engine_contexts[backend.name] = context
+        return context
+
     def num_candidate_pairs(self) -> int:
         """Total surviving (v, u) candidate pairs."""
         return sum(len(row) for row in self.scores)

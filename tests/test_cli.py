@@ -106,6 +106,68 @@ class TestBatchCommand:
         assert lines[-1]["service"]["prepares"] == 1
 
 
+class TestBackendFlag:
+    def test_match_records_backend(self, graph_files, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        ppath, dpath = graph_files
+        assert main(["match", ppath, dpath, "--xi", "0.9"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "python"
+
+    def test_match_backend_results_identical(self, graph_files, capsys):
+        pytest.importorskip("numpy")
+        ppath, dpath = graph_files
+        payloads = {}
+        for backend in ("python", "numpy"):
+            assert main(["match", ppath, dpath, "--xi", "0.9", "--backend", backend]) == 0
+            payloads[backend] = json.loads(capsys.readouterr().out)
+        assert payloads["python"]["backend"] == "python"
+        assert payloads["numpy"]["backend"] == "numpy"
+        assert payloads["python"]["mapping"] == payloads["numpy"]["mapping"]
+        assert payloads["python"]["quality"] == payloads["numpy"]["quality"]
+
+    def test_batch_summary_audits_backend(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        data = DiGraph.from_edges(
+            [("x", "m"), ("m", "y")], labels={"x": "A", "m": "M", "y": "B"}, name="d"
+        )
+        pattern = DiGraph.from_edges([("a", "b")], labels={"a": "A", "b": "B"}, name="p")
+        dpath, ppath = tmp_path / "d.json", tmp_path / "p.json"
+        dump_json(data, dpath)
+        dump_json(pattern, ppath)
+        code = main(
+            ["batch", str(dpath), str(ppath), "--xi", "0.9", "--backend", "numpy"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert summary["backend"] == "numpy"
+        assert summary["service"]["backend"] == "numpy"
+        assert summary["service"]["solved_by"] == {"numpy": 1}
+
+    def test_env_var_default(self, graph_files, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        ppath, dpath = graph_files
+        assert main(["match", ppath, dpath, "--xi", "0.9"]) == 0
+        assert json.loads(capsys.readouterr().out)["backend"] == "python"
+
+    def test_index_warm_reports_backend(self, graph_files, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        _, dpath = graph_files
+        store_dir = tmp_path / "idx"
+        assert main(["index", "warm", str(store_dir), dpath]) == 0
+        line = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert line["action"] == "stored"
+        assert line["backend"] == "python"
+        # Warming again under a different backend hydrates the same file.
+        pytest.importorskip("numpy")
+        assert main(
+            ["index", "warm", str(store_dir), dpath, "--backend", "numpy"]
+        ) == 0
+        line = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert line["action"] == "exists"
+        assert line["backend"] == "numpy"
+
+
 class TestOtherCommands:
     def test_stats(self, graph_files, capsys):
         ppath, _ = graph_files

@@ -1,0 +1,161 @@
+"""Store garbage collection: age-based removal and byte-budget eviction."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.prepared import prepare_data_graph
+from repro.core.store import PreparedIndexStore
+from repro.graph.digraph import DiGraph
+from repro.graph.io import dump_json
+from repro.utils.errors import InputError
+
+
+def _chain_graph(size: int, name: str) -> DiGraph:
+    return DiGraph.from_edges(
+        [(f"{name}{i}", f"{name}{i + 1}") for i in range(size)], name=name
+    )
+
+
+@pytest.fixture
+def aged_store(tmp_path):
+    """A store of three indexes with mtimes 300s, 200s, and 100s ago.
+
+    Returns ``(store, fingerprints_oldest_first, now)``; ages are set
+    explicitly with ``os.utime`` so the tests never sleep.
+    """
+    store = PreparedIndexStore(tmp_path / "idx")
+    now = time.time()
+    fingerprints = []
+    for i, age in enumerate((300, 200, 100)):
+        prepared = prepare_data_graph(_chain_graph(4 + 3 * i, f"g{i}"))
+        path = store.save(prepared)
+        os.utime(path, (now - age, now - age))
+        fingerprints.append(prepared.fingerprint)
+    return store, fingerprints, now
+
+
+class TestRemoveOlderThan:
+    def test_removes_only_older(self, aged_store):
+        store, fingerprints, now = aged_store
+        removed = store.remove_older_than(250, now=now)
+        assert removed == 1
+        assert fingerprints[0] not in store
+        assert fingerprints[1] in store and fingerprints[2] in store
+
+    def test_zero_age_removes_everything(self, aged_store):
+        store, _, now = aged_store
+        assert store.remove_older_than(0, now=now) == 3
+        assert len(store) == 0
+
+    def test_large_age_removes_nothing(self, aged_store):
+        store, _, now = aged_store
+        assert store.remove_older_than(1_000_000, now=now) == 0
+        assert len(store) == 3
+
+    def test_negative_age_rejected(self, aged_store):
+        store, _, _ = aged_store
+        with pytest.raises(InputError):
+            store.remove_older_than(-1)
+
+    def test_resave_refreshes_age(self, aged_store):
+        store, fingerprints, now = aged_store
+        # Re-warming the oldest graph makes it young again.
+        store.save(prepare_data_graph(_chain_graph(4, "g0")))
+        assert store.remove_older_than(250, now=time.time()) == 0
+        assert fingerprints[0] in store
+
+
+class TestGcMaxBytes:
+    def test_evicts_oldest_first(self, aged_store):
+        store, fingerprints, _ = aged_store
+        sizes = {
+            fingerprint: store.path_for(fingerprint).stat().st_size
+            for fingerprint in fingerprints
+        }
+        budget = sizes[fingerprints[1]] + sizes[fingerprints[2]]
+        result = store.gc_max_bytes(budget)
+        assert result["removed"] == 1
+        assert result["remaining"] == 2
+        assert result["remaining_bytes"] == budget
+        assert fingerprints[0] not in store  # oldest went first
+
+    def test_zero_budget_clears_store(self, aged_store):
+        store, _, _ = aged_store
+        result = store.gc_max_bytes(0)
+        assert result["removed"] == 3
+        assert result["remaining"] == 0
+        assert result["remaining_bytes"] == 0
+        assert store.total_bytes() == 0
+
+    def test_roomy_budget_keeps_everything(self, aged_store):
+        store, _, _ = aged_store
+        total = store.total_bytes()
+        result = store.gc_max_bytes(total)
+        assert result == {"removed": 0, "remaining": 3, "remaining_bytes": total}
+
+    def test_negative_budget_rejected(self, aged_store):
+        store, _, _ = aged_store
+        with pytest.raises(InputError):
+            store.gc_max_bytes(-5)
+
+    def test_total_bytes_matches_files(self, aged_store):
+        store, fingerprints, _ = aged_store
+        assert store.total_bytes() == sum(
+            store.path_for(fingerprint).stat().st_size for fingerprint in fingerprints
+        )
+
+
+class TestGcCli:
+    @pytest.fixture
+    def warm_store(self, tmp_path):
+        store_dir = tmp_path / "idx"
+        graphs = []
+        for i in range(3):
+            path = tmp_path / f"g{i}.json"
+            dump_json(_chain_graph(4 + 3 * i, f"g{i}"), path)
+            graphs.append(str(path))
+        assert main(["index", "warm", str(store_dir)] + graphs) == 0
+        return store_dir
+
+    def test_rm_older_than(self, warm_store, capsys):
+        capsys.readouterr()
+        store = PreparedIndexStore(warm_store, create=False)
+        oldest = store.fingerprints()[0]
+        past = time.time() - 500
+        os.utime(store.path_for(oldest), (past, past))
+        code = main(["index", "rm", str(warm_store), "--older-than", "250"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out) == {"removed": 1}
+        assert oldest not in store
+
+    def test_rm_older_than_rejects_combination(self, warm_store, capsys):
+        code = main(
+            ["index", "rm", str(warm_store), "--older-than", "10", "--all"]
+        )
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_rm_older_than_rejects_negative(self, warm_store, capsys):
+        assert main(["index", "rm", str(warm_store), "--older-than", "-3"]) == 2
+        assert "nonnegative" in capsys.readouterr().err
+
+    def test_gc_shrinks_to_budget(self, warm_store, capsys):
+        capsys.readouterr()
+        store = PreparedIndexStore(warm_store, create=False)
+        total = store.total_bytes()
+        code = main(["index", "gc", str(warm_store), "--max-bytes", str(total // 2)])
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["removed"] >= 1
+        assert result["remaining_bytes"] <= total // 2
+        assert store.total_bytes() == result["remaining_bytes"]
+
+    def test_gc_negative_budget(self, warm_store, capsys):
+        assert main(["index", "gc", str(warm_store), "--max-bytes", "-1"]) == 2
+        assert "nonnegative" in capsys.readouterr().err

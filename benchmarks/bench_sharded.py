@@ -1,0 +1,236 @@
+"""Sharded matching cluster vs one flat service: identity and speedup.
+
+Two claims, matching the sharded-cluster refactor:
+
+**Bit-identity** (``test_sharded_equivalence``, CI's smoke): on a
+2400-node union-of-sites data graph, the component-fanned sharded solve
+returns exactly the flat partitioned solve's reports — same σ node for
+node, same qualities to the last float bit — at every shard count.
+
+**Serving speedup** (``test_sharded_speedup``): a corpus of twelve
+200-node site graphs (2400 nodes total) served round-robin, the shape
+of the paper's web-mirror workload at fleet scale.  A flat
+:class:`~repro.core.service.MatchingService` holds ``max_prepared=8``
+prepared indexes — the deliberate per-process memory budget — so
+cycling through 12 graphs is the classic LRU sequential-scan pathology:
+*every* request misses and re-prepares ``G2⁺``.  A four-shard
+:class:`~repro.core.sharding.ShardedMatchingService` hash-routes each
+graph to the worker owning it; per-worker budgets are unchanged but the
+cluster's aggregate capacity (4 × 8 slots) holds the whole corpus, so
+after one warm-up round no worker ever prepares again.  Same requests,
+same per-request results (asserted), ≥ ``MIN_SPEEDUP``× less wall
+clock (measured ~2.5–3× here) — the cache-capacity argument for
+sharding, measured end-to-end.  Under ``--json PATH`` the timing test
+writes ``BENCH_sharded.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from functools import lru_cache
+
+import pytest
+
+from repro.core.optimize import comp_max_card_partitioned
+from repro.core.service import MatchingService
+from repro.core.sharding import ShardPlan, ShardedMatchingService
+from repro.graph.digraph import DiGraph
+from repro.similarity.matrix import SimilarityMatrix
+
+XI = 0.75
+MIN_SPEEDUP = 1.5
+
+# Component-fanout equivalence shape: one graph, SITES weak components.
+SITES = 4
+SITE_NODES = 600
+PATTERN_NODES = 50
+PATTERNS_PER_SITE = 5
+
+# Corpus-serving shape: CORPUS_GRAPHS whole graphs, hash-routed.
+CORPUS_GRAPHS = 12
+CORPUS_GRAPH_NODES = 200
+SHARDS = 4
+SERVING_ROUNDS = 3
+
+
+def _label_matrix(pattern: DiGraph, data: DiGraph, by_label) -> SimilarityMatrix:
+    mat = SimilarityMatrix()
+    for v in pattern.nodes():
+        for u in by_label[data.label(v)]:
+            mat.set(v, u, 1.0)
+    return mat
+
+
+@lru_cache(maxsize=None)
+def _union_workload():
+    """One 2400-node graph of four weakly connected sites + 20 patterns.
+
+    Labels are site-prefixed, so every pattern component's candidates
+    stay inside one site — the pure fan-out regime (spill-path identity
+    is the test suite's job).
+    """
+    rng = random.Random(2034)
+    data = DiGraph(name="corpus2400")
+    for site in range(SITES):
+        base = site * SITE_NODES
+        for i in range(SITE_NODES):
+            data.add_node(base + i, label=f"s{site}:L{rng.randrange(12)}")
+        for _ in range(3 * SITE_NODES):
+            a = base + rng.randrange(SITE_NODES)
+            b = base + rng.randrange(SITE_NODES)
+            if a != b:
+                data.add_edge(a, b)
+        for i in range(SITE_NODES - 1):  # keep each site weakly connected
+            data.add_edge(base + i, base + i + 1)
+
+    by_label: dict[str, list[int]] = {}
+    for u in data.nodes():
+        by_label.setdefault(data.label(u), []).append(u)
+
+    patterns, matrices = [], {}
+    for site in range(SITES):
+        base = site * SITE_NODES
+        site_nodes = list(range(base, base + SITE_NODES))
+        for p in range(PATTERNS_PER_SITE):
+            pattern = data.subgraph(
+                rng.sample(site_nodes, PATTERN_NODES), name=f"s{site}p{p}"
+            )
+            patterns.append(pattern)
+            matrices[pattern.name] = _label_matrix(pattern, data, by_label)
+    source = lambda pattern, _data: matrices[pattern.name]
+    return data, patterns, source
+
+
+@lru_cache(maxsize=None)
+def _corpus_workload():
+    """Twelve 200-node site graphs with one small pattern each."""
+    rng = random.Random(7041)
+    corpus = []
+    for g in range(CORPUS_GRAPHS):
+        graph = DiGraph(name=f"site{g}")
+        for i in range(CORPUS_GRAPH_NODES):
+            graph.add_node(i, label=f"L{rng.randrange(8)}")
+        for _ in range(3 * CORPUS_GRAPH_NODES):
+            a = rng.randrange(CORPUS_GRAPH_NODES)
+            b = rng.randrange(CORPUS_GRAPH_NODES)
+            if a != b:
+                graph.add_edge(a, b)
+        for i in range(CORPUS_GRAPH_NODES - 1):
+            graph.add_edge(i, i + 1)
+        by_label: dict[str, list[int]] = {}
+        for u in graph.nodes():
+            by_label.setdefault(graph.label(u), []).append(u)
+        pattern = graph.subgraph(
+            rng.sample(range(CORPUS_GRAPH_NODES), 7), name=f"g{g}p0"
+        )
+        corpus.append((graph, [pattern], _label_matrix(pattern, graph, by_label)))
+    return corpus
+
+
+def _serve_corpus(service, rounds: int):
+    """Round-robin every corpus graph's patterns through ``service``."""
+    reports = []
+    for _ in range(rounds):
+        for graph, patterns, mat in _corpus_workload():
+            reports.extend(service.match_many(patterns, graph, mat, XI))
+    return reports
+
+
+def _mappings(reports):
+    return [report.result.mapping for report in reports]
+
+
+def test_sharded_equivalence():
+    """Sharded and flat partitioned solves are bit-identical (CI smoke)."""
+    data, patterns, source = _union_workload()
+    plan = ShardPlan.for_data_graph(data, SITES)
+    assert len(plan.nonempty_shards()) == SITES
+
+    flat = MatchingService()
+    flat_reports = flat.match_many(patterns, data, source, XI, partitioned=True)
+    for shards in (1, SITES):
+        service = ShardedMatchingService(shards)
+        reports = service.match_many_sharded(patterns, data, source, XI)
+        assert _mappings(reports) == _mappings(flat_reports)
+        assert [r.quality for r in reports] == [r.quality for r in flat_reports]
+        assert [r.result.qual_sim for r in reports] == [
+            r.result.qual_sim for r in flat_reports
+        ]
+        if shards == SITES:
+            snap = service.stats_snapshot()
+            assert snap["spill_components"] == 0  # confined workload
+            assert all(s["calls"] > 0 for s in snap["per_shard"])
+
+    # Spot-check against the direct algorithm too (same planner underneath).
+    direct = comp_max_card_partitioned(
+        patterns[0], data, source(patterns[0], data), XI
+    )
+    assert flat_reports[0].result.mapping == direct.mapping
+
+
+def test_sharded_speedup(bench_json):
+    """4-shard corpus serving ≥ 1.5× a flat LRU-thrashing service."""
+    flat = MatchingService()
+    sharded = ShardedMatchingService(SHARDS)
+    _serve_corpus(flat, 1)  # warm-up round for both deployments
+    _serve_corpus(sharded, 1)
+
+    start = time.perf_counter()
+    flat_reports = _serve_corpus(flat, SERVING_ROUNDS)
+    flat_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded_reports = _serve_corpus(sharded, SERVING_ROUNDS)
+    sharded_seconds = time.perf_counter() - start
+
+    assert _mappings(sharded_reports) == _mappings(flat_reports)
+    speedup = flat_seconds / sharded_seconds if sharded_seconds > 0 else float("inf")
+    flat_snap = flat.stats.snapshot()
+    sharded_snap = sharded.stats_snapshot()
+    requests = SERVING_ROUNDS * CORPUS_GRAPHS
+    print(
+        f"\nflat={flat_seconds:.3f}s ({flat_snap['prepares']} prepares) "
+        f"sharded={sharded_seconds:.3f}s "
+        f"({sharded_snap['aggregate']['prepares']} prepares, all warm-up) "
+        f"speedup={speedup:.2f}x on {CORPUS_GRAPHS}x{CORPUS_GRAPH_NODES}-node "
+        f"corpus, {requests} requests, {SHARDS} shards"
+    )
+    bench_json(
+        "sharded",
+        {
+            "corpus_graphs": CORPUS_GRAPHS,
+            "corpus_graph_nodes": CORPUS_GRAPH_NODES,
+            "corpus_total_nodes": CORPUS_GRAPHS * CORPUS_GRAPH_NODES,
+            "shards": SHARDS,
+            "serving_rounds": SERVING_ROUNDS,
+            "xi": XI,
+            "flat_seconds": flat_seconds,
+            "flat_prepares": flat_snap["prepares"],
+            "flat_max_prepared": 8,
+            "sharded_seconds": sharded_seconds,
+            "sharded_prepares": sharded_snap["aggregate"]["prepares"],
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    # The flat service thrashes (one re-prepare per request past warm-up);
+    # the cluster's aggregate cache held the corpus and never re-prepared.
+    assert flat_snap["prepares"] >= requests
+    assert sharded_snap["aggregate"]["prepares"] == CORPUS_GRAPHS
+    assert speedup >= MIN_SPEEDUP
+
+
+@pytest.mark.parametrize("shards", (1, SHARDS))
+def test_serving_benchmark(benchmark, shards):
+    """pytest-benchmark timing of one corpus round per cluster size.
+
+    ``shards=1`` is a one-worker cluster — it thrashes exactly like the
+    flat service; ``shards=4`` holds the corpus.
+    """
+    service = ShardedMatchingService(shards)
+    _serve_corpus(service, 1)  # warm-up
+    reports = benchmark.pedantic(
+        lambda: _serve_corpus(service, 1), rounds=1, iterations=1
+    )
+    assert len(reports) == CORPUS_GRAPHS

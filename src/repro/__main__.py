@@ -2,8 +2,8 @@
 
     python -m repro match PATTERN.json DATA.json [options]
     python -m repro batch DATA.json PATTERN.json [PATTERN.json ...] [options]
-    python -m repro index warm STORE_DIR DATA.json [DATA.json ...]
-    python -m repro index ls STORE_DIR
+    python -m repro index warm STORE_DIR DATA.json [DATA.json ...] [--shards N]
+    python -m repro index ls STORE_DIR [--json]
     python -m repro index rm STORE_DIR FINGERPRINT... | --all | --older-than SECONDS
     python -m repro index gc STORE_DIR --max-bytes N
     python -m repro stats GRAPH.json
@@ -36,6 +36,19 @@ warm``) selects the solver mask representation — results are
 bit-identical, only speed differs; the ``REPRO_BACKEND`` environment
 variable changes the default.  Output summaries record which backend
 served (``backend`` / ``solved_by``) so operators can audit a fleet.
+
+``batch --shards N`` serves through a
+:class:`~repro.core.sharding.ShardedMatchingService`: the data graph is
+partitioned into closure-closed shards (whole weakly connected
+components, so the SCC condensation is respected), pattern components
+are solved per shard and merged under Proposition 1 — bit-identical to
+``--shards 1`` and to ``--partitioned`` at any shard count, but on
+shard-width masks (cardinality metric only).  The summary then carries
+``shards`` and a per-shard statistics breakdown.  ``index warm
+--shards N`` pre-builds the matching per-shard indexes into the store
+(the files a sharded fleet loads on boot), and ``index ls --json``
+emits one machine-readable document (fingerprint, bytes, mtime,
+payload version) for fleet tooling to script warm/GC decisions.
 """
 
 from __future__ import annotations
@@ -49,6 +62,7 @@ from repro.core.backends import BACKEND_NAMES, get_backend
 from repro.core.phom import check_phom_mapping
 from repro.core.prepared import PreparedDataGraph
 from repro.core.service import MatchingService
+from repro.core.sharding import ShardPlan, ShardedMatchingService
 from repro.core.store import PreparedIndexStore
 from repro.graph.closure import transitive_closure_graph
 from repro.graph.fingerprint import graph_fingerprint, is_fingerprint
@@ -137,20 +151,50 @@ def _similarity_source(spec: str, data):
 def _cmd_batch(args: argparse.Namespace) -> int:
     data = load_json(args.data)
     patterns = [load_json(path) for path in args.patterns]
-    service = MatchingService(store_dir=args.store_dir, backend=args.backend)
-    reports = service.match_many(
-        patterns,
-        data,
-        _similarity_source(args.similarity, data),
-        args.xi,
-        metric=args.metric,
-        injective=args.injective,
-        threshold=args.threshold,
-        partitioned=args.partitioned,
-        symmetric=args.symmetric,
-        pick=args.pick,
-        max_workers=args.parallel,
-    )
+    if args.shards is not None:
+        if args.shards < 1:
+            print("batch --shards needs a positive shard count", file=sys.stderr)
+            return 2
+        if args.metric != "cardinality":
+            print(
+                "batch --shards is implemented for the cardinality metric",
+                file=sys.stderr,
+            )
+            return 2
+        service = ShardedMatchingService(
+            args.shards, store_dir=args.store_dir, backend=args.backend
+        )
+        reports = service.match_many_sharded(
+            patterns,
+            data,
+            _similarity_source(args.similarity, data),
+            args.xi,
+            metric=args.metric,
+            injective=args.injective,
+            threshold=args.threshold,
+            symmetric=args.symmetric,
+            pick=args.pick,
+            max_workers=args.parallel,
+        )
+        service_stats = service.stats_snapshot()
+        backend_name = service.backend.name
+    else:
+        service = MatchingService(store_dir=args.store_dir, backend=args.backend)
+        reports = service.match_many(
+            patterns,
+            data,
+            _similarity_source(args.similarity, data),
+            args.xi,
+            metric=args.metric,
+            injective=args.injective,
+            threshold=args.threshold,
+            partitioned=args.partitioned,
+            symmetric=args.symmetric,
+            pick=args.pick,
+            max_workers=args.parallel,
+        )
+        service_stats = service.stats.snapshot()
+        backend_name = service.backend.name
     out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
     try:
         for path, pattern, report in zip(args.patterns, patterns, reports):
@@ -172,9 +216,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "summary": True,
             "patterns": len(patterns),
             "matched": sum(1 for report in reports if report.matched),
-            "backend": service.backend.name,
-            "service": service.stats.snapshot(),
+            "backend": backend_name,
+            "service": service_stats,
         }
+        if args.shards is not None:
+            summary["shards"] = args.shards
         json.dump(summary, out)
         out.write("\n")
     finally:
@@ -183,54 +229,92 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_index_warm(args: argparse.Namespace) -> int:
-    """Prepare every data graph and persist its index into the store.
+def _warm_one(
+    store: PreparedIndexStore, graph, backend, force: bool, line: dict
+) -> dict:
+    """Warm one graph's index into the store; returns the report line.
 
-    The store format is backend-neutral; ``--backend`` additionally
-    hydrates each warmed index's rows under the named backend, both as a
-    verification pass and so the warm's cost profile matches the serving
-    fleet's.
+    "exists" only counts when the stored file actually loads — a corrupt
+    or stale file must be rebuilt, not reported as warm.  ``--backend``
+    additionally hydrates the index's rows under the named backend, both
+    as a verification pass and so the warm's cost profile matches the
+    serving fleet's.
     """
+    fingerprint = graph_fingerprint(graph)
+    line = dict(line, fingerprint=fingerprint, backend=backend.name)
+    loaded = None if force else store.load(fingerprint, graph)
+    if loaded is not None:
+        loaded.backend_rows(backend)  # hydration check
+        line["action"] = "exists"
+        return line
+    prepared = PreparedDataGraph(graph, fingerprint=fingerprint)
+    with Stopwatch() as watch:
+        stored_at = store.save(prepared)
+    prepared.backend_rows(backend)  # hydration check
+    line.update(
+        action="stored",
+        nodes=prepared.num_nodes(),
+        edges=prepared.num_edges(),
+        prepare_seconds=prepared.prepare_seconds,
+        store_seconds=watch.elapsed,
+        path=str(stored_at),
+    )
+    return line
+
+
+def _cmd_index_warm(args: argparse.Namespace) -> int:
+    """Persist prepared indexes: whole graphs, or per-shard subgraphs.
+
+    ``--shards N`` warms the indexes a sharded fleet actually loads —
+    one per nonempty shard of the :class:`~repro.core.sharding.ShardPlan`
+    (the same closure-closed partition ``batch --shards N`` serves
+    from, so the shard fingerprints line up).
+    """
+    if args.shards is not None and args.shards < 1:
+        print("index warm --shards needs a positive shard count", file=sys.stderr)
+        return 2
     store = PreparedIndexStore(args.store_dir)
     backend = get_backend(args.backend)
     for path in args.graphs:
         graph = load_json(path)
-        fingerprint = graph_fingerprint(graph)
-        # "exists" only counts when the stored file actually loads — a
-        # corrupt or stale file must be rebuilt, not reported as warm.
-        loaded = None if args.force else store.load(fingerprint, graph)
-        if loaded is not None:
-            loaded.backend_rows(backend)  # hydration check
-            line = {
-                "graph": path,
-                "fingerprint": fingerprint,
-                "action": "exists",
-                "backend": backend.name,
-            }
-        else:
-            prepared = PreparedDataGraph(graph, fingerprint=fingerprint)
-            with Stopwatch() as watch:
-                stored_at = store.save(prepared)
-            prepared.backend_rows(backend)  # hydration check
-            line = {
-                "graph": path,
-                "fingerprint": fingerprint,
-                "action": "stored",
-                "backend": backend.name,
-                "nodes": prepared.num_nodes(),
-                "edges": prepared.num_edges(),
-                "prepare_seconds": prepared.prepare_seconds,
-                "store_seconds": watch.elapsed,
-                "path": str(stored_at),
-            }
-        json.dump(line, sys.stdout)
-        print()
+        if args.shards is None:
+            json.dump(_warm_one(store, graph, backend, args.force, {"graph": path}), sys.stdout)
+            print()
+            continue
+        plan = ShardPlan.for_data_graph(graph, args.shards)
+        for shard_id in plan.nonempty_shards():
+            line = _warm_one(
+                store,
+                plan.shard_graph(shard_id),
+                backend,
+                args.force,
+                {"graph": path, "shard": shard_id, "shards": args.shards},
+            )
+            json.dump(line, sys.stdout)
+            print()
     return 0
 
 
 def _cmd_index_ls(args: argparse.Namespace) -> int:
     store = PreparedIndexStore(args.store_dir, create=False)
     entries = store.entries()
+    if args.json:
+        # One machine-readable document — what fleet tooling consumes to
+        # script warm/GC decisions (fingerprint, bytes, mtime, payload
+        # version per entry; the payload itself is backend-neutral).
+        json.dump(
+            {
+                "store_dir": str(store.store_dir),
+                "entries": [entry.as_dict() for entry in entries],
+                "count": len(entries),
+                "total_bytes": sum(entry.file_bytes for entry in entries),
+            },
+            sys.stdout,
+            indent=1,
+            sort_keys=True,
+        )
+        print()
+        return 0
     for entry in entries:
         json.dump(entry.as_dict(), sys.stdout)
         print()
@@ -384,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=int, default=None, metavar="N",
         help="solve patterns over N worker threads",
     )
+    batch.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="serve through a sharded cluster: partition the data graph "
+        "into N closure-closed shards and fan pattern components out "
+        "(bit-identical to --shards 1; cardinality metric only)",
+    )
     batch.add_argument("--out", default=None, help="write JSON lines here (default stdout)")
     batch.set_defaults(handler=_cmd_batch)
 
@@ -404,10 +494,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKEND_NAMES, default=None,
         help="%s" % BACKEND_HELP,
     )
+    warm.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="warm the per-shard indexes of an N-shard plan instead of "
+        "the whole-graph index (what `batch --shards N` serves from)",
+    )
     warm.set_defaults(handler=_cmd_index, index_handler=_cmd_index_warm)
 
     ls = index_sub.add_parser("ls", help="list stored indexes (JSON lines)")
     ls.add_argument("store_dir")
+    ls.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable document (fingerprint, bytes, "
+        "mtime, payload version) instead of JSON lines",
+    )
     ls.set_defaults(handler=_cmd_index, index_handler=_cmd_index_ls)
 
     rm = index_sub.add_parser("rm", help="remove stored indexes by fingerprint")

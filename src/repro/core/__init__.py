@@ -46,6 +46,8 @@ from repro.core.optimize import (
     comp_max_card_partitioned,
     compress_data_graph,
     pattern_components,
+    plan_components,
+    solve_component,
 )
 from repro.core.prepared import PreparedDataGraph, prepare_data_graph
 from repro.core.store import PreparedIndexStore, StoreEntry
@@ -59,6 +61,13 @@ from repro.core.service import (
     match_many,
     reset_default_service,
 )
+from repro.core.sharding import (
+    ShardPlan,
+    ShardedMatchingService,
+    default_sharded_service,
+    reset_default_sharded_services,
+)
+from repro.core.aio import AsyncMatchingService
 from repro.core.bounded import (
     bounded_workspace,
     comp_max_card_bounded,
@@ -112,6 +121,13 @@ __all__ = [
     "comp_max_card_partitioned",
     "compress_data_graph",
     "pattern_components",
+    "plan_components",
+    "solve_component",
+    "ShardPlan",
+    "ShardedMatchingService",
+    "default_sharded_service",
+    "reset_default_sharded_services",
+    "AsyncMatchingService",
     "MatchReport",
     "closure_pattern",
     "match",

@@ -203,6 +203,7 @@ def match(
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
     backend: "str | SolverBackend | None" = None,
+    shards: int | None = None,
 ) -> MatchReport:
     """Match ``graph1`` (pattern) against ``graph2`` (data graph).
 
@@ -233,11 +234,40 @@ def match(
     prepared:
         An explicit pre-built index of ``graph2`` (bypasses the service
         cache; ``graph2`` is ignored in favour of ``prepared.graph``).
+    shards:
+        Route through the process-wide
+        :func:`~repro.core.sharding.default_sharded_service`: ``graph2``
+        is partitioned into ``shards`` closure-closed shards and the
+        pattern's components are solved per shard and merged under
+        Proposition 1 — the sharded equivalent of ``partitioned=True``
+        (cardinality metric only), bit-identical to it at any shard
+        count.  Mutually exclusive with ``prepared``.
 
     Without ``prepared`` the call goes through the process-wide
     :func:`~repro.core.service.default_service`, so back-to-back matches
     against the same data graph build its ``G2⁺`` index only once.
     """
+    if shards is not None:
+        if prepared is not None:
+            raise InputError(
+                "shards= routes through the sharded service; "
+                "pass either shards= or prepared=, not both"
+            )
+        # Imported lazily: the sharding module builds on this one.
+        from repro.core.sharding import default_sharded_service
+
+        return default_sharded_service(shards).match_sharded(
+            graph1,
+            graph2,
+            mat,
+            xi,
+            metric=metric,
+            injective=injective,
+            threshold=threshold,
+            symmetric=symmetric,
+            pick=pick,
+            backend=backend,
+        )
     if prepared is not None:
         return match_prepared(
             graph1,

@@ -43,7 +43,9 @@ from repro.similarity.matrix import SimilarityMatrix
 from repro.utils.timing import Stopwatch
 
 __all__ = [
+    "plan_components",
     "pattern_components",
+    "solve_component",
     "comp_max_card_partitioned",
     "CompressedDataGraph",
     "compress_data_graph",
@@ -56,19 +58,33 @@ Node = Hashable
 # ----------------------------------------------------------------------
 # Partitioning G1
 # ----------------------------------------------------------------------
-def pattern_components(workspace: MatchingWorkspace) -> tuple[list[list[int]], list[int]]:
-    """Split the candidate-bearing pattern nodes into weak components.
+def plan_components(
+    num_nodes: int,
+    prev: list[list[int]],
+    post: list[list[int]],
+    has_candidates: list[bool],
+) -> tuple[list[list[int]], list[int]]:
+    """The Proposition-1 component plan over pattern-node indices.
 
-    Returns ``(components, removed)`` over pattern-node *indices*:
-    ``removed`` are the candidate-free nodes (the set S1 of the paper),
-    and ``components`` partitions the rest by weak connectivity in
-    ``G1[V1 \\ S1]``.
+    ``prev``/``post`` are the pattern adjacency lists (as built by
+    :class:`~repro.core.workspace.MatchingWorkspace`), ``has_candidates``
+    flags the nodes with at least one ξ-feasible candidate.  Returns
+    ``(components, removed)``: ``removed`` are the candidate-free nodes
+    (the set S1 of the paper), and ``components`` partitions the rest by
+    weak connectivity in ``G1[V1 \\ S1]``.
+
+    This is *the* planner — the single-process partitioned solve and the
+    sharded router (:mod:`repro.core.sharding`) both call it, so their
+    component lists (order included: components in first-seen root order,
+    members in BFS order) are identical by construction.  Order matters:
+    the injective merge threads a used-node exclusion through components
+    sequentially, so a different component order is a different result.
     """
-    keep = {v for v, mask in enumerate(workspace.cand_mask) if mask}
-    removed = [v for v in range(len(workspace.nodes1)) if v not in keep]
+    keep = {v for v in range(num_nodes) if has_candidates[v]}
+    removed = [v for v in range(num_nodes) if v not in keep]
     seen: set[int] = set()
     components: list[list[int]] = []
-    for root in range(len(workspace.nodes1)):
+    for root in range(num_nodes):
         if root not in keep or root in seen:
             continue
         component: list[int] = []
@@ -77,12 +93,66 @@ def pattern_components(workspace: MatchingWorkspace) -> tuple[list[list[int]], l
         while queue:
             v = queue.popleft()
             component.append(v)
-            for other in workspace.prev[v] + workspace.post[v]:
+            for other in prev[v] + post[v]:
                 if other in keep and other not in seen:
                     seen.add(other)
                     queue.append(other)
         components.append(component)
     return components, removed
+
+
+def pattern_components(workspace: MatchingWorkspace) -> tuple[list[list[int]], list[int]]:
+    """Split the candidate-bearing pattern nodes into weak components.
+
+    A :func:`plan_components` view over a built workspace — see there for
+    the ``(components, removed)`` contract.
+    """
+    return plan_components(
+        len(workspace.nodes1),
+        workspace.prev,
+        workspace.post,
+        [bool(mask) for mask in workspace.cand_mask],
+    )
+
+
+def solve_component(
+    workspace: MatchingWorkspace,
+    component: list[int],
+    used_mask: int,
+    injective: bool,
+    pick: str,
+) -> tuple[list[tuple[int, int]], int]:
+    """Solve one planned component against ``workspace``'s data graph.
+
+    Returns ``(pairs, rounds)`` with pairs as ``(v_idx, u_idx)`` under
+    the workspace's indexing.  ``used_mask`` excludes data nodes already
+    consumed by earlier components (the injective merge's sequential
+    exclusion; pass 0 otherwise).  Single-node components short-cut to
+    their best candidate — the paper's "a match is simply {(v, u)} where
+    mat(v, u) is best"; under the arbitrary rule, any candidate (lowest
+    index).  Shared by :func:`comp_max_card_partitioned` and the sharded
+    router, which runs it on a shard-local workspace.
+    """
+    if len(component) == 1:
+        v = component[0]
+        mask = workspace.cand_mask[v] & ~used_mask
+        if not mask:
+            return [], 0
+        chosen = None
+        if pick == "similarity":
+            chosen = next((u for u in workspace.pref[v] if mask >> u & 1), None)
+        if chosen is None:
+            chosen = (mask & -mask).bit_length() - 1  # lowest set bit
+        return [(v, chosen)], 0
+    initial = {
+        v: workspace.cand_mask[v] & ~used_mask
+        for v in component
+        if workspace.cand_mask[v] & ~used_mask
+    }
+    pairs, stats = comp_max_card_engine(
+        workspace, initial, injective=injective, pick=pick
+    )
+    return pairs, stats["rounds"]
 
 
 def comp_max_card_partitioned(
@@ -118,31 +188,10 @@ def comp_max_card_partitioned(
         used_mask = 0
         rounds = 0
         for component in components:
-            if len(component) == 1:
-                # Paper: "a match is simply {(v, u)} where mat(v, u) is best"
-                # — under the arbitrary rule, any candidate (lowest index).
-                v = component[0]
-                mask = workspace.cand_mask[v] & ~used_mask
-                if not mask:
-                    continue
-                chosen = None
-                if pick == "similarity":
-                    chosen = next((u for u in workspace.pref[v] if mask >> u & 1), None)
-                if chosen is None:
-                    chosen = (mask & -mask).bit_length() - 1  # lowest set bit
-                all_pairs.append((v, chosen))
-                if injective:
-                    used_mask |= 1 << chosen
-                continue
-            initial = {
-                v: workspace.cand_mask[v] & ~used_mask
-                for v in component
-                if workspace.cand_mask[v] & ~used_mask
-            }
-            pairs, stats = comp_max_card_engine(
-                workspace, initial, injective=injective, pick=pick
+            pairs, component_rounds = solve_component(
+                workspace, component, used_mask, injective, pick
             )
-            rounds += stats["rounds"]
+            rounds += component_rounds
             all_pairs.extend(pairs)
             if injective:
                 for _, u in pairs:

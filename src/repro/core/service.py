@@ -97,7 +97,18 @@ def resolve_similarity(
 
 @dataclass
 class ServiceStats:
-    """Counters a service accumulates across calls (see ``snapshot``)."""
+    """Counters a service accumulates across calls (see ``snapshot``).
+
+    Concurrency contract: every mutation happens under :attr:`lock` —
+    the cache's counter bumps and the service's solve recording share
+    that one lock, and :meth:`snapshot` acquires it too, so a snapshot
+    taken while threaded or async fan-out is in flight is a *consistent
+    cut*: it can never interleave half of one update (``calls`` bumped
+    but its ``solved_by`` entry not yet, a ``solve_seconds`` figure from
+    a different batch than ``batch_seconds``).  Invariant maintained by
+    the service layer and asserted by the regression tests:
+    ``calls == sum(solved_by.values())`` in every snapshot.
+    """
 
     #: Individual pattern solves (one per pattern in a batch).
     calls: int = 0
@@ -129,29 +140,43 @@ class ServiceStats:
     #: service can serve through several engines; operators audit which
     #: one actually answered here.
     solved_by: dict = field(default_factory=dict)
+    #: The write lock every counter mutation (and ``snapshot``) holds.
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_backend(self, name: str, count: int = 1) -> None:
-        """Count ``count`` solves against backend ``name``."""
+        """Count ``count`` solves against backend ``name``.
+
+        The caller must hold :attr:`lock` (the service layer bundles this
+        with the matching ``calls`` increment so the two stay consistent).
+        """
         self.solved_by[name] = self.solved_by.get(name, 0) + count
 
     def snapshot(self) -> dict:
-        """A plain-dict copy, for reports and JSON payloads."""
-        return {
-            "calls": self.calls,
-            "prepares": self.prepares,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "evictions": self.evictions,
-            "disk_hits": self.disk_hits,
-            "disk_misses": self.disk_misses,
-            "prepare_seconds": self.prepare_seconds,
-            "solve_seconds": self.solve_seconds,
-            "load_seconds": self.load_seconds,
-            "store_seconds": self.store_seconds,
-            "batch_seconds": self.batch_seconds,
-            "backend": self.backend,
-            "solved_by": dict(self.solved_by),
-        }
+        """A plain-dict copy, for reports and JSON payloads.
+
+        Taken under :attr:`lock`: concurrent ``match_many`` fan-out (or
+        async serving) can never leak a torn snapshot where some fields
+        include an in-flight update and others do not.
+        """
+        with self.lock:
+            return {
+                "calls": self.calls,
+                "prepares": self.prepares,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "prepare_seconds": self.prepare_seconds,
+                "solve_seconds": self.solve_seconds,
+                "load_seconds": self.load_seconds,
+                "store_seconds": self.store_seconds,
+                "batch_seconds": self.batch_seconds,
+                "backend": self.backend,
+                "solved_by": dict(self.solved_by),
+            }
 
 
 class PreparedGraphCache:
@@ -216,29 +241,39 @@ class PreparedGraphCache:
             self._entries.clear()
             self._generation += 1
 
-    def prepared_for(self, graph2: DiGraph) -> PreparedDataGraph:
+    def prepared_for(
+        self, graph2: DiGraph, fingerprint: str | None = None
+    ) -> PreparedDataGraph:
         """The cached prepared index of ``graph2``.
 
         Tier order on a miss: disk store (when attached), then a fresh
-        build (persisted back to the store, best-effort).
+        build (persisted back to the store, best-effort).  ``fingerprint``
+        skips the digest computation for callers that already know it
+        (the sharded router caches shard-graph fingerprints in its plan);
+        it must be ``graph_fingerprint(graph2)`` — a wrong hint would
+        serve another graph's index.
         """
-        key = graph_fingerprint(graph2)
+        key = graph_fingerprint(graph2) if fingerprint is None else fingerprint
+        # Lock order: the cache lock (LRU structure) is always taken
+        # before the stats lock, never the other way around.
         with self._lock:
             hit = self._entries.get(key)
             if hit is not None:
                 self._entries.move_to_end(key)
-                self.stats.cache_hits += 1
+                with self.stats.lock:
+                    self.stats.cache_hits += 1
                 return hit
             pending = self._building.get(key)
             if pending is None:
                 future: Future = Future()
                 self._building[key] = future
-                self.stats.cache_misses += 1
+                with self.stats.lock:
+                    self.stats.cache_misses += 1
                 generation = self._generation
         if pending is not None:
             # Another thread is preparing this graph: wait off-lock.
             prepared = pending.result()
-            with self._lock:
+            with self.stats.lock:
                 self.stats.cache_hits += 1
             return prepared
         try:
@@ -255,7 +290,8 @@ class PreparedGraphCache:
                 self._entries[key] = prepared
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
-                    self.stats.evictions += 1
+                    with self.stats.lock:
+                        self.stats.evictions += 1
         future.set_result(prepared)
         return prepared
 
@@ -265,14 +301,14 @@ class PreparedGraphCache:
             with Stopwatch() as watch:
                 loaded = self.store.load(key, graph2)  # any defect -> None
             if loaded is not None:
-                with self._lock:
+                with self.stats.lock:
                     self.stats.disk_hits += 1
                     self.stats.load_seconds += watch.elapsed
                 return loaded
-            with self._lock:
+            with self.stats.lock:
                 self.stats.disk_misses += 1
         prepared = PreparedDataGraph(graph2, fingerprint=key)
-        with self._lock:
+        with self.stats.lock:
             self.stats.prepares += 1
             self.stats.prepare_seconds += prepared.prepare_seconds
         if self.store is not None:
@@ -282,7 +318,7 @@ class PreparedGraphCache:
             except OSError:
                 pass  # persistence is best-effort; serving must not fail
             else:
-                with self._lock:
+                with self.stats.lock:
                     self.stats.store_seconds += watch.elapsed
         return prepared
 
@@ -397,16 +433,21 @@ class MatchingService:
         self.backend: SolverBackend = get_backend(backend)
         self.stats = ServiceStats(backend=self.backend.name)
         self.cache = PreparedGraphCache(max_prepared, stats=self.stats, store=store)
-        self._stats_lock = threading.Lock()
 
     @property
     def store(self) -> PreparedIndexStore | None:
         """The disk tier, if one is attached."""
         return self.cache.store
 
-    def prepared_for(self, graph2: DiGraph) -> PreparedDataGraph:
-        """The (cached) prepared index of ``graph2``."""
-        return self.cache.prepared_for(graph2)
+    def prepared_for(
+        self, graph2: DiGraph, fingerprint: str | None = None
+    ) -> PreparedDataGraph:
+        """The (cached) prepared index of ``graph2``.
+
+        ``fingerprint`` is an optional precomputed digest hint — see
+        :meth:`PreparedGraphCache.prepared_for`.
+        """
+        return self.cache.prepared_for(graph2, fingerprint=fingerprint)
 
     def _record_solves(
         self,
@@ -415,7 +456,7 @@ class MatchingService:
         batch_elapsed: float | None = None,
         backend: SolverBackend | None = None,
     ) -> None:
-        with self._stats_lock:
+        with self.stats.lock:
             self.stats.calls += count
             self.stats.solve_seconds += elapsed
             if batch_elapsed is not None:

@@ -1,0 +1,778 @@
+"""Sharded matching cluster: a router in front of shard-worker services.
+
+The paper's Appendix-B partitioning optimization (Proposition 1) says the
+weakly connected components of the candidate-bearing pattern solve
+independently.  :func:`~repro.core.optimize.comp_max_card_partitioned`
+exploits that inside one process; this module turns the same proposition
+into a *cluster shape*: a :class:`ShardedMatchingService` router owns N
+worker :class:`~repro.core.service.MatchingService`\\ s and
+
+* **hash-routes whole-graph requests** — a corpus of data graphs is
+  spread over the workers by content fingerprint
+  (:meth:`ShardPlan.for_corpus`), so each worker's LRU and disk tier only
+  ever hold its slice of the corpus; and
+* **fans pattern components out across graph shards** — one huge data
+  graph is partitioned by :meth:`ShardPlan.for_data_graph`, every
+  pattern component is solved against the single shard holding its
+  candidates, and the per-component results are merged exactly like the
+  single-process partitioned loop (injective mode solves components
+  sequentially with used-node exclusion).
+
+Why the sharded solve is *bit-identical* to the unsharded one
+-------------------------------------------------------------
+A data-graph shard is a union of whole weakly connected components of
+``G2`` (hence of whole SCCs — the plan respects the SCC condensation by
+construction).  Paths never leave a weakly connected component, so a
+shard is **closure-closed**: for nodes ``w, u`` inside a shard,
+``w ⇝ u`` holds in the shard subgraph iff it holds in ``G2``.  Shard
+subgraphs also preserve ``G2``'s node enumeration order, so a shard's
+reachability rows, cycle mask and similarity-preference order are exact
+restrictions of the full graph's.  When every candidate of a pattern
+component lies in one shard, the greedy engine therefore takes the same
+picks, trims and rounds there as it would on the full graph — the same
+σ, node for node.  Components whose candidates span several shards are
+solved by a **spill** worker against the union of the touched shards
+(again closure-closed and order-preserving), so the identity holds for
+*every* request: ``shards=N`` ≡ ``shards=1`` ≡
+``comp_max_card_partitioned``, both pick rules, both metrics of quality,
+injective included.  The equivalence suite (``tests/test_sharding.py``)
+and ``benchmarks/bench_sharded.py`` assert this bit-for-bit.
+
+What sharding buys: mask width.  The big-int (and numpy-block) engines
+pay per |V2|-bit row op; a shard's rows are only as wide as the shard.
+Preparing four 500-node shards costs roughly a quarter of preparing one
+2000-node graph, and every solve then runs on four-times-narrower masks
+— measured ≥1.5× end-to-end in ``bench_sharded.py`` *without threads*.
+
+All workers (and the spill) may point at one shared
+:class:`~repro.core.store.PreparedIndexStore` directory: store writes
+are atomic and content-addressed, so concurrent shard writers are safe,
+and ``index warm --shards`` pre-warms the per-shard indexes a fleet
+loads on boot.  Per-shard ``backends=`` lets operators A/B engines in
+production (big-int for tiny shards, numpy for hot wide ones), audited
+through each worker's ``ServiceStats.solved_by``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Sequence
+
+from repro.core.api import (
+    DEFAULT_MATCH_THRESHOLD,
+    MatchReport,
+    closure_pattern,
+    validate_match_options,
+)
+from repro.core.backends import SolverBackend, get_backend
+from repro.core.optimize import plan_components, solve_component
+from repro.core.phom import PHomResult
+from repro.core.service import (
+    MatchingService,
+    SimilaritySource,
+    resolve_similarity,
+)
+from repro.core.store import PreparedIndexStore
+from repro.core.workspace import MatchingWorkspace
+from repro.graph.components import weakly_connected_components
+from repro.graph.digraph import DiGraph
+from repro.graph.fingerprint import graph_fingerprint
+from repro.graph.scc import Condensation
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "ShardPlan",
+    "ShardedMatchingService",
+    "default_sharded_service",
+    "reset_default_sharded_services",
+]
+
+Node = Hashable
+
+
+class ShardPlan:
+    """A deterministic assignment of data to shards.
+
+    Two kinds:
+
+    ``graph``
+        one data graph partitioned into at most ``shards`` subgraphs.
+        The unit of placement is the weakly connected component — the
+        finest closure-closed piece of the graph, and automatically a
+        union of whole SCCs — so per-shard solves agree bit-for-bit
+        with full-graph solves (see the module docstring).  Components
+        are balanced onto shards largest-first (ties broken by first
+        enumeration position, then lowest shard id), which makes the
+        plan a pure function of the graph content.
+
+    ``corpus``
+        a stateless hash law assigning whole data graphs to shards by
+        content fingerprint — the router's placement rule for
+        multi-graph serving.
+
+    Build via :meth:`for_data_graph` / :meth:`for_corpus`.
+    """
+
+    def __init__(self, kind: str, shards: int) -> None:
+        if kind not in ("graph", "corpus"):
+            raise InputError(f"unknown shard-plan kind {kind!r}")
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise InputError(f"a shard plan needs at least one shard, got {shards!r}")
+        self.kind = kind
+        self.shards = shards
+        # Graph-kind state (populated by for_data_graph).
+        self.graph: DiGraph | None = None
+        self.fingerprint: str | None = None
+        self.shard_nodes: list[list[Node]] = []
+        self.shard_of: dict[Node, int] = {}
+        self.cycle_nodes: frozenset[Node] = frozenset()
+        self.weak_components: int = 0
+        self._position: dict[Node, int] = {}
+        self._graphs: dict[object, DiGraph] = {}
+        self._fingerprints: dict[object, str] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_corpus(cls, shards: int) -> "ShardPlan":
+        """The fingerprint-hash law spreading a corpus over ``shards``."""
+        return cls("corpus", shards)
+
+    @classmethod
+    def for_data_graph(cls, graph2: DiGraph, shards: int) -> "ShardPlan":
+        """Partition ``graph2`` into closure-closed, balanced shards.
+
+        Every weakly connected component lands on exactly one shard
+        (largest components placed first onto the currently lightest
+        shard), so shards respect the SCC condensation and reachability
+        never crosses a shard boundary.  A graph that is one big weak
+        component yields a single nonempty shard — the plan never
+        splits what Proposition 1 cannot split soundly.
+        """
+        plan = cls("graph", shards)
+        plan.graph = graph2
+        plan.fingerprint = graph_fingerprint(graph2)
+        plan._position = {node: i for i, node in enumerate(graph2.nodes())}
+
+        weak = weakly_connected_components(graph2)
+        plan.weak_components = len(weak)
+        order = sorted(
+            range(len(weak)),
+            key=lambda c: (-len(weak[c]), min(plan._position[n] for n in weak[c])),
+        )
+        assignment: list[list[Node]] = [[] for _ in range(shards)]
+        loads = [0] * shards
+        for c in order:
+            target = min(range(shards), key=lambda s: (loads[s], s))
+            assignment[target].extend(weak[c])
+            loads[target] += len(weak[c])
+        plan.shard_nodes = [
+            sorted(nodes, key=plan._position.__getitem__) for nodes in assignment
+        ]
+        plan.shard_of = {
+            node: sid for sid, nodes in enumerate(plan.shard_nodes) for node in nodes
+        }
+
+        # Nodes on a nonempty cycle: exactly the members of SCCs with an
+        # internal cycle.  This is the full graph's cycle information —
+        # identical to every shard's, since cycles live inside SCCs.
+        cond = Condensation(graph2)
+        plan.cycle_nodes = frozenset(
+            node
+            for cid, members in enumerate(cond.components)
+            if cond.has_internal_cycle(cid)
+            for node in members
+        )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Corpus routing
+    # ------------------------------------------------------------------
+    def shard_of_fingerprint(self, fingerprint: str) -> int:
+        """The shard a content fingerprint hashes to (stable across runs)."""
+        return int(fingerprint[:16], 16) % self.shards
+
+    def shard_of_graph(self, graph2: DiGraph) -> int:
+        """The shard a whole data graph is assigned to."""
+        return self.shard_of_fingerprint(graph_fingerprint(graph2))
+
+    # ------------------------------------------------------------------
+    # Graph-kind views
+    # ------------------------------------------------------------------
+    def _require_graph(self) -> DiGraph:
+        if self.kind != "graph" or self.graph is None:
+            raise InputError("this operation needs a graph-kind shard plan")
+        return self.graph
+
+    def nonempty_shards(self) -> list[int]:
+        """Ids of shards that received at least one node."""
+        self._require_graph()
+        return [sid for sid, nodes in enumerate(self.shard_nodes) if nodes]
+
+    def shard_graph(self, shard_id: int) -> DiGraph:
+        """The induced subgraph of shard ``shard_id`` (cached).
+
+        Node enumeration order follows the full graph's — the property
+        the bit-identity argument rests on.
+        """
+        graph = self._require_graph()
+        if not 0 <= shard_id < self.shards:
+            raise InputError(f"shard id {shard_id!r} out of range for {self.shards} shards")
+        with self._lock:
+            cached = self._graphs.get(shard_id)
+            if cached is None:
+                cached = graph.subgraph(
+                    self.shard_nodes[shard_id],
+                    name=f"{graph.name or 'G2'}/shard{shard_id}",
+                )
+                self._graphs[shard_id] = cached
+            return cached
+
+    def fingerprint_for(self, key: "int | frozenset[int]") -> str:
+        """The content fingerprint of a shard (or union) graph, cached.
+
+        The router hands this to ``prepared_for`` so a hot serving loop
+        never re-hashes a shard graph per request — plans are immutable,
+        so the digest is computed at most once per view.
+        """
+        with self._lock:
+            cached = self._fingerprints.get(key)
+        if cached is None:
+            graph = (
+                self.shard_graph(key)
+                if isinstance(key, int)
+                else self.union_graph(key)
+            )
+            cached = graph_fingerprint(graph)
+            with self._lock:
+                self._fingerprints[key] = cached
+        return cached
+
+    def union_graph(self, shard_ids: frozenset[int]) -> DiGraph:
+        """The induced subgraph over a union of shards (the spill view).
+
+        Used for pattern components whose candidates span several shards;
+        a union of closure-closed shards is closure-closed again, and
+        merging the shard node lists by enumeration position preserves
+        the full graph's order.
+        """
+        graph = self._require_graph()
+        key = frozenset(shard_ids)
+        if not key:
+            raise InputError("a spill union needs at least one shard")
+        with self._lock:
+            cached = self._graphs.get(key)
+            if cached is None:
+                nodes = sorted(
+                    (node for sid in key for node in self.shard_nodes[sid]),
+                    key=self._position.__getitem__,
+                )
+                tag = "+".join(str(sid) for sid in sorted(key))
+                cached = graph.subgraph(
+                    nodes, name=f"{graph.name or 'G2'}/shards{tag}"
+                )
+                self._graphs[key] = cached
+            return cached
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary (CLI summaries, stats snapshots)."""
+        payload: dict = {"kind": self.kind, "shards": self.shards}
+        if self.kind == "graph":
+            payload["weak_components"] = self.weak_components
+            payload["shard_sizes"] = [len(nodes) for nodes in self.shard_nodes]
+            payload["nonempty_shards"] = len(self.nonempty_shards())
+        return payload
+
+    def __repr__(self) -> str:
+        if self.kind == "corpus":
+            return f"<ShardPlan corpus shards={self.shards}>"
+        sizes = "/".join(str(len(nodes)) for nodes in self.shard_nodes)
+        return f"<ShardPlan graph shards={self.shards} sizes={sizes}>"
+
+
+class ShardedMatchingService:
+    """A router in front of ``shards`` worker services plus a spill worker.
+
+    ``store_dir`` (or an existing ``store``) is shared by every worker —
+    the PR-2 store's writes are atomic and content-addressed, so N shard
+    writers warming one directory never corrupt each other.  ``backend``
+    sets every worker's engine; ``backends`` (a list of ``shards`` names
+    or instances) pins one per shard for production A/B runs.  The spill
+    worker — which solves pattern components whose candidates span
+    several shards against the union of the touched shards — runs the
+    router-level default backend.
+
+    Request surface:
+
+    * :meth:`match` / :meth:`match_many` — whole-graph requests,
+      hash-routed to the worker owning ``graph2``'s fingerprint;
+    * :meth:`match_sharded` / :meth:`match_many_sharded` — one data
+      graph partitioned by :meth:`plan_for`, pattern components fanned
+      out across shard workers and merged under Proposition 1 semantics
+      (bit-identical to the single-process partitioned solve — module
+      docstring has the argument).
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        max_prepared: int = 8,
+        store: PreparedIndexStore | None = None,
+        store_dir: str | None = None,
+        backend: "str | SolverBackend | None" = None,
+        backends: "Sequence[str | SolverBackend] | None" = None,
+        max_plans: int = 8,
+    ) -> None:
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise InputError(f"a sharded service needs at least one shard, got {shards!r}")
+        if store is not None and store_dir is not None:
+            raise InputError("pass either store= or store_dir=, not both")
+        if store_dir is not None:
+            store = PreparedIndexStore(store_dir)
+        if max_plans < 1:
+            raise InputError(f"the plan cache needs at least one slot, got {max_plans!r}")
+        self.shards = shards
+        #: Router-level default backend (spill solves, per-call fallback).
+        self.backend: SolverBackend = get_backend(backend)
+        if backends is None:
+            worker_backends: list[SolverBackend] = [self.backend] * shards
+        else:
+            if len(backends) != shards:
+                raise InputError(
+                    f"backends= needs one entry per shard ({shards}), got {len(backends)}"
+                )
+            worker_backends = [get_backend(b) for b in backends]
+        #: One worker service per shard; all share the (optional) store.
+        self.workers: list[MatchingService] = [
+            MatchingService(max_prepared, store=store, backend=wb)
+            for wb in worker_backends
+        ]
+        #: The spill worker for components whose candidates span shards.
+        self.spill = MatchingService(max_prepared, store=store, backend=self.backend)
+        self._corpus_plan = ShardPlan.for_corpus(shards)
+        self.max_plans = max_plans
+        self._plans: OrderedDict[str, ShardPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self._counters = {
+            "routed_calls": 0,
+            "sharded_solves": 0,
+            "fanout_components": 0,
+            "spill_components": 0,
+            "plans_built": 0,
+            "batch_seconds": 0.0,
+        }
+
+    @property
+    def store(self) -> PreparedIndexStore | None:
+        """The shared disk tier, if one is attached."""
+        return self.workers[0].store
+
+    # ------------------------------------------------------------------
+    # Corpus routing: whole-graph requests
+    # ------------------------------------------------------------------
+    def worker_for(self, graph2: DiGraph) -> MatchingService:
+        """The worker owning ``graph2`` under the corpus hash law."""
+        return self.workers[self._corpus_plan.shard_of_graph(graph2)]
+
+    def match(
+        self,
+        graph1: DiGraph,
+        graph2: DiGraph,
+        mat: SimilaritySource,
+        xi: float,
+        **options,
+    ) -> MatchReport:
+        """One whole-graph request, hash-routed to ``graph2``'s worker.
+
+        Exactly :meth:`MatchingService.match` on the owning shard —
+        routing changes which worker's cache warms, never the result.
+        """
+        worker = self.worker_for(graph2)
+        with self._lock:
+            self._counters["routed_calls"] += 1
+        return worker.match(graph1, graph2, mat, xi, **options)
+
+    def match_many(
+        self,
+        patterns: Sequence[DiGraph],
+        graph2: DiGraph,
+        mat: SimilaritySource,
+        xi: float,
+        **options,
+    ) -> list[MatchReport]:
+        """A batch against one data graph, hash-routed to its worker."""
+        patterns = list(patterns)
+        worker = self.worker_for(graph2)
+        with self._lock:
+            self._counters["routed_calls"] += len(patterns)
+        return worker.match_many(patterns, graph2, mat, xi, **options)
+
+    # ------------------------------------------------------------------
+    # Graph sharding: component fan-out
+    # ------------------------------------------------------------------
+    def plan_for(self, graph2: DiGraph) -> ShardPlan:
+        """The (cached) graph-kind shard plan of ``graph2``.
+
+        Plans are keyed by content fingerprint in a small LRU, mirroring
+        the prepared-graph cache: mutate the graph and the next request
+        simply plans afresh.
+        """
+        key = graph_fingerprint(graph2)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                return plan
+        built = ShardPlan.for_data_graph(graph2, self.shards)  # off-lock
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                return plan  # another thread planned it meanwhile
+            self._plans[key] = built
+            self._counters["plans_built"] += 1
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+        return built
+
+    def match_sharded(
+        self,
+        graph1: DiGraph,
+        graph2: DiGraph,
+        mat: SimilaritySource,
+        xi: float,
+        metric: str = "cardinality",
+        injective: bool = False,
+        threshold: float = DEFAULT_MATCH_THRESHOLD,
+        symmetric: bool = False,
+        pick: str = "similarity",
+        backend: "str | SolverBackend | None" = None,
+        plan: ShardPlan | None = None,
+        max_workers: int | None = None,
+    ) -> MatchReport:
+        """One pattern against one *sharded* data graph.
+
+        Semantically the Appendix-B partitioned solve — each weakly
+        connected component of the candidate-bearing pattern is solved
+        independently — executed across the shard workers: a component
+        runs on the one shard holding all its candidates, or on the
+        spill worker over the union of the shards it touches.  Injective
+        mode solves components sequentially, excluding data nodes used
+        by earlier components, exactly like the single-process loop;
+        non-injective components may fan out over ``max_workers``
+        threads (the merge order stays the plan order either way).
+
+        ``backend`` overrides every touched worker's engine for this
+        call; ``plan`` skips the plan-cache lookup (batch callers pass
+        the plan they already fetched).
+        """
+        if metric != "cardinality":
+            raise InputError("sharded matching is implemented for the cardinality metric")
+        solver = None if backend is None else get_backend(backend)
+        validate_match_options(
+            metric, threshold, xi, partitioned=True, pick=pick,
+            backend=self.backend if solver is None else solver,
+        )  # pre-flight: a typo'd option must not cost a shard prepare
+        if plan is None:
+            plan = self.plan_for(graph2)
+        elif plan.kind != "graph" or (
+            # Same object (every batch/hot-loop shape) verifies for free;
+            # only a *different* graph object pays a digest comparison.
+            plan.graph is not graph2
+            and plan.fingerprint != graph_fingerprint(graph2)
+        ):
+            raise InputError("shard plan does not describe this data graph")
+        resolved = resolve_similarity(mat, graph1, graph2)
+        pattern = closure_pattern(graph1) if symmetric else graph1
+        with Stopwatch() as watch:
+            result, fanout, spills = self._solve_components(
+                pattern, resolved, xi, injective, pick, solver, plan, max_workers
+            )
+        result.stats["elapsed_seconds"] = watch.elapsed
+        with self._lock:
+            self._counters["sharded_solves"] += 1
+            self._counters["fanout_components"] += fanout
+            self._counters["spill_components"] += spills
+        quality = result.qual_card
+        return MatchReport(
+            matched=quality >= threshold,
+            quality=quality,
+            threshold=threshold,
+            metric=metric,
+            result=result,
+        )
+
+    def match_many_sharded(
+        self,
+        patterns: Sequence[DiGraph],
+        graph2: DiGraph,
+        mat: SimilaritySource,
+        xi: float,
+        metric: str = "cardinality",
+        injective: bool = False,
+        threshold: float = DEFAULT_MATCH_THRESHOLD,
+        symmetric: bool = False,
+        pick: str = "similarity",
+        backend: "str | SolverBackend | None" = None,
+        max_workers: int | None = None,
+    ) -> list[MatchReport]:
+        """Every pattern against one sharded data graph, planned once.
+
+        Reports come back in pattern order.  ``max_workers > 1`` fans
+        whole-pattern solves out over a thread pool (each pattern's
+        component merge stays sequential, so injective mode is safe to
+        parallelise *across* patterns); results are identical to the
+        sequential path.
+        """
+        patterns = list(patterns)
+        plan = self.plan_for(graph2)
+
+        def solve(graph1: DiGraph) -> MatchReport:
+            return self.match_sharded(
+                graph1, graph2, mat, xi,
+                metric=metric, injective=injective, threshold=threshold,
+                symmetric=symmetric, pick=pick, backend=backend, plan=plan,
+            )
+
+        with Stopwatch() as watch:
+            if max_workers is not None and max_workers > 1 and len(patterns) > 1:
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    reports = list(pool.map(solve, patterns))
+            else:
+                reports = [solve(graph1) for graph1 in patterns]
+        with self._lock:
+            self._counters["batch_seconds"] += watch.elapsed
+        return reports
+
+    # ------------------------------------------------------------------
+    def _solve_components(
+        self,
+        pattern: DiGraph,
+        mat: SimilarityMatrix,
+        xi: float,
+        injective: bool,
+        pick: str,
+        solver: SolverBackend | None,
+        plan: ShardPlan,
+        max_workers: int | None,
+    ) -> tuple[PHomResult, int, int]:
+        """Plan, route, solve and merge one pattern's components.
+
+        Mirrors ``comp_max_card_partitioned`` exactly (same planner,
+        same per-component solver, same merge order and float
+        accumulation order) with the data-graph side swapped for shard
+        subgraphs.  Returns ``(result, single_shard_components,
+        spill_components)``.
+        """
+        nodes1: list[Node] = list(pattern.nodes())
+        n1 = len(nodes1)
+        index1 = {node: i for i, node in enumerate(nodes1)}
+        prev = [[index1[p] for p in pattern.predecessors(v)] for v in nodes1]
+        post = [[index1[s] for s in pattern.successors(v)] for v in nodes1]
+
+        # Candidate sets, computed the way a workspace would: membership
+        # in G2, mat ≥ ξ, self-loop nodes restricted to cycle members.
+        cand: list[dict[Node, float]] = []
+        for node in nodes1:
+            row = {
+                u: score
+                for u, score in mat.row(node).items()
+                if u in plan.shard_of and score >= xi
+            }
+            if pattern.has_self_loop(node):
+                row = {u: s for u, s in row.items() if u in plan.cycle_nodes}
+            cand.append(row)
+
+        components, removed = plan_components(
+            n1, prev, post, [bool(row) for row in cand]
+        )
+        routes: list[frozenset[int]] = [
+            frozenset(plan.shard_of[u] for v in component for u in cand[v])
+            for component in components
+        ]
+
+        # One workspace per touched shard (or shard union), built once
+        # per request — the prepared index underneath is the cached,
+        # possibly store-loaded one, so repeat requests pay pattern-side
+        # work only.
+        workspaces: dict[frozenset[int], tuple[MatchingWorkspace, MatchingService]] = {}
+
+        def workspace_for(key: frozenset[int]) -> tuple[MatchingWorkspace, MatchingService]:
+            entry = workspaces.get(key)
+            if entry is None:
+                if len(key) == 1:
+                    (shard_id,) = key
+                    service = self.workers[shard_id]
+                    shard_graph = plan.shard_graph(shard_id)
+                    shard_fingerprint = plan.fingerprint_for(shard_id)
+                else:
+                    service = self.spill
+                    shard_graph = plan.union_graph(key)
+                    shard_fingerprint = plan.fingerprint_for(key)
+                prepared = service.prepared_for(
+                    shard_graph, fingerprint=shard_fingerprint
+                )
+                entry = (
+                    MatchingWorkspace(
+                        pattern, prepared.graph, mat, xi, prepared=prepared,
+                        backend=service.backend if solver is None else solver,
+                        # The routing scan above already produced the ξ- and
+                        # cycle-filtered rows; hand them down so the shard
+                        # workspace does not re-scan the similarity matrix.
+                        candidate_rows=cand,
+                    ),
+                    service,
+                )
+                workspaces[key] = entry
+            return entry
+
+        used_nodes: set[Node] = set()
+
+        def solve_one(idx: int) -> tuple[list[tuple[int, Node]], int]:
+            workspace, service = workspace_for(routes[idx])
+            used_mask = 0
+            if injective and used_nodes:
+                index2 = workspace.index2
+                for node in used_nodes:
+                    u = index2.get(node)
+                    if u is not None:
+                        used_mask |= 1 << u
+            with Stopwatch() as solve_watch:
+                pairs, rounds = solve_component(
+                    workspace, components[idx], used_mask, injective, pick
+                )
+            # Worker stats count *component* solves — the unit of work a
+            # shard actually performs; the router's sharded_solves
+            # counter tracks pattern-level requests.
+            service._record_solves(1, solve_watch.elapsed, backend=workspace.backend)
+            return [(v, workspace.nodes2[u]) for v, u in pairs], rounds
+
+        all_pairs: list[tuple[int, Node]] = []
+        rounds = 0
+        if (
+            not injective
+            and max_workers is not None
+            and max_workers > 1
+            and len(components) > 1
+        ):
+            # Workspaces are built serially (their dict is unguarded and
+            # the prepare underneath is the expensive part anyway), then
+            # independent component solves fan out.  pool.map preserves
+            # plan order, so the merge below is the sequential merge.
+            for key in routes:
+                workspace_for(key)
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                solved = list(pool.map(solve_one, range(len(components))))
+            for pairs, component_rounds in solved:
+                all_pairs.extend(pairs)
+                rounds += component_rounds
+        else:
+            for idx in range(len(components)):
+                pairs, component_rounds = solve_one(idx)
+                all_pairs.extend(pairs)
+                rounds += component_rounds
+                if injective:
+                    used_nodes.update(u for _, u in pairs)
+
+        # Quality, with the exact accumulation order of the
+        # single-process path (floats must match bit-for-bit).
+        weights = [pattern.weight(node) for node in nodes1]
+        total_weight = sum(weights)
+        qual_card = 1.0 if n1 == 0 else len(all_pairs) / n1
+        if total_weight == 0.0:
+            qual_sim = 1.0
+        else:
+            captured = sum(weights[v] * cand[v][u] for v, u in all_pairs)
+            qual_sim = captured / total_weight
+
+        fanout = sum(1 for key in routes if len(key) == 1)
+        spills = len(routes) - fanout
+        result = PHomResult(
+            mapping={nodes1[v]: u for v, u in all_pairs},
+            qual_card=qual_card,
+            qual_sim=qual_sim,
+            injective=injective,
+            stats={
+                "components": len(components),
+                "candidate_free": len(removed),
+                "rounds": rounds,
+                "elapsed_seconds": 0.0,  # stamped by match_sharded
+                "shards": plan.shards,
+                "fanout_components": fanout,
+                "spill_components": spills,
+            },
+        )
+        return result, fanout, spills
+
+    # ------------------------------------------------------------------
+    # Fleet statistics
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Aggregated service statistics with a per-shard breakdown.
+
+        Each worker snapshot is internally consistent (taken under that
+        worker's stats lock); the aggregate sums the numeric fields and
+        merges ``solved_by``.  Worker ``calls`` count the *component*
+        solves a shard performed — the router's ``sharded_solves`` is
+        the pattern-level request count, and ``routed_calls`` counts
+        hash-routed whole-graph requests.
+        """
+        per_shard = [worker.stats.snapshot() for worker in self.workers]
+        spill = self.spill.stats.snapshot()
+        aggregate: dict = {}
+        for snap in per_shard + [spill]:
+            for field, value in snap.items():
+                if field == "solved_by":
+                    merged = aggregate.setdefault("solved_by", {})
+                    for name, count in value.items():
+                        merged[name] = merged.get(name, 0) + count
+                elif field == "backend":
+                    continue
+                else:
+                    aggregate[field] = aggregate.get(field, 0) + value
+        aggregate["backend"] = self.backend.name
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            "shards": self.shards,
+            **counters,
+            "aggregate": aggregate,
+            "per_shard": per_shard,
+            "spill": spill,
+        }
+
+    def __repr__(self) -> str:
+        return f"<ShardedMatchingService shards={self.shards} backend={self.backend.name!r}>"
+
+
+_default_sharded: dict[int, ShardedMatchingService] = {}
+_default_sharded_lock = threading.Lock()
+
+
+def default_sharded_service(shards: int) -> ShardedMatchingService:
+    """The process-wide sharded router for ``shards`` shards.
+
+    ``repro.core.api.match(shards=N)`` routes through this, so repeated
+    sharded calls against the same data graph reuse its shard plan and
+    every worker's prepared indexes.  One router is kept per shard
+    count.
+    """
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise InputError(f"shards must be a positive integer, got {shards!r}")
+    with _default_sharded_lock:
+        service = _default_sharded.get(shards)
+        if service is None:
+            service = ShardedMatchingService(shards)
+            _default_sharded[shards] = service
+        return service
+
+
+def reset_default_sharded_services() -> None:
+    """Drop every process-wide sharded router (releases cached indexes)."""
+    with _default_sharded_lock:
+        _default_sharded.clear()

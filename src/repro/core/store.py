@@ -64,7 +64,14 @@ _tmp_counter = itertools.count()
 
 @dataclass(frozen=True)
 class StoreEntry:
-    """Metadata of one stored index, as listed by ``index ls``."""
+    """Metadata of one stored index, as listed by ``index ls``.
+
+    ``mtime`` is the file's modification time (the age the GC policies
+    act on) and ``version`` the envelope's on-disk format version — the
+    payload itself is backend-neutral, so fleet tooling scripting
+    warm/GC decisions off ``index ls --json`` needs no knowledge of
+    which solver backend will hydrate an index.
+    """
 
     fingerprint: str
     path: Path
@@ -72,6 +79,8 @@ class StoreEntry:
     num_edges: int
     file_bytes: int
     prepare_seconds: float
+    mtime: float
+    version: int
 
     def as_dict(self) -> dict:
         """A JSON-serialisable view (CLI output)."""
@@ -82,6 +91,8 @@ class StoreEntry:
             "edges": self.num_edges,
             "bytes": self.file_bytes,
             "prepare_seconds": self.prepare_seconds,
+            "mtime": self.mtime,
+            "version": self.version,
         }
 
 
@@ -134,14 +145,17 @@ class PreparedIndexStore:
                 continue
             try:
                 header = PreparedDataGraph.payload_header(payload)
+                info = path.stat()
                 listed.append(
                     StoreEntry(
                         fingerprint=fingerprint,
                         path=path,
                         num_nodes=int(header["num_nodes"]),
                         num_edges=int(header["num_edges"]),
-                        file_bytes=path.stat().st_size,
+                        file_bytes=info.st_size,
                         prepare_seconds=float(header["prepare_seconds"]),
+                        mtime=info.st_mtime,
+                        version=STORE_VERSION,
                     )
                 )
             except (ValueError, KeyError, TypeError, OSError):

@@ -78,6 +78,7 @@ class MatchingWorkspace:
         xi: float,
         prepared: PreparedDataGraph | None = None,
         backend: "str | SolverBackend | None" = None,
+        candidate_rows: "list[dict[Node, float]] | None" = None,
     ) -> None:
         validate_threshold(xi)
         #: The solver backend engine runs default to (resolved eagerly so
@@ -138,17 +139,35 @@ class MatchingWorkspace:
         self.cycle_mask: int = prepared.cycle_mask
 
         # Candidates and per-pair scores (sparse: only pairs with mat ≥ ξ).
+        # ``candidate_rows`` (one dict per pattern node, keyed by data-node
+        # identifier, already ξ- and cycle-filtered, in similarity-row
+        # iteration order) skips the similarity scan — the sharded router
+        # computed exactly these rows for routing and hands them down so
+        # the hot path scans each pattern's rows once, not twice.  Only
+        # data-graph membership is re-checked (a shard view holds a
+        # subset of the rows' nodes).
         self.scores: list[dict[int, float]] = []
         self.cand_mask: list[int] = []
         self.pref: list[list[int]] = []
-        for v in self.nodes1:
+        if candidate_rows is not None and len(candidate_rows) != len(self.nodes1):
+            raise InputError(
+                "candidate_rows must hold one row per pattern node "
+                f"({len(self.nodes1)}), got {len(candidate_rows)}"
+            )
+        for v_idx, v in enumerate(self.nodes1):
             row: dict[int, float] = {}
-            for u, score in mat.row(v).items():
-                u_idx = self.index2.get(u)
-                if u_idx is not None and score >= xi:
-                    row[u_idx] = score
-            if graph1.has_self_loop(v):
-                row = {u: s for u, s in row.items() if self.cycle_mask >> u & 1}
+            if candidate_rows is not None:
+                for u, score in candidate_rows[v_idx].items():
+                    u_idx = self.index2.get(u)
+                    if u_idx is not None:
+                        row[u_idx] = score
+            else:
+                for u, score in mat.row(v).items():
+                    u_idx = self.index2.get(u)
+                    if u_idx is not None and score >= xi:
+                        row[u_idx] = score
+                if graph1.has_self_loop(v):
+                    row = {u: s for u, s in row.items() if self.cycle_mask >> u & 1}
             self.scores.append(row)
             mask = 0
             for u_idx in row:

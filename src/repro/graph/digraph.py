@@ -47,6 +47,11 @@ class DiGraph:
         self._succ: dict[Node, set[Node]] = {}
         self._pred: dict[Node, set[Node]] = {}
         self._edge_count = 0
+        #: Memoized content digest, dropped by every mutator — lets
+        #: :func:`repro.graph.fingerprint.graph_fingerprint` cost O(1)
+        #: on the hot serving paths (cache lookups, shard routing) that
+        #: hash the same unchanged graph over and over.
+        self._fingerprint_cache: str | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -89,6 +94,7 @@ class DiGraph:
         """
         if weight <= 0:
             raise InputError(f"node weight must be positive, got {weight!r}")
+        self._fingerprint_cache = None
         if node not in self._succ:
             self._succ[node] = set()
             self._pred[node] = set()
@@ -109,6 +115,7 @@ class DiGraph:
         if head not in self._succ:
             self.add_node(head)
         if head not in self._succ[tail]:
+            self._fingerprint_cache = None
             self._succ[tail].add(head)
             self._pred[head].add(tail)
             self._edge_count += 1
@@ -122,6 +129,7 @@ class DiGraph:
         """Remove the edge ``tail -> head``; raise GraphError if absent."""
         if tail not in self._succ or head not in self._succ[tail]:
             raise GraphError(f"edge ({tail!r}, {head!r}) not in graph")
+        self._fingerprint_cache = None
         self._succ[tail].discard(head)
         self._pred[head].discard(tail)
         self._edge_count -= 1
@@ -130,6 +138,7 @@ class DiGraph:
         """Remove ``node`` and all incident edges; raise GraphError if absent."""
         if node not in self._succ:
             raise GraphError(f"node {node!r} not in graph")
+        self._fingerprint_cache = None
         for head in self._succ[node]:
             self._pred[head].discard(node)
         for tail in self._pred[node]:
@@ -218,6 +227,7 @@ class DiGraph:
         """Replace the label of an existing node."""
         if node not in self._labels:
             raise GraphError(f"node {node!r} not in graph")
+        self._fingerprint_cache = None
         self._labels[node] = label
 
     def weight(self, node: Node) -> float:
@@ -233,6 +243,7 @@ class DiGraph:
             raise GraphError(f"node {node!r} not in graph")
         if weight <= 0:
             raise InputError(f"node weight must be positive, got {weight!r}")
+        self._fingerprint_cache = None
         self._weights[node] = float(weight)
 
     def total_weight(self) -> float:

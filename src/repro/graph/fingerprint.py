@@ -69,7 +69,15 @@ def graph_fingerprint(graph: DiGraph) -> str:
     >>> b.add_edge("z", "x")
     >>> graph_fingerprint(a) == graph_fingerprint(b)
     False
+
+    The digest is memoized on the graph object and dropped by every
+    mutator, so hot serving paths — the prepared-index cache keyed by
+    fingerprint, the shard router hashing the same corpus graph per
+    request — pay the full hash once per content state, then O(1).
     """
+    cached = getattr(graph, "_fingerprint_cache", None)
+    if cached is not None:
+        return cached
     digest = hashlib.sha256()
     for node in graph.nodes():
         key = f"{node!r}\x1f{graph.label(node)!r}\x1f{graph.weight(node)!r}"
@@ -84,4 +92,9 @@ def graph_fingerprint(graph: DiGraph) -> str:
         for head_key in sorted(repr(head) for head in graph.successors(tail)):
             digest.update(f"{tail!r}\x1f{head_key}".encode("utf-8", "backslashreplace"))
             digest.update(b"\x1e")
-    return digest.hexdigest()
+    result = digest.hexdigest()
+    try:
+        graph._fingerprint_cache = result
+    except AttributeError:  # read-only graph views stay uncached
+        pass
+    return result

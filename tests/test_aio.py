@@ -1,0 +1,217 @@
+"""AsyncMatchingService: concurrency equivalence and lifecycle.
+
+The async front-end must be a *transparent* adapter: a gather of N
+requests returns exactly what N sequential service calls return, the
+semaphore really bounds in-flight solves, and the wrapped service's
+statistics stay consistent under async fan-out (they are taken as one
+lock-held snapshot since the sharding refactor).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro.core.aio import AsyncMatchingService
+from repro.core.service import MatchingService
+from repro.core.sharding import ShardedMatchingService
+from repro.graph.digraph import DiGraph
+from repro.similarity.labels import label_equality_matrix
+from repro.utils.errors import InputError
+
+XI = 0.5
+
+
+def build_workload(sites: int = 2, site_nodes: int = 30, patterns: int = 10):
+    rng = random.Random(17)
+    data = DiGraph(name="async-data")
+    for s in range(sites):
+        base = s * site_nodes
+        for i in range(site_nodes):
+            data.add_node(base + i, label=f"L{rng.randrange(6)}")
+        for _ in range(3 * site_nodes):
+            a = base + rng.randrange(site_nodes)
+            b = base + rng.randrange(site_nodes)
+            if a != b:
+                data.add_edge(a, b)
+        for i in range(site_nodes - 1):
+            data.add_edge(base + i, base + i + 1)
+    nodes = list(data.nodes())
+    pats = [
+        data.subgraph(rng.sample(nodes, 7), name=f"p{i}") for i in range(patterns)
+    ]
+    mats = {p.name: label_equality_matrix(p, data) for p in pats}
+    source = lambda pattern, _data: mats[pattern.name]
+    return data, pats, source
+
+
+class TestConcurrencyEquivalence:
+    def test_match_many_equals_sequential(self):
+        data, patterns, source = build_workload()
+        reference = MatchingService().match_many(patterns, data, source, XI)
+
+        async def run():
+            async with AsyncMatchingService(max_concurrency=4) as service:
+                reports = await service.match_many(patterns, data, source, XI)
+                return reports, service.service.stats.snapshot()
+
+        reports, snapshot = asyncio.run(run())
+        assert [r.result.mapping for r in reports] == [
+            r.result.mapping for r in reference
+        ]
+        assert [r.quality for r in reports] == [r.quality for r in reference]
+        # One consistent stats cut: every async solve accounted, one
+        # prepare despite the cold stampede (in-flight dedupe).
+        assert snapshot["calls"] == len(patterns)
+        assert snapshot["calls"] == sum(snapshot["solved_by"].values())
+        assert snapshot["prepares"] == 1
+
+    def test_single_match_and_options_flow_through(self):
+        data, patterns, source = build_workload(patterns=1)
+        reference = MatchingService().match(
+            patterns[0], data, source, XI, injective=True, pick="arbitrary"
+        )
+
+        async def run():
+            async with AsyncMatchingService() as service:
+                return await service.match(
+                    patterns[0], data, source, XI, injective=True, pick="arbitrary"
+                )
+
+        report = asyncio.run(run())
+        assert report.result.mapping == reference.result.mapping
+        assert report.result.injective is True
+
+    def test_semaphore_bounds_inflight_solves(self):
+        data, patterns, source = build_workload(patterns=12)
+        bound = 3
+        service = MatchingService()
+        inner = service.match
+        state = {"now": 0, "peak": 0}
+        gate = threading.Lock()
+
+        def spying_match(*args, **kwargs):
+            with gate:
+                state["now"] += 1
+                state["peak"] = max(state["peak"], state["now"])
+            try:
+                return inner(*args, **kwargs)
+            finally:
+                with gate:
+                    state["now"] -= 1
+
+        service.match = spying_match  # type: ignore[method-assign]
+
+        async def run():
+            async with AsyncMatchingService(service, max_concurrency=bound) as aio:
+                await aio.match_many(patterns, data, source, XI)
+
+        asyncio.run(run())
+        assert 1 <= state["peak"] <= bound
+
+    def test_sharded_passthrough(self):
+        data, patterns, source = build_workload()
+        sharded = ShardedMatchingService(2)
+        reference = sharded.match_sharded(patterns[0], data, source, XI)
+
+        async def run():
+            async with AsyncMatchingService(sharded) as service:
+                fanned = await service.match_sharded(patterns[0], data, source, XI)
+                routed = await service.match(patterns[0], data, source, XI)
+                return fanned, routed
+
+        fanned, routed = asyncio.run(run())
+        assert fanned.result.mapping == reference.result.mapping
+        assert routed.result.mapping  # hash-routed whole-graph request
+
+    def test_match_sharded_requires_sharded_service(self):
+        data, patterns, source = build_workload(patterns=1)
+
+        async def run():
+            async with AsyncMatchingService() as service:
+                await service.match_sharded(patterns[0], data, source, XI)
+
+        with pytest.raises(InputError):
+            asyncio.run(run())
+
+
+class TestLifecycle:
+    def test_service_survives_multiple_event_loops(self):
+        data, patterns, source = build_workload(patterns=3)
+        service = AsyncMatchingService(max_concurrency=2)
+        try:
+            first = asyncio.run(service.match_many(patterns, data, source, XI))
+            second = asyncio.run(service.match_many(patterns, data, source, XI))
+            assert [r.result.mapping for r in first] == [
+                r.result.mapping for r in second
+            ]
+            snapshot = service.service.stats.snapshot()
+            assert snapshot["calls"] == 2 * len(patterns)
+            assert snapshot["prepares"] == 1  # cache survives loop turnover
+        finally:
+            service.close()
+
+    def test_closed_service_rejects_requests(self):
+        data, patterns, source = build_workload(patterns=1)
+        service = AsyncMatchingService()
+        service.close()
+        service.close()  # idempotent
+
+        async def run():
+            await service.match(patterns[0], data, source, XI)
+
+        with pytest.raises(InputError):
+            asyncio.run(run())
+
+    def test_external_executor_left_running(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        data, patterns, source = build_workload(patterns=2)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            service = AsyncMatchingService(executor=pool)
+            asyncio.run(service.match(patterns[0], data, source, XI))
+            service.close()
+            # The pool is still usable: close() must not have shut it down.
+            assert pool.submit(lambda: 41 + 1).result() == 42
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            AsyncMatchingService(max_concurrency=0)
+        assert "AsyncMatchingService" in repr(AsyncMatchingService())
+
+
+class TestSemaphoreHousekeeping:
+    def test_live_loop_semaphores_survive_closed_loop_eviction(self):
+        """Only semaphores of *closed* loops are evicted: a service shared
+        across many loops must never hand a live loop a fresh (full-permit)
+        semaphore while its old one still holds acquired permits."""
+        service = AsyncMatchingService(max_concurrency=2)
+        try:
+            live_loop = asyncio.new_event_loop()
+            try:
+                live_sem = live_loop.run_until_complete(
+                    _grab_semaphore(service)
+                )
+                # Churn through more loops than the old clear() threshold.
+                for _ in range(12):
+                    asyncio.run(_grab_semaphore(service))
+                again = live_loop.run_until_complete(_grab_semaphore(service))
+                assert again is live_sem  # the live loop kept its semaphore
+            finally:
+                live_loop.close()
+            # The closed loops' semaphores were garbage-collected away.
+            with service._lock:
+                remaining = [
+                    loop for loop, _ in service._semaphores.values()
+                    if not loop.is_closed()
+                ]
+            assert remaining == []
+        finally:
+            service.close()
+
+
+async def _grab_semaphore(service):
+    return service._semaphore()

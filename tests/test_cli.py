@@ -182,3 +182,120 @@ class TestOtherCommands:
         assert main(["closure", dpath, str(out)]) == 0
         closure = load_json(out)
         assert closure.has_edge("x", "y")  # two-hop path became an edge
+
+
+class TestShardedCli:
+    @pytest.fixture
+    def corpus_files(self, tmp_path):
+        """A two-site data graph (two weak components) plus three patterns."""
+        import random
+
+        rng = random.Random(13)
+        data = DiGraph(name="corpus")
+        for s in range(2):
+            base = s * 25
+            for i in range(25):
+                data.add_node(base + i, label=f"L{rng.randrange(5)}")
+            for _ in range(60):
+                a, b = base + rng.randrange(25), base + rng.randrange(25)
+                if a != b:
+                    data.add_edge(a, b)
+            for i in range(24):
+                data.add_edge(base + i, base + i + 1)
+        dpath = tmp_path / "data.json"
+        dump_json(data, dpath)
+        nodes = list(data.nodes())
+        ppaths = []
+        for i in range(3):
+            pattern = data.subgraph(rng.sample(nodes, 6), name=f"p{i}")
+            path = tmp_path / f"p{i}.json"
+            dump_json(pattern, path)
+            ppaths.append(str(path))
+        return str(dpath), ppaths
+
+    def run_batch(self, dpath, ppaths, tmp_path, name, *extra):
+        out = tmp_path / f"{name}.jsonl"
+        code = main(["batch", dpath, *ppaths, "--out", str(out), *extra])
+        assert code == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        return [l for l in lines if "summary" not in l], lines[-1]
+
+    def test_sharded_batch_bit_identical_to_unsharded(self, corpus_files, tmp_path):
+        dpath, ppaths = corpus_files
+        rows1, sum1 = self.run_batch(dpath, ppaths, tmp_path, "s1", "--shards", "1")
+        rows2, sum2 = self.run_batch(dpath, ppaths, tmp_path, "s2", "--shards", "2")
+        rowsp, _ = self.run_batch(dpath, ppaths, tmp_path, "part", "--partitioned")
+        assert [r["mapping"] for r in rows1] == [r["mapping"] for r in rows2]
+        assert [r["mapping"] for r in rows2] == [r["mapping"] for r in rowsp]
+        assert [r["quality"] for r in rows1] == [r["quality"] for r in rows2]
+        assert sum1["shards"] == 1 and sum2["shards"] == 2
+        service = sum2["service"]
+        assert service["shards"] == 2
+        assert len(service["per_shard"]) == 2
+        assert service["aggregate"]["calls"] > 0
+        assert service["sharded_solves"] == len(ppaths)
+
+    def test_sharded_batch_with_store_dir(self, corpus_files, tmp_path):
+        dpath, ppaths = corpus_files
+        store = tmp_path / "idx"
+        _, first = self.run_batch(
+            dpath, ppaths, tmp_path, "w1", "--shards", "2", "--store-dir", str(store)
+        )
+        assert first["service"]["aggregate"]["prepares"] > 0
+        _, second = self.run_batch(
+            dpath, ppaths, tmp_path, "w2", "--shards", "2", "--store-dir", str(store)
+        )
+        agg = second["service"]["aggregate"]
+        assert agg["prepares"] == 0 and agg["disk_hits"] > 0
+
+    def test_sharded_batch_rejects_bad_options(self, corpus_files, capsys):
+        dpath, ppaths = corpus_files
+        assert main(["batch", dpath, *ppaths, "--shards", "0"]) == 2
+        assert (
+            main(["batch", dpath, *ppaths, "--shards", "2", "--metric", "similarity"])
+            == 2
+        )
+        capsys.readouterr()
+
+    def test_index_warm_shards_then_ls_json(self, corpus_files, tmp_path, capsys):
+        dpath, _ = corpus_files
+        store = tmp_path / "warm-idx"
+        code = main(["index", "warm", str(store), dpath, "--shards", "2"])
+        assert code == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert [l["shard"] for l in lines] == [0, 1]
+        assert all(l["action"] == "stored" and l["shards"] == 2 for l in lines)
+
+        code = main(["index", "ls", str(store), "--json"])
+        assert code == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["count"] == 2
+        assert listing["total_bytes"] == sum(e["bytes"] for e in listing["entries"])
+        for entry in listing["entries"]:
+            assert entry["version"] == 1
+            assert entry["mtime"] > 0
+            assert len(entry["fingerprint"]) == 64
+        # The warmed fingerprints are exactly the shard-graph fingerprints.
+        stored = {entry["fingerprint"] for entry in listing["entries"]}
+        assert stored == {l["fingerprint"] for l in lines}
+
+    def test_index_warm_shards_idempotent(self, corpus_files, tmp_path, capsys):
+        dpath, _ = corpus_files
+        store = tmp_path / "warm-idx"
+        assert main(["index", "warm", str(store), dpath, "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert main(["index", "warm", str(store), dpath, "--shards", "2"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert all(l["action"] == "exists" for l in lines)
+        assert main(["index", "warm", str(store), dpath, "--shards", "0"]) == 2
+        capsys.readouterr()
+
+    def test_index_ls_plain_lines_unchanged(self, corpus_files, tmp_path, capsys):
+        dpath, _ = corpus_files
+        store = tmp_path / "plain-idx"
+        assert main(["index", "warm", str(store), dpath]) == 0
+        capsys.readouterr()
+        assert main(["index", "ls", str(store)]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines[-1] == {"summary": True, "entries": 1}
+        assert lines[0]["version"] == 1 and "mtime" in lines[0]

@@ -697,3 +697,91 @@ class TestAmortizationAtScale:
         # Subgraph patterns under label equality always admit the identity
         # mapping, so every report should find a perfect match.
         assert all(report.quality == 1.0 for report in reports)
+
+
+# ----------------------------------------------------------------------
+# Stats snapshots under concurrent fan-out must be consistent cuts
+# ----------------------------------------------------------------------
+class TestStatsSnapshotConsistency:
+    def test_snapshot_never_tears_under_threaded_match_many(self):
+        """Regression: ``snapshot()`` used to read fields without the
+        writers' lock, so a cut taken mid-``_record_solves`` could show
+        ``calls`` without the matching ``solved_by`` entry (or the other
+        way round).  Snapshots are now taken under the stats lock; the
+        ``calls == sum(solved_by)`` invariant must hold in *every*
+        snapshot, no matter how the fan-out interleaves."""
+        import threading
+
+        rng = random.Random(71)
+        data = random_digraph(80, 240, rng, name="hammer")
+        nodes = list(data.nodes())
+        patterns = [
+            data.subgraph(rng.sample(nodes, 5), name=f"p{i}") for i in range(40)
+        ]
+        service = MatchingService()
+        stop = threading.Event()
+        torn: list[dict] = []
+
+        def snapshot_loop() -> None:
+            while not stop.is_set():
+                snap = service.stats.snapshot()
+                if snap["calls"] != sum(snap["solved_by"].values()):
+                    torn.append(snap)
+
+        watcher = threading.Thread(target=snapshot_loop)
+        watcher.start()
+        try:
+            for _ in range(3):
+                service.match_many(
+                    patterns, data, label_equality_matrix, 0.75, max_workers=4
+                )
+        finally:
+            stop.set()
+            watcher.join(timeout=30)
+        assert torn == []
+        final = service.stats.snapshot()
+        assert final["calls"] == 3 * len(patterns)
+        assert final["calls"] == sum(final["solved_by"].values())
+
+    def test_snapshot_consistent_with_cache_counters(self):
+        """Cache counters (hits/misses/prepares) and solve counters are
+        updated under the same stats lock discipline, so a post-batch
+        snapshot is internally coherent."""
+        g1, g2, mat = make_random_instance(3, n1=5, n2=12)
+        service = MatchingService()
+        service.match(g1, g2, mat, 0.5)
+        service.match(g1, g2, mat, 0.5)
+        snap = service.stats.snapshot()
+        assert snap["cache_hits"] + snap["cache_misses"] == snap["calls"] == 2
+        assert snap["prepares"] == 1
+
+
+class TestFingerprintCacheInvalidation:
+    """The memoized digest must drop on *every* content mutation."""
+
+    def test_every_mutator_invalidates(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        mutations = [
+            lambda g: g.add_node("d", label="new"),
+            lambda g: g.add_edge("c", "a"),
+            lambda g: g.remove_edge("a", "b"),
+            lambda g: g.remove_node("c"),
+            lambda g: g.set_label("a", "relabelled"),
+            lambda g: g.set_weight("a", 2.5),
+        ]
+        for mutate in mutations:
+            before = graph_fingerprint(graph)  # primes the memo
+            mutate(graph)
+            after = graph_fingerprint(graph)
+            assert after != before, mutate
+            # The new digest matches a fresh, never-cached copy.
+            assert after == graph_fingerprint(graph.copy())
+
+    def test_memo_hit_is_stable(self):
+        graph = DiGraph.from_edges([("a", "b")])
+        assert graph_fingerprint(graph) == graph_fingerprint(graph)
+        # Re-adding an existing edge conservatively re-hashes but the
+        # digest itself must not move (content unchanged).
+        before = graph_fingerprint(graph)
+        graph.add_edge("a", "b")
+        assert graph_fingerprint(graph) == before

@@ -1,0 +1,542 @@
+"""Sharded matching cluster: plan soundness and bit-identity.
+
+The load-bearing claim of :mod:`repro.core.sharding` is that the sharded
+solve is *bit-identical* to the single-process partitioned solve — same
+σ node for node, same qualities to the last float bit, same round
+counts — for every shard count, both pick rules, injective included,
+and on both solver backends.  These tests assert exactly that, on
+workloads that exercise both the single-shard fan-out path and the
+spill path (components whose candidates span shards).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import make_random_instance
+from repro.core.api import match
+from repro.core.backends import available_backends
+from repro.core.optimize import comp_max_card_partitioned
+from repro.core.service import MatchingService
+from repro.core.sharding import (
+    ShardPlan,
+    ShardedMatchingService,
+    default_sharded_service,
+    reset_default_sharded_services,
+)
+from repro.graph.components import weakly_connected_components
+from repro.graph.digraph import DiGraph
+from repro.graph.fingerprint import graph_fingerprint
+from repro.graph.scc import strongly_connected_components
+from repro.similarity.labels import label_equality_matrix
+from repro.similarity.matrix import SimilarityMatrix
+from repro.utils.errors import InputError
+
+BACKENDS = available_backends()
+
+
+def corpus_graph(
+    sites: int = 3,
+    site_nodes: int = 40,
+    labels: int = 6,
+    seed: int = 5,
+    shared_labels: bool = True,
+) -> DiGraph:
+    """A union-of-sites data graph: one weak component per site.
+
+    ``shared_labels`` draws labels from one alphabet across sites, so
+    label-equality candidates span sites — the workload that forces the
+    router's spill path.  Site-prefixed labels confine candidates to one
+    site (the pure fan-out regime).
+    """
+    rng = random.Random(seed)
+    graph = DiGraph(name="corpus")
+    for s in range(sites):
+        base = s * site_nodes
+        prefix = "" if shared_labels else f"s{s}:"
+        for i in range(site_nodes):
+            graph.add_node(base + i, label=f"{prefix}L{rng.randrange(labels)}")
+        for _ in range(3 * site_nodes):
+            a = base + rng.randrange(site_nodes)
+            b = base + rng.randrange(site_nodes)
+            if a != b:
+                graph.add_edge(a, b)
+        for i in range(site_nodes - 1):  # keep each site weakly connected
+            graph.add_edge(base + i, base + i + 1)
+    return graph
+
+
+def random_pattern(graph: DiGraph, size: int, seed: int) -> DiGraph:
+    rng = random.Random(seed)
+    return graph.subgraph(rng.sample(list(graph.nodes()), size), name=f"p{seed}")
+
+
+def assert_reports_identical(sharded, reference):
+    """Bit-identity of a sharded MatchReport vs a partitioned PHomResult."""
+    assert sharded.result.mapping == reference.mapping
+    assert sharded.result.qual_card == reference.qual_card
+    assert sharded.result.qual_sim == reference.qual_sim
+    assert sharded.result.injective == reference.injective
+    for key in ("components", "candidate_free", "rounds"):
+        assert sharded.result.stats[key] == reference.stats[key]
+
+
+# ----------------------------------------------------------------------
+# ShardPlan
+# ----------------------------------------------------------------------
+class TestShardPlan:
+    def test_weak_components_never_split(self):
+        graph = corpus_graph(sites=4, site_nodes=20)
+        plan = ShardPlan.for_data_graph(graph, 3)
+        for component in weakly_connected_components(graph):
+            owners = {plan.shard_of[node] for node in component}
+            assert len(owners) == 1
+
+    def test_sccs_never_split(self):
+        graph = corpus_graph(sites=3, site_nodes=25)
+        plan = ShardPlan.for_data_graph(graph, 2)
+        for scc in strongly_connected_components(graph):
+            assert len({plan.shard_of[node] for node in scc}) == 1
+
+    def test_plan_is_deterministic_and_balanced(self):
+        graph = corpus_graph(sites=6, site_nodes=15)
+        one = ShardPlan.for_data_graph(graph, 3)
+        two = ShardPlan.for_data_graph(graph.copy(), 3)
+        assert one.shard_nodes == two.shard_nodes
+        assert one.fingerprint == two.fingerprint
+        sizes = [len(nodes) for nodes in one.shard_nodes]
+        assert sum(sizes) == graph.num_nodes()
+        assert max(sizes) - min(sizes) <= 15  # one site of slack
+
+    def test_shard_graph_preserves_enumeration_order(self):
+        graph = corpus_graph(sites=3, site_nodes=20)
+        plan = ShardPlan.for_data_graph(graph, 2)
+        position = {node: i for i, node in enumerate(graph.nodes())}
+        for sid in plan.nonempty_shards():
+            shard = plan.shard_graph(sid)
+            order = [position[node] for node in shard.nodes()]
+            assert order == sorted(order)
+            assert plan.shard_graph(sid) is shard  # cached
+
+    def test_shard_graph_is_closure_closed(self):
+        # Every edge of the full graph between shard members survives,
+        # and no shard edge crosses shards (paths cannot leave a shard).
+        graph = corpus_graph(sites=3, site_nodes=15)
+        plan = ShardPlan.for_data_graph(graph, 3)
+        seen_edges = 0
+        for sid in plan.nonempty_shards():
+            shard = plan.shard_graph(sid)
+            for tail, head in shard.edges():
+                assert plan.shard_of[tail] == plan.shard_of[head] == sid
+                assert graph.has_edge(tail, head)
+                seen_edges += 1
+        assert seen_edges == graph.num_edges()
+
+    def test_union_graph_merges_in_order(self):
+        graph = corpus_graph(sites=4, site_nodes=10)
+        plan = ShardPlan.for_data_graph(graph, 4)
+        a, b = plan.nonempty_shards()[:2]
+        union = plan.union_graph(frozenset({a, b}))
+        position = {node: i for i, node in enumerate(graph.nodes())}
+        order = [position[node] for node in union.nodes()]
+        assert order == sorted(order)
+        assert union.num_nodes() == len(plan.shard_nodes[a]) + len(plan.shard_nodes[b])
+        assert plan.union_graph(frozenset({b, a})) is union  # cached by set
+
+    def test_cycle_nodes_match_reachability(self):
+        graph = DiGraph.from_edges(
+            [("a", "b"), ("b", "a"), ("b", "c"), ("d", "d"), ("e", "f")]
+        )
+        plan = ShardPlan.for_data_graph(graph, 2)
+        assert plan.cycle_nodes == {"a", "b", "d"}
+
+    def test_single_weak_component_degenerates_to_one_shard(self):
+        rng = random.Random(0)
+        graph = DiGraph()
+        for i in range(30):
+            graph.add_node(i, label="L")
+        for i in range(29):
+            graph.add_edge(i, i + 1)
+        plan = ShardPlan.for_data_graph(graph, 4)
+        assert plan.nonempty_shards() == [0]
+        assert plan.describe()["shard_sizes"].count(0) == 3
+
+    def test_corpus_plan_routes_stably_and_in_range(self):
+        plan = ShardPlan.for_corpus(4)
+        graphs = [corpus_graph(sites=1, site_nodes=8, seed=s) for s in range(12)]
+        shards = [plan.shard_of_graph(g) for g in graphs]
+        assert shards == [plan.shard_of_graph(g) for g in graphs]  # stable
+        assert all(0 <= s < 4 for s in shards)
+        fp = graph_fingerprint(graphs[0])
+        assert plan.shard_of_fingerprint(fp) == shards[0]
+
+    def test_plan_validation(self):
+        graph = corpus_graph(sites=1, site_nodes=5)
+        with pytest.raises(InputError):
+            ShardPlan.for_data_graph(graph, 0)
+        with pytest.raises(InputError):
+            ShardPlan("weird", 2)
+        plan = ShardPlan.for_data_graph(graph, 2)
+        with pytest.raises(InputError):
+            plan.shard_graph(7)
+        with pytest.raises(InputError):
+            plan.union_graph(frozenset())
+        corpus = ShardPlan.for_corpus(2)
+        with pytest.raises(InputError):
+            corpus.shard_graph(0)
+        assert "kind" in plan.describe() and repr(plan)
+
+    def test_describe_counts(self):
+        graph = corpus_graph(sites=3, site_nodes=10)
+        described = ShardPlan.for_data_graph(graph, 2).describe()
+        assert described["weak_components"] == 3
+        assert described["nonempty_shards"] == 2
+        assert sum(described["shard_sizes"]) == 30
+
+
+# ----------------------------------------------------------------------
+# Bit-identity of the sharded solve
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestShardedEquivalence:
+    XI = 0.5
+
+    def test_corpus_workload_identical_across_shard_counts(self, backend):
+        # Shared labels: candidates span sites, so shards>1 exercises the
+        # spill path; the result must not move by a bit.
+        graph2 = corpus_graph(sites=3, site_nodes=40, shared_labels=True)
+        patterns = [random_pattern(graph2, 10, seed) for seed in range(4)]
+        for injective in (False, True):
+            for pick in ("similarity", "arbitrary"):
+                for graph1 in patterns:
+                    mat = label_equality_matrix(graph1, graph2)
+                    reference = comp_max_card_partitioned(
+                        graph1, graph2, mat, self.XI,
+                        injective=injective, pick=pick, backend=backend,
+                    )
+                    for shards in (1, 2, 4):
+                        service = ShardedMatchingService(shards, backend=backend)
+                        report = service.match_sharded(
+                            graph1, graph2, mat, self.XI,
+                            injective=injective, pick=pick,
+                        )
+                        assert_reports_identical(report, reference)
+
+    def test_spill_path_is_exercised_and_counted(self, backend):
+        graph2 = corpus_graph(sites=3, site_nodes=30, shared_labels=True)
+        graph1 = random_pattern(graph2, 12, 99)
+        mat = label_equality_matrix(graph1, graph2)
+        service = ShardedMatchingService(3, backend=backend)
+        report = service.match_sharded(graph1, graph2, mat, self.XI)
+        snap = service.stats_snapshot()
+        assert report.result.stats["spill_components"] > 0
+        assert snap["spill_components"] == report.result.stats["spill_components"]
+        assert snap["spill"]["calls"] > 0  # the spill worker actually solved
+
+    def test_confined_workload_never_spills(self, backend):
+        graph2 = corpus_graph(sites=3, site_nodes=30, shared_labels=False)
+        graph1 = random_pattern(graph2, 9, 7)
+        mat = label_equality_matrix(graph1, graph2)
+        service = ShardedMatchingService(3, backend=backend)
+        report = service.match_sharded(graph1, graph2, mat, self.XI)
+        assert report.result.stats["spill_components"] == 0
+        assert service.stats_snapshot()["spill"]["calls"] == 0
+        reference = comp_max_card_partitioned(
+            graph1, graph2, mat, self.XI, backend=backend
+        )
+        assert_reports_identical(report, reference)
+
+    def test_random_instances_identical(self, backend):
+        for seed in range(6):
+            graph1, graph2, mat = make_random_instance(seed, n1=8, n2=30)
+            for injective in (False, True):
+                reference = comp_max_card_partitioned(
+                    graph1, graph2, mat, self.XI, injective=injective,
+                    backend=backend,
+                )
+                service = ShardedMatchingService(2, backend=backend)
+                report = service.match_sharded(
+                    graph1, graph2, mat, self.XI, injective=injective
+                )
+                assert_reports_identical(report, reference)
+
+    def test_parallel_fanout_identical(self, backend):
+        graph2 = corpus_graph(sites=4, site_nodes=25, shared_labels=False)
+        graph1 = random_pattern(graph2, 16, 3)
+        mat = label_equality_matrix(graph1, graph2)
+        service = ShardedMatchingService(4, backend=backend)
+        sequential = service.match_sharded(graph1, graph2, mat, self.XI)
+        parallel = service.match_sharded(
+            graph1, graph2, mat, self.XI, max_workers=4
+        )
+        assert parallel.result.mapping == sequential.result.mapping
+        assert parallel.result.qual_sim == sequential.result.qual_sim
+
+    def test_match_many_sharded_orders_and_parallelises(self, backend):
+        graph2 = corpus_graph(sites=3, site_nodes=25)
+        patterns = [random_pattern(graph2, 8, s) for s in range(6)]
+        mats = {p.name: label_equality_matrix(p, graph2) for p in patterns}
+        source = lambda pattern, data: mats[pattern.name]
+        service = ShardedMatchingService(3, backend=backend)
+        sequential = service.match_many_sharded(patterns, graph2, source, self.XI)
+        parallel = service.match_many_sharded(
+            patterns, graph2, source, self.XI, max_workers=4
+        )
+        singles = [
+            service.match_sharded(p, graph2, source, self.XI) for p in patterns
+        ]
+        for a, b, c in zip(sequential, parallel, singles):
+            assert a.result.mapping == b.result.mapping == c.result.mapping
+        assert service.stats_snapshot()["batch_seconds"] > 0.0
+
+    def test_symmetric_and_threshold_flow_through(self, backend):
+        graph2 = corpus_graph(sites=2, site_nodes=20)
+        graph1 = random_pattern(graph2, 6, 11)
+        mat = label_equality_matrix(graph1, graph2)
+        reference = match(
+            graph1, graph2, mat, self.XI, partitioned=True, symmetric=True,
+            threshold=0.4, backend=backend,
+        )
+        service = ShardedMatchingService(2, backend=backend)
+        report = service.match_sharded(
+            graph1, graph2, mat, self.XI, symmetric=True, threshold=0.4
+        )
+        assert report.result.mapping == reference.result.mapping
+        assert report.matched == reference.matched
+        assert report.quality == reference.quality
+
+
+# ----------------------------------------------------------------------
+# Router behaviour beyond the solve
+# ----------------------------------------------------------------------
+class TestShardedService:
+    XI = 0.5
+
+    def test_hash_routing_matches_unsharded_service(self):
+        corpus = [corpus_graph(sites=1, site_nodes=25, seed=s) for s in range(5)]
+        pattern = random_pattern(corpus[0], 6, 2)
+        router = ShardedMatchingService(3)
+        flat = MatchingService()
+        for graph2 in corpus:
+            mat = label_equality_matrix(pattern, graph2)
+            routed = router.match(pattern, graph2, mat, self.XI)
+            reference = flat.match(pattern, graph2, mat, self.XI)
+            assert routed.result.mapping == reference.result.mapping
+        snap = router.stats_snapshot()
+        assert snap["routed_calls"] == len(corpus)
+        per_worker_calls = [s["calls"] for s in snap["per_shard"]]
+        assert sum(per_worker_calls) == len(corpus)
+        assert snap["aggregate"]["calls"] == len(corpus)
+
+    def test_match_many_hash_routed(self):
+        graph2 = corpus_graph(sites=1, site_nodes=30, seed=8)
+        patterns = [random_pattern(graph2, 6, s) for s in range(4)]
+        mats = {p.name: label_equality_matrix(p, graph2) for p in patterns}
+        source = lambda pattern, data: mats[pattern.name]
+        router = ShardedMatchingService(2)
+        reports = router.match_many(patterns, graph2, source, self.XI)
+        reference = MatchingService().match_many(patterns, graph2, source, self.XI)
+        assert [r.result.mapping for r in reports] == [
+            r.result.mapping for r in reference
+        ]
+        owning = router.worker_for(graph2)
+        assert owning.stats.snapshot()["prepares"] == 1
+
+    def test_shared_store_across_sharded_services(self, tmp_path):
+        graph2 = corpus_graph(sites=3, site_nodes=20)
+        graph1 = random_pattern(graph2, 6, 4)
+        mat = label_equality_matrix(graph1, graph2)
+        first = ShardedMatchingService(3, store_dir=str(tmp_path))
+        warm = first.match_sharded(graph1, graph2, mat, self.XI)
+        assert first.stats_snapshot()["aggregate"]["prepares"] > 0
+        # A cold process (fresh service) pointed at the same store loads
+        # every shard index from disk instead of rebuilding.
+        second = ShardedMatchingService(3, store_dir=str(tmp_path))
+        cold = second.match_sharded(graph1, graph2, mat, self.XI)
+        snap = second.stats_snapshot()["aggregate"]
+        assert cold.result.mapping == warm.result.mapping
+        assert snap["prepares"] == 0
+        assert snap["disk_hits"] > 0
+
+    @pytest.mark.skipif("numpy" not in BACKENDS, reason="numpy backend unavailable")
+    def test_per_shard_backends_audited_and_identical(self):
+        graph2 = corpus_graph(sites=2, site_nodes=25, shared_labels=False)
+        graph1 = random_pattern(graph2, 10, 6)
+        mat = label_equality_matrix(graph1, graph2)
+        mixed = ShardedMatchingService(2, backends=["python", "numpy"])
+        report = mixed.match_sharded(graph1, graph2, mat, self.XI)
+        reference = comp_max_card_partitioned(graph1, graph2, mat, self.XI)
+        assert_reports_identical(report, reference)
+        snap = mixed.stats_snapshot()
+        audited = set(snap["aggregate"]["solved_by"])
+        per_worker = [s["backend"] for s in snap["per_shard"]]
+        assert per_worker == ["python", "numpy"]
+        assert audited <= {"python", "numpy"} and audited
+
+    def test_component_calls_accounted_per_worker(self):
+        graph2 = corpus_graph(sites=3, site_nodes=20, shared_labels=False)
+        graph1 = random_pattern(graph2, 9, 12)
+        mat = label_equality_matrix(graph1, graph2)
+        service = ShardedMatchingService(3)
+        report = service.match_sharded(graph1, graph2, mat, self.XI)
+        snap = service.stats_snapshot()
+        total_components = report.result.stats["components"]
+        worker_calls = sum(s["calls"] for s in snap["per_shard"])
+        assert worker_calls + snap["spill"]["calls"] == total_components
+        assert snap["sharded_solves"] == 1
+        assert snap["aggregate"]["solve_seconds"] >= 0.0
+
+    def test_plan_cache_reuse_and_eviction(self):
+        service = ShardedMatchingService(2, max_plans=1)
+        g_a = corpus_graph(sites=2, site_nodes=10, seed=1)
+        g_b = corpus_graph(sites=2, site_nodes=10, seed=2)
+        plan_a = service.plan_for(g_a)
+        assert service.plan_for(g_a) is plan_a
+        service.plan_for(g_b)  # evicts plan_a (max_plans=1)
+        assert service.plan_for(g_a) is not plan_a
+        assert service.stats_snapshot()["plans_built"] == 3
+
+    def test_explicit_plan_must_match_graph(self):
+        service = ShardedMatchingService(2)
+        g_a = corpus_graph(sites=2, site_nodes=10, seed=1)
+        g_b = corpus_graph(sites=2, site_nodes=10, seed=2)
+        plan = ShardPlan.for_data_graph(g_a, 2)
+        graph1 = random_pattern(g_b, 4, 3)
+        mat = label_equality_matrix(graph1, g_b)
+        with pytest.raises(InputError):
+            service.match_sharded(graph1, g_b, mat, self.XI, plan=plan)
+        with pytest.raises(InputError):
+            service.match_sharded(
+                graph1, g_a, label_equality_matrix(graph1, g_a), self.XI,
+                plan=ShardPlan.for_corpus(2),
+            )
+
+    def test_validation_errors(self):
+        with pytest.raises(InputError):
+            ShardedMatchingService(0)
+        with pytest.raises(InputError):
+            ShardedMatchingService(2, backends=["python"])
+        with pytest.raises(InputError):
+            ShardedMatchingService(2, store=object(), store_dir="x")  # type: ignore[arg-type]
+        with pytest.raises(InputError):
+            ShardedMatchingService(2, max_plans=0)
+        service = ShardedMatchingService(2)
+        graph2 = corpus_graph(sites=1, site_nodes=8)
+        graph1 = random_pattern(graph2, 3, 1)
+        mat = label_equality_matrix(graph1, graph2)
+        with pytest.raises(InputError):
+            service.match_sharded(graph1, graph2, mat, self.XI, metric="similarity")
+        with pytest.raises(InputError):
+            service.match_sharded(graph1, graph2, mat, self.XI, pick="best")
+        with pytest.raises(InputError):
+            service.match_sharded(graph1, graph2, mat, self.XI, threshold=1.5)
+
+    def test_empty_pattern_and_empty_data(self):
+        service = ShardedMatchingService(2)
+        empty = DiGraph(name="empty")
+        graph2 = corpus_graph(sites=1, site_nodes=6)
+        report = service.match_sharded(empty, graph2, SimilarityMatrix(), self.XI)
+        assert report.result.mapping == {} and report.quality == 1.0
+        pattern = random_pattern(graph2, 3, 2)
+        report = service.match_sharded(
+            pattern, DiGraph(name="void"), SimilarityMatrix(), self.XI
+        )
+        assert report.result.mapping == {} and report.quality == 0.0
+
+
+# ----------------------------------------------------------------------
+# api.match(shards=) and the default router
+# ----------------------------------------------------------------------
+class TestMatchShards:
+    XI = 0.5
+
+    def teardown_method(self):
+        reset_default_sharded_services()
+
+    def test_match_shards_equals_partitioned(self):
+        graph2 = corpus_graph(sites=3, site_nodes=20)
+        for seed in range(3):
+            graph1 = random_pattern(graph2, 7, seed)
+            mat = label_equality_matrix(graph1, graph2)
+            for injective in (False, True):
+                reference = match(
+                    graph1, graph2, mat, self.XI,
+                    partitioned=True, injective=injective,
+                )
+                for shards in (1, 3):
+                    sharded = match(
+                        graph1, graph2, mat, self.XI,
+                        shards=shards, injective=injective,
+                    )
+                    assert sharded.result.mapping == reference.result.mapping
+                    assert sharded.quality == reference.quality
+                    assert sharded.matched == reference.matched
+
+    def test_default_router_reused_per_shard_count(self):
+        assert default_sharded_service(2) is default_sharded_service(2)
+        assert default_sharded_service(2) is not default_sharded_service(3)
+        reset_default_sharded_services()
+        graph2 = corpus_graph(sites=2, site_nodes=10)
+        graph1 = random_pattern(graph2, 4, 0)
+        mat = label_equality_matrix(graph1, graph2)
+        match(graph1, graph2, mat, self.XI, shards=2)
+        match(graph1, graph2, mat, self.XI, shards=2)
+        assert default_sharded_service(2).stats_snapshot()["plans_built"] == 1
+
+    def test_shards_option_validation(self):
+        graph2 = corpus_graph(sites=1, site_nodes=8)
+        graph1 = random_pattern(graph2, 3, 1)
+        mat = label_equality_matrix(graph1, graph2)
+        with pytest.raises(InputError):
+            match(graph1, graph2, mat, self.XI, shards=0)
+        with pytest.raises(InputError):
+            match(graph1, graph2, mat, self.XI, shards=2, metric="similarity")
+        from repro.core.prepared import prepare_data_graph
+
+        with pytest.raises(InputError):
+            match(
+                graph1, graph2, mat, self.XI,
+                shards=2, prepared=prepare_data_graph(graph2),
+            )
+
+
+class TestCandidateRowInjection:
+    """The router hands its routing-scan rows to shard workspaces; the
+    resulting workspace tables must be identical to a fresh scan."""
+
+    def test_injected_rows_match_scan(self):
+        from repro.core.workspace import MatchingWorkspace
+
+        graph2 = corpus_graph(sites=2, site_nodes=20)
+        graph1 = random_pattern(graph2, 6, 5)
+        graph1.add_edge(list(graph1.nodes())[0], list(graph1.nodes())[0])
+        mat = label_equality_matrix(graph1, graph2)
+        xi = 0.5
+        plan = ShardPlan.for_data_graph(graph2, 2)
+        scanned = MatchingWorkspace(graph1, graph2, mat, xi)
+        rows = []
+        for v in graph1.nodes():
+            row = {
+                u: score for u, score in mat.row(v).items()
+                if u in plan.shard_of and score >= xi
+            }
+            if graph1.has_self_loop(v):
+                row = {u: s for u, s in row.items() if u in plan.cycle_nodes}
+            rows.append(row)
+        injected = MatchingWorkspace(
+            graph1, graph2, mat, xi, candidate_rows=rows
+        )
+        assert injected.scores == scanned.scores
+        assert injected.cand_mask == scanned.cand_mask
+        assert injected.pref == scanned.pref
+
+    def test_row_count_validated(self):
+        from repro.core.workspace import MatchingWorkspace
+
+        graph2 = corpus_graph(sites=1, site_nodes=8)
+        graph1 = random_pattern(graph2, 3, 1)
+        mat = label_equality_matrix(graph1, graph2)
+        with pytest.raises(InputError):
+            MatchingWorkspace(graph1, graph2, mat, 0.5, candidate_rows=[{}])

@@ -1,0 +1,138 @@
+"""Concurrent writers sharing one store directory.
+
+The sharded cluster points every shard worker — possibly in different
+*processes* — at one warm store directory.  That is only sound because
+store writes are atomic (tmp file + ``os.replace``) and content-
+addressed: two shards warming the same fingerprint at once must leave
+exactly one valid payload and no debris, never a torn file.  These
+tests simulate that deployment with real forked processes and with
+in-process services racing on one directory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.core.prepared import PreparedDataGraph, prepare_data_graph
+from repro.core.service import MatchingService
+from repro.core.store import STORE_SUFFIX, PreparedIndexStore
+from repro.graph.digraph import DiGraph
+from repro.graph.fingerprint import graph_fingerprint
+from repro.graph.generators import random_digraph
+
+WRITES_PER_PROCESS = 8
+
+
+def build_graph(seed: int = 23, nodes: int = 120, edges: int = 360) -> DiGraph:
+    return random_digraph(nodes, edges, random.Random(seed), name="shared")
+
+
+def _warm_repeatedly(store_dir: str, seed: int, barrier, failures) -> None:
+    """One simulated shard process: build and save the same index."""
+    try:
+        graph = build_graph(seed)
+        store = PreparedIndexStore(store_dir)
+        prepared = prepare_data_graph(graph)
+        barrier.wait(timeout=30)  # maximise write overlap
+        for _ in range(WRITES_PER_PROCESS):
+            store.save(prepared)
+    except BaseException as exc:  # pragma: no cover - failure reporting
+        failures.put(repr(exc))
+        raise
+
+
+class TestMultiProcessWriters:
+    def test_two_processes_warming_one_fingerprint(self, tmp_path):
+        graph = build_graph()
+        fingerprint = graph_fingerprint(graph)
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        failures = context.Queue()
+        workers = [
+            context.Process(
+                target=_warm_repeatedly,
+                args=(str(tmp_path), 23, barrier, failures),
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+        assert all(worker.exitcode == 0 for worker in workers)
+        assert failures.empty()
+
+        # Exactly one payload file survives, and no tmp debris.
+        stored = sorted(path.name for path in tmp_path.iterdir())
+        assert stored == [f"{fingerprint}{STORE_SUFFIX}"]
+
+        # The surviving file is valid and bit-identical to a local build.
+        store = PreparedIndexStore(tmp_path)
+        loaded = store.load(fingerprint, graph)
+        assert loaded is not None
+        local = prepare_data_graph(graph)
+        assert loaded.from_mask == local.from_mask
+        assert loaded.to_mask == local.to_mask
+        assert loaded.cycle_mask == local.cycle_mask
+
+    def test_interleaved_distinct_fingerprints(self, tmp_path):
+        # Two processes warming *different* graphs into one directory:
+        # both payloads must land intact (no cross-file interference).
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        failures = context.Queue()
+        workers = [
+            context.Process(
+                target=_warm_repeatedly,
+                args=(str(tmp_path), seed, barrier, failures),
+            )
+            for seed in (23, 29)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+        assert all(worker.exitcode == 0 for worker in workers)
+        assert failures.empty()
+        store = PreparedIndexStore(tmp_path)
+        assert len(store) == 2
+        for seed in (23, 29):
+            graph = build_graph(seed)
+            assert store.load(graph_fingerprint(graph), graph) is not None
+
+
+class TestInProcessSharedStore:
+    def test_thread_racing_services_one_directory(self, tmp_path):
+        """Two in-process services (think: two shard workers) racing."""
+        import threading
+
+        graph = build_graph(31)
+        fingerprint = graph_fingerprint(graph)
+        services = [
+            MatchingService(store_dir=str(tmp_path)) for _ in range(2)
+        ]
+        start = threading.Barrier(2)
+        prepared: list[PreparedDataGraph | None] = [None, None]
+
+        def warm(slot: int) -> None:
+            start.wait(timeout=30)
+            prepared[slot] = services[slot].prepared_for(graph.copy())
+
+        threads = [
+            threading.Thread(target=warm, args=(slot,)) for slot in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert all(p is not None for p in prepared)
+        assert prepared[0].from_mask == prepared[1].from_mask
+        stored = sorted(path.name for path in tmp_path.iterdir())
+        assert stored == [f"{fingerprint}{STORE_SUFFIX}"]
+        cold = MatchingService(store_dir=str(tmp_path))
+        cold.prepared_for(graph)
+        snap = cold.stats.snapshot()
+        assert snap["disk_hits"] == 1 and snap["prepares"] == 0

@@ -3,6 +3,7 @@
     python -m repro match PATTERN.json DATA.json [options]
     python -m repro batch DATA.json PATTERN.json [PATTERN.json ...] [options]
     python -m repro index warm STORE_DIR DATA.json [DATA.json ...] [--shards N]
+    python -m repro index evolve STORE_DIR OLD.json NEW.json
     python -m repro index ls STORE_DIR [--json]
     python -m repro index rm STORE_DIR FINGERPRINT... | --all | --older-than SECONDS
     python -m repro index gc STORE_DIR --max-bytes N
@@ -36,6 +37,17 @@ warm``) selects the solver mask representation — results are
 bit-identical, only speed differs; the ``REPRO_BACKEND`` environment
 variable changes the default.  Output summaries record which backend
 served (``backend`` / ``solved_by``) so operators can audit a fleet.
+
+``index evolve`` carries a warmed store across a data-graph edit
+*incrementally*: the old snapshot's stored ``G2⁺`` index is evolved to
+the new snapshot's content — a structural diff drives
+:meth:`~repro.core.prepared.PreparedDataGraph.apply_delta`, which
+recomputes only the closure rows the edit touched — and persisted under
+the new fingerprint, so the fleet keeps serving with zero cold prepares
+while its graph mutates.  In-process, the same machinery runs
+automatically: a :class:`~repro.core.service.MatchingService` evolves
+its cached index when a served graph mutates (``delta_hits`` /
+``delta_nodes_recomputed`` in the ``batch`` summary audit it).
 
 ``batch --shards N`` serves through a
 :class:`~repro.core.sharding.ShardedMatchingService`: the data graph is
@@ -295,6 +307,39 @@ def _cmd_index_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_evolve(args: argparse.Namespace) -> int:
+    """Evolve a stored index across a data-graph edit (old → new snapshot).
+
+    Falls back to a cold warm of the new snapshot when the old one was
+    never stored (``--cold-ok``; without it a missing base is an error —
+    a fleet operator usually wants to know the store went cold).
+    """
+    store = PreparedIndexStore(args.store_dir)
+    backend = get_backend(args.backend)
+    old_graph = load_json(args.old)
+    new_graph = load_json(args.new)
+    evolved, info = store.evolve(
+        old_graph, new_graph, cutoff=args.cutoff
+    )
+    line = dict(info, old=args.old, new=args.new, backend=backend.name)
+    if evolved is None:
+        if not args.cold_ok:
+            json.dump(line, sys.stdout)
+            print()
+            print(
+                f"index evolve: no stored index for {args.old} "
+                "(run `index warm`, or pass --cold-ok to warm the new snapshot)",
+                file=sys.stderr,
+            )
+            return 1
+        line = _warm_one(store, new_graph, backend, False, line)
+    else:
+        evolved.backend_rows(backend)  # hydration check, as in `warm`
+    json.dump(line, sys.stdout)
+    print()
+    return 0
+
+
 def _cmd_index_ls(args: argparse.Namespace) -> int:
     store = PreparedIndexStore(args.store_dir, create=False)
     entries = store.entries()
@@ -500,6 +545,29 @@ def build_parser() -> argparse.ArgumentParser:
         "the whole-graph index (what `batch --shards N` serves from)",
     )
     warm.set_defaults(handler=_cmd_index, index_handler=_cmd_index_warm)
+
+    evolve = index_sub.add_parser(
+        "evolve",
+        help="incrementally carry a stored G2+ index from an old data-graph "
+        "snapshot to a new one (only the touched closure rows recompute)",
+    )
+    evolve.add_argument("store_dir", help="store directory (created if missing)")
+    evolve.add_argument("old", help="data graph JSON the store was warmed from")
+    evolve.add_argument("new", help="mutated data graph JSON to evolve onto")
+    evolve.add_argument(
+        "--cutoff", type=float, default=None, metavar="FRACTION",
+        help="dirty-row fraction beyond which evolution falls back to a "
+        "full re-prepare (default 0.8)",
+    )
+    evolve.add_argument(
+        "--cold-ok", action="store_true",
+        help="warm the new snapshot from scratch when the old one was never stored",
+    )
+    evolve.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="%s" % BACKEND_HELP,
+    )
+    evolve.set_defaults(handler=_cmd_index, index_handler=_cmd_index_evolve)
 
     ls = index_sub.add_parser("ls", help="list stored indexes (JSON lines)")
     ls.add_argument("store_dir")

@@ -49,9 +49,16 @@ from repro.core.optimize import (
     plan_components,
     solve_component,
 )
+from repro.core.incremental import DeltaEvent, DeltaLog
 from repro.core.prepared import PreparedDataGraph, prepare_data_graph
 from repro.core.store import PreparedIndexStore, StoreEntry
-from repro.core.api import MatchReport, closure_pattern, match, match_prepared
+from repro.core.api import (
+    MatchReport,
+    closure_pattern,
+    match,
+    match_prepared,
+    update_graph,
+)
 from repro.core.service import (
     MatchSession,
     MatchingService,
@@ -132,6 +139,9 @@ __all__ = [
     "closure_pattern",
     "match",
     "match_prepared",
+    "update_graph",
+    "DeltaEvent",
+    "DeltaLog",
     "PreparedDataGraph",
     "prepare_data_graph",
     "PreparedIndexStore",

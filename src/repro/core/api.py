@@ -43,6 +43,7 @@ __all__ = [
     "match",
     "match_prepared",
     "closure_pattern",
+    "update_graph",
     "validate_match_options",
 ]
 
@@ -188,6 +189,28 @@ def _solve_prepared(
         metric=metric,
         result=result,
     )
+
+
+def update_graph(graph2: DiGraph, shards: int | None = None) -> None:
+    """Tell the serving layer ``graph2`` was mutated in place.
+
+    Routed calls notice a mutation on their own (the content fingerprint
+    misses and the cached index is *evolved* through the recorded delta
+    — see :meth:`~repro.core.service.MatchingService.update_graph`);
+    calling this right after mutating simply moves that work off the
+    next request's serving path.  Pass the same ``shards`` you serve
+    with: ``None`` refreshes the flat default service, ``N`` re-plans
+    the process-wide N-shard router instead (a graph only ever served
+    sharded has no flat-service index worth building).
+    """
+    if shards is not None:
+        from repro.core.sharding import default_sharded_service
+
+        default_sharded_service(shards).update_graph(graph2)
+        return
+    from repro.core.service import default_service
+
+    default_service().update_graph(graph2)
 
 
 def match(

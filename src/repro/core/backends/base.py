@@ -135,6 +135,27 @@ class SolverBackend(ABC):
         """Materialize closure rows (big-int bitmasks, bit ``i`` = data
         node ``i`` of ``num_bits``) into the backend's native layout."""
 
+    def evolve_rows(
+        self,
+        rows: object,
+        from_mask: Sequence[int],
+        to_mask: Sequence[int],
+        num_bits: int,
+        dirty: Sequence[int],
+    ) -> object | None:
+        """Refresh a cached :meth:`build_rows` product after an
+        incremental re-prepare rewrote only the ``dirty`` row positions.
+
+        ``rows`` is the base index's cached product, ``from_mask`` /
+        ``to_mask`` the *evolved* masks (same ``num_bits`` — callers only
+        offer same-width evolutions, i.e. no node was added or removed).
+        Return the refreshed product, or ``None`` to opt out — the
+        evolved index then rebuilds lazily via :meth:`build_rows` on
+        first use.  Implementations must never mutate ``rows`` in place:
+        the base index (and any workspace over it) still serves from it.
+        """
+        return None
+
     @abstractmethod
     def build_context(self, workspace) -> object:
         """The engine context of one workspace: native closure rows plus

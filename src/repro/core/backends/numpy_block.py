@@ -381,6 +381,36 @@ class NumpyBlockBackend(SolverBackend):
             words,
         )
 
+    def evolve_rows(
+        self,
+        rows: _NumpyRows,
+        from_mask: Sequence[int],
+        to_mask: Sequence[int],
+        num_bits: int,
+        dirty: Sequence[int],
+    ) -> _NumpyRows | None:
+        """Rewrite only the dirty matrix rows of a cached conversion.
+
+        An incremental re-prepare leaves most closure rows untouched, so
+        the uint64 block matrices are copied once and the dirty rows
+        repacked in place of a full ``build_rows`` — O(dirty · words)
+        instead of O(n · words).  The base matrices are never mutated
+        (the old index may still be serving from them).
+        """
+        if rows.num_bits != num_bits or len(from_mask) != rows.from_rows.shape[0]:
+            return None  # geometry moved: rebuild lazily instead
+        nbytes = rows.words * 8
+        from_rows = rows.from_rows.copy()
+        to_rows = rows.to_rows.copy()
+        for p in dirty:
+            from_rows[p] = np.frombuffer(
+                from_mask[p].to_bytes(nbytes, "little"), dtype="<u8"
+            )
+            to_rows[p] = np.frombuffer(
+                to_mask[p].to_bytes(nbytes, "little"), dtype="<u8"
+            )
+        return _NumpyRows(from_rows, to_rows, from_mask, to_mask, num_bits, rows.words)
+
     def build_context(self, workspace) -> _NumpyContext:
         prepared = workspace.prepared
         if (

@@ -173,6 +173,17 @@ class PythonIntBackend(SolverBackend):
         # Big ints *are* the native layout: share the rows by reference.
         return (from_mask, to_mask)
 
+    def evolve_rows(
+        self,
+        rows: tuple[Sequence[int], Sequence[int]],
+        from_mask: Sequence[int],
+        to_mask: Sequence[int],
+        num_bits: int,
+        dirty: Sequence[int],
+    ) -> tuple[Sequence[int], Sequence[int]]:
+        # The evolved big-int lists are already the native layout.
+        return (from_mask, to_mask)
+
     def build_context(self, workspace) -> _PythonContext:
         return _PythonContext(
             workspace.from_mask, workspace.to_mask, workspace.prev, workspace.post

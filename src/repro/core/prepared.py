@@ -79,6 +79,9 @@ class PreparedDataGraph:
         #: Backend-native row materializations, keyed by backend name —
         #: see :meth:`backend_rows`.
         self._backend_rows: dict[str, object] = {}
+        #: How this index came to be: ``None`` for a cold build, the
+        #: :meth:`apply_delta` strategy record for an evolved one.
+        self.delta_stats: dict | None = None
 
     @property
     def fingerprint(self) -> str:
@@ -173,7 +176,44 @@ class PreparedDataGraph:
         self.prepare_seconds = float(header["prepare_seconds"])
         self._fingerprint = header["fingerprint"]
         self._backend_rows = {}
+        self.delta_stats = None
         return self
+
+    # ------------------------------------------------------------------
+    # Incremental evolution (mutable data graphs)
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        delta,
+        graph2: DiGraph | None = None,
+        cutoff: float | None = None,
+        fingerprint: str | None = None,
+    ) -> "PreparedDataGraph":
+        """A new index describing the graph *after* ``delta``'s mutations.
+
+        ``delta`` is a :class:`~repro.core.incremental.DeltaLog` whose
+        events extend this index's content (mismatched base fingerprints
+        raise).  Only the closure rows the delta can have touched are
+        recomputed — the rest are spliced through, shared by reference
+        when no node removal shifted bit positions — and backend-native
+        row caches are selectively refreshed.  When the dirty frontier
+        exceeds ``cutoff`` (fraction of all rows, default
+        :data:`~repro.core.incremental.DEFAULT_CUTOFF`) the call degrades
+        to a full re-prepare.  Either way the result is **bit-identical**
+        to a cold ``PreparedDataGraph`` of the mutated graph, and
+        ``delta_stats`` records the strategy taken.  ``graph2`` defaults
+        to ``self.graph`` (in-place mutation); offline callers pass the
+        new snapshot explicitly.  ``self`` is never modified.
+        """
+        from repro.core.incremental import DEFAULT_CUTOFF, evolve_prepared
+
+        return evolve_prepared(
+            self,
+            delta,
+            graph2=graph2,
+            cutoff=DEFAULT_CUTOFF if cutoff is None else cutoff,
+            fingerprint=fingerprint,
+        )
 
     # ------------------------------------------------------------------
     def backend_rows(self, backend) -> object:

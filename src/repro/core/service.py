@@ -54,6 +54,7 @@ from repro.core.api import (
     validate_match_options,
 )
 from repro.core.backends import SolverBackend, get_backend
+from repro.core.incremental import DeltaLog
 from repro.core.phom import validate_threshold
 from repro.core.prepared import PreparedDataGraph
 from repro.core.store import PreparedIndexStore
@@ -121,6 +122,16 @@ class ServiceStats:
     disk_hits: int = 0
     #: Disk-store lookups that found no usable file (two-tier cache only).
     disk_misses: int = 0
+    #: Cache misses served by *evolving* a tracked base index through a
+    #: recorded :class:`~repro.core.incremental.DeltaLog` instead of a
+    #: full re-prepare (see :meth:`MatchingService.update_graph`).
+    delta_hits: int = 0
+    #: Closure rows recomputed across every delta evolution — the work an
+    #: operator compares against ``prepares`` · |V2| to see what
+    #: incremental preparation saved.
+    delta_nodes_recomputed: int = 0
+    #: Seconds spent evolving indexes through deltas.
+    delta_seconds: float = 0.0
     #: Seconds spent building prepared indexes (the amortised cost).
     prepare_seconds: float = 0.0
     #: Seconds spent solving patterns, summed per solve — a parallel
@@ -169,6 +180,9 @@ class ServiceStats:
                 "evictions": self.evictions,
                 "disk_hits": self.disk_hits,
                 "disk_misses": self.disk_misses,
+                "delta_hits": self.delta_hits,
+                "delta_nodes_recomputed": self.delta_nodes_recomputed,
+                "delta_seconds": self.delta_seconds,
                 "prepare_seconds": self.prepare_seconds,
                 "solve_seconds": self.solve_seconds,
                 "load_seconds": self.load_seconds,
@@ -189,6 +203,15 @@ class PreparedGraphCache:
     order is part of the key on purpose — the greedy engine tie-breaks
     by node position, so serving a reordered graph from another graph's
     index would make results depend on process history.
+
+    Mutation no longer means a cold rebuild, though: the cache attaches
+    a :class:`~repro.core.incremental.DeltaLog` to every graph it
+    prepares, and a miss whose graph object carries a log with a
+    still-resident base entry is served by **evolving** that base
+    through the recorded delta
+    (:meth:`~repro.core.prepared.PreparedDataGraph.apply_delta` —
+    bit-identical to a cold prepare, counted in ``delta_hits`` /
+    ``delta_nodes_recomputed``).
 
     ``store`` attaches a :class:`~repro.core.store.PreparedIndexStore`
     as a second tier below the LRU: a memory miss first tries a disk
@@ -254,6 +277,7 @@ class PreparedGraphCache:
         serve another graph's index.
         """
         key = graph_fingerprint(graph2) if fingerprint is None else fingerprint
+        log = DeltaLog.find(graph2, self)
         # Lock order: the cache lock (LRU structure) is always taken
         # before the stats lock, never the other way around.
         with self._lock:
@@ -265,6 +289,16 @@ class PreparedGraphCache:
                 return hit
             pending = self._building.get(key)
             if pending is None:
+                base = None
+                if (
+                    log is not None
+                    and log.base_fingerprint is not None
+                    and log.base_fingerprint != key
+                ):
+                    # The very graph object we prepared earlier has
+                    # mutated: if its base index is still resident, the
+                    # recorded delta can evolve it instead of a rebuild.
+                    base = self._entries.get(log.base_fingerprint)
                 future: Future = Future()
                 self._building[key] = future
                 with self.stats.lock:
@@ -277,7 +311,7 @@ class PreparedGraphCache:
                 self.stats.cache_hits += 1
             return prepared
         try:
-            prepared = self._load_or_build(key, graph2)
+            prepared = self._load_or_build(key, graph2, log=log, base=base)
         except BaseException as exc:
             with self._lock:
                 del self._building[key]
@@ -295,8 +329,26 @@ class PreparedGraphCache:
         future.set_result(prepared)
         return prepared
 
-    def _load_or_build(self, key: str, graph2: DiGraph) -> PreparedDataGraph:
-        """Disk tier, then build tier — runs off-lock, updates counters."""
+    def _load_or_build(
+        self,
+        key: str,
+        graph2: DiGraph,
+        log: DeltaLog | None = None,
+        base: PreparedDataGraph | None = None,
+    ) -> PreparedDataGraph:
+        """Delta tier, disk tier, then build tier — runs off-lock.
+
+        Tier order on a memory miss: **evolve** a still-resident base
+        index through the graph's recorded delta (the cheapest path — it
+        recomputes only the rows the mutations touched), then the disk
+        store, then a cold build.  Evolved and built indexes are both
+        persisted best-effort, so the store always holds the graph's
+        *current* fingerprint.
+        """
+        if base is not None and log is not None:
+            evolved = self._evolve(key, graph2, log, base)
+            if evolved is not None:
+                return evolved
         if self.store is not None:
             with Stopwatch() as watch:
                 loaded = self.store.load(key, graph2)  # any defect -> None
@@ -304,6 +356,7 @@ class PreparedGraphCache:
                 with self.stats.lock:
                     self.stats.disk_hits += 1
                     self.stats.load_seconds += watch.elapsed
+                self._track(graph2, key)
                 return loaded
             with self.stats.lock:
                 self.stats.disk_misses += 1
@@ -311,16 +364,56 @@ class PreparedGraphCache:
         with self.stats.lock:
             self.stats.prepares += 1
             self.stats.prepare_seconds += prepared.prepare_seconds
-        if self.store is not None:
-            try:
-                with Stopwatch() as watch:
-                    self.store.save(prepared)
-            except OSError:
-                pass  # persistence is best-effort; serving must not fail
-            else:
-                with self.stats.lock:
-                    self.stats.store_seconds += watch.elapsed
+        self._persist(prepared)
+        self._track(graph2, key)
         return prepared
+
+    def _evolve(
+        self, key: str, graph2: DiGraph, log: DeltaLog, base: PreparedDataGraph
+    ) -> PreparedDataGraph | None:
+        """Evolve ``base`` through ``log``; ``None`` defers to disk/build."""
+        try:
+            with Stopwatch() as watch:
+                evolved = base.apply_delta(log, graph2=graph2, fingerprint=key)
+        except InputError:
+            return None  # stale or foreign log: the slower tiers are safe
+        stats = evolved.delta_stats or {}
+        if stats.get("full_rebuild"):
+            # The delta was too wide to splice: an honest cold prepare
+            # ran inside apply_delta — account it as one.
+            with self.stats.lock:
+                self.stats.prepares += 1
+                self.stats.prepare_seconds += evolved.prepare_seconds
+        else:
+            with self.stats.lock:
+                self.stats.delta_hits += 1
+                self.stats.delta_nodes_recomputed += stats.get("recomputed_nodes", 0)
+                self.stats.delta_seconds += watch.elapsed
+        self._persist(evolved)
+        log.rebase(key)
+        return evolved
+
+    def _persist(self, prepared: PreparedDataGraph) -> None:
+        """Best-effort store write (serving must not fail on a full disk)."""
+        if self.store is None:
+            return
+        try:
+            with Stopwatch() as watch:
+                self.store.save(prepared)
+        except OSError:
+            pass
+        else:
+            with self.stats.lock:
+                self.stats.store_seconds += watch.elapsed
+
+    def _track(self, graph2: DiGraph, key: str) -> None:
+        """Attach (or rebase) this cache's delta log on ``graph2``.
+
+        From here on the graph's mutators record into the log, so the
+        *next* fingerprint miss for this graph object can evolve the
+        index we just produced instead of rebuilding it.
+        """
+        DeltaLog.track(graph2, self, key)
 
 
 class MatchSession:
@@ -448,6 +541,23 @@ class MatchingService:
         :meth:`PreparedGraphCache.prepared_for`.
         """
         return self.cache.prepared_for(graph2, fingerprint=fingerprint)
+
+    def update_graph(self, graph2: DiGraph) -> PreparedDataGraph:
+        """Bring the cached index of a *mutated* ``graph2`` up to date.
+
+        Every graph this service prepares gets a
+        :class:`~repro.core.incremental.DeltaLog` attached, so when the
+        graph mutates in place the next request **evolves** the cached
+        index — recomputing only the closure rows the delta touched —
+        instead of rebuilding it from scratch (counted in
+        ``stats.delta_hits`` / ``delta_nodes_recomputed``; a too-wide
+        delta degrades to one honest ``prepares``).  That happens lazily
+        on the next :meth:`match` anyway; calling ``update_graph`` right
+        after mutating moves the work off the serving path and returns
+        the evolved index (persisted to the disk tier, when one is
+        attached, under the graph's new fingerprint).
+        """
+        return self.cache.prepared_for(graph2)
 
     def _record_solves(
         self,

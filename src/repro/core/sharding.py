@@ -67,6 +67,7 @@ from repro.core.api import (
     validate_match_options,
 )
 from repro.core.backends import SolverBackend, get_backend
+from repro.core.incremental import DeltaLog
 from repro.core.optimize import plan_components, solve_component
 from repro.core.phom import PHomResult
 from repro.core.service import (
@@ -134,6 +135,8 @@ class ShardPlan:
         self._position: dict[Node, int] = {}
         self._graphs: dict[object, DiGraph] = {}
         self._fingerprints: dict[object, str] = {}
+        #: Filled by :meth:`evolve`: what the re-plan kept and moved.
+        self.evolve_stats: dict | None = None
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -162,33 +165,140 @@ class ShardPlan:
 
         weak = weakly_connected_components(graph2)
         plan.weak_components = len(weak)
-        order = sorted(
-            range(len(weak)),
-            key=lambda c: (-len(weak[c]), min(plan._position[n] for n in weak[c])),
-        )
         assignment: list[list[Node]] = [[] for _ in range(shards)]
-        loads = [0] * shards
+        plan._balance_components(weak, assignment, [0] * shards)
+        plan._adopt_assignment(assignment)
+        plan.cycle_nodes = plan._derive_cycle_nodes(graph2)
+        return plan
+
+    def _balance_components(
+        self,
+        components: list[list[Node]],
+        assignment: list[list[Node]],
+        loads: list[int],
+    ) -> list[int]:
+        """Place components largest-first onto the lightest shard.
+
+        Ties break toward the earliest enumeration position, then the
+        lowest shard id — the one placement rule both a fresh plan and
+        an evolved re-plan must share (divergence would silently change
+        which shard a moved component lands on).  ``assignment`` and
+        ``loads`` may carry pre-pinned components (the evolve path);
+        returns the shard ids that received one, in placement order.
+        """
+        order = sorted(
+            range(len(components)),
+            key=lambda c: (
+                -len(components[c]),
+                min(self._position[n] for n in components[c]),
+            ),
+        )
+        placed = []
         for c in order:
-            target = min(range(shards), key=lambda s: (loads[s], s))
-            assignment[target].extend(weak[c])
-            loads[target] += len(weak[c])
-        plan.shard_nodes = [
-            sorted(nodes, key=plan._position.__getitem__) for nodes in assignment
+            target = min(range(self.shards), key=lambda s: (loads[s], s))
+            assignment[target].extend(components[c])
+            loads[target] += len(components[c])
+            placed.append(target)
+        return placed
+
+    def _adopt_assignment(self, assignment: list[list[Node]]) -> None:
+        """Freeze an assignment into enumeration-ordered shard views."""
+        self.shard_nodes = [
+            sorted(nodes, key=self._position.__getitem__) for nodes in assignment
         ]
-        plan.shard_of = {
-            node: sid for sid, nodes in enumerate(plan.shard_nodes) for node in nodes
+        self.shard_of = {
+            node: sid for sid, nodes in enumerate(self.shard_nodes) for node in nodes
         }
 
-        # Nodes on a nonempty cycle: exactly the members of SCCs with an
-        # internal cycle.  This is the full graph's cycle information —
-        # identical to every shard's, since cycles live inside SCCs.
+    @staticmethod
+    def _derive_cycle_nodes(graph2: DiGraph) -> frozenset:
+        """Nodes on a nonempty cycle: exactly the members of SCCs with an
+        internal cycle.  This is the full graph's cycle information —
+        identical to every shard's, since cycles live inside SCCs."""
         cond = Condensation(graph2)
-        plan.cycle_nodes = frozenset(
+        return frozenset(
             node
             for cid, members in enumerate(cond.components)
             if cond.has_internal_cycle(cid)
             for node in members
         )
+
+    def evolve(self, graph2: DiGraph, delta) -> "ShardPlan":
+        """Re-plan after a mutation, moving only what the delta touched.
+
+        ``delta`` is the :class:`~repro.core.incremental.DeltaLog`
+        recorded since this plan was built.  A weakly connected component
+        none of whose nodes were touched (structurally *or* by a
+        label/weight change — either moves its shard fingerprint) stays
+        pinned to its current shard, so that shard's node list, cached
+        subgraph and cached fingerprint — and therefore every worker's
+        prepared index and disk file for it — survive the mutation.
+        Only changed, merged, split or new components are re-balanced
+        (largest-first onto the lightest shard, like a fresh plan).
+
+        The result is a valid closure-closed plan for the new content —
+        sharded solves stay bit-identical to the flat partitioned solve —
+        but its *placement* may differ from ``for_data_graph`` of the
+        same graph: stability is the point (moving a component cold-
+        starts its worker), so evolved placement is history-dependent.
+        ``evolve_stats`` records what moved.
+        """
+        self._require_graph()
+        if (
+            delta.base_fingerprint is not None
+            and self.fingerprint is not None
+            and delta.base_fingerprint != self.fingerprint
+        ):
+            raise InputError("delta log does not extend this shard plan")
+        affected = set(delta.touched) | set(delta.relabeled) | set(delta.removed_nodes)
+        plan = ShardPlan("graph", self.shards)
+        plan.graph = graph2
+        plan.fingerprint = graph_fingerprint(graph2)
+        plan._position = {node: i for i, node in enumerate(graph2.nodes())}
+
+        weak = weakly_connected_components(graph2)
+        plan.weak_components = len(weak)
+        assignment: list[list[Node]] = [[] for _ in range(self.shards)]
+        loads = [0] * self.shards
+        stable_only = [True] * self.shards
+        repooled: list[list[Node]] = []
+        stable = 0
+        for component in weak:
+            homes = {self.shard_of.get(node) for node in component}
+            if len(homes) == 1 and None not in homes and not (affected & set(component)):
+                (home,) = homes
+                assignment[home].extend(component)
+                loads[home] += len(component)
+                stable += 1
+            else:
+                repooled.append(component)
+        for target in plan._balance_components(repooled, assignment, loads):
+            stable_only[target] = False
+        plan._adopt_assignment(assignment)
+        plan.cycle_nodes = plan._derive_cycle_nodes(graph2)
+
+        # Carry warm views over: a shard holding exactly its old, fully
+        # untouched components has a byte-identical subgraph, so its
+        # cached graph and fingerprint (the keys every worker's memory
+        # and disk tier serve by) pass straight through.
+        reused = [
+            sid
+            for sid in range(self.shards)
+            if stable_only[sid] and plan.shard_nodes[sid] == self.shard_nodes[sid]
+        ]
+        reused_set = set(reused)
+        with self._lock:
+            for key, cached in self._graphs.items():
+                if (key in reused_set) if isinstance(key, int) else key <= reused_set:
+                    plan._graphs[key] = cached
+            for key, cached in self._fingerprints.items():
+                if (key in reused_set) if isinstance(key, int) else key <= reused_set:
+                    plan._fingerprints[key] = cached
+        plan.evolve_stats = {
+            "stable_components": stable,
+            "replanned_components": len(repooled),
+            "reused_shards": reused,
+        }
         return plan
 
     # ------------------------------------------------------------------
@@ -365,6 +475,8 @@ class ShardedMatchingService:
             "fanout_components": 0,
             "spill_components": 0,
             "plans_built": 0,
+            "plans_evolved": 0,
+            "shards_replanned": 0,
             "batch_seconds": 0.0,
         }
 
@@ -420,25 +532,67 @@ class ShardedMatchingService:
         """The (cached) graph-kind shard plan of ``graph2``.
 
         Plans are keyed by content fingerprint in a small LRU, mirroring
-        the prepared-graph cache: mutate the graph and the next request
-        simply plans afresh.
+        the prepared-graph cache.  The router also attaches a
+        :class:`~repro.core.incremental.DeltaLog` to every graph it
+        plans: when the same graph object mutates in place, the next
+        request **evolves** the old plan (:meth:`ShardPlan.evolve`) —
+        components the delta never touched keep their shard, cached
+        subgraph and fingerprint, so only the changed shards' workers go
+        cold (counted in ``plans_evolved`` / ``shards_replanned``).
         """
         key = graph_fingerprint(graph2)
+        log = DeltaLog.find(graph2, self)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
                 self._plans.move_to_end(key)
                 return plan
-        built = ShardPlan.for_data_graph(graph2, self.shards)  # off-lock
+            old_plan = (
+                self._plans.get(log.base_fingerprint)
+                if log is not None
+                and log.base_fingerprint is not None
+                and log.base_fingerprint != key
+                else None
+            )
+        evolved = 0
+        built = None
+        if old_plan is not None:
+            try:
+                built = old_plan.evolve(graph2, log)  # off-lock
+                evolved = 1
+            except InputError:
+                built = None
+        if built is None:
+            built = ShardPlan.for_data_graph(graph2, self.shards)  # off-lock
+        self._track(graph2, key)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
                 return plan  # another thread planned it meanwhile
             self._plans[key] = built
-            self._counters["plans_built"] += 1
+            self._counters["plans_built"] += 1 - evolved
+            self._counters["plans_evolved"] += evolved
+            if evolved:
+                reused = len((built.evolve_stats or {}).get("reused_shards", ()))
+                self._counters["shards_replanned"] += self.shards - reused
             while len(self._plans) > self.max_plans:
                 self._plans.popitem(last=False)
         return built
+
+    def _track(self, graph2: DiGraph, key: str) -> None:
+        """Attach (or rebase) the router's delta log on ``graph2``."""
+        DeltaLog.track(graph2, self, key)
+
+    def update_graph(self, graph2: DiGraph) -> ShardPlan:
+        """Re-plan a mutated data graph eagerly (off the serving path).
+
+        Returns the (evolved, when possible) shard plan for the graph's
+        new content; untouched components keep their shards, so the
+        workers serving them stay warm.  Per-shard prepared indexes for
+        *changed* shards rebuild lazily on the next request that routes
+        to them.
+        """
+        return self.plan_for(graph2)
 
     def match_sharded(
         self,

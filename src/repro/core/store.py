@@ -218,6 +218,57 @@ class PreparedIndexStore:
             return None  # file content answers a different graph
         return prepared
 
+    def evolve(
+        self,
+        old_graph: DiGraph,
+        new_graph: DiGraph,
+        delta=None,
+        cutoff: float | None = None,
+    ) -> tuple[PreparedDataGraph | None, dict]:
+        """Evolve the stored index of ``old_graph`` onto ``new_graph``.
+
+        Offline incremental preparation (the CLI's ``index evolve``): the
+        index stored under ``old_graph``'s fingerprint is loaded, carried
+        to ``new_graph``'s content through ``delta`` — synthesized by
+        structural diff (:meth:`~repro.core.incremental.DeltaLog.from_diff`)
+        when not given — and persisted under the **new** fingerprint, so
+        a fleet's store follows its mutating data graph without anyone
+        re-running a cold prepare.  Returns ``(prepared, info)``;
+        ``prepared`` is ``None`` only when no usable base file exists
+        (``info["action"] == "missing-base"`` — the caller decides
+        whether to warm cold instead).
+        """
+        from repro.core.incremental import DeltaLog
+        from repro.graph.fingerprint import graph_fingerprint
+
+        old_fingerprint = graph_fingerprint(old_graph)
+        new_fingerprint = graph_fingerprint(new_graph)
+        info: dict = {
+            "old_fingerprint": old_fingerprint,
+            "fingerprint": new_fingerprint,
+        }
+        base = self.load(old_fingerprint, old_graph)
+        if base is None:
+            info["action"] = "missing-base"
+            return None, info
+        if delta is None:
+            delta = DeltaLog.from_diff(old_graph, new_graph)
+        evolved = base.apply_delta(
+            delta, graph2=new_graph, cutoff=cutoff, fingerprint=new_fingerprint
+        )
+        self.save(evolved)
+        stats = evolved.delta_stats or {}
+        info.update(
+            action="rebuilt" if stats.get("full_rebuild") else "evolved",
+            strategy=stats.get("strategy"),
+            recomputed_nodes=stats.get("recomputed_nodes", 0),
+            nodes=evolved.num_nodes(),
+            edges=evolved.num_edges(),
+            evolve_seconds=evolved.prepare_seconds,
+            path=str(self.path_for(new_fingerprint)),
+        )
+        return evolved, info
+
     def remove(self, fingerprint: str) -> bool:
         """Delete the stored index for ``fingerprint``; True if one existed."""
         path = self.path_for(fingerprint)

@@ -25,9 +25,26 @@ from repro.graph.digraph import DiGraph
 from repro.graph.scc import Condensation
 from repro.utils.errors import GraphError
 
-__all__ = ["ReachabilityIndex", "transitive_closure_graph"]
+__all__ = ["ReachabilityIndex", "component_member_masks", "transitive_closure_graph"]
 
 Node = Hashable
+
+
+def component_member_masks(cond: Condensation, position_of: dict[Node, int]) -> list[int]:
+    """One bitmask per SCC with the position bit of every member set.
+
+    The building block both closure computations share: the full
+    :class:`ReachabilityIndex` construction OR-combines these masks over
+    the whole condensation, and the incremental re-prepare
+    (:mod:`repro.core.incremental`) over just the dirty components.
+    """
+    masks = [0] * cond.num_components()
+    for cid, members in enumerate(cond.components):
+        mask = 0
+        for member in members:
+            mask |= 1 << position_of[member]
+        masks[cid] = mask
+    return masks
 
 
 class ReachabilityIndex:
@@ -51,12 +68,7 @@ class ReachabilityIndex:
         # reach_mask = bits of everything reachable by a nonempty path from
         # any member.  Tarjan order is reverse topological, so successors of
         # a component are always processed before the component itself.
-        members_mask = [0] * cond.num_components()
-        for cid, members in enumerate(cond.components):
-            mask = 0
-            for member in members:
-                mask |= 1 << self.position_of[member]
-            members_mask[cid] = mask
+        members_mask = component_member_masks(cond, self.position_of)
 
         reach_mask = [0] * cond.num_components()
         for cid in cond.reverse_topological_ids():

@@ -52,6 +52,19 @@ class DiGraph:
         #: on the hot serving paths (cache lookups, shard routing) that
         #: hash the same unchanged graph over and over.
         self._fingerprint_cache: str | None = None
+        #: Attached mutation observers (duck-typed: anything with a
+        #: ``record(op, a, b)`` method — in practice
+        #: :class:`repro.core.incremental.DeltaLog`).  Every mutator
+        #: notifies them of the change it made, which is what lets the
+        #: serving layer *evolve* a prepared ``G2⁺`` index instead of
+        #: rebuilding it when a data graph mutates.  Empty-list checks
+        #: keep the untracked common case at one attribute read.
+        self._delta_logs: list = []
+
+    def _notify(self, op: str, a: Node, b: Any = None) -> None:
+        """Report one applied mutation to every attached delta log."""
+        for log in self._delta_logs:
+            log.record(op, a, b)
 
     # ------------------------------------------------------------------
     # Construction
@@ -101,12 +114,22 @@ class DiGraph:
             self._labels[node] = node if label is None else label
             self._weights[node] = float(weight)
             self._attrs[node] = dict(attrs)
+            if self._delta_logs:
+                self._notify("add_node", node)
             return
         if label is not None:
             self._labels[node] = label
         self._weights[node] = float(weight)
         if attrs:
             self._attrs[node].update(attrs)
+        if self._delta_logs:
+            # Re-adding an existing node only updates its payload: the
+            # structure (and so every closure row) is untouched.
+            if label is not None:
+                self._notify("set_label", node)
+            self._notify("set_weight", node)
+            if attrs:
+                self._notify("set_attrs", node)
 
     def add_edge(self, tail: Node, head: Node) -> None:
         """Add the directed edge ``tail -> head``, creating missing endpoints."""
@@ -119,6 +142,8 @@ class DiGraph:
             self._succ[tail].add(head)
             self._pred[head].add(tail)
             self._edge_count += 1
+            if self._delta_logs:
+                self._notify("add_edge", tail, head)
 
     def add_edges(self, edges: Iterable[tuple[Node, Node]]) -> None:
         """Add every edge of ``edges``."""
@@ -133,12 +158,22 @@ class DiGraph:
         self._succ[tail].discard(head)
         self._pred[head].discard(tail)
         self._edge_count -= 1
+        if self._delta_logs:
+            self._notify("remove_edge", tail, head)
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges; raise GraphError if absent."""
         if node not in self._succ:
             raise GraphError(f"node {node!r} not in graph")
         self._fingerprint_cache = None
+        if self._delta_logs:
+            # The neighbor snapshot rides along: removing a node severs
+            # its incident edges, so observers re-planning connectivity
+            # (shard plans) must treat the neighbors as touched too —
+            # after the removal the graph no longer knows them.
+            self._notify(
+                "remove_node", node, frozenset(self._succ[node]) | frozenset(self._pred[node])
+            )
         for head in self._succ[node]:
             self._pred[head].discard(node)
         for tail in self._pred[node]:
@@ -229,6 +264,8 @@ class DiGraph:
             raise GraphError(f"node {node!r} not in graph")
         self._fingerprint_cache = None
         self._labels[node] = label
+        if self._delta_logs:
+            self._notify("set_label", node)
 
     def weight(self, node: Node) -> float:
         """The node weight ``w(node)`` used by ``qualSim``."""
@@ -245,6 +282,8 @@ class DiGraph:
             raise InputError(f"node weight must be positive, got {weight!r}")
         self._fingerprint_cache = None
         self._weights[node] = float(weight)
+        if self._delta_logs:
+            self._notify("set_weight", node)
 
     def total_weight(self) -> float:
         """Sum of all node weights (the denominator of ``qualSim``)."""

@@ -117,6 +117,21 @@ class Condensation:
         """Component ids directly reachable from component ``cid``."""
         return self._dag_succ[cid]
 
+    def dag_predecessors(self) -> list[list[int]]:
+        """Per-component lists of direct DAG predecessors.
+
+        The reverse adjacency of the condensation, built on demand: the
+        backward (``to_mask``) half of an incremental re-prepare walks
+        the DAG in topological order pulling from predecessors, and
+        deriving the lists here avoids condensing ``graph.reversed()`` a
+        second time (the SCCs of a graph and its reverse are identical).
+        """
+        preds: list[list[int]] = [[] for _ in self.components]
+        for cid, succs in enumerate(self._dag_succ):
+            for succ_cid in succs:
+                preds[succ_cid].append(cid)
+        return preds
+
     def has_internal_cycle(self, cid: int) -> bool:
         """True when the component contains a cycle (size > 1 or a self-loop)."""
         return self._has_cycle[cid]

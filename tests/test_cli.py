@@ -299,3 +299,99 @@ class TestShardedCli:
         lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
         assert lines[-1] == {"summary": True, "entries": 1}
         assert lines[0]["version"] == 1 and "mtime" in lines[0]
+
+
+# ----------------------------------------------------------------------
+# index evolve: incremental store evolution from snapshots
+# ----------------------------------------------------------------------
+class TestIndexEvolveCli:
+    def _snapshots(self, tmp_path):
+        """Old/new data-graph snapshots differing by one forward edge."""
+        import random
+
+        rng = random.Random(17)
+        old = DiGraph(name="old")
+        for i in range(50):
+            old.add_node(i, label=f"L{i % 5}")
+        for i in range(49):
+            old.add_edge(i, i + 1)
+        for _ in range(40):
+            a = rng.randrange(49)
+            b = rng.randrange(a + 1, 50)
+            old.add_edge(a, b)
+        new = old.copy()
+        head = next(i for i in range(40, 50) if not new.has_edge(30, i))
+        new.add_edge(30, head)
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        dump_json(old, str(old_path))
+        dump_json(new, str(new_path))
+        return old, new, str(old_path), str(new_path)
+
+    def test_warm_evolve_serve_cycle(self, tmp_path, capsys):
+        import random
+
+        old, new, old_path, new_path = self._snapshots(tmp_path)
+        store_dir = str(tmp_path / "idx")
+        assert main(["index", "warm", store_dir, old_path]) == 0
+        capsys.readouterr()
+
+        assert main(["index", "evolve", store_dir, old_path, new_path]) == 0
+        line = json.loads(capsys.readouterr().out)
+        assert line["action"] == "evolved"
+        assert line["strategy"] == "additive"
+        assert 0 < line["recomputed_nodes"] < 50
+        from repro.graph.fingerprint import graph_fingerprint
+
+        assert line["fingerprint"] == graph_fingerprint(new)
+
+        # The evolved file serves a batch with zero prepares.
+        rng = random.Random(18)
+        ppaths = []
+        for i in range(2):
+            pattern = new.subgraph(rng.sample(list(new.nodes()), 4), name=f"p{i}")
+            path = tmp_path / f"p{i}.json"
+            dump_json(pattern, str(path))
+            ppaths.append(str(path))
+        assert main(["batch", new_path, *ppaths, "--store-dir", store_dir]) == 0
+        summary = json.loads(capsys.readouterr().out.splitlines()[-1])
+        stats = summary["service"]
+        assert stats["disk_hits"] == 1 and stats["prepares"] == 0
+        assert "delta_hits" in stats  # audited in every summary
+
+    def test_missing_base_fails_without_cold_ok(self, tmp_path, capsys):
+        _, _, old_path, new_path = self._snapshots(tmp_path)
+        store_dir = str(tmp_path / "idx")
+        assert main(["index", "evolve", store_dir, old_path, new_path]) == 1
+        out = json.loads(capsys.readouterr().out)
+        assert out["action"] == "missing-base"
+
+    def test_missing_base_warms_with_cold_ok(self, tmp_path, capsys):
+        _, new, old_path, new_path = self._snapshots(tmp_path)
+        store_dir = str(tmp_path / "idx")
+        assert main(
+            ["index", "evolve", store_dir, old_path, new_path, "--cold-ok"]
+        ) == 0
+        line = json.loads(capsys.readouterr().out)
+        assert line["action"] == "stored"
+        from repro.graph.fingerprint import graph_fingerprint
+
+        assert line["fingerprint"] == graph_fingerprint(new)
+
+    def test_evolved_and_cold_store_files_agree(self, tmp_path, capsys):
+        """The evolved file's payload masks equal a cold warm of NEW."""
+        _, new, old_path, new_path = self._snapshots(tmp_path)
+        evolved_dir, cold_dir = str(tmp_path / "ev"), str(tmp_path / "cold")
+        assert main(["index", "warm", evolved_dir, old_path]) == 0
+        assert main(["index", "evolve", evolved_dir, old_path, new_path]) == 0
+        assert main(["index", "warm", cold_dir, new_path]) == 0
+        capsys.readouterr()
+        from repro.core.store import PreparedIndexStore
+        from repro.graph.fingerprint import graph_fingerprint
+
+        fingerprint = graph_fingerprint(new)
+        via_evolve = PreparedIndexStore(evolved_dir).load(fingerprint, new)
+        via_cold = PreparedIndexStore(cold_dir).load(fingerprint, new.copy())
+        assert via_evolve is not None and via_cold is not None
+        assert via_evolve.from_mask == via_cold.from_mask
+        assert via_evolve.to_mask == via_cold.to_mask
+        assert via_evolve.cycle_mask == via_cold.cycle_mask

@@ -233,15 +233,35 @@ class TestPreparedGraphCache:
         assert cache.stats.prepares == 1
 
     def test_mutation_invalidates(self):
+        """A mutation must never serve the stale index — since the
+        delta-evolution PR the fresh one is *evolved*, not rebuilt."""
         cache = PreparedGraphCache(max_entries=4)
         g2 = DiGraph.from_edges([("a", "b"), ("b", "c")])
         before = cache.prepared_for(g2)
         g2.add_edge("c", "a")  # now a cycle: reachability genuinely changes
         after = cache.prepared_for(g2)
         assert after is not before
-        assert cache.stats.prepares == 2
+        assert cache.stats.prepares == 1  # the evolved index cost no rebuild
+        assert cache.stats.delta_hits == 1
+        assert cache.stats.cache_misses == 2
         assert after.cycle_mask != 0
         assert before.cycle_mask == 0
+        cold = PreparedDataGraph(g2)
+        assert after.from_mask == cold.from_mask
+        assert after.to_mask == cold.to_mask
+        assert after.cycle_mask == cold.cycle_mask
+
+    def test_mutation_of_untracked_copy_still_rebuilds(self):
+        """Only the very graph *object* the cache served carries a delta
+        log; an equal copy mutated elsewhere pays a normal prepare."""
+        cache = PreparedGraphCache(max_entries=4)
+        g2 = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        cache.prepared_for(g2)
+        other = g2.copy()  # copies never inherit delta logs
+        other.add_edge("c", "a")
+        cache.prepared_for(other)
+        assert cache.stats.prepares == 2
+        assert cache.stats.delta_hits == 0
 
     def test_lru_eviction(self):
         cache = PreparedGraphCache(max_entries=2)
@@ -785,3 +805,187 @@ class TestFingerprintCacheInvalidation:
         before = graph_fingerprint(graph)
         graph.add_edge("a", "b")
         assert graph_fingerprint(graph) == before
+
+
+# ----------------------------------------------------------------------
+# Delta evolution through the service (mutable data graphs)
+# ----------------------------------------------------------------------
+class TestServiceEvolution:
+    """A mutated data graph evolves its cached index instead of
+    rebuilding it — with reports bit-identical to a fresh service."""
+
+    @staticmethod
+    def _labels(pattern, data):
+        return label_equality_matrix(pattern, data)
+
+    def _instance(self, seed=61, nodes=40, edges=90, sites=4):
+        """A multi-site data graph (the Section-6 serving shape): deltas
+        inside one site leave every other site's closure rows clean, so
+        evolution stays under the dirty-row cutoff."""
+        rng = random.Random(seed)
+        data = DiGraph(name=f"serve-{seed}")
+        per_site = nodes // sites
+        for i in range(nodes):
+            data.add_node(i, label=f"L{i % 7}")
+        for _ in range(edges):
+            site = rng.randrange(sites)
+            base = site * per_site
+            a = base + rng.randrange(per_site)
+            b = base + rng.randrange(per_site)
+            if a != b:
+                data.add_edge(a, b)
+        patterns = [
+            data.subgraph(rng.sample(list(data.nodes()), 5), name=f"p{i}")
+            for i in range(4)
+        ]
+        return data, patterns
+
+    def test_evolved_index_serves_bit_identical_reports(self):
+        data, patterns = self._instance()
+        service = MatchingService()
+        service.match_many(patterns, data, self._labels, 0.5)
+
+        # Mutate between match() calls: a small structural edit.
+        data.add_edge(0, 37)
+        victim = next(e for e in data.edges() if e[0] != 0)
+        data.remove_edge(*victim)
+
+        evolved_reports = service.match_many(patterns, data, self._labels, 0.5)
+        fresh = MatchingService()
+        fresh_reports = fresh.match_many(patterns, data.copy(), self._labels, 0.5)
+        assert [comparable(r) for r in evolved_reports] == [
+            comparable(r) for r in fresh_reports
+        ]
+        snap = service.stats.snapshot()
+        assert snap["delta_hits"] == 1
+        assert snap["delta_nodes_recomputed"] > 0
+        assert snap["prepares"] == 1  # only the initial cold build
+
+    def test_update_graph_moves_evolution_off_the_serving_path(self):
+        data, patterns = self._instance(seed=62)
+        service = MatchingService()
+        service.match(patterns[0], data, self._labels, 0.5)
+        data.add_edge(1, 23)
+        evolved = service.update_graph(data)
+        assert evolved.fingerprint == graph_fingerprint(data)
+        assert service.stats.delta_hits == 1
+        # The follow-up match is a pure cache hit on the evolved entry.
+        before = service.stats.snapshot()
+        service.match(patterns[1], data, self._labels, 0.5)
+        after = service.stats.snapshot()
+        assert after["prepares"] == before["prepares"] == 1
+        assert after["delta_hits"] == before["delta_hits"] == 1
+        assert after["cache_hits"] == before["cache_hits"] + 1
+
+    def test_session_over_evolved_index_matches_cold(self):
+        data, patterns = self._instance(seed=63)
+        service = MatchingService()
+        service.match(patterns[0], data, self._labels, 0.5)
+        data.add_edge(2, 31)
+        session = service.session(data, self._labels, 0.5)
+        warm = session.match(patterns[2])
+        cold = match_prepared(
+            patterns[2], prepare_data_graph(data), self._labels(patterns[2], data), 0.5
+        )
+        assert comparable(warm) == comparable(cold)
+        assert service.stats.delta_hits == 1
+
+    def test_evolution_persists_to_the_disk_tier(self, tmp_path):
+        data, patterns = self._instance(seed=64)
+        service = MatchingService(store_dir=str(tmp_path))
+        service.match(patterns[0], data, self._labels, 0.5)
+        data.add_edge(3, 29)
+        service.update_graph(data)
+        assert service.stats.delta_hits == 1
+        # A cold process pointed at the same store loads the *evolved*
+        # index: zero prepares, one disk hit, identical answers.
+        cold_service = MatchingService(store_dir=str(tmp_path))
+        report = cold_service.match(patterns[1], data.copy(), self._labels, 0.5)
+        snap = cold_service.stats.snapshot()
+        assert snap["disk_hits"] == 1 and snap["prepares"] == 0
+        fresh = MatchingService().match(patterns[1], data.copy(), self._labels, 0.5)
+        assert comparable(report) == comparable(fresh)
+
+    def test_wide_delta_counts_as_prepare_not_delta_hit(self):
+        data, patterns = self._instance(seed=65, nodes=20, edges=30)
+        service = MatchingService()
+        service.match(patterns[0], data, self._labels, 0.5)
+        # Rewire most of the graph: the dirty frontier blows the cutoff.
+        for node in list(data.nodes())[:15]:
+            data.remove_node(node)
+        service.match(patterns[0], data, self._labels, 0.5)
+        snap = service.stats.snapshot()
+        assert snap["delta_hits"] == 0
+        assert snap["prepares"] == 2  # initial + honest fallback rebuild
+
+    def test_match_many_during_update_graph_race(self):
+        """Concurrent batch traffic on one graph while another graph
+        mutates and evolves: no torn stats, bit-identical reports."""
+        import threading
+
+        stable, stable_patterns = self._instance(seed=66)
+        moving, moving_patterns = self._instance(seed=67)
+        service = MatchingService(max_prepared=8)
+        service.match(moving_patterns[0], moving, self._labels, 0.5)
+
+        batches = 6
+        reports_box: list = []
+        errors: list = []
+
+        def serve():
+            try:
+                for _ in range(batches):
+                    reports_box.append(
+                        service.match_many(
+                            stable_patterns, stable, self._labels, 0.5, max_workers=2
+                        )
+                    )
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        def mutate():
+            try:
+                rng = random.Random(99)
+                nodes = list(moving.nodes())
+                for _ in range(batches):
+                    a, b = rng.choice(nodes), rng.choice(nodes)
+                    if a != b and not moving.has_edge(a, b):
+                        moving.add_edge(a, b)
+                    service.update_graph(moving)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=serve), threading.Thread(target=mutate)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        snap = service.stats.snapshot()
+        assert snap["calls"] == sum(snap["solved_by"].values())
+        # Every batch identical to a fresh, single-threaded service.
+        fresh = MatchingService().match_many(
+            stable_patterns, stable.copy(), self._labels, 0.5
+        )
+        for reports in reports_box:
+            assert [comparable(r) for r in reports] == [comparable(r) for r in fresh]
+        # The moving graph ends bit-identical to a cold prepare.
+        final = service.update_graph(moving)
+        cold = prepare_data_graph(moving)
+        assert final.from_mask == cold.from_mask
+        assert final.to_mask == cold.to_mask
+        assert final.cycle_mask == cold.cycle_mask
+
+    def test_default_service_update_graph_helper(self):
+        from repro.core.api import update_graph
+        from repro.core.service import default_service, reset_default_service
+
+        reset_default_service()
+        try:
+            data, patterns = self._instance(seed=68)
+            match(patterns[0], data, self._labels(patterns[0], data), 0.5)
+            data.add_edge(4, 19)
+            update_graph(data)
+            assert default_service().stats.delta_hits == 1
+        finally:
+            reset_default_service()

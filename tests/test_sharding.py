@@ -540,3 +540,106 @@ class TestCandidateRowInjection:
         mat = label_equality_matrix(graph1, graph2)
         with pytest.raises(InputError):
             MatchingWorkspace(graph1, graph2, mat, 0.5, candidate_rows=[{}])
+
+
+# ----------------------------------------------------------------------
+# Delta-aware shard re-planning (mutable data graphs)
+# ----------------------------------------------------------------------
+class TestShardPlanEvolution:
+    """Mutating a served graph re-plans only the shards whose components
+    changed — with sharded results still bit-identical to the flat
+    partitioned solve."""
+
+    def _mat(self, pattern, data):
+        return label_equality_matrix(pattern, data)
+
+    def test_untouched_components_keep_their_shards_and_fingerprints(self):
+        data = corpus_graph(sites=4, site_nodes=20, shared_labels=False, seed=41)
+        service = ShardedMatchingService(4)
+        old_plan = service.plan_for(data)
+        old_nodes = [list(nodes) for nodes in old_plan.shard_nodes]
+        old_prints = {
+            sid: old_plan.fingerprint_for(sid) for sid in old_plan.nonempty_shards()
+        }
+        victim = old_plan.shard_of[0]  # mutate inside node 0's component
+        head = next(i for i in range(1, 20) if not data.has_edge(0, i))
+        data.add_edge(0, head)
+
+        plan = service.update_graph(data)
+        assert plan is not old_plan
+        stats = plan.evolve_stats
+        assert stats is not None and stats["replanned_components"] == 1
+        assert len(stats["reused_shards"]) == 3
+        for sid in range(4):
+            if sid == victim:
+                continue
+            assert plan.shard_nodes[sid] == old_nodes[sid]
+            if sid in old_prints:
+                # The cached fingerprint (the workers' cache key) came
+                # through the evolve without re-hashing the subgraph.
+                assert plan._fingerprints.get(sid) == old_prints[sid]
+        snap = service.stats_snapshot()
+        assert snap["plans_evolved"] == 1
+        assert snap["shards_replanned"] == 1
+
+    def test_evolved_plan_serves_bit_identical_to_flat(self):
+        data = corpus_graph(sites=3, site_nodes=25, seed=42)
+        rng = random.Random(42)
+        patterns = [
+            data.subgraph(rng.sample(list(data.nodes()), 5), name=f"p{i}")
+            for i in range(3)
+        ]
+        service = ShardedMatchingService(3)
+        service.match_many_sharded(patterns, data, self._mat, 0.5)
+
+        head = next(i for i in range(2, 25) if not data.has_edge(1, i))
+        data.add_edge(1, head)  # SCC-relevant edit inside one site
+        data.remove_edge(*next(e for e in data.edges() if e[0] != 1))
+        service.update_graph(data)
+        for pattern in patterns:
+            sharded = service.match_sharded(pattern, data, self._mat, 0.5)
+            flat = comp_max_card_partitioned(
+                pattern, data, self._mat(pattern, data), 0.5
+            )
+            assert sharded.result.mapping == flat.mapping
+            assert sharded.result.qual_card == flat.qual_card
+            assert sharded.result.qual_sim == flat.qual_sim
+        assert service.stats_snapshot()["plans_evolved"] == 1
+
+    def test_component_merge_is_replanned_and_exact(self):
+        data = corpus_graph(sites=3, site_nodes=20, shared_labels=False, seed=43)
+        service = ShardedMatchingService(3)
+        service.plan_for(data)
+        data.add_edge(0, 25)  # bridges two sites: their components merge
+        plan = service.update_graph(data)
+        assert plan.weak_components == 2
+        assert plan.evolve_stats["replanned_components"] == 1
+        merged_shard = plan.shard_of[0]
+        assert plan.shard_of[25] == merged_shard
+        rng = random.Random(43)
+        pattern = data.subgraph(rng.sample(list(data.nodes()), 5), name="p")
+        sharded = service.match_sharded(pattern, data, self._mat, 0.5)
+        flat = comp_max_card_partitioned(pattern, data, self._mat(pattern, data), 0.5)
+        assert sharded.result.mapping == flat.mapping
+
+    def test_relabel_only_delta_still_replans_touched_component(self):
+        """Label changes move shard fingerprints, so the touched
+        component may not be pinned to its stale cached views."""
+        data = corpus_graph(sites=2, site_nodes=15, shared_labels=False, seed=44)
+        service = ShardedMatchingService(2)
+        old_plan = service.plan_for(data)
+        data.set_label(3, "renamed")
+        plan = service.update_graph(data)
+        touched_shard = old_plan.shard_of[3]
+        assert plan.evolve_stats["replanned_components"] >= 1
+        assert touched_shard not in plan.evolve_stats["reused_shards"]
+
+    def test_stale_plan_log_is_rejected_cleanly(self):
+        data = corpus_graph(sites=2, site_nodes=10, seed=45)
+        plan = ShardPlan.for_data_graph(data, 2)
+        from repro.core.incremental import DeltaLog
+
+        log = DeltaLog(data, base_fingerprint="f" * 64)
+        data.add_edge(0, 3)
+        with pytest.raises(InputError):
+            plan.evolve(data, log)

@@ -13,20 +13,35 @@ path when only one benchmark writes).  The files are the perf trajectory
 across PRs: commit-comparable numbers instead of eyeballed console
 output.  Without ``--json`` the writer is a no-op, so benchmarks always
 call it unconditionally.
+
+Every artifact additionally records the writing process's peak RSS
+(``peak_rss_kb``), so ``BENCH_*.json`` tracks memory alongside time —
+the figure the mmap backend's bounded-memory claim is audited against.
 """
 
 from __future__ import annotations
 
 import json
+import resource
 from pathlib import Path
 from typing import Callable
 
-__all__ = ["run_once", "make_json_writer"]
+__all__ = ["run_once", "make_json_writer", "peak_rss_kb"]
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Measure one full execution of an end-to-end experiment."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size so far, in KiB.
+
+    ``ru_maxrss`` is a monotonic high-water mark for the whole process
+    lifetime — comparing two scenarios' peaks honestly requires running
+    each in its own (sub)process, not sequentially in one.
+    """
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def make_json_writer(target: str | None) -> Callable[[str, dict], Path | None]:
@@ -41,6 +56,7 @@ def make_json_writer(target: str | None) -> Callable[[str, dict], Path | None]:
     def write(name: str, payload: dict) -> Path | None:
         if target is None:
             return None
+        payload = dict(payload, peak_rss_kb=peak_rss_kb())
         path = Path(target)
         if path.suffix == ".json":
             path.parent.mkdir(parents=True, exist_ok=True)

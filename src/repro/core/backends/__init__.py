@@ -3,7 +3,7 @@
 The engine (:mod:`repro.core.engine`) is generic over a
 :class:`~repro.core.backends.base.SolverBackend` that owns the candidate
 mask representation; this package holds the protocol, the registry, and
-the two implementations:
+the three implementations:
 
 ``"python"`` — :class:`~repro.core.backends.python_int.PythonIntBackend`
     the reference: big-int bitmask rows, the seed implementation's exact
@@ -13,6 +13,14 @@ the two implementations:
     masks as ``uint64`` block matrices with vectorized trimMatching
     row-ANDs and ``bitwise_count``/SWAR popcounts.  Bit-identical
     results; requires numpy.
+
+``"mmap"`` — :class:`~repro.core.backends.mmap_block.MmapBlockBackend`
+    the same uint64-block kernels, but closure matrices hydrate as
+    zero-copy views over ``mmap``-ed store files
+    (:meth:`~repro.core.store.PreparedIndexStore.payload_region`), so a
+    warm store serves first matches without decoding payloads and
+    resident memory tracks the working set.  Bit-identical results;
+    requires numpy.
 
 Selection: pass ``backend=`` (a name or a backend instance) anywhere the
 matching stack accepts it — :func:`repro.core.api.match`,
@@ -29,9 +37,15 @@ import os
 from repro.core.backends.base import MatchingList, SolverBackend
 from repro.core.backends.python_int import PythonIntBackend, PythonMatchingList
 from repro.core.backends.numpy_block import (
+    BlockBackendBase,
     NumpyBlockBackend,
     NumpyMatchingList,
     numpy_available,
+)
+from repro.core.backends.mmap_block import (
+    MappedPayload,
+    MmapBlockBackend,
+    mmap_available,
 )
 from repro.utils.errors import InputError
 
@@ -40,17 +54,21 @@ __all__ = [
     "SolverBackend",
     "PythonIntBackend",
     "PythonMatchingList",
+    "BlockBackendBase",
     "NumpyBlockBackend",
     "NumpyMatchingList",
+    "MappedPayload",
+    "MmapBlockBackend",
     "BACKEND_NAMES",
     "BACKEND_ENV_VAR",
     "available_backends",
     "get_backend",
     "numpy_available",
+    "mmap_available",
 ]
 
 #: Every registered backend name, in preference/registration order.
-BACKEND_NAMES: tuple[str, ...] = ("python", "numpy")
+BACKEND_NAMES: tuple[str, ...] = ("python", "numpy", "mmap")
 
 #: Environment variable supplying the process-default backend name.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -58,6 +76,7 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 _FACTORIES = {
     "python": PythonIntBackend,
     "numpy": NumpyBlockBackend,
+    "mmap": MmapBlockBackend,
 }
 
 #: Constructed backends are stateless — cache one instance per name.
@@ -69,7 +88,7 @@ def available_backends() -> tuple[str, ...]:
     return tuple(
         name
         for name in BACKEND_NAMES
-        if name != "numpy" or numpy_available()
+        if name not in ("numpy", "mmap") or numpy_available()
     )
 
 

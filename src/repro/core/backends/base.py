@@ -125,8 +125,15 @@ class SolverBackend(ABC):
     :class:`~repro.core.workspace.MatchingWorkspace` respectively.
     """
 
-    #: Registry key (``"python"``, ``"numpy"``) — also what stats report.
+    #: Registry key (``"python"``, ``"numpy"``, ``"mmap"``) — also what
+    #: stats report.
     name: str = ""
+
+    #: True for backends whose rows can hydrate directly from a mapped
+    #: store file (:meth:`~repro.core.store.PreparedIndexStore.payload_region`)
+    #: without decoding the payload — the service's zero-copy tier keys
+    #: off this flag.
+    hydrates_mapped: bool = False
 
     @abstractmethod
     def build_rows(

@@ -66,7 +66,13 @@ try:  # pragma: no cover - exercised only on numpy-less installs
 except ImportError:  # pragma: no cover
     np = None
 
-__all__ = ["NumpyBlockBackend", "NumpyMatchingList", "numpy_available", "SMALL_CUTOFF"]
+__all__ = [
+    "BlockBackendBase",
+    "NumpyBlockBackend",
+    "NumpyMatchingList",
+    "numpy_available",
+    "SMALL_CUTOFF",
+]
 
 #: Lists at or below this many rows use the big-int dict representation;
 #: above it, uint64 block matrices.  Around this size the fixed cost of
@@ -110,10 +116,10 @@ if np is not None:
             return ((x * _H01) >> np.uint64(56)).sum(axis=1, dtype=np.int64)
 
 
-def _require_numpy() -> None:
+def _require_numpy(name: str = "numpy") -> None:
     if np is None:
         raise InputError(
-            "the 'numpy' solver backend needs numpy installed; "
+            f"the {name!r} solver backend needs numpy installed; "
             "pip install numpy, or select REPRO_BACKEND=python"
         )
 
@@ -356,13 +362,22 @@ class NumpyMatchingList(MatchingList):
         }
 
 
-class NumpyBlockBackend(SolverBackend):
-    """Adaptive uint64-block / big-int engine; requires numpy."""
+class BlockBackendBase(SolverBackend):
+    """The shared uint64-block kernel set behind every matrix backend.
 
-    name = "numpy"
+    Everything the engine touches — adaptive matching lists, dense
+    trims, popcount picks, the collapsed trivial chains — lives here and
+    operates through single-row indexing of ``context.rows.from_rows`` /
+    ``to_rows``, so subclasses choose only *where the row matrices
+    live*: :class:`NumpyBlockBackend` packs private copies from the
+    big-int masks, the mmap backend
+    (:class:`~repro.core.backends.mmap_block.MmapBlockBackend`) hands
+    back views over store-file pages.  Either way the kernels — and
+    therefore the answers — are byte-for-byte the same code.
+    """
 
     def __init__(self) -> None:
-        _require_numpy()
+        _require_numpy(self.name or "numpy")
 
     @staticmethod
     def _words_for(num_bits: int) -> int:
@@ -443,3 +458,13 @@ class NumpyBlockBackend(SolverBackend):
         return NumpyMatchingList(
             context, keys=keys, good=good, minus=np.zeros_like(good)
         )
+
+class NumpyBlockBackend(BlockBackendBase):
+    """Adaptive uint64-block / big-int engine; requires numpy.
+
+    Rows are packed into private ``(n, W)`` matrices from the prepared
+    index's big-int masks (`build_rows`); all solving behaviour comes
+    from :class:`BlockBackendBase`.
+    """
+
+    name = "numpy"

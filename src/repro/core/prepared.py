@@ -32,9 +32,24 @@ from repro.graph.digraph import DiGraph
 from repro.graph.fingerprint import graph_fingerprint
 from repro.utils.timing import Stopwatch
 
-__all__ = ["PreparedDataGraph", "prepare_data_graph"]
+__all__ = ["PreparedDataGraph", "prepare_data_graph", "PAYLOAD_LAYOUT"]
 
 Node = Hashable
+
+#: Payload layout version written by :meth:`PreparedDataGraph.to_payload`.
+#: Layout 2 zero-pads the header line to an 8-byte boundary and rounds the
+#: row width up to whole little-endian uint64 words, so a store file whose
+#: payload starts 8-byte aligned (the v2 envelope guarantees this) can view
+#: the mask section in place as ``(2n+1, words)`` uint64 matrices — the
+#: mmap backend's zero-copy hydration.  Layout 1 (packed ``(n+7)//8``-byte
+#: rows, no padding) is still read.
+PAYLOAD_LAYOUT = 2
+
+
+def _aligned_row_bytes(num_nodes: int) -> int:
+    """Layout-2 row width: whole uint64 words (≥ 1, so the cycle row of an
+    empty graph still occupies a well-formed row)."""
+    return 8 * max(1, (num_nodes + 63) // 64)
 
 
 class PreparedDataGraph:
@@ -47,6 +62,12 @@ class PreparedDataGraph:
     the graph's content fingerprint (a mutation simply produces a cache
     miss and a fresh preparation).
     """
+
+    #: The backend's mapped-payload object when this instance was hydrated
+    #: by :meth:`from_mapped` (``None`` on every other path).  Holding it
+    #: here keeps the underlying file mapping alive for as long as the
+    #: index serves from it.
+    mapped = None
 
     def __init__(self, graph2: DiGraph, fingerprint: str | None = None) -> None:
         with Stopwatch() as watch:
@@ -106,20 +127,25 @@ class PreparedDataGraph:
         index semantics: bit *i* of every mask refers to ``nodes2[i]``),
         and the original build time.  Mask rows follow as fixed-width
         little-endian integers: ``from_mask`` rows, ``to_mask`` rows,
-        then the cycle mask.  File framing (magic, version, checksum) is
-        :mod:`repro.core.store`'s concern.
+        then the cycle mask.  Layout 2 (``"layout"`` in the header) pads
+        the header line to the next 8-byte boundary and uses whole-word
+        row widths, so the mask section is mappable in place (see
+        :data:`PAYLOAD_LAYOUT`).  File framing (magic, version,
+        checksum) is :mod:`repro.core.store`'s concern.
         """
         n = len(self.nodes2)
-        width = (n + 7) // 8
+        width = _aligned_row_bytes(n)
         header = {
             "fingerprint": self.fingerprint,
             "num_nodes": n,
             "num_edges": self._num_edges,
+            "layout": PAYLOAD_LAYOUT,
             "row_bytes": width,
             "node_reprs": [repr(node) for node in self.nodes2],
             "prepare_seconds": self.prepare_seconds,
         }
-        parts = [json.dumps(header, separators=(",", ":")).encode("utf-8"), b"\n"]
+        head = json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n"
+        parts = [head, b"\x00" * (-len(head) % 8)]
         parts.extend(mask.to_bytes(width, "little") for mask in self.from_mask)
         parts.extend(mask.to_bytes(width, "little") for mask in self.to_mask)
         parts.append(self.cycle_mask.to_bytes(width, "little"))
@@ -133,6 +159,29 @@ class PreparedDataGraph:
             raise ValueError("payload header is not a JSON object")
         return header
 
+    @staticmethod
+    def header_geometry(header: dict) -> tuple[int, int, int]:
+        """``(layout, num_nodes, row_bytes)`` of a payload header, checked.
+
+        Raises :class:`ValueError` on an unknown layout or a row width
+        inconsistent with the node count — the one header defect that
+        would silently misalign every mask row after it.
+        """
+        layout = header.get("layout", 1)
+        n = header["num_nodes"]
+        width = header["row_bytes"]
+        if not (isinstance(n, int) and isinstance(width, int) and n >= 0):
+            raise ValueError("inconsistent payload header geometry")
+        if layout == 1:
+            expected = (n + 7) // 8
+        elif layout == PAYLOAD_LAYOUT:
+            expected = _aligned_row_bytes(n)
+        else:
+            raise ValueError(f"unknown payload layout {layout!r}")
+        if width != expected:
+            raise ValueError("inconsistent payload header geometry")
+        return layout, n, width
+
     @classmethod
     def from_payload(cls, graph2: DiGraph, payload: bytes) -> "PreparedDataGraph":
         """Rebuild a prepared index from :meth:`to_payload` bytes.
@@ -144,10 +193,7 @@ class PreparedDataGraph:
         treats such failures as cache misses.
         """
         header = cls.payload_header(payload)
-        n = header["num_nodes"]
-        width = header["row_bytes"]
-        if not (isinstance(n, int) and isinstance(width, int) and width == (n + 7) // 8):
-            raise ValueError("inconsistent payload header geometry")
+        layout, n, width = cls.header_geometry(header)
         if graph2.num_nodes() != n or graph2.num_edges() != header["num_edges"]:
             raise ValueError("payload does not describe this graph (counts differ)")
         nodes2 = list(graph2.nodes())
@@ -155,7 +201,10 @@ class PreparedDataGraph:
             raise ValueError("payload node order differs from the graph's")
         # Zero-copy row decoding: a loaded index should cost I/O plus
         # int.from_bytes, not an extra megabyte of slice copies.
-        body = memoryview(payload)[payload.index(b"\n") + 1 :]
+        mask_offset = payload.index(b"\n") + 1
+        if layout != 1:
+            mask_offset += -mask_offset % 8  # skip the alignment padding
+        body = memoryview(payload)[mask_offset:]
         if len(body) != (2 * n + 1) * width:
             raise ValueError("payload mask section is truncated or oversized")
 
@@ -177,6 +226,48 @@ class PreparedDataGraph:
         self._fingerprint = header["fingerprint"]
         self._backend_rows = {}
         self.delta_stats = None
+        return self
+
+    @classmethod
+    def from_mapped(cls, graph2: DiGraph, payload, fingerprint: str | None = None):
+        """Hydrate from a backend's *mapped* store payload — zero copy.
+
+        ``payload`` is what an mmap-capable backend's ``open_payload``
+        returned (see :class:`~repro.core.backends.mmap_block.MappedPayload`):
+        the store file's mask section viewed in place, plus lazy big-int
+        row adapters.  Nothing is deserialised here — ``from_mask`` /
+        ``to_mask`` decode individual rows on demand, and the backend's
+        native rows alias the file pages directly.
+
+        Unlike :meth:`from_payload`, node ``repr`` strings are **not**
+        compared: callers key mapped opens by content fingerprint (the
+        store path *is* the fingerprint, and the graph's digest covers
+        node enumeration order), so a matching ``fingerprint`` already
+        implies matching node order.  Count mismatches — the cheap
+        honest check — still raise :class:`ValueError`, as does a
+        fingerprint mismatch; the service treats both as a miss.
+        """
+        header = payload.header
+        n = header["num_nodes"]
+        if graph2.num_nodes() != n or graph2.num_edges() != header["num_edges"]:
+            raise ValueError("mapped payload does not describe this graph (counts differ)")
+        if fingerprint is not None and header["fingerprint"] != fingerprint:
+            raise ValueError("mapped payload answers a different fingerprint")
+        self = cls.__new__(cls)
+        self.graph = graph2
+        self.nodes2 = list(graph2.nodes())
+        self.index2 = {node: i for i, node in enumerate(self.nodes2)}
+        self._num_edges = header["num_edges"]
+        self.from_mask = payload.from_ints
+        self.to_mask = payload.to_ints
+        self.cycle_mask = payload.cycle_mask
+        self.prepare_seconds = float(header["prepare_seconds"])
+        self._fingerprint = header["fingerprint"]
+        # Pre-seed the opening backend's native rows: they already exist
+        # (matrix views over the mapping), so build_rows must never run.
+        self._backend_rows = {payload.backend_name: payload.rows}
+        self.delta_stats = None
+        self.mapped = payload
         return self
 
     # ------------------------------------------------------------------
@@ -230,7 +321,17 @@ class PreparedDataGraph:
         """
         rows = self._backend_rows.get(backend.name)
         if rows is None:
-            rows = backend.build_rows(self.from_mask, self.to_mask, len(self.nodes2))
+            mapped = self.mapped
+            if mapped is not None and backend.name == mapped.backend_name:
+                # File-backed hydration: a mapped index's native rows are
+                # the matrix views its open created (keyed by store path +
+                # fingerprint inside the backend's mapping cache) — reuse
+                # them instead of packing the lazy big-int adapters.
+                rows = mapped.rows
+            else:
+                rows = backend.build_rows(
+                    self.from_mask, self.to_mask, len(self.nodes2)
+                )
             self._backend_rows[backend.name] = rows
         return rows
 

@@ -122,6 +122,13 @@ class ServiceStats:
     disk_hits: int = 0
     #: Disk-store lookups that found no usable file (two-tier cache only).
     disk_misses: int = 0
+    #: Disk hits served by *mapping* the store file in place instead of
+    #: decoding the payload (``backend="mmap"`` services only — also
+    #: counted in ``disk_hits``).
+    mmap_opens: int = 0
+    #: Payload bytes those mapped opens cover — what the OS may page in,
+    #: not what was read; operators budget page cache against it.
+    mapped_bytes: int = 0
     #: Cache misses served by *evolving* a tracked base index through a
     #: recorded :class:`~repro.core.incremental.DeltaLog` instead of a
     #: full re-prepare (see :meth:`MatchingService.update_graph`).
@@ -180,6 +187,8 @@ class ServiceStats:
                 "evictions": self.evictions,
                 "disk_hits": self.disk_hits,
                 "disk_misses": self.disk_misses,
+                "mmap_opens": self.mmap_opens,
+                "mapped_bytes": self.mapped_bytes,
                 "delta_hits": self.delta_hits,
                 "delta_nodes_recomputed": self.delta_nodes_recomputed,
                 "delta_seconds": self.delta_seconds,
@@ -236,12 +245,17 @@ class PreparedGraphCache:
         max_entries: int = 8,
         stats: ServiceStats | None = None,
         store: PreparedIndexStore | None = None,
+        backend: SolverBackend | None = None,
     ) -> None:
         if max_entries < 1:
             raise InputError(f"cache needs at least one slot, got {max_entries!r}")
         self.max_entries = max_entries
         self.stats = stats if stats is not None else ServiceStats()
         self.store = store
+        #: The owning service's default backend — when it hydrates from
+        #: mapped store files (``hydrates_mapped``), disk hits become
+        #: zero-copy opens instead of payload decodes.
+        self.backend = backend
         self._entries: OrderedDict[str, PreparedDataGraph] = OrderedDict()
         self._building: dict[str, Future] = {}
         self._lock = threading.Lock()
@@ -336,20 +350,25 @@ class PreparedGraphCache:
         log: DeltaLog | None = None,
         base: PreparedDataGraph | None = None,
     ) -> PreparedDataGraph:
-        """Delta tier, disk tier, then build tier — runs off-lock.
+        """Delta tier, mapped tier, disk tier, then build tier — off-lock.
 
         Tier order on a memory miss: **evolve** a still-resident base
         index through the graph's recorded delta (the cheapest path — it
-        recomputes only the rows the mutations touched), then the disk
-        store, then a cold build.  Evolved and built indexes are both
-        persisted best-effort, so the store always holds the graph's
-        *current* fingerprint.
+        recomputes only the rows the mutations touched), then a
+        **zero-copy mapped open** of the store file (mmap-capable
+        backends only — no payload decode, counted in ``mmap_opens`` /
+        ``mapped_bytes``), then a decoding disk load, then a cold build.
+        Evolved and built indexes are both persisted best-effort, so the
+        store always holds the graph's *current* fingerprint.
         """
         if base is not None and log is not None:
             evolved = self._evolve(key, graph2, log, base)
             if evolved is not None:
                 return evolved
         if self.store is not None:
+            mapped = self._open_mapped(key, graph2)
+            if mapped is not None:
+                return mapped
             with Stopwatch() as watch:
                 loaded = self.store.load(key, graph2)  # any defect -> None
             if loaded is not None:
@@ -365,6 +384,44 @@ class PreparedGraphCache:
             self.stats.prepares += 1
             self.stats.prepare_seconds += prepared.prepare_seconds
         self._persist(prepared)
+        self._track(graph2, key)
+        return prepared
+
+    def _open_mapped(
+        self, key: str, graph2: DiGraph
+    ) -> PreparedDataGraph | None:
+        """Zero-copy store hydration: view the file, decode nothing.
+
+        Only runs for a cache backend that ``hydrates_mapped`` (the
+        ``"mmap"`` backend): :meth:`~repro.core.store.PreparedIndexStore.payload_region`
+        validates the file (header-mode — the sidecar lets repeat opens
+        skip whole-file hashing), ``open_payload`` views the mask section
+        over a shared mapping, and
+        :meth:`~repro.core.prepared.PreparedDataGraph.from_mapped` wraps
+        it without touching a mask byte.  Every defect — v1 files,
+        geometry drift, a concurrent rewrite — returns ``None`` and the
+        slower tiers take over; corruption degrades to a rebuild, never
+        a crash.
+        """
+        backend = self.backend
+        if backend is None or not backend.hydrates_mapped:
+            return None
+        with Stopwatch() as watch:
+            try:
+                region = self.store.payload_region(key)
+                if region is None:
+                    return None
+                payload = backend.open_payload(region)
+                prepared = PreparedDataGraph.from_mapped(
+                    graph2, payload, fingerprint=key
+                )
+            except (ValueError, KeyError, TypeError, OSError):
+                return None  # unmappable or stale file: decode tier is next
+        with self.stats.lock:
+            self.stats.disk_hits += 1
+            self.stats.mmap_opens += 1
+            self.stats.mapped_bytes += region.payload_length
+            self.stats.load_seconds += watch.elapsed
         self._track(graph2, key)
         return prepared
 
@@ -525,7 +582,9 @@ class MatchingService:
         #: misconfigured service fails at construction, not under load.
         self.backend: SolverBackend = get_backend(backend)
         self.stats = ServiceStats(backend=self.backend.name)
-        self.cache = PreparedGraphCache(max_prepared, stats=self.stats, store=store)
+        self.cache = PreparedGraphCache(
+            max_prepared, stats=self.stats, store=store, backend=self.backend
+        )
 
     @property
     def store(self) -> PreparedIndexStore | None:

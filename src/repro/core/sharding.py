@@ -418,6 +418,14 @@ class ShardedMatchingService:
     several shards against the union of the touched shards — runs the
     router-level default backend.
 
+    Under ``backend="mmap"`` the shared store pays off twice: each
+    worker's disk tier becomes a zero-copy mapped open, and the mmap
+    backend interns mappings process-wide by file identity, so every
+    worker (and the spill worker) serving one fingerprint shares a
+    single mapping — one OS page cache per prepared graph, no matter
+    how many shards solve over it (``mmap_opens`` / ``mapped_bytes``
+    aggregate across workers in :meth:`stats_snapshot`).
+
     Request surface:
 
     * :meth:`match` / :meth:`match_many` — whole-graph requests,

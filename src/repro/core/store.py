@@ -15,13 +15,22 @@ the transitive closure.
     — so invalidation stays automatic: a mutated graph hashes to a new
     file name and the old file is simply never requested again).
 
-File format (version 1)::
+File format (version 2; version-1 files are still read)::
 
     magic    8 bytes   b"RPHOMIDX"
     version  4 bytes   little-endian uint32
+    reserved 4 bytes   zero (pads the payload to an 8-byte file offset)
     length   8 bytes   little-endian uint64, payload byte count
     checksum 32 bytes  sha256 of the payload
     payload            PreparedDataGraph.to_payload() bytes
+
+The version-2 envelope is 56 bytes, so the payload — whose layout-2
+mask section is itself 8-byte aligned within the payload — lands with
+every mask row on an 8-byte file offset.  That alignment is what lets
+the mmap backend view the mask section in place as uint64 matrices
+(:meth:`PreparedIndexStore.payload_region` hands it the coordinates).
+The version-1 envelope (52 bytes, packed rows) still loads through the
+decode path; it is simply never mappable.
 
 Writes are atomic (tmp file + ``os.replace``) so a concurrent reader
 never observes a half-written index, and loads are corruption-tolerant:
@@ -29,6 +38,16 @@ never observes a half-written index, and loads are corruption-tolerant:
 length mismatch, malformed header, truncated masks, stale content — is
 reported as a miss (``None``), never an exception.  A corrupt file costs
 one rebuild, exactly like a cold cache.
+
+Verification modes: ``load``/``payload_region`` accept
+``verify="full"`` (hash the whole payload against the envelope
+checksum — the default for ``load``) or ``verify="header"`` (envelope
+sanity plus a stat comparison against a ``<name>.ok`` *sidecar* left by
+the first full verification of that file — the mmap open path, which
+must not read every byte of a file it is about to lazily page in).  A
+missing or stale sidecar silently upgrades to a full verification that
+refreshes it, so header mode is never weaker than "hashed once since
+this file's bytes last changed".
 """
 
 from __future__ import annotations
@@ -47,19 +66,56 @@ from repro.graph.digraph import DiGraph
 from repro.graph.fingerprint import is_fingerprint
 from repro.utils.errors import InputError
 
-__all__ = ["PreparedIndexStore", "StoreEntry", "STORE_SUFFIX", "STORE_VERSION"]
+__all__ = [
+    "PreparedIndexStore",
+    "StoreEntry",
+    "PayloadRegion",
+    "STORE_SUFFIX",
+    "STORE_VERSION",
+]
 
 _MAGIC = b"RPHOMIDX"
-_HEADER_LEN = len(_MAGIC) + 4 + 8 + 32
+#: Envelope byte count per readable version (v2 adds 4 reserved bytes so
+#: the payload starts at a file offset divisible by 8).
+_ENVELOPE_LEN = {1: len(_MAGIC) + 4 + 8 + 32, 2: len(_MAGIC) + 4 + 4 + 8 + 32}
+_HEADER_LEN = _ENVELOPE_LEN[1]
 
-#: Current on-disk format version; files from other versions are misses.
-STORE_VERSION = 1
+#: On-disk format version written by ``save``; every version listed in
+#: ``_ENVELOPE_LEN`` is read.
+STORE_VERSION = 2
 
 #: File name suffix of index files (``<fingerprint>.phomidx``).
 STORE_SUFFIX = ".phomidx"
 
+#: Suffix of verification sidecars (``<fingerprint>.phomidx.ok``) — the
+#: stat snapshot recorded by the last full checksum of a file, letting
+#: ``verify="header"`` reads skip re-hashing unchanged bytes.
+SIDECAR_SUFFIX = ".ok"
+
 #: Monotonic per-process discriminator for tmp-file names.
 _tmp_counter = itertools.count()
+
+
+def _parse_envelope(blob: bytes) -> tuple[int, int, int, bytes] | None:
+    """``(version, payload_offset, length, checksum)``; ``None`` if malformed.
+
+    ``blob`` needs only the envelope bytes — callers validate the payload
+    length against whatever they actually hold (a full read or a stat).
+    """
+    if not blob.startswith(_MAGIC) or len(blob) < _ENVELOPE_LEN[1]:
+        return None
+    version = int.from_bytes(blob[8:12], "little")
+    envelope_len = _ENVELOPE_LEN.get(version)
+    if envelope_len is None or len(blob) < envelope_len:
+        return None
+    offset = 12
+    if version >= 2:
+        if blob[offset : offset + 4] != b"\x00\x00\x00\x00":
+            return None  # reserved bytes must be zero
+        offset += 4
+    length = int.from_bytes(blob[offset : offset + 8], "little")
+    checksum = blob[offset + 8 : offset + 40]
+    return version, envelope_len, length, checksum
 
 
 @dataclass(frozen=True)
@@ -70,7 +126,11 @@ class StoreEntry:
     act on) and ``version`` the envelope's on-disk format version — the
     payload itself is backend-neutral, so fleet tooling scripting
     warm/GC decisions off ``index ls --json`` needs no knowledge of
-    which solver backend will hydrate an index.
+    which solver backend will hydrate an index.  ``payload_bytes`` /
+    ``mask_section_bytes`` split the file size into envelope + header vs
+    the mask rows themselves — the mask section is what an mmap-serving
+    fleet actually pages in, so it is the number operators budget page
+    cache against.
     """
 
     fingerprint: str
@@ -78,6 +138,8 @@ class StoreEntry:
     num_nodes: int
     num_edges: int
     file_bytes: int
+    payload_bytes: int
+    mask_section_bytes: int
     prepare_seconds: float
     mtime: float
     version: int
@@ -90,10 +152,35 @@ class StoreEntry:
             "nodes": self.num_nodes,
             "edges": self.num_edges,
             "bytes": self.file_bytes,
+            "payload_bytes": self.payload_bytes,
+            "mask_section_bytes": self.mask_section_bytes,
             "prepare_seconds": self.prepare_seconds,
             "mtime": self.mtime,
             "version": self.version,
         }
+
+
+@dataclass(frozen=True)
+class PayloadRegion:
+    """Where a *validated* index payload lives inside its store file.
+
+    The stable coordinates :meth:`PreparedIndexStore.payload_region`
+    hands to mmap-capable backends: map ``path``, and the payload is the
+    ``payload_length`` bytes starting at ``payload_offset`` (a multiple
+    of 8 — only version-2 files, whose layout-2 payloads keep mask rows
+    8-byte aligned, are ever described by a region).  ``file_size`` /
+    ``mtime_ns`` snapshot the stat identity the validation covered, so
+    mapping caches can key sharing on it and a concurrent rewrite shows
+    up as a different region rather than a silently different file.
+    """
+
+    path: Path
+    fingerprint: str
+    version: int
+    payload_offset: int
+    payload_length: int
+    file_size: int
+    mtime_ns: int
 
 
 class PreparedIndexStore:
@@ -140,11 +227,13 @@ class PreparedIndexStore:
         listed = []
         for fingerprint in self.fingerprints():
             path = self.path_for(fingerprint)
-            payload = self._read_payload(path)
-            if payload is None:
+            read = self._read_payload(path)
+            if read is None:
                 continue
+            payload, version = read
             try:
                 header = PreparedDataGraph.payload_header(payload)
+                _, n, row_bytes = PreparedDataGraph.header_geometry(header)
                 info = path.stat()
                 listed.append(
                     StoreEntry(
@@ -153,9 +242,11 @@ class PreparedIndexStore:
                         num_nodes=int(header["num_nodes"]),
                         num_edges=int(header["num_edges"]),
                         file_bytes=info.st_size,
+                        payload_bytes=len(payload),
+                        mask_section_bytes=(2 * n + 1) * row_bytes,
                         prepare_seconds=float(header["prepare_seconds"]),
                         mtime=info.st_mtime,
-                        version=STORE_VERSION,
+                        version=version,
                     )
                 )
             except (ValueError, KeyError, TypeError, OSError):
@@ -176,6 +267,7 @@ class PreparedIndexStore:
             (
                 _MAGIC,
                 STORE_VERSION.to_bytes(4, "little"),
+                b"\x00\x00\x00\x00",  # reserved: 8-aligns the payload offset
                 len(payload).to_bytes(8, "little"),
                 hashlib.sha256(payload).digest(),
                 payload,
@@ -196,7 +288,9 @@ class PreparedIndexStore:
             raise
         return path
 
-    def load(self, fingerprint: str, graph2: DiGraph) -> PreparedDataGraph | None:
+    def load(
+        self, fingerprint: str, graph2: DiGraph, verify: str = "full"
+    ) -> PreparedDataGraph | None:
         """The stored index for ``fingerprint``, restored onto ``graph2``.
 
         Returns ``None`` on any miss: no file, unreadable, wrong
@@ -204,12 +298,21 @@ class PreparedIndexStore:
         ``graph2`` must be the graph that fingerprints to ``fingerprint``
         (the caller computed the digest from it); the payload's own node
         order and counts are verified against it as well.
+
+        ``verify="header"`` skips the whole-payload checksum when the
+        file's sidecar records a full verification of these exact bytes
+        (stat identity); without one, the read silently upgrades to a
+        full verification and leaves the sidecar behind.  Corruption in
+        either mode is a miss — the caller rebuilds, never crashes.
         """
+        if verify not in ("full", "header"):
+            raise InputError(f"verify must be 'full' or 'header', got {verify!r}")
         if not is_fingerprint(fingerprint):
             return None
-        payload = self._read_payload(self.path_for(fingerprint))
-        if payload is None:
+        read = self._read_payload(self.path_for(fingerprint), verify=verify)
+        if read is None:
             return None
+        payload, _ = read
         try:
             prepared = PreparedDataGraph.from_payload(graph2, payload)
         except (ValueError, KeyError, TypeError, json.JSONDecodeError):
@@ -272,6 +375,7 @@ class PreparedIndexStore:
     def remove(self, fingerprint: str) -> bool:
         """Delete the stored index for ``fingerprint``; True if one existed."""
         path = self.path_for(fingerprint)
+        self._sidecar_for(path).unlink(missing_ok=True)
         try:
             path.unlink()
             return True
@@ -354,28 +458,135 @@ class PreparedIndexStore:
         }
 
     # ------------------------------------------------------------------
-    def _read_payload(self, path: Path) -> bytes | None:
-        """Read and validate one file's envelope; ``None`` on any defect."""
+    # Mapped access (the mmap backend's open path)
+    # ------------------------------------------------------------------
+    def payload_region(
+        self, fingerprint: str, verify: str = "header"
+    ) -> PayloadRegion | None:
+        """Validated payload coordinates for an mmap open; ``None`` on miss.
+
+        Reads the 56-byte envelope and the file's stat — not the payload
+        — unless the sidecar is missing or stale, in which case the one
+        full checksum runs (and records a sidecar) so every *subsequent*
+        open of this file, across processes and restarts, is O(1) in the
+        payload size.  ``verify="full"`` forces the checksum.  Version-1
+        files return ``None`` (their packed rows are not mappable; the
+        caller falls back to the decode path), as does any defect.
+        """
+        if verify not in ("full", "header"):
+            raise InputError(f"verify must be 'full' or 'header', got {verify!r}")
+        if not is_fingerprint(fingerprint):
+            return None
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                head = handle.read(_ENVELOPE_LEN[STORE_VERSION])
+                info = os.fstat(handle.fileno())
+        except OSError:
+            return None
+        parsed = _parse_envelope(head)
+        if parsed is None:
+            return None
+        version, payload_offset, length, checksum = parsed
+        if version < 2:
+            return None  # packed v1 rows: not mappable, decode instead
+        if info.st_size != payload_offset + length:
+            return None
+        if verify == "full" or not self._sidecar_verified(path, info):
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                return None
+            if (
+                len(blob) != info.st_size
+                or hashlib.sha256(blob[payload_offset:]).digest() != checksum
+            ):
+                return None
+            self._write_sidecar(path, checksum)
+        return PayloadRegion(
+            path=path,
+            fingerprint=fingerprint,
+            version=version,
+            payload_offset=payload_offset,
+            payload_length=length,
+            file_size=info.st_size,
+            mtime_ns=info.st_mtime_ns,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sidecar_for(path: Path) -> Path:
+        return path.with_name(path.name + SIDECAR_SUFFIX)
+
+    def _sidecar_verified(self, path: Path, info: os.stat_result) -> bool:
+        """True when a sidecar attests a full checksum of exactly these
+        bytes (size + mtime_ns — the git-stat-cache identity)."""
+        try:
+            doc = json.loads(self._sidecar_for(path).read_text("utf-8"))
+            return (
+                doc.get("size") == info.st_size
+                and doc.get("mtime_ns") == info.st_mtime_ns
+            )
+        except (OSError, ValueError):
+            return False
+
+    def _write_sidecar(self, path: Path, checksum: bytes) -> None:
+        """Record a passed full verification, best-effort.
+
+        A torn concurrent write yields unparseable JSON, which reads as
+        "no sidecar" — the next open simply hashes again.  ``save()``
+        deliberately does *not* write sidecars: the first verification
+        belongs to whoever first reads the file back (warm's hydration
+        check, or a serving open).
+        """
+        try:
+            info = path.stat()
+            self._sidecar_for(path).write_text(
+                json.dumps(
+                    {
+                        "size": info.st_size,
+                        "mtime_ns": info.st_mtime_ns,
+                        "sha256": checksum.hex(),
+                    }
+                ),
+                "utf-8",
+            )
+        except OSError:
+            pass
+
+    def _read_payload(
+        self, path: Path, verify: str = "full"
+    ) -> tuple[bytes, int] | None:
+        """Read and validate one file; ``(payload, version)`` or ``None``.
+
+        ``verify="header"`` trusts a stat-matching sidecar in place of
+        the sha256 pass; with no (valid) sidecar it upgrades to the full
+        hash and records one, so the fast path is only ever taken over
+        bytes some earlier read fully verified.
+        """
         try:
             blob = path.read_bytes()
         except OSError:
             return None
-        if len(blob) < _HEADER_LEN or not blob.startswith(_MAGIC):
+        parsed = _parse_envelope(blob)
+        if parsed is None:
             return None
-        offset = len(_MAGIC)
-        version = int.from_bytes(blob[offset : offset + 4], "little")
-        if version != STORE_VERSION:
-            return None
-        offset += 4
-        length = int.from_bytes(blob[offset : offset + 8], "little")
-        offset += 8
-        checksum = blob[offset : offset + 32]
-        payload = blob[_HEADER_LEN:]
+        version, payload_offset, length, checksum = parsed
+        payload = blob[payload_offset:]
         if len(payload) != length:
             return None
+        if verify == "header":
+            try:
+                info = path.stat()
+            except OSError:
+                return None
+            if self._sidecar_verified(path, info):
+                return payload, version
         if hashlib.sha256(payload).digest() != checksum:
             return None
-        return payload
+        if verify == "header":
+            self._write_sidecar(path, checksum)
+        return payload, version
 
     def __repr__(self) -> str:
         return f"<PreparedIndexStore {str(self.store_dir)!r} entries={len(self)}>"

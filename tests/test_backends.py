@@ -69,8 +69,10 @@ class TestRegistry:
             get_backend(42)
 
     def test_names_and_availability(self):
-        assert BACKEND_NAMES == ("python", "numpy")
+        assert BACKEND_NAMES == ("python", "numpy", "mmap")
         assert "python" in available_backends()
+        # The mmap backend shares numpy's dependency gate.
+        assert ("mmap" in available_backends()) == ("numpy" in available_backends())
 
     def test_validate_match_options_checks_backend(self):
         with pytest.raises(InputError, match="unknown solver backend"):
@@ -196,17 +198,20 @@ class TestFacadeEquivalence:
         graph1, graph2, mat = make_random_instance(seed, n1=6, n2=11)
         prepared = prepare_data_graph(graph2)
         report_py = match_prepared(graph1, prepared, mat, 0.4, backend="python", **config)
-        report_np = match_prepared(graph1, prepared, mat, 0.4, backend="numpy", **config)
-        assert report_py.matched == report_np.matched
-        assert report_py.quality == report_np.quality
-        assert report_py.result.mapping == report_np.result.mapping
-        assert report_py.result.qual_card == report_np.result.qual_card
-        assert report_py.result.qual_sim == report_np.result.qual_sim
-        # Stats agree on everything but timing and the backend tag.
-        for key, value in report_py.result.stats.items():
-            if key in ("elapsed_seconds", "backend"):
+        for name in available_backends():
+            if name == "python":
                 continue
-            assert report_np.result.stats[key] == value, key
+            report = match_prepared(graph1, prepared, mat, 0.4, backend=name, **config)
+            assert report.matched == report_py.matched, name
+            assert report.quality == report_py.quality, name
+            assert report.result.mapping == report_py.result.mapping, name
+            assert report.result.qual_card == report_py.result.qual_card, name
+            assert report.result.qual_sim == report_py.result.qual_sim, name
+            # Stats agree on everything but timing and the backend tag.
+            for key, value in report_py.result.stats.items():
+                if key in ("elapsed_seconds", "backend"):
+                    continue
+                assert report.result.stats[key] == value, (name, key)
 
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("injective", (False, True))

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.__main__ import main
+from repro.core.store import STORE_VERSION
 from repro.graph.digraph import DiGraph
 from repro.graph.io import dump_json, load_json
 
@@ -272,9 +273,13 @@ class TestShardedCli:
         assert listing["count"] == 2
         assert listing["total_bytes"] == sum(e["bytes"] for e in listing["entries"])
         for entry in listing["entries"]:
-            assert entry["version"] == 1
+            assert entry["version"] == STORE_VERSION
             assert entry["mtime"] > 0
             assert len(entry["fingerprint"]) == 64
+            # Page-cache sizing fields: the mask section is the mappable
+            # tail of the payload.
+            assert 0 < entry["mask_section_bytes"] < entry["payload_bytes"]
+            assert entry["payload_bytes"] < entry["bytes"]
         # The warmed fingerprints are exactly the shard-graph fingerprints.
         stored = {entry["fingerprint"] for entry in listing["entries"]}
         assert stored == {l["fingerprint"] for l in lines}
@@ -298,7 +303,7 @@ class TestShardedCli:
         assert main(["index", "ls", str(store)]) == 0
         lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
         assert lines[-1] == {"summary": True, "entries": 1}
-        assert lines[0]["version"] == 1 and "mtime" in lines[0]
+        assert lines[0]["version"] == STORE_VERSION and "mtime" in lines[0]
 
 
 # ----------------------------------------------------------------------

@@ -78,7 +78,11 @@ def assert_payload_identical(evolved: PreparedDataGraph, cold: PreparedDataGraph
     header_b = PreparedDataGraph.payload_header(b)
     header_a.pop("prepare_seconds"), header_b.pop("prepare_seconds")
     assert header_a == header_b
-    assert a[a.index(b"\n") :] == b[b.index(b"\n") :]
+    # Compare the mask sections proper: layout 2 pads the header line to
+    # the next 8-byte boundary, and the pad length tracks the header
+    # length (which prepare_seconds varies), so skip past the padding.
+    off_a, off_b = a.index(b"\n") + 1, b.index(b"\n") + 1
+    assert a[off_a + (-off_a % 8) :] == b[off_b + (-off_b % 8) :]
 
 
 class Mutator:
@@ -188,7 +192,7 @@ class TestDeltaEquivalenceFuzz:
                 want = backend.build_rows(
                     cold.from_mask, cold.to_mask, len(cold.nodes2)
                 )
-                if backend.name == "numpy":
+                if backend.name in ("numpy", "mmap"):
                     import numpy as np
 
                     assert np.array_equal(got.from_rows, want.from_rows), context

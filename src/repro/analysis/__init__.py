@@ -1,0 +1,31 @@
+"""repro-lint: project-specific static analysis for the serving stack.
+
+The serving core rests on a handful of load-bearing disciplines that no
+general-purpose linter knows about — off-lock index builds, stats-lock
+counter hygiene, mutator/notify pairing on :class:`~repro.graph.digraph.DiGraph`,
+mask confinement behind the ``SolverBackend`` protocol, and read-only
+handling of mmap-backed arrays.  This package encodes each invariant as
+an AST rule and runs them over the repo's own source:
+
+    python -m repro.analysis [paths] [--json] [--baseline FILE]
+
+See :mod:`repro.analysis.rules` for the rule registry and the README's
+"Static analysis" section for the workflow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import Finding, Project, Report, Rule, run_analysis
+from repro.analysis.rules import all_rules
+
+__all__ = [
+    "Finding",
+    "Project",
+    "Report",
+    "Rule",
+    "all_rules",
+    "load_baseline",
+    "run_analysis",
+    "write_baseline",
+]

@@ -1,0 +1,61 @@
+"""Baseline suppression files: grandfather known findings, fail on new ones.
+
+A baseline is a JSON document of finding keys.  Keys deliberately omit
+line numbers — ``(rule, path, enclosing symbol, stripped source line)``
+survives unrelated edits above the finding, so a baseline only goes
+stale when the flagged code itself changes (which is exactly when a
+human should re-look).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.engine import Finding, UsageError
+
+BASELINE_VERSION = 1
+
+BaselineKey = tuple[str, str, str, str]
+
+
+def load_baseline(path: str | Path) -> set[BaselineKey]:
+    """Read a baseline file into the suppression-key set."""
+    file = Path(path)
+    if not file.exists():
+        raise UsageError(f"baseline file not found: {file}")
+    try:
+        payload = json.loads(file.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise UsageError(f"unreadable baseline file {file}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise UsageError(f"baseline file {file} has an unsupported format")
+    keys: set[BaselineKey] = set()
+    for entry in payload.get("findings", []):
+        keys.add(
+            (
+                str(entry.get("rule", "")),
+                str(entry.get("path", "")),
+                str(entry.get("symbol", "")),
+                str(entry.get("snippet", "")),
+            )
+        )
+    return keys
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline that suppresses ``findings``; returns the entry count."""
+    entries = sorted(
+        {finding.key() for finding in findings}
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint",
+        "findings": [
+            {"rule": rule, "path": rel, "symbol": symbol, "snippet": snippet}
+            for rule, rel, symbol, snippet in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

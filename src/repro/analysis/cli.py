@@ -1,0 +1,95 @@
+"""The ``python -m repro.analysis`` command line.
+
+Exit codes: 0 clean, 1 findings (or unparseable files), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import UsageError, run_analysis
+from repro.analysis.rules import all_rules
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: project-specific invariant checks over the repo's AST",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    parser.add_argument("--baseline", metavar="FILE", help="suppress findings recorded in FILE")
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings to FILE as a baseline and exit 0",
+    )
+    parser.add_argument("--select", metavar="IDS", help="comma-separated rule ids to run")
+    parser.add_argument("--disable", metavar="IDS", help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--all-files",
+        action="store_true",
+        help="apply every rule to every scanned file, ignoring per-rule path scopes",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    try:
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        report = run_analysis(
+            args.paths,
+            rules=rules,
+            select=_split_ids(args.select),
+            disable=_split_ids(args.disable),
+            baseline=baseline,
+            restrict_paths=not args.all_files,
+        )
+    except UsageError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report.findings)
+        print(f"repro-lint: wrote baseline {args.write_baseline} ({count} entries)")
+        return 0
+
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+        return report.exit_code
+
+    for error in report.parse_errors:
+        print(error)
+    for finding in report.findings:
+        print(finding.render())
+    suppressed = report.waived + report.baselined
+    summary = (
+        f"repro-lint: {len(report.findings)} finding(s) in {len(report.files)} file(s)"
+    )
+    if suppressed:
+        summary += f" ({report.waived} waived, {report.baselined} baselined)"
+    print(summary)
+    return report.exit_code

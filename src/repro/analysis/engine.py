@@ -1,0 +1,322 @@
+"""The repro-lint engine: files, findings, waivers, and the runner.
+
+A :class:`Rule` inspects parsed source files and yields :class:`Finding`
+objects.  The engine owns everything rule-independent: walking the
+target paths, parsing, attaching parent links and qualified names to
+AST nodes, honoring inline waiver comments, applying a baseline
+suppression file, and assembling the final :class:`Report`.
+
+Inline waivers take the form::
+
+    self.solved_by[name] = ...  # repro-lint: ignore[RL002] -- reason
+
+and suppress the named rules (or ``*`` for all) on that physical line;
+a waiver on a comment-only line applies to the next line instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+_WAIVER_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9*,\s]+)\]")
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class UsageError(Exception):
+    """Bad invocation (unknown rule id, missing path): CLI exit code 2."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source line.
+
+    ``symbol`` is the enclosing ``Class.method`` qualname and ``snippet``
+    the stripped source line — together with the rule id and path they
+    form the baseline key, which survives unrelated line drift.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    symbol: str
+    snippet: str
+
+    def key(self) -> tuple[str, str, str, str]:
+        return (self.rule, self.path, self.symbol, self.snippet)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+            "hint": self.hint,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.symbol}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class ParsedFile:
+    """One source file: text, AST (with parent links), and waivers."""
+
+    path: Path
+    rel: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    waivers: dict[int, set[str]] = field(default_factory=dict)
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, rel: str) -> "ParsedFile":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        pf = cls(path=path, rel=rel, source=source, lines=source.splitlines(), tree=tree)
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                pf.parents[child] = parent
+        pf.waivers = _parse_waivers(pf.lines)
+        return pf
+
+    def qualname(self, node: ast.AST) -> str:
+        """``Class.method`` (or ``<module>``) for the scope enclosing ``node``."""
+        names: list[str] = []
+        cursor: ast.AST | None = node
+        while cursor is not None:
+            if isinstance(cursor, _SCOPE_NODES):
+                names.append(cursor.name)
+            cursor = self.parents.get(cursor)
+        return ".".join(reversed(names)) or "<module>"
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def waived(self, lineno: int, rule: str) -> bool:
+        rules = self.waivers.get(lineno)
+        return bool(rules) and ("*" in rules or rule in rules)
+
+
+def _parse_waivers(lines: Sequence[str]) -> dict[int, set[str]]:
+    waivers: dict[int, set[str]] = {}
+    for idx, line in enumerate(lines, start=1):
+        match = _WAIVER_RE.search(line)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        target = idx + 1 if line.lstrip().startswith("#") else idx
+        waivers.setdefault(target, set()).update(rules)
+    return waivers
+
+
+class Project:
+    """Every parsed file of one run, plus a cross-file class index."""
+
+    def __init__(self, files: list[ParsedFile]) -> None:
+        self.files = files
+        self._classes: dict[str, tuple[ast.ClassDef, ParsedFile]] | None = None
+
+    def classes(self) -> dict[str, tuple[ast.ClassDef, ParsedFile]]:
+        """Class name -> (ClassDef, file); later files win duplicate names."""
+        if self._classes is None:
+            index: dict[str, tuple[ast.ClassDef, ParsedFile]] = {}
+            for pf in self.files:
+                for node in ast.walk(pf.tree):
+                    if isinstance(node, ast.ClassDef):
+                        index[node.name] = (node, pf)
+            self._classes = index
+        return self._classes
+
+
+class Rule:
+    """Base class for repro-lint rules.
+
+    Subclasses set ``rule_id``/``title``/``hint`` and the posix path
+    suffixes the rule applies to (empty = every scanned file), then
+    implement :meth:`check_file` and/or :meth:`check_project`.
+    """
+
+    rule_id: str = "RL000"
+    title: str = ""
+    hint: str = ""
+    default_paths: tuple[str, ...] = ()
+
+    def applies_to(self, pf: ParsedFile) -> bool:
+        if not self.default_paths:
+            return True
+        posix = pf.path.as_posix()
+        return any(posix.endswith(suffix) or f"/{suffix}" in posix for suffix in self.default_paths)
+
+    def check_file(self, pf: ParsedFile, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self,
+        pf: ParsedFile,
+        node: ast.AST,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.rule_id,
+            path=pf.rel,
+            line=lineno,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            symbol=pf.qualname(node),
+            snippet=pf.line_text(lineno),
+        )
+
+
+@dataclass
+class Report:
+    """The outcome of one run: findings plus suppression accounting."""
+
+    findings: list[Finding]
+    files: list[str]
+    rules: list[Rule]
+    waived: int = 0
+    baselined: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.parse_errors) else 0
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "tool": "repro-lint",
+            "rules": [
+                {"id": rule.rule_id, "title": rule.title} for rule in self.rules
+            ],
+            "files_scanned": len(self.files),
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": {"waiver": self.waived, "baseline": self.baselined},
+            "parse_errors": self.parse_errors,
+            "exit_code": self.exit_code,
+        }
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise UsageError(f"no such path: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(part.startswith(".") for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def _relpath(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_project(paths: Sequence[str | Path]) -> tuple[Project, list[str]]:
+    """Parse every ``.py`` under ``paths``; syntax errors are reported, not fatal."""
+    files: list[ParsedFile] = []
+    errors: list[str] = []
+    seen: set[Path] = set()
+    for path in _iter_python_files(paths):
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        rel = _relpath(path)
+        try:
+            files.append(ParsedFile.parse(path, rel))
+        except SyntaxError as exc:
+            errors.append(f"{rel}:{exc.lineno or 0}: syntax error: {exc.msg}")
+    return Project(files), errors
+
+
+def run_analysis(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[Rule],
+    select: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+    baseline: set[tuple[str, str, str, str]] | None = None,
+    restrict_paths: bool = True,
+) -> Report:
+    """Run ``rules`` over ``paths`` and return the suppressed-and-sorted report.
+
+    ``restrict_paths=False`` applies every rule to every file regardless
+    of its ``default_paths`` — used by the fixture tests, which exercise
+    rules against snippets that live outside the production tree.
+    """
+    known = {rule.rule_id for rule in rules}
+    for group in (select, disable):
+        for rule_id in group or ():
+            if rule_id not in known:
+                raise UsageError(f"unknown rule id: {rule_id}")
+    active = [
+        rule
+        for rule in rules
+        if (select is None or rule.rule_id in set(select))
+        and rule.rule_id not in set(disable or ())
+    ]
+
+    project, parse_errors = load_project(paths)
+    raw: list[Finding] = []
+    for rule in active:
+        for pf in project.files:
+            if restrict_paths and not rule.applies_to(pf):
+                continue
+            raw.extend(rule.check_file(pf, project))
+        raw.extend(rule.check_project(project))
+
+    by_rel = {pf.rel: pf for pf in project.files}
+    findings: list[Finding] = []
+    waived = 0
+    baselined = 0
+    for finding in raw:
+        pf = by_rel.get(finding.path)
+        if pf is not None and pf.waived(finding.line, finding.rule):
+            waived += 1
+            continue
+        if baseline and finding.key() in baseline:
+            baselined += 1
+            continue
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return Report(
+        findings=findings,
+        files=[pf.rel for pf in project.files],
+        rules=list(active),
+        waived=waived,
+        baselined=baselined,
+        parse_errors=parse_errors,
+    )

@@ -1,0 +1,27 @@
+"""The repro-lint rule registry.
+
+Adding a rule: write a module here with a :class:`repro.analysis.engine.Rule`
+subclass, give it the next ``RLnnn`` id, and append an instance in
+:func:`all_rules`; drive it with positive/negative fixture snippets
+under ``tests/analysis_fixtures/``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.rl001_blocking_under_lock import BlockingUnderLockRule
+from repro.analysis.rules.rl002_stats_discipline import StatsDisciplineRule
+from repro.analysis.rules.rl003_mutator_audit import MutatorAuditRule
+from repro.analysis.rules.rl004_backend_confinement import BackendConfinementRule
+from repro.analysis.rules.rl005_mmap_write_discipline import MmapWriteDisciplineRule
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [
+        BlockingUnderLockRule(),
+        StatsDisciplineRule(),
+        MutatorAuditRule(),
+        BackendConfinementRule(),
+        MmapWriteDisciplineRule(),
+    ]

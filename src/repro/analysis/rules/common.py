@@ -1,0 +1,86 @@
+"""Shared AST helpers for repro-lint rules."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains; None for anything else."""
+    parts: list[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name of a call's callee, if it is a plain name chain."""
+    return dotted_name(node.func)
+
+
+def base_name(node: ast.AST) -> str | None:
+    """The innermost Name of a Name/Attribute/Subscript chain."""
+    cursor = node
+    while isinstance(cursor, (ast.Attribute, ast.Subscript)):
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        return cursor.id
+    return None
+
+
+def is_lock_expr(expr: ast.AST) -> bool:
+    """True for expressions that read like a lock: ``self._lock``, ``stats.lock``."""
+    name = dotted_name(expr)
+    if name is None:
+        return False
+    last = name.rsplit(".", 1)[-1]
+    return last in ("lock", "_lock") or last.endswith("_lock")
+
+
+def lock_names(node: ast.With) -> list[str]:
+    """Dotted names of the lock-like context managers of a ``with``."""
+    names = []
+    for item in node.items:
+        if is_lock_expr(item.context_expr):
+            name = dotted_name(item.context_expr)
+            if name is not None:
+                names.append(name)
+    return names
+
+
+class LockScopeVisitor(ast.NodeVisitor):
+    """A visitor that tracks which lock-like ``with`` blocks enclose a node.
+
+    The tracking is *lexical*: entering a nested function or lambda
+    clears the held set, because that body runs at call time, not while
+    the lock is held.  Subclasses read :attr:`held` (innermost-last).
+    """
+
+    def __init__(self) -> None:
+        self.held: list[str] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        names = lock_names(node)
+        self.held.extend(names)
+        self.generic_visit(node)
+        if names:
+            del self.held[-len(names):]
+
+    def _visit_new_scope(self, node: ast.AST) -> None:
+        saved, self.held = self.held, []
+        self.generic_visit(node)
+        self.held = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_new_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_new_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_new_scope(node)

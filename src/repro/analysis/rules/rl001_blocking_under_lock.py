@@ -1,0 +1,101 @@
+"""RL001: no blocking or expensive work lexically inside a lock block.
+
+The serving layers keep their locks cheap by contract: check the cache
+under the lock, do the expensive part (store I/O, index builds, graph
+fingerprints, induced-subgraph construction, future waits) off-lock,
+then re-check and publish under the lock.  Holding a lock across any of
+those turns every concurrent reader into a queue behind one slow call —
+the exact stall PR 2/PR 4 were shaped to avoid.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, ParsedFile, Project, Rule
+from repro.analysis.rules.common import LockScopeVisitor, call_name
+
+# Attribute calls that block or do heavy work regardless of receiver.
+_BLOCKING_ATTRS = {
+    "sleep": "time.sleep under a lock stalls every waiter",
+    "result": "waiting on a future under a lock serializes all callers",
+    "read_bytes": "file read under a lock",
+    "write_bytes": "file write under a lock",
+    "read_text": "file read under a lock",
+    "write_text": "file write under a lock",
+    "subgraph": "induced-subgraph build under a lock is O(|shard|)",
+    "graph_fingerprint": "content fingerprint under a lock hashes the whole graph",
+    "apply_delta": "index evolution under a lock",
+    "for_data_graph": "shard-plan construction under a lock",
+}
+
+# ``store.load`` / ``store.save`` style calls: the attribute alone is too
+# generic (dict.load would be absurd but ``json.load`` is not), so these
+# additionally require a store-ish receiver.
+_STORE_ATTRS = {"load", "save", "remove", "gc"}
+
+# Bare-name calls that are always findings under a lock.
+_BLOCKING_NAMES = {
+    "open": "opening a file under a lock",
+    "graph_fingerprint": "content fingerprint under a lock hashes the whole graph",
+    "PreparedDataGraph": "building a prepared index under a lock is the slowest call in the system",
+}
+
+
+def _classify(node: ast.Call) -> str | None:
+    name = call_name(node)
+    if name is None:
+        return None
+    parts = name.split(".")
+    last = parts[-1]
+    if len(parts) == 1:
+        return _BLOCKING_NAMES.get(last)
+    if last == "mmap" and parts[-2] == "mmap":
+        return "mapping a file under a lock"
+    if last in ("replace", "fsync") and parts[0] == "os":
+        return f"os.{last} under a lock is disk I/O"
+    if last in _STORE_ATTRS and any("store" in part.lower() for part in parts[:-1]):
+        return f"store .{last}() under a lock is disk I/O"
+    return _BLOCKING_ATTRS.get(last)
+
+
+class _Visitor(LockScopeVisitor):
+    def __init__(self, rule: "BlockingUnderLockRule", pf: ParsedFile) -> None:
+        super().__init__()
+        self.rule = rule
+        self.pf = pf
+        self.findings: list[Finding] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.held:
+            reason = _classify(node)
+            if reason is not None:
+                self.findings.append(
+                    self.rule.finding(
+                        self.pf,
+                        node,
+                        f"{reason} (held: {', '.join(self.held)})",
+                    )
+                )
+        self.generic_visit(node)
+
+
+class BlockingUnderLockRule(Rule):
+    rule_id = "RL001"
+    title = "no blocking work (I/O, builds, waits) inside lock blocks"
+    hint = (
+        "use the off-lock pattern: read the cache under the lock, compute "
+        "outside the with block, then re-check and publish under the lock"
+    )
+    default_paths = (
+        "core/service.py",
+        "core/sharding.py",
+        "core/store.py",
+        "core/aio.py",
+    )
+
+    def check_file(self, pf: ParsedFile, project: Project) -> Iterable[Finding]:
+        visitor = _Visitor(self, pf)
+        visitor.visit(pf.tree)
+        return visitor.findings

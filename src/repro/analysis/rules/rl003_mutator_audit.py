@@ -1,0 +1,250 @@
+"""RL003: DiGraph mutators drop the fingerprint cache AND notify observers.
+
+Every public mutator of a graph-model class must (a) clear
+``_fingerprint_cache`` — a stale fingerprint silently serves a stale
+prepared index from the LRU and the disk store — and (b) reach a
+``self._notify(...)`` call (or the ``if self._delta_logs:`` guard that
+wraps one) on *every* path that performed the mutation, or the
+``DeltaLog`` incremental-preparation machinery misses the change.
+
+This rule replaces the runtime ``inspect.getsource`` audit the test
+suite used to carry: it is the single enforcement point for the
+mutator/notify pairing.
+
+Scope: any class with at least one method touching ``_fingerprint_cache``
+or ``_notify`` is treated as a graph-model class (in the live tree that
+is exactly ``DiGraph``).  The check is a small abstract interpretation
+over ``(dropped-cache, notified)`` states per control-flow path:
+raising exits are exempt (failed preconditions mutate nothing), and a
+path that never dropped the cache is assumed not to have mutated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, ParsedFile, Project, Rule
+from repro.analysis.rules.common import base_name, dotted_name
+
+CACHE_ATTR = "_fingerprint_cache"
+NOTIFY_METHOD = "_notify"
+GUARD_ATTR = "_delta_logs"
+
+# The internal structure of a graph-model class; writing any of these on
+# ``self`` is a mutation that must invalidate the fingerprint cache.
+STRUCTURE_ATTRS = frozenset(
+    {"_succ", "_pred", "_labels", "_weights", "_attrs", "_edge_count"}
+)
+_MUTATING_METHODS = frozenset(
+    {"add", "discard", "remove", "update", "clear", "pop", "popitem", "setdefault", "append", "extend"}
+)
+
+EXEMPT_METHODS = frozenset({"__init__", NOTIFY_METHOD})
+
+# One path state: (dropped the cache, notified since the drop).
+_State = tuple[bool, bool]
+
+
+def _is_cache_drop(stmt: ast.stmt) -> bool:
+    if not isinstance(stmt, ast.Assign):
+        return False
+    for target in stmt.targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == CACHE_ATTR
+            and base_name(target.value) == "self"
+        ):
+            return True
+    return False
+
+
+def _contains_notify(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name is not None and name.split(".")[-1] == NOTIFY_METHOD:
+                return True
+    return False
+
+
+def _is_notify_stmt(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, ast.Expr) and _contains_notify(stmt.value)
+
+
+def _is_guarded_notify_if(stmt: ast.stmt) -> bool:
+    """``if self._delta_logs: ... self._notify(...) ...`` counts wholesale.
+
+    The no-observers branch legitimately skips the call, so the guard as
+    a whole satisfies the notify obligation.
+    """
+    if not isinstance(stmt, ast.If):
+        return False
+    guard = any(
+        isinstance(sub, ast.Attribute) and sub.attr == GUARD_ATTR
+        for sub in ast.walk(stmt.test)
+    )
+    return guard and any(_contains_notify(body_stmt) for body_stmt in stmt.body)
+
+
+def _self_structure_write(stmt: ast.stmt) -> bool:
+    """True when ``stmt`` writes ``self.<structure-attr>`` (or into it)."""
+
+    def writes(target: ast.expr) -> bool:
+        cursor = target
+        while isinstance(cursor, ast.Subscript):
+            cursor = cursor.value
+        return (
+            isinstance(cursor, ast.Attribute)
+            and cursor.attr in STRUCTURE_ATTRS
+            and base_name(cursor.value) == "self"
+        )
+
+    if isinstance(stmt, ast.Assign):
+        if any(writes(t) for t in stmt.targets):
+            return True
+    if isinstance(stmt, ast.AugAssign) and writes(stmt.target):
+        return True
+    if isinstance(stmt, ast.Delete) and any(writes(t) for t in stmt.targets):
+        return True
+    if isinstance(stmt, ast.Expr):
+        for sub in ast.walk(stmt.value):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _MUTATING_METHODS
+                and writes(sub.func.value)  # type: ignore[arg-type]
+            ):
+                return True
+    return False
+
+
+def _method_structure_writes(method: ast.FunctionDef) -> list[ast.stmt]:
+    hits = []
+    for node in ast.walk(method):
+        if isinstance(node, ast.stmt) and _self_structure_write(node):
+            hits.append(node)
+    return hits
+
+
+class _PathScanner:
+    """Walk a method body tracking (dropped, notified) per path."""
+
+    def __init__(self) -> None:
+        self.violations: list[ast.AST] = []
+
+    def scan(
+        self, stmts: list[ast.stmt], states: set[_State]
+    ) -> set[_State] | None:
+        """Returns fall-through states, or None when no path falls through."""
+        current: set[_State] | None = set(states)
+        for stmt in stmts:
+            if current is None:
+                break  # unreachable tail
+            if _is_cache_drop(stmt):
+                current = {(True, False)}
+            elif _is_notify_stmt(stmt) or _is_guarded_notify_if(stmt):
+                current = {(dropped, True) for dropped, _ in current}
+            elif isinstance(stmt, ast.Return):
+                self._check_exit(stmt, current)
+                current = None
+            elif isinstance(stmt, ast.Raise):
+                current = None  # failed precondition: nothing mutated
+            elif isinstance(stmt, ast.If):
+                body_out = self.scan(stmt.body, current)
+                else_out = self.scan(stmt.orelse, current) if stmt.orelse else set(current)
+                current = self._join(body_out, else_out)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                body_out = self.scan(stmt.body, current)
+                # zero-iteration path keeps the incoming states; an
+                # in-loop notify may never run, so it cannot upgrade
+                # the loop's guaranteed outcome on its own.
+                current = self._join(body_out, set(current))
+                if stmt.orelse:
+                    current = self.scan(stmt.orelse, current or set())
+            elif isinstance(stmt, ast.With):
+                current = self.scan(stmt.body, current)
+            elif isinstance(stmt, ast.Try):
+                body_out = self.scan(stmt.body, current)
+                outs = [body_out]
+                for handler in stmt.handlers:
+                    outs.append(self.scan(handler.body, current))
+                merged: set[_State] | None = None
+                for out in outs:
+                    merged = self._join(merged, out)
+                if stmt.finalbody:
+                    merged = self.scan(stmt.finalbody, merged or set(current))
+                current = merged
+        return current
+
+    @staticmethod
+    def _join(a: set[_State] | None, b: set[_State] | None) -> set[_State] | None:
+        if a is None:
+            return None if b is None else set(b)
+        if b is None:
+            return set(a)
+        return a | b
+
+    def _check_exit(self, node: ast.AST, states: set[_State]) -> None:
+        if any(dropped and not notified for dropped, notified in states):
+            self.violations.append(node)
+
+
+class MutatorAuditRule(Rule):
+    rule_id = "RL003"
+    title = "graph mutators drop _fingerprint_cache and _notify on every mutation path"
+    hint = (
+        "set self._fingerprint_cache = None before mutating, and end every "
+        "mutation path with self._notify(...) (an 'if self._delta_logs:' "
+        "guard around the call is fine)"
+    )
+    default_paths = ("graph/digraph.py",)
+
+    def check_file(self, pf: ParsedFile, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(pf.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(pf, node))
+        return findings
+
+    def _is_graph_class(self, cls: ast.ClassDef) -> bool:
+        for sub in ast.walk(cls):
+            if isinstance(sub, ast.Attribute) and sub.attr in (CACHE_ATTR, GUARD_ATTR):
+                return True
+            if isinstance(sub, ast.Call):
+                name = dotted_name(sub.func)
+                if name is not None and name.split(".")[-1] == NOTIFY_METHOD:
+                    return True
+        return False
+
+    def _check_class(self, pf: ParsedFile, cls: ast.ClassDef) -> Iterable[Finding]:
+        if not self._is_graph_class(cls):
+            return
+        for method in cls.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name in EXEMPT_METHODS:
+                continue
+            drops = [stmt for stmt in ast.walk(method) if isinstance(stmt, ast.stmt) and _is_cache_drop(stmt)]
+            writes = _method_structure_writes(method)
+            if writes and not drops:
+                yield self.finding(
+                    pf,
+                    writes[0],
+                    f"{cls.name}.{method.name} mutates graph structure without "
+                    f"clearing {CACHE_ATTR}",
+                )
+                continue
+            if not drops:
+                continue  # not a mutator
+            scanner = _PathScanner()
+            final = scanner.scan(list(method.body), {(False, False)})
+            if final is not None:
+                scanner._check_exit(method, final)
+            for violation in scanner.violations:
+                yield self.finding(
+                    pf,
+                    violation,
+                    f"{cls.name}.{method.name} has a mutation path that exits "
+                    f"without calling {NOTIFY_METHOD}",
+                )

@@ -1,0 +1,151 @@
+"""RL005: arrays viewing mmap-backed buffers are never mutated in place.
+
+The mmap backend's zero-copy hydration hands out ``np.frombuffer`` views
+over a shared, read-only file mapping: one physical page cache serves
+every service (and, eventually, every process) that opened the same
+fingerprint.  An in-place store into such a view either crashes
+(``ACCESS_READ`` mappings are not writable) or — worse, through a
+writable mapping — corrupts every other reader's index.  All mutation
+must go through the copy-on-write ``_CowMatrix`` overlay, which copies a
+row out of the mapping before touching it.
+
+The check is a per-scope taint pass: names assigned from a
+``frombuffer(...)`` expression (or derived from a tainted name by
+slicing/attribute access) are tainted; a ``.copy()`` anywhere in the
+producing expression launders the taint.  Flagged sinks: subscript
+stores, augmented assignments, known in-place numpy methods, and
+``np.copyto`` into a tainted destination.  Code inside ``_CowMatrix``
+itself is exempt — it is the blessed overlay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, ParsedFile, Project, Rule
+from repro.analysis.rules.common import base_name, dotted_name
+
+EXEMPT_CLASSES = frozenset({"_CowMatrix"})
+
+_INPLACE_METHODS = frozenset(
+    {"fill", "sort", "put", "resize", "partition", "byteswap", "setflags"}
+)
+
+
+def _produces_taint(expr: ast.AST, tainted: set[str]) -> bool:
+    """True when ``expr`` yields a view derived from a frombuffer mapping."""
+    has_source = False
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Call):
+            last: str | None = None
+            if isinstance(sub.func, ast.Attribute):
+                last = sub.func.attr
+            elif isinstance(sub.func, ast.Name):
+                last = sub.func.id
+            if last == "frombuffer":
+                has_source = True
+            if last == "copy":
+                return False  # materialized: writes touch the copy
+        if isinstance(sub, ast.Name) and sub.id in tainted:
+            has_source = True
+    return has_source
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """One function (or module) body: track taint, flag in-place writes."""
+
+    def __init__(self, rule: "MmapWriteDisciplineRule", pf: ParsedFile) -> None:
+        self.rule = rule
+        self.pf = pf
+        self.tainted: set[str] = set()
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, what: str, name: str) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.pf,
+                node,
+                f"{what} on '{name}', a view derived from np.frombuffer",
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        produces = _produces_taint(node.value, self.tainted)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if produces:
+                    self.tainted.add(target.id)
+                else:
+                    self.tainted.discard(target.id)
+            elif isinstance(target, ast.Subscript):
+                name = base_name(target)
+                if name in self.tainted:
+                    self._flag(node, "in-place subscript store", name)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        name = base_name(node.target)
+        if name in self.tainted:
+            self._flag(node, "augmented in-place assignment", name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            name = base_name(node.func.value)
+            if node.func.attr in _INPLACE_METHODS and name in self.tainted:
+                self._flag(node, f"in-place '.{node.func.attr}()' call", name)
+        callee = dotted_name(node.func)
+        if callee is not None and callee.split(".")[-1] == "copyto" and node.args:
+            dest = base_name(node.args[0])
+            if dest in self.tainted:
+                self._flag(node, "np.copyto into", dest)
+        self.generic_visit(node)
+
+    # Nested scopes get their own taint pass via the rule driver; do not
+    # descend so outer-scope taint does not leak into closures' params.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+
+class MmapWriteDisciplineRule(Rule):
+    rule_id = "RL005"
+    title = "no in-place mutation of frombuffer-mapped arrays outside the COW overlay"
+    hint = (
+        "copy the row out of the mapping first (arr.copy()) or route the "
+        "write through the _CowMatrix overlay in core/backends/mmap_block.py"
+    )
+    default_paths = ("core/backends/",)
+
+    def check_file(self, pf: ParsedFile, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for scope, exempt in self._scopes(pf.tree):
+            if exempt:
+                continue
+            visitor = _ScopeVisitor(self, pf)
+            for stmt in scope.body:
+                visitor.visit(stmt)
+            findings.extend(visitor.findings)
+        return findings
+
+    def _scopes(self, tree: ast.Module) -> Iterable[tuple[ast.AST, bool]]:
+        """Every function scope (and the module body), with exemption flag."""
+
+        def walk(node: ast.AST, in_exempt: bool) -> Iterable[tuple[ast.AST, bool]]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, in_exempt or child.name in EXEMPT_CLASSES)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield child, in_exempt
+                    yield from walk(child, in_exempt)
+                else:
+                    yield from walk(child, in_exempt)
+
+        yield tree, False
+        yield from walk(tree, False)

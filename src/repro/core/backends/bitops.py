@@ -1,0 +1,41 @@
+"""Blessed big-int mask primitives for solver-path modules.
+
+The engine/optimizer layers treat candidate masks as opaque values owned
+by the :class:`~repro.core.backends.base.SolverBackend` currency (the
+python-int representation is the backend-neutral interchange format —
+see ``PreparedDataGraph``'s payload contract).  The few places outside
+``core/backends/`` that still need single-bit arithmetic route it
+through these helpers instead of raw operators, so repro-lint's RL004
+can hold the line: any new raw ``&``/``|``/shift on a mask is a place a
+block- or mmap-representation would have to eagerly hydrate.
+
+Every helper is exact big-int arithmetic — using them is bit-identical
+to the operators they wrap, by construction.
+"""
+
+from __future__ import annotations
+
+
+def set_bit(value: int, index: int) -> int:
+    """``value`` with bit ``index`` set."""
+    return value | (1 << index)
+
+
+def clear_bit(value: int, index: int) -> int:
+    """``value`` with bit ``index`` cleared."""
+    return value & ~(1 << index)
+
+
+def has_bit(value: int, index: int) -> bool:
+    """True when bit ``index`` of ``value`` is set."""
+    return bool(value >> index & 1)
+
+
+def exclude(value: int, banned: int) -> int:
+    """``value`` with every bit of ``banned`` cleared (and-not)."""
+    return value & ~banned
+
+
+def lowest_set_bit(value: int) -> int:
+    """The index of the lowest set bit; ``value`` must be nonzero."""
+    return (value & -value).bit_length() - 1

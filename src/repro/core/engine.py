@@ -42,6 +42,7 @@ bit-identical by contract, so the choice changes speed, never results.
 from __future__ import annotations
 
 from repro.core.backends import SolverBackend, get_backend
+from repro.core.backends.bitops import clear_bit
 from repro.core.workspace import MatchingWorkspace
 
 __all__ = ["greedy_match", "comp_max_card_engine"]
@@ -199,7 +200,7 @@ def comp_max_card_engine(
             mask = h_top.get(v)
             if mask is None:
                 continue
-            mask &= ~(1 << u)
+            mask = clear_bit(mask, u)
             removed += 1
             if mask:
                 h_top[v] = mask

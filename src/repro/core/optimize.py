@@ -32,6 +32,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Hashable
 
+from repro.core.backends.bitops import exclude, has_bit, lowest_set_bit, set_bit
 from repro.core.engine import PICK_RULES, comp_max_card_engine
 from repro.core.phom import PHomResult
 from repro.core.prepared import PreparedDataGraph
@@ -135,19 +136,19 @@ def solve_component(
     """
     if len(component) == 1:
         v = component[0]
-        mask = workspace.cand_mask[v] & ~used_mask
+        mask = exclude(workspace.cand_mask[v], used_mask)
         if not mask:
             return [], 0
         chosen = None
         if pick == "similarity":
-            chosen = next((u for u in workspace.pref[v] if mask >> u & 1), None)
+            chosen = next((u for u in workspace.pref[v] if has_bit(mask, u)), None)
         if chosen is None:
-            chosen = (mask & -mask).bit_length() - 1  # lowest set bit
+            chosen = lowest_set_bit(mask)
         return [(v, chosen)], 0
     initial = {
-        v: workspace.cand_mask[v] & ~used_mask
+        v: masked
         for v in component
-        if workspace.cand_mask[v] & ~used_mask
+        if (masked := exclude(workspace.cand_mask[v], used_mask))
     }
     pairs, stats = comp_max_card_engine(
         workspace, initial, injective=injective, pick=pick
@@ -195,7 +196,7 @@ def comp_max_card_partitioned(
             all_pairs.extend(pairs)
             if injective:
                 for _, u in pairs:
-                    used_mask |= 1 << u
+                    used_mask = set_bit(used_mask, u)
     return PHomResult(
         mapping=workspace.mapping_to_nodes(all_pairs),
         qual_card=workspace.qual_card_of(all_pairs),

@@ -169,6 +169,7 @@ class ServiceStats:
         The caller must hold :attr:`lock` (the service layer bundles this
         with the matching ``calls`` increment so the two stay consistent).
         """
+        # repro-lint: ignore[RL002] -- documented caller-holds-lock contract
         self.solved_by[name] = self.solved_by.get(name, 0) + count
 
     def snapshot(self) -> dict:

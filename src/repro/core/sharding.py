@@ -67,6 +67,7 @@ from repro.core.api import (
     validate_match_options,
 )
 from repro.core.backends import SolverBackend, get_backend
+from repro.core.backends.bitops import set_bit
 from repro.core.incremental import DeltaLog
 from repro.core.optimize import plan_components, solve_component
 from repro.core.phom import PHomResult
@@ -336,13 +337,18 @@ class ShardPlan:
             raise InputError(f"shard id {shard_id!r} out of range for {self.shards} shards")
         with self._lock:
             cached = self._graphs.get(shard_id)
-            if cached is None:
-                cached = graph.subgraph(
-                    self.shard_nodes[shard_id],
-                    name=f"{graph.name or 'G2'}/shard{shard_id}",
-                )
-                self._graphs[shard_id] = cached
-            return cached
+        if cached is None:
+            # Built off-lock: an induced-subgraph build is O(|shard|),
+            # and holding the plan lock across it would stall every
+            # concurrent router scan.  Racing builders produce equal
+            # graphs (plans are immutable), so first-in wins.
+            built = graph.subgraph(
+                self.shard_nodes[shard_id],
+                name=f"{graph.name or 'G2'}/shard{shard_id}",
+            )
+            with self._lock:
+                cached = self._graphs.setdefault(shard_id, built)
+        return cached
 
     def fingerprint_for(self, key: "int | frozenset[int]") -> str:
         """The content fingerprint of a shard (or union) graph, cached.
@@ -378,17 +384,20 @@ class ShardPlan:
             raise InputError("a spill union needs at least one shard")
         with self._lock:
             cached = self._graphs.get(key)
-            if cached is None:
-                nodes = sorted(
-                    (node for sid in key for node in self.shard_nodes[sid]),
-                    key=self._position.__getitem__,
-                )
-                tag = "+".join(str(sid) for sid in sorted(key))
-                cached = graph.subgraph(
-                    nodes, name=f"{graph.name or 'G2'}/shards{tag}"
-                )
-                self._graphs[key] = cached
-            return cached
+        if cached is None:
+            # Off-lock for the same reason as shard_graph: the union
+            # build is linear in the spilled shards' total size.
+            nodes = sorted(
+                (node for sid in key for node in self.shard_nodes[sid]),
+                key=self._position.__getitem__,
+            )
+            tag = "+".join(str(sid) for sid in sorted(key))
+            built = graph.subgraph(
+                nodes, name=f"{graph.name or 'G2'}/shards{tag}"
+            )
+            with self._lock:
+                cached = self._graphs.setdefault(key, built)
+        return cached
 
     def describe(self) -> dict:
         """A JSON-friendly summary (CLI summaries, stats snapshots)."""
@@ -803,7 +812,7 @@ class ShardedMatchingService:
                 for node in used_nodes:
                     u = index2.get(node)
                     if u is not None:
-                        used_mask |= 1 << u
+                        used_mask = set_bit(used_mask, u)
             with Stopwatch() as solve_watch:
                 pairs, rounds = solve_component(
                     workspace, components[idx], used_mask, injective, pick

@@ -48,11 +48,11 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.core.backends import SolverBackend, get_backend
+from repro.core.phom import validate_threshold
 from repro.core.prepared import PreparedDataGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.fingerprint import graph_fingerprint
 from repro.similarity.matrix import SimilarityMatrix
-from repro.core.phom import validate_threshold
 from repro.utils.errors import InputError
 
 __all__ = ["MatchingWorkspace"]

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import argparse
 import math
-import random
 from dataclasses import dataclass
 
 from repro.core.comp_max_card import comp_max_card, comp_max_card_injective

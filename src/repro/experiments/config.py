@@ -13,7 +13,7 @@ CLIs or the ``REPRO_SCALE`` environment variable (CLI wins).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.errors import InputError
 

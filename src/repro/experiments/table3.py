@@ -26,7 +26,6 @@ from dataclasses import dataclass
 
 from repro.baselines.matchers import (
     Matcher,
-    MCSMatcher,
     SimulationMatcher,
     paper_table3_matchers,
 )

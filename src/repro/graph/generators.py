@@ -8,7 +8,6 @@ generators take a :class:`random.Random` so experiments stay reproducible.
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from repro.graph.digraph import DiGraph
 from repro.utils.errors import InputError

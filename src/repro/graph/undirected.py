@@ -9,7 +9,7 @@ WIS algorithms in :mod:`repro.wis` operate on.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator
 
 from repro.utils.errors import GraphError, InputError
 

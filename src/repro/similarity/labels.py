@@ -13,7 +13,7 @@ Two constructions from the paper:
 from __future__ import annotations
 
 import random
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable
 
 from repro.graph.digraph import DiGraph
 from repro.similarity.matrix import SimilarityMatrix

@@ -11,7 +11,7 @@ carry token contents into a :class:`SimilarityMatrix`.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
 from repro.graph.digraph import DiGraph
 from repro.similarity.matrix import SimilarityMatrix

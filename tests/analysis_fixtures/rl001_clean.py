@@ -1,0 +1,24 @@
+"""RL001 negatives: the off-lock double-checked pattern, and lexical scoping.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+
+class Cache:
+    def get(self, key, store):
+        with self._lock:
+            value = self._entries.get(key)
+        if value is None:
+            value = store.load(key)  # expensive part runs off-lock
+            with self._lock:
+                value = self._entries.setdefault(key, value)
+        return value
+
+    def register(self, path):
+        with self._lock:
+            # A nested function body runs at call time, not while the
+            # lock is held: lexical tracking must not flag it.
+            def loader():
+                return open(path, "rb").read()
+
+            self._loader = loader

@@ -1,0 +1,27 @@
+"""RL001 true positives: blocking work lexically inside lock blocks.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+import mmap
+import time
+
+
+class Cache:
+    def get(self, key, store, graph):
+        with self._lock:
+            value = store.load(key)  # store I/O under the cache lock
+            time.sleep(0.1)  # sleeping with the lock held
+            sub = graph.subgraph([1, 2])  # O(|shard|) build under the lock
+        return value, sub
+
+    def persist(self, key, store, path):
+        with self.stats.lock:
+            store.save(key, b"payload")  # disk write under the stats lock
+            handle = open(path, "rb")  # raw file open under a lock
+            mapped = mmap.mmap(handle.fileno(), 0)  # mapping under a lock
+        return mapped
+
+    def wait(self, future):
+        with self._lock:
+            return future.result()  # future wait serializes every caller

@@ -1,0 +1,21 @@
+"""RL002 negatives: every counter touch sits under the stats lock.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+
+class Service:
+    def bump(self):
+        with self.stats.lock:
+            self.stats.cache_hits += 1
+            self.stats.solved_by["python"] = 1
+
+    def config(self):
+        # "backend" is configuration, not a counter: no lock needed.
+        self.stats.backend = "numpy"
+
+
+class ServiceStats:
+    def snapshot(self):
+        with self.lock:
+            return {"calls": self.calls, "prepares": self.prepares}

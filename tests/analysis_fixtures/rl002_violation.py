@@ -1,0 +1,20 @@
+"""RL002 true positives: counter writes and snapshot reads off the stats lock.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+
+class Service:
+    def bump(self):
+        self.stats.cache_hits += 1  # write outside the stats lock
+
+    def credit(self, name):
+        self.stats.solved_by[name] = 1  # dict-counter store outside the lock
+
+    def reset(self, stats):
+        stats.calls = 0  # bare stats receiver, still a counter write
+
+
+class ServiceStats:
+    def snapshot(self):
+        return {"calls": self.calls}  # torn read: no lock held

@@ -1,0 +1,41 @@
+"""RL003 negatives: the real DiGraph mutator shapes, all paths covered.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+
+class MiniGraph:
+    def __init__(self):
+        self._succ = {}
+        self._fingerprint_cache = None
+        self._delta_logs = []
+
+    def _notify(self, op, a, b=None):
+        for log in self._delta_logs:
+            log.append((op, a, b))
+
+    def add_node(self, node):
+        self._fingerprint_cache = None
+        if node not in self._succ:
+            self._succ[node] = set()
+            if self._delta_logs:
+                self._notify("add_node", node)
+            return
+        self._notify("touch_node", node)
+
+    def add_edge(self, tail, head):
+        # The no-op path (edge already present) mutates nothing, so it
+        # owes no notify; the mutating branch drops and notifies.
+        if head not in self._succ[tail]:
+            self._fingerprint_cache = None
+            self._succ[tail].add(head)
+            if self._delta_logs:
+                self._notify("add_edge", tail, head)
+
+    def remove_edge(self, tail, head):
+        if head not in self._succ[tail]:
+            raise KeyError((tail, head))  # raising exits mutate nothing
+        self._fingerprint_cache = None
+        self._succ[tail].discard(head)
+        if self._delta_logs:
+            self._notify("remove_edge", tail, head)

@@ -1,0 +1,33 @@
+"""RL003 true positives: mutators that skip the cache drop or the notify.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+
+class MiniGraph:
+    def __init__(self):
+        self._succ = {}
+        self._fingerprint_cache = None
+        self._delta_logs = []
+
+    def _notify(self, op, a, b=None):
+        for log in self._delta_logs:
+            log.append((op, a, b))
+
+    def add_node(self, node):
+        # Drops the cache but never notifies: DeltaLog observers miss it.
+        self._fingerprint_cache = None
+        self._succ[node] = set()
+
+    def sneaky_insert(self, node):
+        # Mutates structure without dropping the fingerprint cache: the
+        # LRU and the disk store keep serving the stale prepared index.
+        self._succ[node] = set()
+
+    def remove_node(self, node):
+        self._fingerprint_cache = None
+        if node not in self._succ:
+            return  # early exit after the drop, no notify on this path
+        del self._succ[node]
+        if self._delta_logs:
+            self._notify("remove_node", node)

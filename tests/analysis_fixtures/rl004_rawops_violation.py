@@ -1,0 +1,12 @@
+"""RL004 true positives: raw big-int bit operations on mask-typed values.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+
+def solve(cand_mask, used_mask, pref):
+    mask = cand_mask & ~used_mask  # raw and-not on masks
+    used_mask |= 1 << 3  # raw augmented or
+    width = mask.bit_length()  # raw width probe
+    count = cand_mask.bit_count()  # raw popcount
+    return mask, used_mask, width, count

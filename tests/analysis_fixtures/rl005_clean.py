@@ -1,0 +1,27 @@
+"""RL005 negatives: copies are writable; the COW overlay is exempt.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+import numpy as np
+
+
+def hydrate(buffer, blocks):
+    # .copy() materializes off the mapping: writes touch private memory.
+    matrix = np.frombuffer(buffer, dtype="<u8").reshape(-1, blocks).copy()
+    matrix[0] = 1
+    matrix.fill(0)
+    return matrix
+
+
+def read_only(buffer):
+    view = np.frombuffer(buffer, dtype="<u8")
+    total = int(view.sum())  # reads are always fine
+    return total
+
+
+class _CowMatrix:
+    def copy_out(self, buffer, row):
+        view = np.frombuffer(buffer, dtype="<u8")
+        view[row] = 0  # the blessed overlay may touch its rows
+        return view

@@ -1,0 +1,16 @@
+"""RL005 true positives: in-place writes into frombuffer-derived views.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+import numpy as np
+
+
+def hydrate(buffer, blocks):
+    matrix = np.frombuffer(buffer, dtype="<u8").reshape(-1, blocks)
+    matrix[0] = 1  # store into the shared mapping
+    view = matrix[1:]
+    view += 2  # derived view: still the mapping
+    matrix.fill(0)  # in-place method on the mapping
+    np.copyto(view, 7)  # bulk write into the mapping
+    return matrix

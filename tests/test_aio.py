@@ -215,3 +215,57 @@ class TestSemaphoreHousekeeping:
 
 async def _grab_semaphore(service):
     return service._semaphore()
+
+
+class TestLockDiscipline:
+    """Satellite audit of core/aio.py: repro-lint found no RL001/RL002
+    violations (its lock blocks only build executors/semaphores and all
+    stats flow through the inner service's stats lock).  These tests pin
+    that clean bill of health behaviorally and statically."""
+
+    def test_stats_never_tear_under_async_fanout(self):
+        """Every snapshot taken while async fan-out is in flight keeps
+        calls == sum(solved_by): the inner service bundles both under
+        the stats lock, and nothing in aio.py bypasses it."""
+        data, patterns, source = build_workload(patterns=6)
+        torn = []
+        stop = threading.Event()
+
+        async def run():
+            async with AsyncMatchingService(max_concurrency=4) as service:
+                def watch():
+                    while not stop.is_set():
+                        snap = service.service.stats.snapshot()
+                        if snap["calls"] != sum(snap["solved_by"].values()):
+                            torn.append(snap)
+
+                watcher = threading.Thread(target=watch)
+                watcher.start()
+                try:
+                    for _ in range(5):
+                        await service.match_many(patterns, data, source, XI)
+                finally:
+                    stop.set()
+                    watcher.join(10)
+                return service.service.stats.snapshot()
+
+        snap = asyncio.run(run())
+        assert not torn, torn[:3]
+        assert snap["calls"] == 5 * len(patterns)
+        assert snap["calls"] == sum(snap["solved_by"].values())
+
+    def test_repro_lint_finds_no_lock_violations_in_aio_or_sharding(self):
+        """Regression proof for the ISSUE-7 audit: RL001/RL002 report
+        zero findings on core/aio.py and core/sharding.py (sharding's
+        under-lock subgraph builds were fixed to the off-lock pattern)."""
+        import repro.core.aio as aio_module
+        import repro.core.sharding as sharding_module
+        from repro.analysis import all_rules, run_analysis
+
+        report = run_analysis(
+            [aio_module.__file__, sharding_module.__file__],
+            rules=all_rules(),
+            select=["RL001", "RL002"],
+        )
+        assert report.findings == [], "\n".join(f.render() for f in report.findings)
+        assert len(report.files) == 2

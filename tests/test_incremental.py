@@ -20,7 +20,6 @@ Three layers of defense around the delta-evolution machinery:
 
 from __future__ import annotations
 
-import inspect
 import random
 
 import pytest
@@ -384,7 +383,8 @@ class TestEvolutionStrategies:
 # The mutator-invalidation audit
 # ----------------------------------------------------------------------
 #: Every DiGraph mutator, with a setup-free mutation and the event ops it
-#: must emit.  The source-scan guard below forces additions here.
+#: must emit.  repro-lint's RL003 statically audits the mutator source
+#: (see test_static_mutator_audit_is_clean); this table checks behavior.
 MUTATOR_AUDIT = {
     "add_node": (lambda g: g.add_node("fresh"), ["add_node"]),
     "add_node (existing)": (
@@ -436,19 +436,20 @@ class TestMutatorAudit:
         assert log.touched == {"a", "b", "c"}
         assert log.removed_nodes == {"b"}
 
-    def test_audit_covers_every_mutator_in_source(self):
-        """Source-scan guard: any DiGraph method that drops the
-        fingerprint memo must appear in MUTATOR_AUDIT (under its own
-        name) — so a new mutator cannot dodge the audit."""
-        audited = {name.split(" ")[0] for name in MUTATOR_AUDIT}
-        audited.discard("add_edges")  # delegates to add_edge: no direct memo touch
-        mutators_in_source = set()
-        for name, member in inspect.getmembers(DiGraph, inspect.isfunction):
-            if name in ("__init__", "_notify"):
-                continue
-            if "_fingerprint_cache" in inspect.getsource(member):
-                mutators_in_source.add(name)
-        assert mutators_in_source == audited
+    def test_static_mutator_audit_is_clean(self):
+        """RL003 (repro-lint's mutator audit) is the single enforcement
+        point for the drop-cache + notify pairing: zero findings on the
+        live DiGraph source.  This replaces the old inspect.getsource
+        scan — the static rule additionally proves *every mutation path*
+        notifies, not just that a _fingerprint_cache line exists."""
+        import repro.graph.digraph as digraph_module
+        from repro.analysis import all_rules, run_analysis
+
+        report = run_analysis(
+            [digraph_module.__file__], rules=all_rules(), select=["RL003"]
+        )
+        assert report.findings == [], [f.render() for f in report.findings]
+        assert report.files, "the digraph source must have been scanned"
 
     def test_no_log_attached_costs_nothing(self):
         graph = DiGraph.from_edges([("a", "b")])

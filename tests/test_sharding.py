@@ -12,6 +12,7 @@ spill path (components whose candidates span shards).
 from __future__ import annotations
 
 import random
+import threading
 
 import pytest
 
@@ -643,3 +644,124 @@ class TestShardPlanEvolution:
         data.add_edge(0, 3)
         with pytest.raises(InputError):
             plan.evolve(data, log)
+
+
+# ----------------------------------------------------------------------
+# Lock discipline: shard views build off-lock (repro-lint RL001 fix)
+# ----------------------------------------------------------------------
+class TestOffLockShardBuilds:
+    """``shard_graph``/``union_graph`` used to run ``graph.subgraph`` while
+    holding the plan lock, stalling every concurrent router scan behind
+    one O(|shard|) build.  These tests pin the off-lock double-checked
+    pattern (and would deadlock/fail against the old code)."""
+
+    def test_shard_build_does_not_hold_the_plan_lock(self, monkeypatch):
+        graph = corpus_graph(sites=2, site_nodes=15)
+        plan = ShardPlan.for_data_graph(graph, 2)
+        sid = plan.nonempty_shards()[0]
+        entered, release = threading.Event(), threading.Event()
+        original = DiGraph.subgraph
+
+        def slow_subgraph(self, nodes, name=""):
+            entered.set()
+            assert release.wait(5), "builder was never released"
+            return original(self, nodes, name=name)
+
+        monkeypatch.setattr(DiGraph, "subgraph", slow_subgraph)
+        builder = threading.Thread(target=plan.shard_graph, args=(sid,))
+        builder.start()
+        try:
+            assert entered.wait(5), "builder never reached subgraph"
+            # While the O(|shard|) build is in flight, the plan lock must
+            # be free for other readers (fingerprint cache, describe()).
+            acquired = plan._lock.acquire(timeout=1)
+            assert acquired, "shard_graph held the plan lock across the build"
+            plan._lock.release()
+        finally:
+            release.set()
+            builder.join(5)
+        monkeypatch.undo()
+        shard = plan.shard_graph(sid)  # cached by the builder thread
+        assert sorted(shard.nodes()) == sorted(plan.shard_nodes[sid])
+
+    def test_union_build_does_not_hold_the_plan_lock(self, monkeypatch):
+        graph = corpus_graph(sites=3, site_nodes=12)
+        plan = ShardPlan.for_data_graph(graph, 3)
+        key = frozenset(plan.nonempty_shards()[:2])
+        entered, release = threading.Event(), threading.Event()
+        original = DiGraph.subgraph
+
+        def slow_subgraph(self, nodes, name=""):
+            entered.set()
+            assert release.wait(5)
+            return original(self, nodes, name=name)
+
+        monkeypatch.setattr(DiGraph, "subgraph", slow_subgraph)
+        builder = threading.Thread(target=plan.union_graph, args=(key,))
+        builder.start()
+        try:
+            assert entered.wait(5)
+            acquired = plan._lock.acquire(timeout=1)
+            assert acquired, "union_graph held the plan lock across the build"
+            plan._lock.release()
+        finally:
+            release.set()
+            builder.join(5)
+
+    def test_racing_builders_share_one_cached_graph(self):
+        graph = corpus_graph(sites=3, site_nodes=15)
+        plan = ShardPlan.for_data_graph(graph, 3)
+        sid = plan.nonempty_shards()[0]
+        key = frozenset(plan.nonempty_shards())
+        barrier = threading.Barrier(8)
+        shard_results, union_results = [], []
+
+        def build():
+            barrier.wait()
+            shard_results.append(plan.shard_graph(sid))
+            union_results.append(plan.union_graph(key))
+
+        threads = [threading.Thread(target=build) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        # Racing builders may each construct a graph, but setdefault
+        # publishes exactly one canonical object: identity, not equality.
+        assert all(g is shard_results[0] for g in shard_results)
+        assert all(g is union_results[0] for g in union_results)
+        assert sorted(shard_results[0].nodes()) == sorted(plan.shard_nodes[sid])
+
+    def test_stats_never_tear_under_concurrent_traffic(self):
+        """RL002 regression: every aggregate snapshot taken while traffic
+        is in flight satisfies calls == sum(solved_by) — the PR-4
+        invariant the stats lock exists to protect."""
+        graph2 = corpus_graph(sites=2, site_nodes=18, seed=3)
+        patterns = [random_pattern(graph2, 5, s) for s in range(3)]
+        mats = {p.name: label_equality_matrix(p, graph2) for p in patterns}
+        router = ShardedMatchingService(2)
+        torn, stop = [], threading.Event()
+
+        def hammer():
+            for _ in range(15):
+                for pattern in patterns:
+                    router.match(pattern, graph2, mats[pattern.name], 0.5)
+
+        def watch():
+            while not stop.is_set():
+                agg = router.stats_snapshot()["aggregate"]
+                if agg["calls"] != sum(agg["solved_by"].values()):
+                    torn.append(agg)
+
+        workers = [threading.Thread(target=hammer) for _ in range(3)]
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(30)
+        stop.set()
+        watcher.join(10)
+        assert not torn, torn[:3]
+        agg = router.stats_snapshot()["aggregate"]
+        assert agg["calls"] == 3 * 15 * len(patterns)

@@ -1,0 +1,188 @@
+"""Candidate prefilter: bit-identity and end-to-end serving speedup.
+
+Two claims, matching the prefilter pipeline:
+
+**Bit-identity** (``test_prefilter_equivalence``, CI's smoke): on a
+3200-node labeled data graph served sharded, ``prefilter="auto"``
+returns exactly the ``"off"`` reports — same σ node for node, same
+qualities to the last float bit, same result stats — while the service
+counters prove pruning really happened (``pairs_pruned`` and
+``shards_skipped`` both positive).
+
+**Serving speedup** (``test_prefilter_speedup``): 200 small
+label-selective patterns against the same 3200-node, 8-site corpus —
+the low-selectivity regime where each pattern's labels confine its
+candidates to a handful of nodes in one site.  With the prefilter off,
+every request evaluates a label-equality matrix over all 3200 data
+nodes, scans it into candidate rows, and hands the full row set to
+every touched shard workspace.  With ``auto``, rows come straight from
+cached shard label indexes (no matrix at all), shards whose 64-bit
+label signature cannot host a pattern label are never consulted, and
+each shard workspace receives only its own components' rows.  Same
+requests, bit-identical reports (asserted), ≥ ``MIN_SPEEDUP``× less
+wall clock end-to-end.  Under ``--json PATH`` the timing test writes
+``BENCH_prefilter.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from functools import lru_cache
+
+from repro.core.prefilter import LabelEqualitySimilarity
+from repro.core.service import MatchingService
+from repro.core.sharding import ShardPlan, ShardedMatchingService
+
+XI = 0.75
+MIN_SPEEDUP = 2.0
+
+SITES = 8
+SITE_NODES = 400  # 3200 data nodes total
+LABELS_PER_SITE = 64  # ~6 candidates per label: the low-selectivity regime
+PATTERNS = 200
+PATTERN_NODES = 6
+SERVING_ROUNDS = 3
+
+
+@lru_cache(maxsize=None)
+def _workload():
+    """One 3200-node, 8-site labeled graph + 200 site-local patterns."""
+    rng = random.Random(8086)
+    from repro.graph.digraph import DiGraph
+
+    data = DiGraph(name="prefilter3200")
+    for site in range(SITES):
+        base = site * SITE_NODES
+        for i in range(SITE_NODES):
+            data.add_node(base + i, label=f"s{site}:L{rng.randrange(LABELS_PER_SITE)}")
+        for _ in range(3 * SITE_NODES):
+            a = base + rng.randrange(SITE_NODES)
+            b = base + rng.randrange(SITE_NODES)
+            if a != b:
+                data.add_edge(a, b)
+        for i in range(SITE_NODES - 1):  # keep each site weakly connected
+            data.add_edge(base + i, base + i + 1)
+
+    patterns = []
+    for p in range(PATTERNS):
+        # Each pattern straddles two sites, so its components route to
+        # two different shards — the fan-out shape route scoping prunes
+        # (a one-site pattern builds one workspace and has nothing to
+        # scope away).
+        site_a, site_b = p % SITES, (p + 1) % SITES
+        nodes = rng.sample(
+            range(site_a * SITE_NODES, (site_a + 1) * SITE_NODES),
+            PATTERN_NODES // 2,
+        ) + rng.sample(
+            range(site_b * SITE_NODES, (site_b + 1) * SITE_NODES),
+            PATTERN_NODES - PATTERN_NODES // 2,
+        )
+        patterns.append(data.subgraph(nodes, name=f"s{site_a}s{site_b}p{p}"))
+    return data, patterns
+
+
+def _serve(service, prefilter: str, rounds: int = 1):
+    """Serve every pattern ``rounds`` times; reports + best round time.
+
+    Per-round wall clocks are measured separately and the *minimum* is
+    reported — best-of-N is the contention-robust estimator (a noisy
+    neighbour can only inflate a round, never deflate it).
+    """
+    data, patterns = _workload()
+    reports = []
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        reports.extend(
+            service.match_many_sharded(
+                patterns, data, LabelEqualitySimilarity(), XI, prefilter=prefilter
+            )
+        )
+        best = min(best, time.perf_counter() - start)
+    return reports, best
+
+
+def _fingerprints(reports):
+    return [
+        (r.result.mapping, r.result.qual_card, r.result.qual_sim, r.quality)
+        for r in reports
+    ]
+
+
+def _stats_sans_timing(reports):
+    return [
+        {k: v for k, v in r.result.stats.items() if not k.endswith("_seconds")}
+        for r in reports
+    ]
+
+
+def test_prefilter_equivalence():
+    """auto ≡ off bit-identically, while the counters prove pruning ran."""
+    data, patterns = _workload()
+    plan = ShardPlan.for_data_graph(data, SITES)
+    assert len(plan.nonempty_shards()) == SITES
+
+    service = ShardedMatchingService(SITES)
+    off, _ = _serve(service, "off")
+    auto, _ = _serve(service, "auto")
+    assert _fingerprints(auto) == _fingerprints(off)
+    assert _stats_sans_timing(auto) == _stats_sans_timing(off)
+
+    snap = service.stats_snapshot()
+    assert snap["pairs_pruned"] > 0
+    assert snap["shards_skipped"] > 0
+    assert snap["filter_seconds"] > 0.0
+
+    # ... and both agree with the flat partitioned solve.
+    flat = MatchingService()
+    flat_reports = flat.match_many(
+        patterns[:20], data, LabelEqualitySimilarity(), XI, partitioned=True
+    )
+    assert _fingerprints(auto[:20]) == _fingerprints(flat_reports)
+
+
+def test_prefilter_speedup(bench_json):
+    """auto serves the low-selectivity corpus ≥ 2× faster than off."""
+    service = ShardedMatchingService(SITES)
+    _serve(service, "off")  # warm-up: plan + per-shard prepared indexes
+    _serve(service, "auto")  # warm-up: shard signatures + label indexes
+
+    off_reports, off_seconds = _serve(service, "off", SERVING_ROUNDS)
+    auto_reports, auto_seconds = _serve(service, "auto", SERVING_ROUNDS)
+
+    rounds = len(auto_reports) // PATTERNS
+    assert _fingerprints(auto_reports) == _fingerprints(off_reports)
+    snap = service.stats_snapshot()
+    assert snap["pairs_pruned"] > 0
+    assert snap["shards_skipped"] > 0
+
+    speedup = off_seconds / auto_seconds if auto_seconds > 0 else float("inf")
+    requests = rounds * PATTERNS
+    print(
+        f"\noff={off_seconds:.3f}s auto={auto_seconds:.3f}s (best round) "
+        f"speedup={speedup:.2f}x on {SITES * SITE_NODES}-node corpus, "
+        f"{requests} requests, {SITES} shards "
+        f"(pairs_pruned={snap['pairs_pruned']}, "
+        f"shards_skipped={snap['shards_skipped']})"
+    )
+    bench_json(
+        "prefilter",
+        {
+            "nodes": SITES * SITE_NODES,
+            "shards": SITES,
+            "patterns": PATTERNS,
+            "rounds": SERVING_ROUNDS,
+            "off_seconds": off_seconds,
+            "auto_seconds": auto_seconds,
+            "speedup": speedup,
+            "pairs_pruned": snap["pairs_pruned"],
+            "shards_skipped": snap["shards_skipped"],
+            "filter_seconds": snap["filter_seconds"],
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"prefilter speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+        f"(off={off_seconds:.3f}s, auto={auto_seconds:.3f}s)"
+    )

@@ -46,6 +46,14 @@ working set.  ``index warm --backend mmap`` verifies exactly that path
 ``index ls --json`` carries ``payload_bytes`` / ``mask_section_bytes``
 per entry so operators can size page-cache budgets.
 
+``--prefilter {auto,off,strict}`` (on ``match`` and ``batch``) engages
+the candidate-pruning pipeline (:mod:`repro.core.prefilter`): ``auto``
+prunes candidate construction and shard fan-out where results stay
+bit-identical (``pairs_pruned`` / ``shards_skipped`` in the service
+stats), ``strict`` adds sketch pair pruning (the approximate tier).
+``index warm --prefilter off`` writes sketch-free payloads for stores
+that will only ever serve ``--prefilter off`` traffic.
+
 ``index evolve`` carries a warmed store across a data-graph edit
 *incrementally*: the old snapshot's stored ``G2⁺`` index is evolved to
 the new snapshot's content — a structural diff drives
@@ -80,6 +88,7 @@ import sys
 from repro.core.api import match
 from repro.core.backends import BACKEND_NAMES, get_backend
 from repro.core.phom import check_phom_mapping
+from repro.core.prefilter import PREFILTER_MODES, LabelEqualitySimilarity
 from repro.core.prepared import PreparedDataGraph
 from repro.core.service import MatchingService
 from repro.core.sharding import ShardPlan, ShardedMatchingService
@@ -101,6 +110,14 @@ BACKEND_HELP = (
     "results are identical across backends, only speed differs"
 )
 
+#: Shared ``--prefilter`` help string (match / batch).
+PREFILTER_HELP = (
+    "candidate prefilter: 'auto' (default) prunes candidate work where "
+    "results stay bit-identical, 'off' disables it, 'strict' adds sketch "
+    "pair pruning (valid mappings, quality may drop; needs the "
+    "partitioned/sharded path)"
+)
+
 
 def _load_similarity(spec: str, pattern, data) -> SimilarityMatrix:
     if spec == "labels":
@@ -118,7 +135,13 @@ def _load_similarity(spec: str, pattern, data) -> SimilarityMatrix:
 def _cmd_match(args: argparse.Namespace) -> int:
     pattern = load_json(args.pattern)
     data = load_json(args.data)
-    mat = _load_similarity(args.similarity, pattern, data)
+    if args.similarity == "labels" and args.prefilter != "off":
+        # Hand the matcher the label gate itself, not an evaluated
+        # matrix — the prefilter pipeline then builds candidate rows
+        # straight from label indexes (results stay bit-identical).
+        mat: object = LabelEqualitySimilarity()
+    else:
+        mat = _load_similarity(args.similarity, pattern, data)
     options = dict(
         xi=args.xi,
         metric=args.metric,
@@ -128,6 +151,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         symmetric=args.symmetric,
         pick=args.pick,
         backend=args.backend,
+        prefilter=args.prefilter,
     )
     if args.store_dir is not None:
         # A dedicated service so the disk tier is read *and* warmed.
@@ -147,8 +171,12 @@ def _cmd_match(args: argparse.Namespace) -> int:
         "stats": report.result.stats,
     }
     if args.verify:
+        verify_mat = (
+            mat(pattern, data) if isinstance(mat, LabelEqualitySimilarity) else mat
+        )
         violations = check_phom_mapping(
-            pattern, data, report.result.mapping, mat, args.xi, injective=args.injective
+            pattern, data, report.result.mapping, verify_mat, args.xi,
+            injective=args.injective,
         )
         payload["violations"] = [f"{v.kind}: {v.detail}" for v in violations]
     json.dump(payload, sys.stdout, indent=1)
@@ -156,7 +184,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0 if report.matched else 1
 
 
-def _similarity_source(spec: str, data):
+def _similarity_source(spec: str, data, prefilter: str = "off"):
     """The batch similarity source: evaluated per (pattern, data) pair."""
     if spec == "shingles":
         # Build the data-side shingle sets + inverted index once for the
@@ -164,6 +192,10 @@ def _similarity_source(spec: str, data):
         index = ShingleIndex(data)
         return lambda pattern, _data: index.matrix_for(pattern)
     if spec == "labels":
+        if prefilter != "off":
+            # The gate object lets the prefilter skip matrix evaluation
+            # entirely (rows come from label indexes, bit-identical).
+            return LabelEqualitySimilarity()
         return lambda pattern, data: _load_similarity(spec, pattern, data)
     return _load_similarity(spec, None, None)  # a file: shared by all patterns
 
@@ -187,7 +219,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         reports = service.match_many_sharded(
             patterns,
             data,
-            _similarity_source(args.similarity, data),
+            _similarity_source(args.similarity, data, args.prefilter),
             args.xi,
             metric=args.metric,
             injective=args.injective,
@@ -195,6 +227,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             symmetric=args.symmetric,
             pick=args.pick,
             max_workers=args.parallel,
+            prefilter=args.prefilter,
         )
         service_stats = service.stats_snapshot()
         backend_name = service.backend.name
@@ -203,7 +236,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         reports = service.match_many(
             patterns,
             data,
-            _similarity_source(args.similarity, data),
+            _similarity_source(args.similarity, data, args.prefilter),
             args.xi,
             metric=args.metric,
             injective=args.injective,
@@ -212,6 +245,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             symmetric=args.symmetric,
             pick=args.pick,
             max_workers=args.parallel,
+            prefilter=args.prefilter,
         )
         service_stats = service.stats.snapshot()
         backend_name = service.backend.name
@@ -276,7 +310,8 @@ def _hydration_check(
 
 
 def _warm_one(
-    store: PreparedIndexStore, graph, backend, force: bool, line: dict
+    store: PreparedIndexStore, graph, backend, force: bool, line: dict,
+    include_sketches: bool = True,
 ) -> dict:
     """Warm one graph's index into the store; returns the report line.
 
@@ -298,7 +333,7 @@ def _warm_one(
         return line
     prepared = PreparedDataGraph(graph, fingerprint=fingerprint)
     with Stopwatch() as watch:
-        stored_at = store.save(prepared)
+        stored_at = store.save(prepared, include_sketches=include_sketches)
     line.update(
         action="stored",
         hydration=_hydration_check(store, fingerprint, graph, prepared, backend),
@@ -326,8 +361,15 @@ def _cmd_index_warm(args: argparse.Namespace) -> int:
     backend = get_backend(args.backend)
     for path in args.graphs:
         graph = load_json(path)
+        include_sketches = args.prefilter != "off"
         if args.shards is None:
-            json.dump(_warm_one(store, graph, backend, args.force, {"graph": path}), sys.stdout)
+            json.dump(
+                _warm_one(
+                    store, graph, backend, args.force, {"graph": path},
+                    include_sketches=include_sketches,
+                ),
+                sys.stdout,
+            )
             print()
             continue
         plan = ShardPlan.for_data_graph(graph, args.shards)
@@ -338,6 +380,7 @@ def _cmd_index_warm(args: argparse.Namespace) -> int:
                 backend,
                 args.force,
                 {"graph": path, "shard": shard_id, "shards": args.shards},
+                include_sketches=include_sketches,
             )
             json.dump(line, sys.stdout)
             print()
@@ -516,6 +559,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKEND_NAMES, default=None,
         help="%s" % BACKEND_HELP,
     )
+    matcher.add_argument(
+        "--prefilter", choices=PREFILTER_MODES, default="auto", help=PREFILTER_HELP
+    )
     matcher.add_argument("--verify", action="store_true", help="re-check the mapping")
     matcher.set_defaults(handler=_cmd_match)
 
@@ -559,6 +605,9 @@ def build_parser() -> argparse.ArgumentParser:
         "into N closure-closed shards and fan pattern components out "
         "(bit-identical to --shards 1; cardinality metric only)",
     )
+    batch.add_argument(
+        "--prefilter", choices=PREFILTER_MODES, default="auto", help=PREFILTER_HELP
+    )
     batch.add_argument("--out", default=None, help="write JSON lines here (default stdout)")
     batch.set_defaults(handler=_cmd_batch)
 
@@ -583,6 +632,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None, metavar="N",
         help="warm the per-shard indexes of an N-shard plan instead of "
         "the whole-graph index (what `batch --shards N` serves from)",
+    )
+    warm.add_argument(
+        "--prefilter", choices=PREFILTER_MODES, default="auto",
+        help="include per-node prefilter sketches in the stored payload "
+        "('off' writes the sketch-free v2-shaped payload)",
     )
     warm.set_defaults(handler=_cmd_index, index_handler=_cmd_index_warm)
 

@@ -42,6 +42,10 @@ STATS_COUNTERS = frozenset(
         "load_seconds",
         "store_seconds",
         "batch_seconds",
+        "pairs_pruned",
+        "shards_skipped",
+        "filter_bypasses",
+        "filter_seconds",
         "solved_by",
     }
 )

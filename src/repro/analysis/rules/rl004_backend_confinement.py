@@ -3,8 +3,8 @@
 Two halves:
 
 1. **Raw mask ops.**  Solver-path modules (``core/engine.py``,
-   ``core/optimize.py``, ``core/sharding.py``) must not apply raw big-int
-   bit operators (``&``, ``|``, ``^``, shifts, ``~``, ``bit_count`` /
+   ``core/optimize.py``, ``core/prefilter.py``, ``core/sharding.py``)
+   must not apply raw big-int bit operators (``&``, ``|``, ``^``, shifts, ``~``, ``bit_count`` /
    ``bit_length``) to mask-typed values.  Those operations silently
    assume the python-int representation; a backend whose rows are numpy
    blocks (or mmap views) would have to eagerly hydrate to honor them.
@@ -121,6 +121,7 @@ class BackendConfinementRule(Rule):
     default_paths = (
         "core/engine.py",
         "core/optimize.py",
+        "core/prefilter.py",
         "core/sharding.py",
         "core/backends/__init__.py",
     )

@@ -132,7 +132,12 @@ class AsyncMatchingService:
         xi: float,
         **options,
     ) -> MatchReport:
-        """Await one match; parameters as in the wrapped service."""
+        """Await one match; parameters as in the wrapped service.
+
+        ``**options`` flows through verbatim, so ``prefilter=`` (the
+        candidate-pruning pipeline of :mod:`repro.core.prefilter`)
+        works here exactly as on the synchronous surface.
+        """
         return await self._run(self.service.match, graph1, graph2, mat, xi, **options)
 
     async def match_many(

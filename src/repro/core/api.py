@@ -32,6 +32,11 @@ from repro.core.comp_max_sim import comp_max_sim, comp_max_sim_injective
 from repro.core.engine import PICK_RULES
 from repro.core.optimize import comp_max_card_partitioned
 from repro.core.phom import PHomResult, validate_threshold
+from repro.core.prefilter import (
+    gated_candidate_rows,
+    label_gate_of,
+    validate_prefilter,
+)
 from repro.core.prepared import PreparedDataGraph
 from repro.graph.closure import transitive_closure_graph
 from repro.graph.digraph import DiGraph
@@ -69,6 +74,7 @@ def validate_match_options(
     partitioned: bool = False,
     pick: str = "similarity",
     backend: "str | SolverBackend | None" = None,
+    prefilter: str = "auto",
 ) -> None:
     """Reject bad options *before* any expensive work.
 
@@ -86,6 +92,12 @@ def validate_match_options(
     if pick not in PICK_RULES:
         raise InputError(f"unknown pick rule {pick!r}; choose one of {PICK_RULES}")
     get_backend(backend)  # raises on unknown names / missing dependencies
+    validate_prefilter(prefilter)
+    if prefilter == "strict" and not (partitioned and metric == "cardinality"):
+        raise InputError(
+            "prefilter='strict' needs the partitioned cardinality path "
+            "(partitioned=True or sharded routing)"
+        )
     if xi is not None:
         validate_threshold(xi)
 
@@ -111,6 +123,7 @@ def match_prepared(
     symmetric: bool = False,
     pick: str = "similarity",
     backend: "str | SolverBackend | None" = None,
+    prefilter: str = "auto",
 ) -> MatchReport:
     """Match ``graph1`` against an already-prepared data graph.
 
@@ -123,7 +136,12 @@ def match_prepared(
     semantics.
     """
     validate_match_options(
-        metric, threshold, partitioned=partitioned, pick=pick, backend=backend
+        metric,
+        threshold,
+        partitioned=partitioned,
+        pick=pick,
+        backend=backend,
+        prefilter=prefilter,
     )
     return _solve_prepared(
         graph1,
@@ -137,6 +155,7 @@ def match_prepared(
         symmetric=symmetric,
         pick=pick,
         backend=backend,
+        prefilter=prefilter,
     )
 
 
@@ -152,17 +171,49 @@ def _solve_prepared(
     symmetric: bool,
     pick: str = "similarity",
     backend: "str | SolverBackend | None" = None,
+    prefilter: str = "auto",
+    candidate_rows=None,
 ) -> MatchReport:
     """:func:`match_prepared` minus validation — for callers (the service
-    layer) that already ran :func:`validate_match_options` pre-flight."""
+    layer) that already ran :func:`validate_match_options` pre-flight.
+
+    ``candidate_rows`` are pre-computed rows for the partitioned path
+    (the service's gated fast path hands them down); ``prefilter`` is
+    supported on the partitioned path only — ``strict`` anywhere else
+    raises, ``auto`` elsewhere is the conservative bypass (the caller
+    counts it).
+    """
     pattern = closure_pattern(graph1) if symmetric else graph1
     graph2 = prepared.graph
+
+    if prefilter == "strict" and not (partitioned and metric == "cardinality"):
+        raise InputError(
+            "prefilter='strict' needs the partitioned cardinality path "
+            "(partitioned=True or sharded routing)"
+        )
+    if (
+        candidate_rows is None
+        and prefilter != "off"
+        and partitioned
+        and metric == "cardinality"
+    ):
+        gate = label_gate_of(mat)
+        if gate is not None:
+            candidate_rows = gated_candidate_rows(gate, pattern, prepared)
+    if candidate_rows is None:
+        gate = label_gate_of(mat)
+        if gate is not None:
+            # A gated source outside the fast path (prefilter off, or a
+            # non-partitioned metric) evaluates like any callable source.
+            mat = gate(graph1, graph2)
 
     if metric == "cardinality":
         if partitioned:
             result = comp_max_card_partitioned(
                 pattern, graph2, mat, xi, injective=injective, pick=pick,
                 prepared=prepared, backend=backend,
+                candidate_rows=candidate_rows,
+                prefilter=prefilter if prefilter == "strict" else None,
             )
         elif injective:
             result = comp_max_card_injective(
@@ -227,6 +278,7 @@ def match(
     prepared: PreparedDataGraph | None = None,
     backend: "str | SolverBackend | None" = None,
     shards: int | None = None,
+    prefilter: str = "auto",
 ) -> MatchReport:
     """Match ``graph1`` (pattern) against ``graph2`` (data graph).
 
@@ -265,6 +317,15 @@ def match(
         Proposition 1 — the sharded equivalent of ``partitioned=True``
         (cardinality metric only), bit-identical to it at any shard
         count.  Mutually exclusive with ``prepared``.
+    prefilter:
+        Candidate-pruning mode (:mod:`repro.core.prefilter`) —
+        ``"auto"`` (default) applies only bit-identical prunes and
+        conservatively bypasses opaque similarity sources, ``"off"``
+        disables the pipeline, ``"strict"`` adds sketch pair pruning
+        (valid mappings, possibly lower quality — the approximate tier;
+        partitioned/sharded cardinality paths only).  Pass a
+        :class:`~repro.core.prefilter.LabelEqualitySimilarity` as
+        ``mat`` to unlock the gated fast path.
 
     Without ``prepared`` the call goes through the process-wide
     :func:`~repro.core.service.default_service`, so back-to-back matches
@@ -290,6 +351,7 @@ def match(
             symmetric=symmetric,
             pick=pick,
             backend=backend,
+            prefilter=prefilter,
         )
     if prepared is not None:
         return match_prepared(
@@ -304,6 +366,7 @@ def match(
             symmetric=symmetric,
             pick=pick,
             backend=backend,
+            prefilter=prefilter,
         )
     # Imported lazily: the service module builds on this one.
     from repro.core.service import default_service
@@ -320,4 +383,5 @@ def match(
         symmetric=symmetric,
         pick=pick,
         backend=backend,
+        prefilter=prefilter,
     )

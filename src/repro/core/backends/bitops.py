@@ -39,3 +39,21 @@ def exclude(value: int, banned: int) -> int:
 def lowest_set_bit(value: int) -> int:
     """The index of the lowest set bit; ``value`` must be nonzero."""
     return (value & -value).bit_length() - 1
+
+
+def intersects(value: int, other: int) -> bool:
+    """True when ``value`` and ``other`` share at least one set bit."""
+    return bool(value & other)
+
+
+def popcount(value: int) -> int:
+    """The number of set bits in ``value``."""
+    return value.bit_count()
+
+
+def iter_set_bits(value: int):
+    """Yield the indices of set bits of ``value``, lowest first."""
+    while value:
+        low = value & -value
+        yield low.bit_length() - 1
+        value ^= low

@@ -225,6 +225,14 @@ class MappedPayload:
     mask_section_bytes: int
     #: The validated :class:`~repro.core.store.PayloadRegion` opened.
     region: object = field(repr=False, default=None)
+    #: Closure-sketch uint64 views over the payload's sketch section
+    #: (``None`` each when the payload predates sketches) — consumed by
+    #: ``PreparedDataGraph.from_mapped`` as in-place ``ClosureSketches``
+    #: columns, exactly like the mask rows.
+    out_card: object = field(repr=False, default=None)
+    in_card: object = field(repr=False, default=None)
+    out_sig: object = field(repr=False, default=None)
+    in_sig: object = field(repr=False, default=None)
 
 
 class MmapBlockBackend(BlockBackendBase):
@@ -266,7 +274,9 @@ class MmapBlockBackend(BlockBackendBase):
         mask_start = newline + 1
         mask_start += -mask_start % 8  # skip the alignment padding
         section = (2 * n + 1) * width
-        if end - mask_start != section:
+        with_sketch = bool(header.get("sketch"))
+        expected = section + (4 * 8 * n if with_sketch else 0)
+        if end - mask_start != expected:
             raise ValueError("mapped mask section is truncated or oversized")
         words = width // 8
         matrix = np.frombuffer(
@@ -280,6 +290,13 @@ class MmapBlockBackend(BlockBackendBase):
         rows = _MappedRows(
             from_rows, to_rows, from_ints, to_ints, n, words, mapping
         )
+        sketch_columns = {}
+        if with_sketch:
+            sketch_start = mask_start + section
+            for slot, name in enumerate(("out_card", "in_card", "out_sig", "in_sig")):
+                sketch_columns[name] = np.frombuffer(
+                    buffer, dtype="<u8", count=n, offset=sketch_start + slot * 8 * n
+                )
         return MappedPayload(
             header=header,
             backend_name=self.name,
@@ -289,6 +306,7 @@ class MmapBlockBackend(BlockBackendBase):
             cycle_mask=cycle_mask,
             mask_section_bytes=section,
             region=region,
+            **sketch_columns,
         )
 
     def evolve_rows(

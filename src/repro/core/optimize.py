@@ -165,6 +165,8 @@ def comp_max_card_partitioned(
     pick: str = "similarity",
     prepared: PreparedDataGraph | None = None,
     backend=None,
+    candidate_rows=None,
+    prefilter: str | None = None,
 ) -> PHomResult:
     """compMaxCard with the Appendix-B partitioning optimization.
 
@@ -176,13 +178,23 @@ def comp_max_card_partitioned(
     — it governs both the engine runs and the single-node short-cut.
     ``prepared`` reuses a pre-built data-graph index (see
     :mod:`repro.core.prepared`); ``backend`` selects the solver mask
-    representation for every component's engine run.
+    representation for every component's engine run.  ``candidate_rows``
+    hands down pre-computed ξ/cycle-filtered rows (the prefilter's gated
+    fast path); ``prefilter="strict"`` engages sketch pair pruning in
+    the workspace and reports ``pairs_pruned`` in the result stats.
     """
     if pick not in PICK_RULES:
         raise ValueError(f"unknown pick rule {pick!r}; choose one of {PICK_RULES}")
     with Stopwatch() as watch:
         workspace = MatchingWorkspace(
-            graph1, graph2, mat, xi, prepared=prepared, backend=backend
+            graph1,
+            graph2,
+            mat,
+            xi,
+            prepared=prepared,
+            backend=backend,
+            candidate_rows=candidate_rows,
+            prefilter=prefilter,
         )
         components, removed = pattern_components(workspace)
         all_pairs: list[tuple[int, int]] = []
@@ -197,17 +209,22 @@ def comp_max_card_partitioned(
             if injective:
                 for _, u in pairs:
                     used_mask = set_bit(used_mask, u)
+    stats = {
+        "components": len(components),
+        "candidate_free": len(removed),
+        "rounds": rounds,
+        "elapsed_seconds": watch.elapsed,
+    }
+    if prefilter == "strict":
+        # Strict results are the approximate tier — their stats may
+        # carry the extra key (off/auto stats stay byte-identical).
+        stats["pairs_pruned"] = workspace.pairs_pruned
     return PHomResult(
         mapping=workspace.mapping_to_nodes(all_pairs),
         qual_card=workspace.qual_card_of(all_pairs),
         qual_sim=workspace.qual_sim_of(all_pairs),
         injective=injective,
-        stats={
-            "components": len(components),
-            "candidate_free": len(removed),
-            "rounds": rounds,
-            "elapsed_seconds": watch.elapsed,
-        },
+        stats=stats,
     )
 
 

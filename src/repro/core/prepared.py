@@ -69,6 +69,16 @@ class PreparedDataGraph:
     #: index serves from it.
     mapped = None
 
+    #: Per-node closure sketches (:class:`~repro.core.prefilter.ClosureSketches`),
+    #: populated lazily by :attr:`sketches` — or eagerly when a payload /
+    #: mapped open carried a sketch section.  A class-level default keeps
+    #: every construction path (including ``__new__``-based evolution)
+    #: covered without touching each one.
+    _sketches = None
+
+    #: Lazy label → data-node list index (:attr:`label_index`).
+    _label_index = None
+
     def __init__(self, graph2: DiGraph, fingerprint: str | None = None) -> None:
         with Stopwatch() as watch:
             self.graph = graph2
@@ -116,10 +126,41 @@ class PreparedDataGraph:
             self._fingerprint = graph_fingerprint(self.graph)
         return self._fingerprint
 
+    @property
+    def sketches(self):
+        """Per-node closure sketches for the prefilter pipeline, lazy.
+
+        Built from the closure rows and node labels on first use (see
+        :func:`repro.core.prefilter.build_sketches`); payload and mapped
+        hydration paths pre-populate this when the store file carried a
+        sketch section, so a warm open never recomputes.
+        """
+        if self._sketches is None:
+            from repro.core.prefilter import build_sketches
+
+            labels = [self.graph.label(u) for u in self.nodes2]
+            self._sketches = build_sketches(self.from_mask, self.to_mask, labels)
+        return self._sketches
+
+    @property
+    def label_index(self) -> "dict[object, list[Node]]":
+        """Label → data nodes carrying it, in node enumeration order, lazy.
+
+        The gated candidate-row fast path reads this instead of
+        evaluating a similarity matrix; enumeration order keeps the rows
+        it yields bit-identical to a matrix scan.
+        """
+        if self._label_index is None:
+            index: dict[object, list[Node]] = {}
+            for u in self.nodes2:
+                index.setdefault(self.graph.label(u), []).append(u)
+            self._label_index = index
+        return self._label_index
+
     # ------------------------------------------------------------------
     # Serialization (the payload of repro.core.store's index files)
     # ------------------------------------------------------------------
-    def to_payload(self) -> bytes:
+    def to_payload(self, include_sketches: bool = True) -> bytes:
         """Encode the index as bytes: a JSON header line + raw mask rows.
 
         The header records the fingerprint, node/edge counts, the node
@@ -132,6 +173,15 @@ class PreparedDataGraph:
         row widths, so the mask section is mappable in place (see
         :data:`PAYLOAD_LAYOUT`).  File framing (magic, version,
         checksum) is :mod:`repro.core.store`'s concern.
+
+        With ``include_sketches`` (the default), the per-node closure
+        sketches follow the cycle row as four ``n × 8``-byte
+        little-endian uint64 arrays — ``out_card``, ``in_card``,
+        ``out_sig``, ``in_sig`` — and the header gains ``"sketch"``.
+        Readers without the key (payloads written before the prefilter
+        pipeline) simply recompute sketches lazily; the section start is
+        8-byte aligned (layout-2 rows are whole words), so the mmap
+        backend views each array in place.
         """
         n = len(self.nodes2)
         width = _aligned_row_bytes(n)
@@ -144,11 +194,22 @@ class PreparedDataGraph:
             "node_reprs": [repr(node) for node in self.nodes2],
             "prepare_seconds": self.prepare_seconds,
         }
+        if include_sketches:
+            header["sketch"] = True
         head = json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n"
         parts = [head, b"\x00" * (-len(head) % 8)]
         parts.extend(mask.to_bytes(width, "little") for mask in self.from_mask)
         parts.extend(mask.to_bytes(width, "little") for mask in self.to_mask)
         parts.append(self.cycle_mask.to_bytes(width, "little"))
+        if include_sketches:
+            sketches = self.sketches
+            for column in (
+                sketches.out_card,
+                sketches.in_card,
+                sketches.out_sig,
+                sketches.in_sig,
+            ):
+                parts.extend(int(entry).to_bytes(8, "little") for entry in column)
         return b"".join(parts)
 
     @staticmethod
@@ -205,7 +266,10 @@ class PreparedDataGraph:
         if layout != 1:
             mask_offset += -mask_offset % 8  # skip the alignment padding
         body = memoryview(payload)[mask_offset:]
-        if len(body) != (2 * n + 1) * width:
+        mask_section = (2 * n + 1) * width
+        with_sketch = bool(header.get("sketch"))
+        expected = mask_section + (4 * 8 * n if with_sketch else 0)
+        if len(body) != expected:
             raise ValueError("payload mask section is truncated or oversized")
 
         self = cls.__new__(cls)
@@ -221,6 +285,18 @@ class PreparedDataGraph:
         self.from_mask = rows[:n]
         self.to_mask = rows[n : 2 * n]
         self.cycle_mask = rows[2 * n]
+        if with_sketch:
+            from repro.core.prefilter import ClosureSketches
+
+            tail = body[mask_section:]
+            columns = [
+                [
+                    from_bytes(tail[(c * n + i) * 8 : (c * n + i + 1) * 8], "little")
+                    for i in range(n)
+                ]
+                for c in range(4)
+            ]
+            self._sketches = ClosureSketches(*columns)
         #: The *original* build cost — a loaded index never paid it again.
         self.prepare_seconds = float(header["prepare_seconds"])
         self._fingerprint = header["fingerprint"]
@@ -261,6 +337,14 @@ class PreparedDataGraph:
         self.from_mask = payload.from_ints
         self.to_mask = payload.to_ints
         self.cycle_mask = payload.cycle_mask
+        if getattr(payload, "out_card", None) is not None:
+            from repro.core.prefilter import ClosureSketches
+
+            # Sketch arrays are uint64 views over the mapped file —
+            # shared in place, coerced to int at each access point.
+            self._sketches = ClosureSketches(
+                payload.out_card, payload.in_card, payload.out_sig, payload.in_sig
+            )
         self.prepare_seconds = float(header["prepare_seconds"])
         self._fingerprint = header["fingerprint"]
         # Pre-seed the opening backend's native rows: they already exist

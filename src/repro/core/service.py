@@ -50,12 +50,14 @@ from repro.core.api import (
     DEFAULT_MATCH_THRESHOLD,
     MatchReport,
     _solve_prepared,
+    closure_pattern,
     match_prepared,
     validate_match_options,
 )
 from repro.core.backends import SolverBackend, get_backend
 from repro.core.incremental import DeltaLog
 from repro.core.phom import validate_threshold
+from repro.core.prefilter import gated_candidate_rows, label_gate_of
 from repro.core.prepared import PreparedDataGraph
 from repro.core.store import PreparedIndexStore
 from repro.core.workspace import MatchingWorkspace
@@ -151,6 +153,18 @@ class ServiceStats:
     #: Wall-clock seconds of ``match_many`` batches (pool time; with
     #: thread fan-out this is less than the batch's ``solve_seconds``).
     batch_seconds: float = 0.0
+    #: Candidate (v, u) pairs the prefilter pipeline removed before any
+    #: engine frame (strict sketch pruning; route-scoped sharded rows).
+    pairs_pruned: int = 0
+    #: Shards the router never consulted for a request because their
+    #: label signature excluded every pattern label (sharded only).
+    shards_skipped: int = 0
+    #: Requests where the prefilter conservatively disengaged because
+    #: the similarity source stayed opaque (bit-identity guarantee).
+    filter_bypasses: int = 0
+    #: Seconds spent in prefilter work (gated row construction, sketch
+    #: tests) — compare against the solve/resolve time it saved.
+    filter_seconds: float = 0.0
     #: The service's default solver backend name (``""`` until a service
     #: adopts these stats).
     backend: str = ""
@@ -198,6 +212,10 @@ class ServiceStats:
                 "load_seconds": self.load_seconds,
                 "store_seconds": self.store_seconds,
                 "batch_seconds": self.batch_seconds,
+                "pairs_pruned": self.pairs_pruned,
+                "shards_skipped": self.shards_skipped,
+                "filter_bypasses": self.filter_bypasses,
+                "filter_seconds": self.filter_seconds,
                 "backend": self.backend,
                 "solved_by": dict(self.solved_by),
             }
@@ -625,6 +643,7 @@ class MatchingService:
         elapsed: float,
         batch_elapsed: float | None = None,
         backend: SolverBackend | None = None,
+        pairs_pruned: int = 0,
     ) -> None:
         with self.stats.lock:
             self.stats.calls += count
@@ -633,6 +652,46 @@ class MatchingService:
                 self.stats.batch_seconds += batch_elapsed
             if backend is not None:
                 self.stats.record_backend(backend.name, count)
+            if pairs_pruned:
+                self.stats.pairs_pruned += pairs_pruned
+
+    def _gated_rows(
+        self,
+        mat: SimilaritySource,
+        graph1: DiGraph,
+        prepared: PreparedDataGraph,
+        prefilter: str,
+        metric: str,
+        partitioned: bool,
+        symmetric: bool,
+    ):
+        """The prefilter's gated fast path: candidate rows, or ``None``.
+
+        Rows come straight off the prepared label index — no similarity
+        matrix is ever materialised — when the source declares
+        label-equality semantics and the request runs the partitioned
+        cardinality path.  Anything else is the conservative bypass:
+        ``None`` (the caller resolves the source exactly as with the
+        pipeline off) plus a ``filter_bypasses`` bump, so results stay
+        bit-identical.  Row-construction time lands in
+        ``filter_seconds``.
+        """
+        if prefilter == "off":
+            return None
+        if (
+            label_gate_of(mat) is None
+            or not partitioned
+            or metric != "cardinality"
+        ):
+            with self.stats.lock:
+                self.stats.filter_bypasses += 1
+            return None
+        with Stopwatch() as watch:
+            pattern = closure_pattern(graph1) if symmetric else graph1
+            rows = gated_candidate_rows(label_gate_of(mat), pattern, prepared)
+        with self.stats.lock:
+            self.stats.filter_seconds += watch.elapsed
+        return rows
 
     def session(
         self,
@@ -665,18 +724,23 @@ class MatchingService:
         symmetric: bool = False,
         pick: str = "similarity",
         backend: "str | SolverBackend | None" = None,
+        prefilter: str = "auto",
     ) -> MatchReport:
         """One pattern against one data graph, through the prepared cache."""
         solver = self.backend if backend is None else get_backend(backend)
         validate_match_options(
-            metric, threshold, xi, partitioned, pick, backend=solver
+            metric, threshold, xi, partitioned, pick, backend=solver,
+            prefilter=prefilter,
         )  # pre-flight
         prepared = self.prepared_for(graph2)
+        rows = self._gated_rows(
+            mat, graph1, prepared, prefilter, metric, partitioned, symmetric
+        )
         with Stopwatch() as watch:
             report = _solve_prepared(
                 graph1,
                 prepared,
-                resolve_similarity(mat, graph1, graph2),
+                mat if rows is not None else resolve_similarity(mat, graph1, graph2),
                 xi,
                 metric=metric,
                 injective=injective,
@@ -685,8 +749,15 @@ class MatchingService:
                 symmetric=symmetric,
                 pick=pick,
                 backend=solver,
+                prefilter=prefilter,
+                candidate_rows=rows,
             )
-        self._record_solves(1, watch.elapsed, backend=solver)
+        self._record_solves(
+            1,
+            watch.elapsed,
+            backend=solver,
+            pairs_pruned=report.result.stats.get("pairs_pruned", 0),
+        )
         return report
 
     def match_many(
@@ -703,6 +774,7 @@ class MatchingService:
         pick: str = "similarity",
         max_workers: int | None = None,
         backend: "str | SolverBackend | None" = None,
+        prefilter: str = "auto",
     ) -> list[MatchReport]:
         """Match every pattern against one data graph, preparing it once.
 
@@ -715,17 +787,21 @@ class MatchingService:
         """
         solver = self.backend if backend is None else get_backend(backend)
         validate_match_options(
-            metric, threshold, xi, partitioned, pick, backend=solver
+            metric, threshold, xi, partitioned, pick, backend=solver,
+            prefilter=prefilter,
         )  # pre-flight
         patterns = list(patterns)
         prepared = self.prepared_for(graph2)
 
         def solve(graph1: DiGraph) -> tuple[MatchReport, float]:
+            rows = self._gated_rows(
+                mat, graph1, prepared, prefilter, metric, partitioned, symmetric
+            )
             with Stopwatch() as solve_watch:
                 report = _solve_prepared(
                     graph1,
                     prepared,
-                    resolve_similarity(mat, graph1, graph2),
+                    mat if rows is not None else resolve_similarity(mat, graph1, graph2),
                     xi,
                     metric=metric,
                     injective=injective,
@@ -734,6 +810,8 @@ class MatchingService:
                     symmetric=symmetric,
                     pick=pick,
                     backend=solver,
+                    prefilter=prefilter,
+                    candidate_rows=rows,
                 )
             return report, solve_watch.elapsed
 
@@ -749,6 +827,9 @@ class MatchingService:
             sum(elapsed for _, elapsed in timed),
             batch_elapsed=watch.elapsed,
             backend=solver,
+            pairs_pruned=sum(
+                report.result.stats.get("pairs_pruned", 0) for report, _ in timed
+            ),
         )
         return reports
 

@@ -55,6 +55,7 @@ through each worker's ``ServiceStats.solved_by``.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -67,10 +68,11 @@ from repro.core.api import (
     validate_match_options,
 )
 from repro.core.backends import SolverBackend, get_backend
-from repro.core.backends.bitops import set_bit
+from repro.core.backends.bitops import has_bit, set_bit
 from repro.core.incremental import DeltaLog
 from repro.core.optimize import plan_components, solve_component
 from repro.core.phom import PHomResult
+from repro.core.prefilter import label_bit, label_gate_of, label_signature
 from repro.core.service import (
     MatchingService,
     SimilaritySource,
@@ -136,6 +138,11 @@ class ShardPlan:
         self._position: dict[Node, int] = {}
         self._graphs: dict[object, DiGraph] = {}
         self._fingerprints: dict[object, str] = {}
+        #: Per-shard label-set signatures (prefilter shard consultation).
+        self._label_sigs: list[int] | None = None
+        #: Per-shard label → members indexes, built lazily per shard —
+        #: a shard the signature test never consults never builds one.
+        self._label_members: dict[int, dict] = {}
         #: Filled by :meth:`evolve`: what the re-plan kept and moved.
         self.evolve_stats: dict | None = None
         self._lock = threading.Lock()
@@ -306,8 +313,28 @@ class ShardPlan:
     # Corpus routing
     # ------------------------------------------------------------------
     def shard_of_fingerprint(self, fingerprint: str) -> int:
-        """The shard a content fingerprint hashes to (stable across runs)."""
-        return int(fingerprint[:16], 16) % self.shards
+        """The shard a content fingerprint routes to (stable across runs).
+
+        Rendezvous (highest-random-weight) hashing: every (fingerprint,
+        shard) pair gets an independent pseudo-random weight and the
+        fingerprint lands on the heaviest shard.  Unlike the bare-modulo
+        law this one degrades gracefully under fleet resizing — removing
+        a shard remaps *only* the graphs that lived on it (each to its
+        runner-up shard), and growing N→N+1 moves ~1/(N+1) of the
+        corpus, instead of reshuffling nearly everything.  Ties (a
+        64-bit digest collision) break toward the lowest shard id.
+        """
+        best = 0
+        best_weight = -1
+        for sid in range(self.shards):
+            digest = hashlib.blake2b(
+                f"{fingerprint}:{sid}".encode("ascii"), digest_size=8
+            ).digest()
+            weight = int.from_bytes(digest, "big")
+            if weight > best_weight:
+                best = sid
+                best_weight = weight
+        return best
 
     def shard_of_graph(self, graph2: DiGraph) -> int:
         """The shard a whole data graph is assigned to."""
@@ -348,6 +375,55 @@ class ShardPlan:
             )
             with self._lock:
                 cached = self._graphs.setdefault(shard_id, built)
+        return cached
+
+    def shard_label_signatures(self) -> list[int]:
+        """Per-shard hashed label-set signatures, computed once per plan.
+
+        ``sigs[sid]`` has bit :func:`~repro.core.prefilter.label_bit`\\ (L)
+        set iff some node of shard ``sid`` carries label ``L``.  The
+        router's gated fast path consults a shard only when a pattern
+        label's bit is present — a clear bit *proves* the shard has no
+        label-equal candidate (hash collisions only ever add false
+        presences, never false absences, so skipping stays sound).
+        """
+        self._require_graph()
+        with self._lock:
+            cached = self._label_sigs
+        if cached is None:
+            graph = self.graph
+            # Off-lock like the subgraph builds: one pass over every
+            # node; racing builders produce equal lists, first-in wins.
+            built = [
+                label_signature(graph.label(node) for node in nodes)
+                for nodes in self.shard_nodes
+            ]
+            with self._lock:
+                if self._label_sigs is None:
+                    self._label_sigs = built
+                cached = self._label_sigs
+        return cached
+
+    def shard_label_members(self, shard_id: int) -> dict:
+        """Label → shard nodes carrying it (enumeration order), lazy.
+
+        Built per shard on first consultation; shards the signature test
+        excludes never pay for one — that deferred work is what the
+        router's ``shards_skipped`` counter measures.
+        """
+        graph = self._require_graph()
+        if not 0 <= shard_id < self.shards:
+            raise InputError(
+                f"shard id {shard_id!r} out of range for {self.shards} shards"
+            )
+        with self._lock:
+            cached = self._label_members.get(shard_id)
+        if cached is None:
+            built: dict = {}
+            for node in self.shard_nodes[shard_id]:
+                built.setdefault(graph.label(node), []).append(node)
+            with self._lock:
+                cached = self._label_members.setdefault(shard_id, built)
         return cached
 
     def fingerprint_for(self, key: "int | frozenset[int]") -> str:
@@ -495,6 +571,10 @@ class ShardedMatchingService:
             "plans_evolved": 0,
             "shards_replanned": 0,
             "batch_seconds": 0.0,
+            "pairs_pruned": 0,
+            "shards_skipped": 0,
+            "filter_bypasses": 0,
+            "filter_seconds": 0.0,
         }
 
     @property
@@ -625,6 +705,7 @@ class ShardedMatchingService:
         backend: "str | SolverBackend | None" = None,
         plan: ShardPlan | None = None,
         max_workers: int | None = None,
+        prefilter: str = "auto",
     ) -> MatchReport:
         """One pattern against one *sharded* data graph.
 
@@ -640,7 +721,15 @@ class ShardedMatchingService:
 
         ``backend`` overrides every touched worker's engine for this
         call; ``plan`` skips the plan-cache lookup (batch callers pass
-        the plan they already fetched).
+        the plan they already fetched).  ``prefilter`` engages the
+        candidate-pruning pipeline (:mod:`repro.core.prefilter`):
+        ``auto`` routes each shard workspace only its own components'
+        candidate rows (``pairs_pruned``) and, for a label-gated
+        similarity source, builds rows from shard label indexes without
+        evaluating a matrix, consulting only shards whose label
+        signature can host a pattern label (``shards_skipped``) —
+        everything bit-identical to ``off``; ``strict`` adds sketch pair
+        pruning (the approximate tier).
         """
         if metric != "cardinality":
             raise InputError("sharded matching is implemented for the cardinality metric")
@@ -648,6 +737,7 @@ class ShardedMatchingService:
         validate_match_options(
             metric, threshold, xi, partitioned=True, pick=pick,
             backend=self.backend if solver is None else solver,
+            prefilter=prefilter,
         )  # pre-flight: a typo'd option must not cost a shard prepare
         if plan is None:
             plan = self.plan_for(graph2)
@@ -658,17 +748,30 @@ class ShardedMatchingService:
             and plan.fingerprint != graph_fingerprint(graph2)
         ):
             raise InputError("shard plan does not describe this data graph")
-        resolved = resolve_similarity(mat, graph1, graph2)
+        gate = None if prefilter == "off" else label_gate_of(mat)
+        if gate is None:
+            resolved = resolve_similarity(mat, graph1, graph2)
+        else:
+            # Gated fast path: candidate rows come from shard label
+            # indexes inside _solve_components; no matrix is evaluated.
+            resolved = mat
         pattern = closure_pattern(graph1) if symmetric else graph1
         with Stopwatch() as watch:
-            result, fanout, spills = self._solve_components(
-                pattern, resolved, xi, injective, pick, solver, plan, max_workers
+            result, fanout, spills, filtered = self._solve_components(
+                pattern, resolved, xi, injective, pick, solver, plan, max_workers,
+                prefilter=prefilter, gate=gate,
             )
         result.stats["elapsed_seconds"] = watch.elapsed
         with self._lock:
             self._counters["sharded_solves"] += 1
             self._counters["fanout_components"] += fanout
             self._counters["spill_components"] += spills
+            if prefilter != "off":
+                if gate is None:
+                    self._counters["filter_bypasses"] += 1
+                self._counters["pairs_pruned"] += filtered["pairs_pruned"]
+                self._counters["shards_skipped"] += filtered["shards_skipped"]
+                self._counters["filter_seconds"] += filtered["filter_seconds"]
         quality = result.qual_card
         return MatchReport(
             matched=quality >= threshold,
@@ -691,6 +794,7 @@ class ShardedMatchingService:
         pick: str = "similarity",
         backend: "str | SolverBackend | None" = None,
         max_workers: int | None = None,
+        prefilter: str = "auto",
     ) -> list[MatchReport]:
         """Every pattern against one sharded data graph, planned once.
 
@@ -708,6 +812,7 @@ class ShardedMatchingService:
                 graph1, graph2, mat, xi,
                 metric=metric, injective=injective, threshold=threshold,
                 symmetric=symmetric, pick=pick, backend=backend, plan=plan,
+                prefilter=prefilter,
             )
 
         with Stopwatch() as watch:
@@ -731,14 +836,27 @@ class ShardedMatchingService:
         solver: SolverBackend | None,
         plan: ShardPlan,
         max_workers: int | None,
-    ) -> tuple[PHomResult, int, int]:
+        prefilter: str = "off",
+        gate=None,
+    ) -> tuple[PHomResult, int, int, dict]:
         """Plan, route, solve and merge one pattern's components.
 
         Mirrors ``comp_max_card_partitioned`` exactly (same planner,
         same per-component solver, same merge order and float
         accumulation order) with the data-graph side swapped for shard
         subgraphs.  Returns ``(result, single_shard_components,
-        spill_components)``.
+        spill_components, filter_stats)``.
+
+        ``gate`` (a label-equality source, or ``None``) switches the
+        candidate scan to the prefilter fast path: rows come straight
+        from shard label indexes — consulting only shards whose label
+        signature can host a pattern label — so no similarity matrix is
+        ever evaluated.  Row *content* is identical to the ``mat.row``
+        scan (constant gate score, ξ ∈ (0, 1] so the threshold always
+        passes, same cycle filter); only dict insertion order differs,
+        which nothing downstream observes (candidate masks OR entries,
+        preference lists sort, routes are frozensets, quality looks
+        pairs up individually).
         """
         nodes1: list[Node] = list(pattern.nodes())
         n1 = len(nodes1)
@@ -746,18 +864,41 @@ class ShardedMatchingService:
         prev = [[index1[p] for p in pattern.predecessors(v)] for v in nodes1]
         post = [[index1[s] for s in pattern.successors(v)] for v in nodes1]
 
+        filtered = {"pairs_pruned": 0, "shards_skipped": 0, "filter_seconds": 0.0}
         # Candidate sets, computed the way a workspace would: membership
         # in G2, mat ≥ ξ, self-loop nodes restricted to cycle members.
         cand: list[dict[Node, float]] = []
-        for node in nodes1:
-            row = {
-                u: score
-                for u, score in mat.row(node).items()
-                if u in plan.shard_of and score >= xi
-            }
-            if pattern.has_self_loop(node):
-                row = {u: s for u, s in row.items() if u in plan.cycle_nodes}
-            cand.append(row)
+        if gate is not None:
+            with Stopwatch() as filter_watch:
+                sigs = plan.shard_label_signatures()
+                nonempty = plan.nonempty_shards()
+                bits = {label_bit(pattern.label(node)) for node in nodes1}
+                consulted = [
+                    sid for sid in nonempty
+                    if any(has_bit(sigs[sid], bit) for bit in bits)
+                ]
+                filtered["shards_skipped"] = len(nonempty) - len(consulted)
+                score = gate.score  # constant; ξ ≤ 1.0 ≤ score by contract
+                for node in nodes1:
+                    label = pattern.label(node)
+                    row: dict[Node, float] = {}
+                    for sid in consulted:
+                        for u in plan.shard_label_members(sid).get(label, ()):
+                            row[u] = score
+                    if pattern.has_self_loop(node):
+                        row = {u: s for u, s in row.items() if u in plan.cycle_nodes}
+                    cand.append(row)
+            filtered["filter_seconds"] = filter_watch.elapsed
+        else:
+            for node in nodes1:
+                row = {
+                    u: score
+                    for u, score in mat.row(node).items()
+                    if u in plan.shard_of and score >= xi
+                }
+                if pattern.has_self_loop(node):
+                    row = {u: s for u, s in row.items() if u in plan.cycle_nodes}
+                cand.append(row)
 
         components, removed = plan_components(
             n1, prev, post, [bool(row) for row in cand]
@@ -766,6 +907,13 @@ class ShardedMatchingService:
             frozenset(plan.shard_of[u] for v in component for u in cand[v])
             for component in components
         ]
+        # Which route key each pattern node's component landed on —
+        # candidate-free nodes have no route (their rows are empty, so
+        # scoping them to nothing changes nothing).
+        member_route: dict[int, frozenset[int]] = {}
+        for component, route in zip(components, routes):
+            for v in component:
+                member_route[v] = route
 
         # One workspace per touched shard (or shard union), built once
         # per request — the prepared index underneath is the cached,
@@ -788,6 +936,25 @@ class ShardedMatchingService:
                 prepared = service.prepared_for(
                     shard_graph, fingerprint=shard_fingerprint
                 )
+                if prefilter != "off":
+                    # Route-scoped rows: a workspace only ever solves
+                    # the components routed to its key, and the engine
+                    # reads exactly the rows of a component's members —
+                    # so rows for pattern nodes routed elsewhere are
+                    # dropped before construction instead of being
+                    # re-scanned per shard.  Result-preserving by the
+                    # route-width argument; the drops are what
+                    # ``pairs_pruned`` counts.
+                    rows = [
+                        cand[v] if member_route.get(v) == key else {}
+                        for v in range(n1)
+                    ]
+                    filtered["pairs_pruned"] += sum(
+                        len(cand[v]) for v in range(n1)
+                        if member_route.get(v) != key
+                    )
+                else:
+                    rows = cand
                 entry = (
                     MatchingWorkspace(
                         pattern, prepared.graph, mat, xi, prepared=prepared,
@@ -795,7 +962,11 @@ class ShardedMatchingService:
                         # The routing scan above already produced the ξ- and
                         # cycle-filtered rows; hand them down so the shard
                         # workspace does not re-scan the similarity matrix.
-                        candidate_rows=cand,
+                        candidate_rows=rows,
+                        # Rows legitimately name nodes outside this
+                        # shard view; the workspace drops them.
+                        partial_rows=True,
+                        prefilter="strict" if prefilter == "strict" else None,
                     ),
                     service,
                 )
@@ -878,7 +1049,13 @@ class ShardedMatchingService:
                 "spill_components": spills,
             },
         )
-        return result, fanout, spills
+        if prefilter == "strict":
+            # Strict sketch pruning happens inside each workspace; fold
+            # the per-workspace counts into this request's filter stats.
+            filtered["pairs_pruned"] += sum(
+                workspace.pairs_pruned for workspace, _ in workspaces.values()
+            )
+        return result, fanout, spills, filtered
 
     # ------------------------------------------------------------------
     # Fleet statistics

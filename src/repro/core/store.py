@@ -256,13 +256,18 @@ class PreparedIndexStore:
     # ------------------------------------------------------------------
     # Save / load / remove
     # ------------------------------------------------------------------
-    def save(self, prepared: PreparedDataGraph) -> Path:
+    def save(
+        self, prepared: PreparedDataGraph, include_sketches: bool = True
+    ) -> Path:
         """Write ``prepared`` to the store atomically; returns the path.
 
         An existing file for the same fingerprint is replaced (it
         necessarily described identical content, so this is idempotent).
+        ``include_sketches=False`` omits the payload's closure-sketch
+        section (readers recompute lazily; ``index warm --prefilter off``
+        uses this).
         """
-        payload = prepared.to_payload()
+        payload = prepared.to_payload(include_sketches=include_sketches)
         blob = b"".join(
             (
                 _MAGIC,

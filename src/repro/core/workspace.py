@@ -79,6 +79,8 @@ class MatchingWorkspace:
         prepared: PreparedDataGraph | None = None,
         backend: "str | SolverBackend | None" = None,
         candidate_rows: "list[dict[Node, float]] | None" = None,
+        partial_rows: bool = False,
+        prefilter: str | None = None,
     ) -> None:
         validate_threshold(xi)
         #: The solver backend engine runs default to (resolved eagerly so
@@ -143,12 +145,16 @@ class MatchingWorkspace:
         # identifier, already ξ- and cycle-filtered, in similarity-row
         # iteration order) skips the similarity scan — the sharded router
         # computed exactly these rows for routing and hands them down so
-        # the hot path scans each pattern's rows once, not twice.  Only
-        # data-graph membership is re-checked (a shard view holds a
-        # subset of the rows' nodes).
+        # the hot path scans each pattern's rows once, not twice.
+        # ``partial_rows`` declares that the rows may name nodes outside
+        # this data graph (a shard view holds a subset of the rows'
+        # nodes) and such entries are silently dropped; without it an
+        # unknown node is a caller error and raises.
         self.scores: list[dict[int, float]] = []
         self.cand_mask: list[int] = []
         self.pref: list[list[int]] = []
+        #: Pairs removed by the strict prefilter (0 unless engaged).
+        self.pairs_pruned: int = 0
         if candidate_rows is not None and len(candidate_rows) != len(self.nodes1):
             raise InputError(
                 "candidate_rows must hold one row per pattern node "
@@ -161,6 +167,12 @@ class MatchingWorkspace:
                     u_idx = self.index2.get(u)
                     if u_idx is not None:
                         row[u_idx] = score
+                    elif not partial_rows:
+                        raise InputError(
+                            f"candidate_rows[{v_idx}] names {u!r}, which is "
+                            "not a node of the data graph (pass "
+                            "partial_rows=True for shard-subset rows)"
+                        )
             else:
                 for u, score in mat.row(v).items():
                     u_idx = self.index2.get(u)
@@ -169,6 +181,19 @@ class MatchingWorkspace:
                 if graph1.has_self_loop(v):
                     row = {u: s for u, s in row.items() if self.cycle_mask >> u & 1}
             self.scores.append(row)
+
+        if prefilter == "strict":
+            # The approximate tier: sketch-prune pairs whose data node
+            # provably cannot cover the labels of the pattern node's
+            # closure.  Mappings stay valid p-hom mappings; quality is
+            # only guaranteed under a label-gated similarity source.
+            from repro.core.prefilter import pattern_sketches, strict_filter_rows
+
+            self.scores, self.pairs_pruned = strict_filter_rows(
+                self.scores, pattern_sketches(graph1), prepared.sketches
+            )
+
+        for row in self.scores:
             mask = 0
             for u_idx in row:
                 mask |= 1 << u_idx

@@ -98,7 +98,10 @@ class TestStoreFormat:
         mask_offset = payload.index(b"\n") + 1
         mask_offset += -mask_offset % 8
         assert (region.payload_offset + mask_offset) % 8 == 0
-        assert len(payload) - mask_offset == (2 * n + 1) * width
+        # masks, then (when the header declares them) the four 8-byte
+        # prefilter sketch columns of the v3 section
+        sketch_bytes = 4 * 8 * n if header.get("sketch") else 0
+        assert len(payload) - mask_offset == (2 * n + 1) * width + sketch_bytes
 
     def test_v1_records_still_load(self, tmp_path):
         """A hand-crafted version-1 file (52-byte envelope, packed rows)

@@ -3,7 +3,8 @@
     python -m repro match PATTERN.json DATA.json [options]
     python -m repro batch DATA.json PATTERN.json [PATTERN.json ...] [options]
     python -m repro index warm STORE_DIR DATA.json [DATA.json ...] [--shards N]
-    python -m repro index evolve STORE_DIR OLD.json NEW.json
+    python -m repro index evolve STORE_DIR OLD.json NEW.json [--chain]
+    python -m repro index compact STORE_DIR GRAPH.json
     python -m repro index ls STORE_DIR [--json]
     python -m repro index rm STORE_DIR FINGERPRINT... | --all | --older-than SECONDS
     python -m repro index gc STORE_DIR --max-bytes N
@@ -64,6 +65,16 @@ while its graph mutates.  In-process, the same machinery runs
 automatically: a :class:`~repro.core.service.MatchingService` evolves
 its cached index when a served graph mutates (``delta_hits`` /
 ``delta_nodes_recomputed`` in the ``batch`` summary audit it).
+
+``index evolve --chain`` persists the evolution as a compact *delta
+record* against the stored base instead of rewriting the full payload —
+for a small edit the write shrinks by the touched-row fraction, and
+hydration replays the chain (or serves it as copy-on-write overlay rows
+under the ``mmap`` backend).  Chains cap at
+:data:`~repro.core.store.CHAIN_DEPTH_MAX`; at the cap the store writes a
+fresh full base automatically (``"action": "compacted"``), and ``index
+compact`` forces that flatten on demand.  ``index ls --json`` carries
+``chain_depth`` per entry so operators can watch replay depth.
 
 ``batch --shards N`` serves through a
 :class:`~repro.core.sharding.ShardedMatchingService`: the data graph is
@@ -399,7 +410,7 @@ def _cmd_index_evolve(args: argparse.Namespace) -> int:
     old_graph = load_json(args.old)
     new_graph = load_json(args.new)
     evolved, info = store.evolve(
-        old_graph, new_graph, cutoff=args.cutoff
+        old_graph, new_graph, cutoff=args.cutoff, chain=args.chain
     )
     line = dict(info, old=args.old, new=args.new, backend=backend.name)
     if evolved is None:
@@ -420,6 +431,31 @@ def _cmd_index_evolve(args: argparse.Namespace) -> int:
         )
     json.dump(line, sys.stdout)
     print()
+    return 0
+
+
+def _cmd_index_compact(args: argparse.Namespace) -> int:
+    """Flatten a stored index's delta chain into a fresh full base.
+
+    Bounded chain replay is the read-path cost of ``evolve --chain``;
+    compacting resets ``chain_depth`` to 0 so hydration is one decode
+    (or one mmap) again.  A depth-0 entry is reported, not rewritten.
+    """
+    store = PreparedIndexStore(args.store_dir, create=False)
+    graph = load_json(args.graph)
+    info = store.compact(graph_fingerprint(graph), graph)
+    json.dump(dict(info, graph=args.graph), sys.stdout)
+    print()
+    if info["action"] == "missing":
+        print(f"index compact: no stored index for {args.graph}", file=sys.stderr)
+        return 1
+    if info["action"] == "unreadable":
+        print(
+            f"index compact: broken delta chain for {args.graph} "
+            "(re-warm with `index warm`)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -658,10 +694,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm the new snapshot from scratch when the old one was never stored",
     )
     evolve.add_argument(
+        "--chain", action="store_true",
+        help="persist the evolution as a compact delta record against the "
+        "stored base instead of a full payload rewrite (replayed on "
+        "hydration; a fresh full base is written automatically when the "
+        "chain depth hits the cap)",
+    )
+    evolve.add_argument(
         "--backend", choices=BACKEND_NAMES, default=None,
         help="%s" % BACKEND_HELP,
     )
     evolve.set_defaults(handler=_cmd_index, index_handler=_cmd_index_evolve)
+
+    compact = index_sub.add_parser(
+        "compact",
+        help="flatten a stored index's delta chain into a fresh full base "
+        "(chain_depth resets to 0)",
+    )
+    compact.add_argument("store_dir")
+    compact.add_argument("graph", help="data graph JSON the chained index serves")
+    compact.set_defaults(handler=_cmd_index, index_handler=_cmd_index_compact)
 
     ls = index_sub.add_parser("ls", help="list stored indexes (JSON lines)")
     ls.add_argument("store_dir")

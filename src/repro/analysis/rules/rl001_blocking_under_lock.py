@@ -33,7 +33,7 @@ _BLOCKING_ATTRS = {
 # ``store.load`` / ``store.save`` style calls: the attribute alone is too
 # generic (dict.load would be absurd but ``json.load`` is not), so these
 # additionally require a store-ish receiver.
-_STORE_ATTRS = {"load", "save", "remove", "gc"}
+_STORE_ATTRS = {"load", "save", "save_delta", "compact", "remove", "gc"}
 
 # Bare-name calls that are always findings under a lock.
 _BLOCKING_NAMES = {

@@ -37,6 +37,9 @@ STATS_COUNTERS = frozenset(
         "delta_hits",
         "delta_nodes_recomputed",
         "delta_seconds",
+        "chain_writes",
+        "chain_bytes_saved",
+        "shard_evolves",
         "prepare_seconds",
         "solve_seconds",
         "load_seconds",

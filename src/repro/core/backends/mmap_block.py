@@ -257,6 +257,15 @@ class MmapBlockBackend(BlockBackendBase):
         defect — non-layout-2 payload, missing header newline, a mask
         section whose extent disagrees with the header — raises
         :class:`ValueError`; callers treat it as a store miss.
+
+        A region carrying a :class:`~repro.core.store.ChainOverlay` (a
+        delta-chained fingerprint served off its base file) comes back
+        with the overlay's replayed rows layered copy-on-write over the
+        mapped base — the same :class:`_CowMatrix` shape
+        :meth:`evolve_rows` produces — and the header patched to
+        describe the chain leaf.  Mapped sketches are dropped in that
+        case: the base file's sketch section is stale for every evolved
+        row, so the hydrated index resketches lazily (bit-identical).
         """
         mapping = _shared_mapping(region)
         buffer = mapping.buffer
@@ -284,9 +293,34 @@ class MmapBlockBackend(BlockBackendBase):
         ).reshape(2 * n + 1, words)
         from_rows = matrix[:n]
         to_rows = matrix[n : 2 * n]
+        cycle_mask = int.from_bytes(matrix[2 * n].tobytes(), "little")
+        overlay = getattr(region, "overlay", None)
+        if overlay is not None:
+            def patched(base, masks):
+                overrides = {}
+                for position, mask in masks.items():
+                    if not (isinstance(position, int) and 0 <= position < n):
+                        raise ValueError("chain overlay row position out of range")
+                    try:
+                        row = mask.to_bytes(width, "little")
+                    except (OverflowError, AttributeError) as exc:
+                        raise ValueError("chain overlay mask is malformed") from exc
+                    overrides[position] = np.frombuffer(row, dtype="<u8")
+                return _CowMatrix(base, overrides)
+
+            from_rows = patched(from_rows, overlay.from_rows)
+            to_rows = patched(to_rows, overlay.to_rows)
+            cycle_mask = overlay.cycle_mask
+            header = {
+                **header,
+                "fingerprint": overlay.fingerprint,
+                "num_edges": overlay.num_edges,
+                "prepare_seconds": overlay.prepare_seconds,
+            }
+            header.pop("sketch", None)
+            with_sketch = False  # base sketches are stale for evolved rows
         from_ints = _MappedIntRows(from_rows)
         to_ints = _MappedIntRows(to_rows)
-        cycle_mask = int.from_bytes(matrix[2 * n].tobytes(), "little")
         rows = _MappedRows(
             from_rows, to_rows, from_ints, to_ints, n, words, mapping
         )

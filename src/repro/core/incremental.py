@@ -28,7 +28,7 @@ dirty backward rows are the mirror image.  Everything outside those sets
 is spliced through untouched (shared by reference when no node was
 removed — big ints are immutable).
 
-Three evolution strategies, picked per delta:
+Four evolution strategies, picked per delta:
 
 ``payload-only``
     no structural event at all (labels / weights / attrs): every mask is
@@ -41,6 +41,19 @@ Three evolution strategies, picked per delta:
     the row of every old node reaching ``a`` — one big-int OR per dirty
     row, no condensation at all.  Cycle bits only need refreshing when
     ``b`` already reached ``a`` (the insert closes a cycle).
+
+``decremental``
+    a pure edge-removal burst with no node churn.  Removals only shrink
+    reachability, so the rows that can change are exactly the old
+    ancestors of the removed tails (forward) and old descendants of the
+    removed heads (backward) — and most of those rows had *alternative
+    support* for every bit they held.  One Tarjan pass over just the
+    dirty-induced subgraph (:func:`~repro.graph.closure.decremental_reach_rows`)
+    recomputes an SCC's row only when it lost an edge itself or a
+    successor's row actually changed; a row that comes back identical
+    stops the wave, so a single-edge removal on a well-connected graph
+    typically recomputes one row instead of running a full-graph
+    condensation.
 
 ``scc-delta``
     the general case (removals, SCC splits and merges, long event
@@ -67,7 +80,7 @@ from __future__ import annotations
 import weakref
 from typing import Any, Hashable, Iterator, NamedTuple
 
-from repro.graph.closure import component_member_masks
+from repro.graph.closure import component_member_masks, decremental_reach_rows
 from repro.graph.digraph import DiGraph
 from repro.graph.scc import Condensation
 from repro.utils.errors import InputError
@@ -301,17 +314,28 @@ class DeltaLog:
     # Synthesis (offline evolution: the CLI's ``index evolve``)
     # ------------------------------------------------------------------
     @classmethod
-    def from_diff(cls, old_graph: DiGraph, new_graph: DiGraph) -> "DeltaLog":
+    def from_diff(
+        cls,
+        old_graph: DiGraph,
+        new_graph: DiGraph,
+        graph: DiGraph | None = None,
+        base_fingerprint: str | None = None,
+        owner: object = None,
+    ) -> "DeltaLog":
         """A log describing ``old_graph -> new_graph`` by structural diff.
 
         For offline evolution no mutation history exists — the CLI holds
         two JSON snapshots — so the delta is synthesized: removed edges
         between survivors, removed nodes (with their old neighborhoods),
         added nodes, added edges, and label/weight updates, in an order
-        a sequential replay accepts.  The log is unattached (recording
-        more events onto it is the caller's business).
+        a sequential replay accepts.  By default the log is unattached
+        (recording more events onto it is the caller's business);
+        ``graph``/``base_fingerprint``/``owner`` pass through to the
+        constructor for callers that want the diff *tracked* — the
+        sharded router scopes a shard-level diff this way so the shard's
+        worker cache evolves its resident index instead of cold-preparing.
         """
-        log = cls(max_events=max(
+        log = cls(graph, base_fingerprint=base_fingerprint, owner=owner, max_events=max(
             MAX_EVENTS,
             2 * (old_graph.num_edges() + new_graph.num_edges())
             + 2 * (old_graph.num_nodes() + new_graph.num_nodes())
@@ -512,7 +536,110 @@ def _evolve(cls, prepared, delta, graph2, cutoff, fingerprint):
         evolved = _evolve_additive(cls, prepared, delta, graph2, fingerprint)
         if evolved is not None:
             return evolved
+    if (
+        not delta.overflowed
+        and not delta.removed_nodes
+        and all(
+            event.op == "remove_edge"
+            for event in delta.events
+            if event.op in STRUCTURAL_OPS
+        )
+    ):
+        evolved = _evolve_decremental(cls, prepared, delta, graph2, cutoff, fingerprint)
+        if evolved is not None:
+            return evolved
     return _evolve_scc_delta(cls, prepared, delta, graph2, cutoff, fingerprint)
+
+
+def _evolve_decremental(cls, prepared, delta, graph2, cutoff, fingerprint):
+    """Pure edge-removal replay: recompute only rows whose support drained."""
+    old_nodes = prepared.nodes2
+    n = len(old_nodes)
+    if list(graph2.nodes()) != old_nodes:
+        return None  # enumeration drifted: the delta missed something
+    index2 = prepared.index2
+    tails: set[int] = set()
+    heads: set[int] = set()
+    for event in delta.events:
+        if event.op != "remove_edge":
+            continue
+        ia = index2.get(event.a)
+        ib = index2.get(event.b)
+        if ia is None or ib is None:
+            return None  # endpoint unknown: the delta is inconsistent
+        tails.add(ia)
+        heads.add(ib)
+    if not tails:
+        return None
+    # Dirty rows, read off the *old* index: a forward row can only have
+    # changed if it reached a removed edge's tail, a backward row only
+    # if a removed edge's head reached it (see the module docstring).
+    dirty_forward_bits = dirty_backward_bits = 0
+    for t in tails:
+        dirty_forward_bits |= prepared.to_mask[t] | (1 << t)
+    for h in heads:
+        dirty_backward_bits |= prepared.from_mask[h] | (1 << h)
+    dirty_rows = dirty_forward_bits.bit_count() + dirty_backward_bits.bit_count()
+    if dirty_rows > cutoff * 2 * n:
+        return None  # frontier too wide: let scc-delta / rebuild decide
+
+    def forward_adj(p):
+        return [index2[s] for s in graph2.successors(old_nodes[p])]
+
+    def backward_adj(p):
+        return [index2[s] for s in graph2.predecessors(old_nodes[p])]
+
+    # No dirty position on an old cycle means the dirty-induced subgraph
+    # is a DAG (removals never create cycles): the worklist mode applies.
+    changed_f, recomputed_f = decremental_reach_rows(
+        forward_adj,
+        backward_adj,
+        prepared.from_mask,
+        set(_iter_bits(dirty_forward_bits)),
+        tails,
+        acyclic=not dirty_forward_bits & prepared.cycle_mask,
+    )
+    changed_b, recomputed_b = decremental_reach_rows(
+        backward_adj,
+        forward_adj,
+        prepared.to_mask,
+        set(_iter_bits(dirty_backward_bits)),
+        heads,
+        acyclic=not dirty_backward_bits & prepared.cycle_mask,
+    )
+
+    # Splice: unchanged rows pass through by reference (big ints are
+    # immutable), which also lets the sketch carry keep their entries.
+    from_mask = list(prepared.from_mask)
+    for p, mask in changed_f.items():
+        from_mask[p] = mask
+    to_mask = list(prepared.to_mask)
+    for p, mask in changed_b.items():
+        to_mask[p] = mask
+    cycle_mask = prepared.cycle_mask
+    for p, mask in changed_f.items():
+        if mask >> p & 1:
+            cycle_mask |= 1 << p
+        else:
+            cycle_mask &= ~(1 << p)
+
+    evolved = _new_instance(cls, graph2, old_nodes, fingerprint)
+    evolved.from_mask = from_mask
+    evolved.to_mask = to_mask
+    evolved.cycle_mask = cycle_mask
+    evolved.delta_stats = {
+        "full_rebuild": False,
+        "recomputed_nodes": recomputed_f + recomputed_b,
+        "strategy": "decremental",
+        "events": len(delta.events),
+    }
+    dirty_bits = 0
+    for p in changed_f:
+        dirty_bits |= 1 << p
+    for p in changed_b:
+        dirty_bits |= 1 << p
+    _carry_backend_rows(prepared, evolved, n, n, dirty_bits)
+    return evolved
 
 
 def _evolve_additive(cls, prepared, delta, graph2, fingerprint):

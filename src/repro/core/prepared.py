@@ -305,6 +305,44 @@ class PreparedDataGraph:
         return self
 
     @classmethod
+    def from_rows(
+        cls,
+        graph2: DiGraph,
+        from_mask: list[int],
+        to_mask: list[int],
+        cycle_mask: int,
+        fingerprint: str | None = None,
+        num_edges: int | None = None,
+        prepare_seconds: float = 0.0,
+    ) -> "PreparedDataGraph":
+        """An index shell around already-computed closure rows.
+
+        The store's chain-replay loader ends with exactly the rows a
+        cold build would produce (base payload plus replayed delta
+        records) and needs an index around them without re-deriving
+        anything.  The row lists are adopted by reference and must
+        already follow ``graph2``'s node enumeration order; counts are
+        checked (:class:`ValueError` on mismatch), content is the
+        caller's contract — same as every other ``__new__``-based path.
+        """
+        nodes2 = list(graph2.nodes())
+        if len(from_mask) != len(nodes2) or len(to_mask) != len(nodes2):
+            raise ValueError("row count differs from the graph's node count")
+        self = cls.__new__(cls)
+        self.graph = graph2
+        self.nodes2 = nodes2
+        self.index2 = {node: i for i, node in enumerate(nodes2)}
+        self._num_edges = graph2.num_edges() if num_edges is None else int(num_edges)
+        self.from_mask = from_mask
+        self.to_mask = to_mask
+        self.cycle_mask = cycle_mask
+        self.prepare_seconds = float(prepare_seconds)
+        self._fingerprint = fingerprint
+        self._backend_rows = {}
+        self.delta_stats = None
+        return self
+
+    @classmethod
     def from_mapped(cls, graph2: DiGraph, payload, fingerprint: str | None = None):
         """Hydrate from a backend's *mapped* store payload — zero copy.
 

@@ -141,6 +141,16 @@ class ServiceStats:
     delta_nodes_recomputed: int = 0
     #: Seconds spent evolving indexes through deltas.
     delta_seconds: float = 0.0
+    #: Evolved indexes persisted as compact store *delta records*
+    #: (``chain=True`` services) instead of full payload rewrites.
+    chain_writes: int = 0
+    #: Write bytes those delta records avoided versus the full payload
+    #: each would otherwise have rewritten — the chain's I/O savings.
+    chain_bytes_saved: int = 0
+    #: Sharded requests where a changed shard's worker *evolved* its
+    #: resident index through a router-scoped delta instead of
+    #: cold-preparing the shard (also counted in ``delta_hits``).
+    shard_evolves: int = 0
     #: Seconds spent building prepared indexes (the amortised cost).
     prepare_seconds: float = 0.0
     #: Seconds spent solving patterns, summed per solve — a parallel
@@ -207,6 +217,9 @@ class ServiceStats:
                 "delta_hits": self.delta_hits,
                 "delta_nodes_recomputed": self.delta_nodes_recomputed,
                 "delta_seconds": self.delta_seconds,
+                "chain_writes": self.chain_writes,
+                "chain_bytes_saved": self.chain_bytes_saved,
+                "shard_evolves": self.shard_evolves,
                 "prepare_seconds": self.prepare_seconds,
                 "solve_seconds": self.solve_seconds,
                 "load_seconds": self.load_seconds,
@@ -265,12 +278,18 @@ class PreparedGraphCache:
         stats: ServiceStats | None = None,
         store: PreparedIndexStore | None = None,
         backend: SolverBackend | None = None,
+        chain: bool = False,
     ) -> None:
         if max_entries < 1:
             raise InputError(f"cache needs at least one slot, got {max_entries!r}")
         self.max_entries = max_entries
         self.stats = stats if stats is not None else ServiceStats()
         self.store = store
+        #: Persist delta-evolved indexes as compact store delta records
+        #: (:meth:`~repro.core.store.PreparedIndexStore.save_delta`)
+        #: instead of full payload rewrites.  Off by default: chained
+        #: files hydrate by replay, so operators opt in per deployment.
+        self.chain = chain
         #: The owning service's default backend — when it hydrates from
         #: mapped store files (``hydrates_mapped``), disk hits become
         #: zero-copy opens instead of payload decodes.
@@ -465,22 +484,45 @@ class PreparedGraphCache:
                 self.stats.delta_hits += 1
                 self.stats.delta_nodes_recomputed += stats.get("recomputed_nodes", 0)
                 self.stats.delta_seconds += watch.elapsed
-        self._persist(evolved)
+        self._persist(evolved, base=base)
         log.rebase(key)
         return evolved
 
-    def _persist(self, prepared: PreparedDataGraph) -> None:
-        """Best-effort store write (serving must not fail on a full disk)."""
+    def _persist(
+        self, prepared: PreparedDataGraph, base: PreparedDataGraph | None = None
+    ) -> None:
+        """Best-effort store write (serving must not fail on a full disk).
+
+        A ``chain=True`` cache persists a delta-evolved index as a
+        compact delta record against ``base`` (the index it was evolved
+        from) instead of rewriting the full payload — counted in
+        ``chain_writes`` / ``chain_bytes_saved``.  ``save_delta`` refuses
+        unchainable pairs (depth cap, reordered nodes, no stored base),
+        in which case the full save runs and the chain depth resets —
+        the depth cap *is* the periodic compaction.
+        """
         if self.store is None:
             return
         try:
             with Stopwatch() as watch:
-                self.store.save(prepared)
+                chained = None
+                if (
+                    self.chain
+                    and base is not None
+                    and prepared.delta_stats is not None
+                    and not prepared.delta_stats.get("full_rebuild")
+                ):
+                    chained = self.store.save_delta(base, prepared)
+                if chained is None:
+                    self.store.save(prepared)
         except OSError:
             pass
         else:
             with self.stats.lock:
                 self.stats.store_seconds += watch.elapsed
+                if chained is not None:
+                    self.stats.chain_writes += 1
+                    self.stats.chain_bytes_saved += chained[1]["bytes_saved"]
 
     def _track(self, graph2: DiGraph, key: str) -> None:
         """Attach (or rebase) this cache's delta log on ``graph2``.
@@ -582,7 +624,10 @@ class MatchingService:
     ~|V2|²/8 bytes of bitmask rows).  ``store`` (an existing
     :class:`~repro.core.store.PreparedIndexStore`) or ``store_dir`` (a
     directory path, from which one is built) opt into the persistent
-    second cache tier — see :class:`PreparedGraphCache`.
+    second cache tier — see :class:`PreparedGraphCache`.  ``chain=True``
+    persists delta-evolved indexes as compact store delta records
+    instead of full payload rewrites (high-churn streaming graphs; see
+    :meth:`~repro.core.store.PreparedIndexStore.save_delta`).
     """
 
     def __init__(
@@ -591,6 +636,7 @@ class MatchingService:
         store: PreparedIndexStore | None = None,
         store_dir: str | None = None,
         backend: "str | SolverBackend | None" = None,
+        chain: bool = False,
     ) -> None:
         if store is not None and store_dir is not None:
             raise InputError("pass either store= or store_dir=, not both")
@@ -602,7 +648,8 @@ class MatchingService:
         self.backend: SolverBackend = get_backend(backend)
         self.stats = ServiceStats(backend=self.backend.name)
         self.cache = PreparedGraphCache(
-            max_prepared, stats=self.stats, store=store, backend=self.backend
+            max_prepared, stats=self.stats, store=store, backend=self.backend,
+            chain=chain,
         )
 
     @property

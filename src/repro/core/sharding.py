@@ -145,6 +145,12 @@ class ShardPlan:
         self._label_members: dict[int, dict] = {}
         #: Filled by :meth:`evolve`: what the re-plan kept and moved.
         self.evolve_stats: dict | None = None
+        #: Filled by :meth:`evolve`: shard id → (old shard graph, old
+        #: shard fingerprint) for shards whose content *changed* but
+        #: whose predecessor view was cached — the router scopes a
+        #: shard-level delta from these so each changed shard's worker
+        #: evolves its resident index instead of cold-preparing.
+        self._evolve_bases: dict[int, tuple[DiGraph, str]] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -302,6 +308,16 @@ class ShardPlan:
             for key, cached in self._fingerprints.items():
                 if (key in reused_set) if isinstance(key, int) else key <= reused_set:
                     plan._fingerprints[key] = cached
+            # Changed shards whose *old* view is still cached become
+            # delta-evolution bases: the router diffs old vs new shard
+            # graph and the shard's worker evolves its resident index.
+            for sid in range(self.shards):
+                if sid in reused_set or not plan.shard_nodes[sid]:
+                    continue
+                old_graph = self._graphs.get(sid)
+                old_fingerprint = self._fingerprints.get(sid)
+                if old_graph is not None and old_fingerprint is not None:
+                    plan._evolve_bases[sid] = (old_graph, old_fingerprint)
         plan.evolve_stats = {
             "stable_components": stable,
             "replanned_components": len(repooled),
@@ -501,7 +517,10 @@ class ShardedMatchingService:
     or instances) pins one per shard for production A/B runs.  The spill
     worker — which solves pattern components whose candidates span
     several shards against the union of the touched shards — runs the
-    router-level default backend.
+    router-level default backend.  ``chain=True`` makes every worker
+    persist delta-evolved shard indexes as compact store delta records
+    (``chain_writes`` / ``chain_bytes_saved`` in the aggregate snapshot)
+    instead of full payload rewrites — the streaming-graph write path.
 
     Under ``backend="mmap"`` the shared store pays off twice: each
     worker's disk tier becomes a zero-copy mapped open, and the mmap
@@ -531,6 +550,7 @@ class ShardedMatchingService:
         backend: "str | SolverBackend | None" = None,
         backends: "Sequence[str | SolverBackend] | None" = None,
         max_plans: int = 8,
+        chain: bool = False,
     ) -> None:
         if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
             raise InputError(f"a sharded service needs at least one shard, got {shards!r}")
@@ -553,11 +573,13 @@ class ShardedMatchingService:
             worker_backends = [get_backend(b) for b in backends]
         #: One worker service per shard; all share the (optional) store.
         self.workers: list[MatchingService] = [
-            MatchingService(max_prepared, store=store, backend=wb)
+            MatchingService(max_prepared, store=store, backend=wb, chain=chain)
             for wb in worker_backends
         ]
         #: The spill worker for components whose candidates span shards.
-        self.spill = MatchingService(max_prepared, store=store, backend=self.backend)
+        self.spill = MatchingService(
+            max_prepared, store=store, backend=self.backend, chain=chain
+        )
         self._corpus_plan = ShardPlan.for_corpus(shards)
         self.max_plans = max_plans
         self._plans: OrderedDict[str, ShardPlan] = OrderedDict()
@@ -825,6 +847,50 @@ class ShardedMatchingService:
             self._counters["batch_seconds"] += watch.elapsed
         return reports
 
+    def _scope_shard_delta(
+        self,
+        plan: ShardPlan,
+        shard_id: int,
+        shard_graph: DiGraph,
+        shard_fingerprint: str,
+        service: MatchingService,
+    ) -> "DeltaLog | None":
+        """Scope the plan's mutation onto one changed shard as a delta.
+
+        An evolved plan records the previous (graph, fingerprint) view
+        of every shard whose content changed (``ShardPlan.evolve``);
+        here the router diffs old vs new shard subgraph and attaches the
+        result as a :class:`~repro.core.incremental.DeltaLog` owned by
+        the shard worker's cache, so the worker's next ``prepared_for``
+        **evolves** its resident base index through the shard-scoped
+        delta (``delta_hits`` on the worker, ``shard_evolves`` once the
+        evolution lands) instead of cold-preparing the whole shard.
+        Returns the log — fresh, or the one a previous request already
+        attached — or ``None`` when there is nothing to scope; every
+        refusal path simply leaves the ordinary tiers in charge.
+        """
+        with plan._lock:
+            base = plan._evolve_bases.get(shard_id)
+        if base is None:
+            return None
+        base_graph, base_fingerprint = base
+        if base_fingerprint == shard_fingerprint:
+            return None  # content did not actually move for this shard
+        cache = service.cache
+        existing = DeltaLog.find(shard_graph, cache)
+        if existing is not None:
+            return existing
+        try:
+            return DeltaLog.from_diff(
+                base_graph,
+                shard_graph,
+                graph=shard_graph,
+                base_fingerprint=base_fingerprint,
+                owner=cache,
+            )
+        except InputError:
+            return None
+
     # ------------------------------------------------------------------
     def _solve_components(
         self,
@@ -924,18 +990,41 @@ class ShardedMatchingService:
         def workspace_for(key: frozenset[int]) -> tuple[MatchingWorkspace, MatchingService]:
             entry = workspaces.get(key)
             if entry is None:
+                scoped = None
                 if len(key) == 1:
                     (shard_id,) = key
                     service = self.workers[shard_id]
                     shard_graph = plan.shard_graph(shard_id)
                     shard_fingerprint = plan.fingerprint_for(shard_id)
+                    scoped = self._scope_shard_delta(
+                        plan, shard_id, shard_graph, shard_fingerprint, service
+                    )
                 else:
                     service = self.spill
                     shard_graph = plan.union_graph(key)
                     shard_fingerprint = plan.fingerprint_for(key)
+                scoped_pending = (
+                    scoped is not None
+                    and scoped.base_fingerprint is not None
+                    and scoped.base_fingerprint != shard_fingerprint
+                )
                 prepared = service.prepared_for(
                     shard_graph, fingerprint=shard_fingerprint
                 )
+                if (
+                    scoped_pending
+                    # A consumed delta rebases the log onto the new
+                    # fingerprint; full rebuilds inside apply_delta are
+                    # honest cold prepares, not shard evolutions.
+                    and scoped.base_fingerprint == shard_fingerprint
+                    and prepared.delta_stats is not None
+                    and not prepared.delta_stats.get("full_rebuild")
+                ):
+                    with plan._lock:
+                        fired = plan._evolve_bases.pop(shard_id, None)
+                    if fired is not None:  # count once per plan and shard
+                        with service.stats.lock:
+                            service.stats.shard_evolves += 1
                 if prefilter != "off":
                     # Route-scoped rows: a workspace only ever solves
                     # the components routed to its key, and the engine

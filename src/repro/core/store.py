@@ -15,7 +15,7 @@ the transitive closure.
     — so invalidation stays automatic: a mutated graph hashes to a new
     file name and the old file is simply never requested again).
 
-File format (version 2; version-1 files are still read)::
+File format (version 3; version-1 and -2 files are still read)::
 
     magic    8 bytes   b"RPHOMIDX"
     version  4 bytes   little-endian uint32
@@ -24,7 +24,7 @@ File format (version 2; version-1 files are still read)::
     checksum 32 bytes  sha256 of the payload
     payload            PreparedDataGraph.to_payload() bytes
 
-The version-2 envelope is 56 bytes, so the payload — whose layout-2
+The version-2/3 envelope is 56 bytes, so the payload — whose layout-2
 mask section is itself 8-byte aligned within the payload — lands with
 every mask row on an 8-byte file offset.  That alignment is what lets
 the mmap backend view the mask section in place as uint64 matrices
@@ -32,12 +32,44 @@ the mmap backend view the mask section in place as uint64 matrices
 The version-1 envelope (52 bytes, packed rows) still loads through the
 decode path; it is simply never mappable.
 
+Delta chains (version 3)
+------------------------
+A long mutation stream evolves one index into the next with only a
+handful of changed closure rows per step, yet a plain ``save()`` of the
+evolved index rewrites the **entire** payload — for a 2000-node graph
+that is ~1 MiB of write amplification per single-edge delta.
+:meth:`PreparedIndexStore.save_delta` instead persists a compact *delta
+record* (``<fingerprint>.phomdlt``, magic ``RPHOMDLT``, same envelope
+shape) holding just the changed/appended rows, the new cycle row, and a
+pointer to the parent fingerprint::
+
+    header line (JSON): fingerprint, base, depth, num_nodes, num_edges,
+                        layout, row_bytes, appended_reprs,
+                        from_positions, to_positions, prepare_seconds
+    zero padding to an 8-byte boundary
+    changed/appended from_mask rows, then to_mask rows (new width)
+    cycle row
+
+``load`` replays a chain — base payload plus delta records, oldest
+first — when no base file answers a fingerprint, and
+:meth:`PreparedIndexStore.payload_region` describes a same-size chain as
+the *base* file's region plus a :class:`ChainOverlay` of replayed rows,
+so the mmap backend keeps mapping the (shared, unchanged) base pages and
+overlays the few evolved rows copy-on-write.  Chain depth is capped at
+:data:`CHAIN_DEPTH_MAX`; :meth:`PreparedIndexStore.evolve` compacts a
+capped chain into a fresh full base, and
+:meth:`PreparedIndexStore.compact` does so on demand.  ``remove`` and
+the GC policies treat a base and its delta descendants as one *group* —
+a base payload is never deleted out from under delta records that still
+replay against it, and a chain's age is its newest member's.
+
 Writes are atomic (tmp file + ``os.replace``) so a concurrent reader
 never observes a half-written index, and loads are corruption-tolerant:
 *any* defect — missing file, bad magic, unknown version, checksum or
-length mismatch, malformed header, truncated masks, stale content — is
-reported as a miss (``None``), never an exception.  A corrupt file costs
-one rebuild, exactly like a cold cache.
+length mismatch, malformed header, truncated masks, stale content, a
+broken or cyclic delta chain — is reported as a miss (``None``), never
+an exception.  A corrupt file costs one rebuild, exactly like a cold
+cache.
 
 Verification modes: ``load``/``payload_region`` accept
 ``verify="full"`` (hash the whole payload against the envelope
@@ -58,10 +90,14 @@ import json
 import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
-from repro.core.prepared import PreparedDataGraph
+from repro.core.prepared import (
+    PAYLOAD_LAYOUT,
+    PreparedDataGraph,
+    _aligned_row_bytes,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.fingerprint import is_fingerprint
 from repro.utils.errors import InputError
@@ -70,39 +106,60 @@ __all__ = [
     "PreparedIndexStore",
     "StoreEntry",
     "PayloadRegion",
+    "ChainOverlay",
     "STORE_SUFFIX",
     "STORE_VERSION",
+    "DELTA_SUFFIX",
+    "CHAIN_DEPTH_MAX",
 ]
 
 _MAGIC = b"RPHOMIDX"
+#: Magic of delta-record files (same envelope shape as index files).
+DELTA_MAGIC = b"RPHOMDLT"
 #: Envelope byte count per readable version (v2 adds 4 reserved bytes so
-#: the payload starts at a file offset divisible by 8).
-_ENVELOPE_LEN = {1: len(_MAGIC) + 4 + 8 + 32, 2: len(_MAGIC) + 4 + 4 + 8 + 32}
-_HEADER_LEN = _ENVELOPE_LEN[1]
+#: the payload starts at a file offset divisible by 8; v3 keeps the v2
+#: shape and marks stores whose writers speak delta chains).
+_ENVELOPE_LEN = {
+    1: len(_MAGIC) + 4 + 8 + 32,
+    2: len(_MAGIC) + 4 + 4 + 8 + 32,
+    3: len(_MAGIC) + 4 + 4 + 8 + 32,
+}
 
 #: On-disk format version written by ``save``; every version listed in
 #: ``_ENVELOPE_LEN`` is read.
-STORE_VERSION = 2
+STORE_VERSION = 3
 
 #: File name suffix of index files (``<fingerprint>.phomidx``).
 STORE_SUFFIX = ".phomidx"
 
-#: Suffix of verification sidecars (``<fingerprint>.phomidx.ok``) — the
-#: stat snapshot recorded by the last full checksum of a file, letting
-#: ``verify="header"`` reads skip re-hashing unchanged bytes.
+#: File name suffix of delta-record files (``<fingerprint>.phomdlt``).
+DELTA_SUFFIX = ".phomdlt"
+
+#: Longest replay chain behind one fingerprint.  Past this depth
+#: ``evolve(chain=True)`` compacts into a fresh full base instead of
+#: appending — hydration cost stays O(depth) bounded, and a corrupt
+#: middle record can never invalidate an unbounded tail.
+CHAIN_DEPTH_MAX = 8
+
+#: Suffix of verification sidecars (``<fingerprint>.phomidx.ok`` /
+#: ``<fingerprint>.phomdlt.ok``) — the stat snapshot recorded by the
+#: last full checksum of a file, letting ``verify="header"`` reads skip
+#: re-hashing unchanged bytes.
 SIDECAR_SUFFIX = ".ok"
 
 #: Monotonic per-process discriminator for tmp-file names.
 _tmp_counter = itertools.count()
 
 
-def _parse_envelope(blob: bytes) -> tuple[int, int, int, bytes] | None:
+def _parse_envelope(
+    blob: bytes, magic: bytes = _MAGIC
+) -> tuple[int, int, int, bytes] | None:
     """``(version, payload_offset, length, checksum)``; ``None`` if malformed.
 
     ``blob`` needs only the envelope bytes — callers validate the payload
     length against whatever they actually hold (a full read or a stat).
     """
-    if not blob.startswith(_MAGIC) or len(blob) < _ENVELOPE_LEN[1]:
+    if not blob.startswith(magic) or len(blob) < _ENVELOPE_LEN[1]:
         return None
     version = int.from_bytes(blob[8:12], "little")
     envelope_len = _ENVELOPE_LEN.get(version)
@@ -118,6 +175,124 @@ def _parse_envelope(blob: bytes) -> tuple[int, int, int, bytes] | None:
     return version, envelope_len, length, checksum
 
 
+def _envelope(magic: bytes, payload: bytes) -> bytes:
+    """The :data:`STORE_VERSION` envelope framing ``payload``."""
+    return b"".join(
+        (
+            magic,
+            STORE_VERSION.to_bytes(4, "little"),
+            b"\x00\x00\x00\x00",  # reserved: 8-aligns the payload offset
+            len(payload).to_bytes(8, "little"),
+            hashlib.sha256(payload).digest(),
+        )
+    )
+
+
+def _decode_mask_rows(payload: bytes) -> tuple[dict, list[int], list[int], int]:
+    """Decode a full index payload without a graph to validate against.
+
+    ``(header, from_rows, to_rows, cycle_mask)`` — the chain-replay
+    loader's view of a base payload: the rows and the header's own
+    ``node_reprs``, with every geometry defect raising
+    :class:`ValueError` exactly like
+    :meth:`~repro.core.prepared.PreparedDataGraph.from_payload` (any
+    sketch section is ignored; replayed indexes resketch lazily).
+    """
+    header = PreparedDataGraph.payload_header(payload)
+    layout, n, width = PreparedDataGraph.header_geometry(header)
+    reprs = header["node_reprs"]
+    if not isinstance(reprs, list) or len(reprs) != n:
+        raise ValueError("payload node_reprs disagree with the node count")
+    mask_offset = payload.index(b"\n") + 1
+    if layout != 1:
+        mask_offset += -mask_offset % 8
+    body = memoryview(payload)[mask_offset:]
+    mask_section = (2 * n + 1) * width
+    expected = mask_section + (4 * 8 * n if header.get("sketch") else 0)
+    if len(body) != expected:
+        raise ValueError("payload mask section is truncated or oversized")
+    from_bytes = int.from_bytes
+    rows = [
+        from_bytes(body[i * width : (i + 1) * width], "little")
+        for i in range(2 * n + 1)
+    ]
+    return header, rows[:n], rows[n : 2 * n], rows[2 * n]
+
+
+def _decode_delta(
+    payload: bytes,
+) -> tuple[dict, dict[int, int], dict[int, int], int]:
+    """Decode one delta-record payload, geometry-checked.
+
+    ``(header, from_rows, to_rows, cycle_mask)`` where the row dicts map
+    changed/appended positions to their new masks at the record's row
+    width.  Raises :class:`ValueError` on any structural defect; the
+    store layer treats that as a broken chain (a miss).
+    """
+    header = PreparedDataGraph.payload_header(payload)
+    layout, n, width = PreparedDataGraph.header_geometry(header)
+    if layout != PAYLOAD_LAYOUT:
+        raise ValueError(f"delta records require layout {PAYLOAD_LAYOUT}")
+    base = header.get("base")
+    if not (isinstance(base, str) and is_fingerprint(base)):
+        raise ValueError("delta record names no base fingerprint")
+    depth = header.get("depth")
+    if not (isinstance(depth, int) and depth >= 1):
+        raise ValueError("delta record depth is malformed")
+    from_positions = header["from_positions"]
+    to_positions = header["to_positions"]
+    appended = header["appended_reprs"]
+    if not (
+        isinstance(from_positions, list)
+        and isinstance(to_positions, list)
+        and isinstance(appended, list)
+        and all(isinstance(entry, str) for entry in appended)
+    ):
+        raise ValueError("delta record row lists are malformed")
+    for position in itertools.chain(from_positions, to_positions):
+        if not (isinstance(position, int) and 0 <= position < n):
+            raise ValueError("delta row position out of range")
+    mask_offset = payload.index(b"\n") + 1
+    mask_offset += -mask_offset % 8
+    body = memoryview(payload)[mask_offset:]
+    count = len(from_positions) + len(to_positions) + 1
+    if len(body) != count * width:
+        raise ValueError("delta mask section is truncated or oversized")
+    from_bytes = int.from_bytes
+    decoded = [
+        from_bytes(body[i * width : (i + 1) * width], "little")
+        for i in range(count)
+    ]
+    split = len(from_positions)
+    from_rows = dict(zip(from_positions, decoded[:split]))
+    to_rows = dict(zip(to_positions, decoded[split:-1]))
+    return header, from_rows, to_rows, decoded[-1]
+
+
+def _estimate_full_bytes(prepared: PreparedDataGraph, n: int, width: int) -> int:
+    """Bytes a full ``save(prepared)`` would write (header computed for
+    real, mask/sketch sections by geometry) — the write amplification a
+    delta record avoids, without serialising any row to find out."""
+    header = {
+        "fingerprint": prepared.fingerprint,
+        "num_nodes": n,
+        "num_edges": prepared.num_edges(),
+        "layout": PAYLOAD_LAYOUT,
+        "row_bytes": width,
+        "node_reprs": [repr(node) for node in prepared.nodes2],
+        "prepare_seconds": prepared.prepare_seconds,
+        "sketch": True,
+    }
+    head = len(json.dumps(header, separators=(",", ":")).encode("utf-8")) + 1
+    return (
+        _ENVELOPE_LEN[STORE_VERSION]
+        + head
+        + (-head % 8)
+        + (2 * n + 1) * width
+        + 4 * 8 * n
+    )
+
+
 @dataclass(frozen=True)
 class StoreEntry:
     """Metadata of one stored index, as listed by ``index ls``.
@@ -130,7 +305,9 @@ class StoreEntry:
     ``mask_section_bytes`` split the file size into envelope + header vs
     the mask rows themselves — the mask section is what an mmap-serving
     fleet actually pages in, so it is the number operators budget page
-    cache against.
+    cache against.  ``chain_depth`` is 0 for a full base payload and the
+    replay depth for a fingerprint stored as a delta record (whose
+    ``file_bytes`` then cover just that record, not its chain).
     """
 
     fingerprint: str
@@ -143,6 +320,7 @@ class StoreEntry:
     prepare_seconds: float
     mtime: float
     version: int
+    chain_depth: int = 0
 
     def as_dict(self) -> dict:
         """A JSON-serialisable view (CLI output)."""
@@ -157,7 +335,31 @@ class StoreEntry:
             "prepare_seconds": self.prepare_seconds,
             "mtime": self.mtime,
             "version": self.version,
+            "chain_depth": self.chain_depth,
         }
+
+
+@dataclass(frozen=True)
+class ChainOverlay:
+    """Replayed delta rows layered over a mapped base payload.
+
+    Produced by :meth:`PreparedIndexStore.payload_region` for a
+    fingerprint stored as a delta chain whose every record keeps the
+    base's node count: the mmap backend maps the (unchanged, shared)
+    base file and serves ``from_rows`` / ``to_rows`` — position → new
+    mask — copy-on-write over it, exactly like an in-process
+    ``evolve_rows`` refresh.  ``fingerprint`` / ``num_edges`` /
+    ``prepare_seconds`` describe the chain *leaf* (they patch the base
+    header on open); ``depth`` is the number of records replayed.
+    """
+
+    fingerprint: str
+    num_edges: int
+    prepare_seconds: float
+    from_rows: dict[int, int]
+    to_rows: dict[int, int]
+    cycle_mask: int
+    depth: int
 
 
 @dataclass(frozen=True)
@@ -167,11 +369,13 @@ class PayloadRegion:
     The stable coordinates :meth:`PreparedIndexStore.payload_region`
     hands to mmap-capable backends: map ``path``, and the payload is the
     ``payload_length`` bytes starting at ``payload_offset`` (a multiple
-    of 8 — only version-2 files, whose layout-2 payloads keep mask rows
+    of 8 — only version-2+ files, whose layout-2 payloads keep mask rows
     8-byte aligned, are ever described by a region).  ``file_size`` /
     ``mtime_ns`` snapshot the stat identity the validation covered, so
     mapping caches can key sharing on it and a concurrent rewrite shows
-    up as a different region rather than a silently different file.
+    up as a different region rather than a silently different file.  For
+    a delta-chained fingerprint the coordinates describe the *base*
+    file and ``overlay`` carries the replayed rows to layer over it.
     """
 
     path: Path
@@ -181,6 +385,7 @@ class PayloadRegion:
     payload_length: int
     file_size: int
     mtime_ns: int
+    overlay: ChainOverlay | None = None
 
 
 class PreparedIndexStore:
@@ -208,45 +413,109 @@ class PreparedIndexStore:
             raise InputError(f"not a graph fingerprint: {fingerprint!r}")
         return self.store_dir / f"{fingerprint}{STORE_SUFFIX}"
 
+    def delta_path_for(self, fingerprint: str) -> Path:
+        """The delta-record file of ``fingerprint`` (existing or not)."""
+        if not is_fingerprint(fingerprint):
+            raise InputError(f"not a graph fingerprint: {fingerprint!r}")
+        return self.store_dir / f"{fingerprint}{DELTA_SUFFIX}"
+
     def fingerprints(self) -> list[str]:
-        """Fingerprints with a stored file, sorted (validity not checked)."""
-        return sorted(
+        """Fingerprints with a stored file — full base payload or delta
+        record — sorted (validity not checked)."""
+        found = {
             path.stem
-            for path in self.store_dir.glob(f"*{STORE_SUFFIX}")
+            for suffix in (STORE_SUFFIX, DELTA_SUFFIX)
+            for path in self.store_dir.glob(f"*{suffix}")
             if is_fingerprint(path.stem)
-        )
+        }
+        return sorted(found)
 
     def __len__(self) -> int:
         return len(self.fingerprints())
 
     def __contains__(self, fingerprint: str) -> bool:
-        return is_fingerprint(fingerprint) and self.path_for(fingerprint).is_file()
+        return is_fingerprint(fingerprint) and (
+            self.path_for(fingerprint).is_file()
+            or self.delta_path_for(fingerprint).is_file()
+        )
+
+    def chain_depth(self, fingerprint: str) -> int | None:
+        """Replay depth behind ``fingerprint``: 0 for a full base
+        payload, ≥ 1 for a delta record, ``None`` when nothing readable
+        is stored under it."""
+        if not is_fingerprint(fingerprint):
+            return None
+        if self.path_for(fingerprint).is_file():
+            return 0
+        read = self._read_payload(
+            self.delta_path_for(fingerprint), verify="header", magic=DELTA_MAGIC
+        )
+        if read is None:
+            return None
+        try:
+            depth = PreparedDataGraph.payload_header(read[0]).get("depth")
+        except (ValueError, KeyError, TypeError):
+            return None
+        return depth if isinstance(depth, int) and depth >= 1 else None
 
     def entries(self) -> list[StoreEntry]:
-        """Metadata of every *readable* stored index (corrupt files skipped)."""
+        """Metadata of every *readable* stored index (corrupt files skipped).
+
+        A fingerprint stored as a delta record lists with its record's
+        own file size and ``chain_depth`` ≥ 1 — the chain's base (and any
+        intermediate record) has its own entry, so summing ``bytes``
+        over the listing still totals the store directory.
+        """
         listed = []
         for fingerprint in self.fingerprints():
             path = self.path_for(fingerprint)
             read = self._read_payload(path)
+            if read is not None:
+                payload, version = read
+                try:
+                    header = PreparedDataGraph.payload_header(payload)
+                    _, n, row_bytes = PreparedDataGraph.header_geometry(header)
+                    info = path.stat()
+                    listed.append(
+                        StoreEntry(
+                            fingerprint=fingerprint,
+                            path=path,
+                            num_nodes=int(header["num_nodes"]),
+                            num_edges=int(header["num_edges"]),
+                            file_bytes=info.st_size,
+                            payload_bytes=len(payload),
+                            mask_section_bytes=(2 * n + 1) * row_bytes,
+                            prepare_seconds=float(header["prepare_seconds"]),
+                            mtime=info.st_mtime,
+                            version=version,
+                        )
+                    )
+                except (ValueError, KeyError, TypeError, OSError):
+                    pass
+                continue
+            delta_path = self.delta_path_for(fingerprint)
+            read = self._read_payload(delta_path, magic=DELTA_MAGIC)
             if read is None:
                 continue
             payload, version = read
             try:
-                header = PreparedDataGraph.payload_header(payload)
-                _, n, row_bytes = PreparedDataGraph.header_geometry(header)
-                info = path.stat()
+                header, from_rows, to_rows, _ = _decode_delta(payload)
+                _, _, row_bytes = PreparedDataGraph.header_geometry(header)
+                info = delta_path.stat()
                 listed.append(
                     StoreEntry(
                         fingerprint=fingerprint,
-                        path=path,
+                        path=delta_path,
                         num_nodes=int(header["num_nodes"]),
                         num_edges=int(header["num_edges"]),
                         file_bytes=info.st_size,
                         payload_bytes=len(payload),
-                        mask_section_bytes=(2 * n + 1) * row_bytes,
+                        mask_section_bytes=(len(from_rows) + len(to_rows) + 1)
+                        * row_bytes,
                         prepare_seconds=float(header["prepare_seconds"]),
                         mtime=info.st_mtime,
                         version=version,
+                        chain_depth=int(header["depth"]),
                     )
                 )
             except (ValueError, KeyError, TypeError, OSError):
@@ -268,30 +537,83 @@ class PreparedIndexStore:
         uses this).
         """
         payload = prepared.to_payload(include_sketches=include_sketches)
-        blob = b"".join(
-            (
-                _MAGIC,
-                STORE_VERSION.to_bytes(4, "little"),
-                b"\x00\x00\x00\x00",  # reserved: 8-aligns the payload offset
-                len(payload).to_bytes(8, "little"),
-                hashlib.sha256(payload).digest(),
-                payload,
-            )
-        )
         path = self.path_for(prepared.fingerprint)
-        # The tmp name must be unique per writer: pid alone is not enough
-        # (two services in one process can save one fingerprint
-        # concurrently), so the thread id and a counter disambiguate.
-        tmp = path.with_name(
-            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}.{next(_tmp_counter)}"
-        )
-        try:
-            tmp.write_bytes(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            tmp.unlink(missing_ok=True)
-            raise
+        self._write_blob(path, _envelope(_MAGIC, payload) + payload)
         return path
+
+    def save_delta(
+        self, base: PreparedDataGraph, evolved: PreparedDataGraph
+    ) -> tuple[Path, dict] | None:
+        """Persist ``evolved`` as a delta record against stored ``base``.
+
+        Writes ``<evolved.fingerprint>.phomdlt`` holding only the rows
+        that differ from ``base`` (plus appended rows and the cycle row)
+        and a parent pointer, instead of the full payload a ``save()``
+        would rewrite.  Returns ``(path, info)`` with the write
+        accounting (``delta_bytes``, the estimated ``full_bytes`` a full
+        save would have cost, ``bytes_saved``, chain ``depth``), or
+        ``None`` when the pair is not chainable: ``base`` has nothing
+        stored under its fingerprint, the chain would exceed
+        :data:`CHAIN_DEPTH_MAX` (the caller compacts with a full
+        ``save()`` instead), or ``evolved`` reordered the surviving
+        nodes (bit positions moved — only append-only evolutions chain).
+        """
+        old_n = len(base.nodes2)
+        n = len(evolved.nodes2)
+        if n < old_n or list(evolved.nodes2[:old_n]) != list(base.nodes2):
+            return None
+        parent_depth = self.chain_depth(base.fingerprint)
+        if parent_depth is None or parent_depth >= CHAIN_DEPTH_MAX:
+            return None
+        width = _aligned_row_bytes(n)
+        from_positions = []
+        to_positions = []
+        for i in range(old_n):
+            row = evolved.from_mask[i]
+            if row is not base.from_mask[i] and row != base.from_mask[i]:
+                from_positions.append(i)
+        for i in range(old_n):
+            row = evolved.to_mask[i]
+            if row is not base.to_mask[i] and row != base.to_mask[i]:
+                to_positions.append(i)
+        appended = list(range(old_n, n))
+        from_positions.extend(appended)
+        to_positions.extend(appended)
+        header = {
+            "fingerprint": evolved.fingerprint,
+            "base": base.fingerprint,
+            "depth": parent_depth + 1,
+            "num_nodes": n,
+            "num_edges": evolved.num_edges(),
+            "layout": PAYLOAD_LAYOUT,
+            "row_bytes": width,
+            "appended_reprs": [repr(node) for node in evolved.nodes2[old_n:]],
+            "from_positions": from_positions,
+            "to_positions": to_positions,
+            "prepare_seconds": evolved.prepare_seconds,
+        }
+        head = json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n"
+        parts = [head, b"\x00" * (-len(head) % 8)]
+        parts.extend(
+            evolved.from_mask[p].to_bytes(width, "little") for p in from_positions
+        )
+        parts.extend(
+            evolved.to_mask[p].to_bytes(width, "little") for p in to_positions
+        )
+        parts.append(evolved.cycle_mask.to_bytes(width, "little"))
+        payload = b"".join(parts)
+        blob = _envelope(DELTA_MAGIC, payload) + payload
+        path = self.delta_path_for(evolved.fingerprint)
+        self._write_blob(path, blob)
+        full_bytes = _estimate_full_bytes(evolved, n, width)
+        return path, {
+            "path": str(path),
+            "depth": parent_depth + 1,
+            "rows": len(from_positions) + len(to_positions),
+            "delta_bytes": len(blob),
+            "full_bytes": full_bytes,
+            "bytes_saved": max(0, full_bytes - len(blob)),
+        }
 
     def load(
         self, fingerprint: str, graph2: DiGraph, verify: str = "full"
@@ -302,7 +624,12 @@ class PreparedIndexStore:
         magic/version, checksum mismatch, malformed or stale payload.
         ``graph2`` must be the graph that fingerprints to ``fingerprint``
         (the caller computed the digest from it); the payload's own node
-        order and counts are verified against it as well.
+        order and counts are verified against it as well.  A fingerprint
+        stored as a delta record hydrates by *chain replay*: the base
+        payload's rows with every record's changed rows spliced in,
+        oldest first — any defect anywhere in the chain (truncated or
+        missing record, checksum mismatch, inconsistent geometry) is a
+        miss for the whole fingerprint, never an exception.
 
         ``verify="header"`` skips the whole-payload checksum when the
         file's sidecar records a full verification of these exact bytes
@@ -316,7 +643,7 @@ class PreparedIndexStore:
             return None
         read = self._read_payload(self.path_for(fingerprint), verify=verify)
         if read is None:
-            return None
+            return self._load_chained(fingerprint, graph2, verify)
         payload, _ = read
         try:
             prepared = PreparedDataGraph.from_payload(graph2, payload)
@@ -326,12 +653,99 @@ class PreparedIndexStore:
             return None  # file content answers a different graph
         return prepared
 
+    def _load_chained(
+        self, fingerprint: str, graph2: DiGraph, verify: str
+    ) -> PreparedDataGraph | None:
+        """Hydrate a delta-chained fingerprint by replay; ``None`` on any
+        defect anywhere in the chain (the caller rebuilds cold)."""
+        chain = self._chain_records(fingerprint, verify=verify)
+        if chain is None:
+            return None
+        base_fingerprint, records = chain
+        read = self._read_payload(self.path_for(base_fingerprint), verify=verify)
+        if read is None:
+            return None
+        try:
+            base_header, from_rows, to_rows, cycle_mask = _decode_mask_rows(read[0])
+        except (ValueError, KeyError, TypeError):
+            return None
+        if base_header.get("fingerprint") != base_fingerprint:
+            return None
+        node_reprs = list(base_header["node_reprs"])
+        n = len(from_rows)
+        for header, delta_from, delta_to, delta_cycle in reversed(records):
+            record_n = header["num_nodes"]
+            appended = header["appended_reprs"]
+            if record_n < n or len(appended) != record_n - n:
+                return None  # chain grew inconsistently: broken
+            from_rows.extend([0] * (record_n - n))
+            to_rows.extend([0] * (record_n - n))
+            node_reprs.extend(appended)
+            n = record_n
+            for position, mask in delta_from.items():
+                from_rows[position] = mask
+            for position, mask in delta_to.items():
+                to_rows[position] = mask
+            cycle_mask = delta_cycle
+        leaf = records[0][0]
+        if graph2.num_nodes() != n or graph2.num_edges() != leaf["num_edges"]:
+            return None
+        if [repr(node) for node in graph2.nodes()] != node_reprs:
+            return None
+        try:
+            return PreparedDataGraph.from_rows(
+                graph2,
+                from_rows,
+                to_rows,
+                cycle_mask,
+                fingerprint=fingerprint,
+                num_edges=leaf["num_edges"],
+                prepare_seconds=leaf["prepare_seconds"],
+            )
+        except (ValueError, TypeError):
+            return None
+
+    def _chain_records(
+        self, fingerprint: str, verify: str = "full"
+    ) -> tuple[str, list[tuple[dict, dict, dict, int]]] | None:
+        """Walk ``fingerprint``'s delta chain down to a stored base.
+
+        Returns ``(base_fingerprint, records)`` with decoded records
+        leaf-first, or ``None`` when the chain is broken anywhere — a
+        missing/corrupt record, a cycle, or a walk past the depth cap
+        (plus slack for records written before a crashed compaction).
+        """
+        records: list[tuple[dict, dict, dict, int]] = []
+        seen: set[str] = set()
+        current = fingerprint
+        while True:
+            if current in seen or len(records) > CHAIN_DEPTH_MAX + 4:
+                return None
+            seen.add(current)
+            read = self._read_payload(
+                self.delta_path_for(current), verify=verify, magic=DELTA_MAGIC
+            )
+            if read is None:
+                return None
+            try:
+                record = _decode_delta(read[0])
+            except (ValueError, KeyError, TypeError):
+                return None
+            if record[0].get("fingerprint") != current:
+                return None  # record answers a different graph
+            records.append(record)
+            parent = record[0]["base"]
+            if self.path_for(parent).is_file():
+                return parent, records
+            current = parent
+
     def evolve(
         self,
         old_graph: DiGraph,
         new_graph: DiGraph,
         delta=None,
         cutoff: float | None = None,
+        chain: bool = False,
     ) -> tuple[PreparedDataGraph | None, dict]:
         """Evolve the stored index of ``old_graph`` onto ``new_graph``.
 
@@ -341,8 +755,13 @@ class PreparedIndexStore:
         structural diff (:meth:`~repro.core.incremental.DeltaLog.from_diff`)
         when not given — and persisted under the **new** fingerprint, so
         a fleet's store follows its mutating data graph without anyone
-        re-running a cold prepare.  Returns ``(prepared, info)``;
-        ``prepared`` is ``None`` only when no usable base file exists
+        re-running a cold prepare.  With ``chain=True`` the result is
+        persisted as a compact delta record against the base
+        (``info["action"] == "chained"``) instead of a full payload
+        rewrite — unless the chain hit :data:`CHAIN_DEPTH_MAX`, in which
+        case a fresh full base is written and the depth resets
+        (``"compacted"``).  Returns ``(prepared, info)``; ``prepared``
+        is ``None`` only when no usable base file exists
         (``info["action"] == "missing-base"`` — the caller decides
         whether to warm cold instead).
         """
@@ -364,101 +783,281 @@ class PreparedIndexStore:
         evolved = base.apply_delta(
             delta, graph2=new_graph, cutoff=cutoff, fingerprint=new_fingerprint
         )
-        self.save(evolved)
         stats = evolved.delta_stats or {}
+        action = "rebuilt" if stats.get("full_rebuild") else "evolved"
+        written = None
+        if chain and not stats.get("full_rebuild"):
+            chained = self.save_delta(base, evolved)
+            if chained is not None:
+                written, chain_info = chained
+                action = "chained"
+                info.update(
+                    chain_depth=chain_info["depth"],
+                    delta_bytes=chain_info["delta_bytes"],
+                    bytes_saved=chain_info["bytes_saved"],
+                )
+            else:
+                # Depth cap is the one chain-refusal this store caused
+                # itself; a fresh full base resets the replay depth.
+                if (self.chain_depth(old_fingerprint) or 0) >= CHAIN_DEPTH_MAX:
+                    action = "compacted"
+                info["chain_depth"] = 0
+        if written is None:
+            written = self.save(evolved)
         info.update(
-            action="rebuilt" if stats.get("full_rebuild") else "evolved",
+            action=action,
             strategy=stats.get("strategy"),
             recomputed_nodes=stats.get("recomputed_nodes", 0),
             nodes=evolved.num_nodes(),
             edges=evolved.num_edges(),
             evolve_seconds=evolved.prepare_seconds,
-            path=str(self.path_for(new_fingerprint)),
+            path=str(written),
         )
         return evolved, info
 
+    def compact(self, fingerprint: str, graph2: DiGraph) -> dict:
+        """Flatten ``fingerprint``'s delta chain into a fresh full base.
+
+        Chain-replays the stored index, writes it back as a full payload
+        (depth resets to 0), and deletes the fingerprint's own delta
+        record — ancestor records stay, still serving *their*
+        fingerprints, grouped with the old base for GC.  Returns an info
+        dict; ``action`` is ``"compacted"``, ``"already-base"`` (depth
+        was 0), ``"missing"`` (nothing stored), or ``"unreadable"`` (a
+        broken chain — the caller warms cold instead).
+        """
+        depth = self.chain_depth(fingerprint)
+        info: dict = {"fingerprint": fingerprint, "depth_before": depth or 0}
+        if depth is None:
+            info["action"] = "missing"
+            return info
+        if depth == 0:
+            info.update(action="already-base", path=str(self.path_for(fingerprint)))
+            return info
+        prepared = self.load(fingerprint, graph2)
+        if prepared is None:
+            info["action"] = "unreadable"
+            return info
+        path = self.save(prepared)
+        delta_path = self.delta_path_for(fingerprint)
+        self._sidecar_for(delta_path).unlink(missing_ok=True)
+        delta_path.unlink(missing_ok=True)
+        info.update(
+            action="compacted",
+            path=str(path),
+            bytes=path.stat().st_size,
+            nodes=prepared.num_nodes(),
+            edges=prepared.num_edges(),
+        )
+        return info
+
     def remove(self, fingerprint: str) -> bool:
-        """Delete the stored index for ``fingerprint``; True if one existed."""
-        path = self.path_for(fingerprint)
-        self._sidecar_for(path).unlink(missing_ok=True)
-        try:
-            path.unlink()
-            return True
-        except FileNotFoundError:
-            return False
+        """Delete the stored index for ``fingerprint``; True if one existed.
+
+        Chain-aware: delta records that replay *through* ``fingerprint``
+        are swept first (deepest first), so a base payload is never
+        deleted out from under records that still reference it, and
+        verification sidecars always go with their files.
+        """
+        for descendant in reversed(self._descendants(fingerprint)):
+            self._remove_own(descendant)
+        return self._remove_own(fingerprint)
+
+    def _remove_own(self, fingerprint: str) -> bool:
+        """Delete ``fingerprint``'s own files (base payload, delta
+        record, their sidecars); True if either payload file existed."""
+        removed = False
+        for path in (self.path_for(fingerprint), self.delta_path_for(fingerprint)):
+            self._sidecar_for(path).unlink(missing_ok=True)
+            try:
+                path.unlink()
+                removed = True
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def _descendants(self, fingerprint: str) -> list[str]:
+        """Fingerprints of delta records whose chains pass through
+        ``fingerprint``, in BFS order from it (shallowest first)."""
+        children: dict[str, list[str]] = {}
+        for child, parent in self._delta_links().items():
+            if parent is not None:
+                children.setdefault(parent, []).append(child)
+        ordered: list[str] = []
+        seen = {fingerprint}
+        frontier = [fingerprint]
+        while frontier:
+            current = frontier.pop(0)
+            for child in sorted(children.get(current, ())):
+                if child not in seen:
+                    seen.add(child)
+                    ordered.append(child)
+                    frontier.append(child)
+        return ordered
 
     def clear(self) -> int:
         """Delete every stored index; returns how many were removed."""
         removed = 0
         for fingerprint in self.fingerprints():
-            if self.remove(fingerprint):
+            if self._remove_own(fingerprint):
                 removed += 1
         return removed
 
     # ------------------------------------------------------------------
     # Garbage collection (long-lived serving fleets)
     # ------------------------------------------------------------------
-    def _stat_entries(self) -> list[tuple[float, int, str]]:
-        """``(mtime, size, fingerprint)`` of every stored file, oldest
-        first; files that vanish mid-scan are skipped (concurrent GC)."""
-        stats = []
-        for fingerprint in self.fingerprints():
-            try:
-                info = self.path_for(fingerprint).stat()
-            except OSError:
+    def _delta_links(self) -> dict[str, str | None]:
+        """Delta fingerprint → parent fingerprint for every readable
+        delta record (``None`` parent for an unreadable record)."""
+        links: dict[str, str | None] = {}
+        for path in self.store_dir.glob(f"*{DELTA_SUFFIX}"):
+            if not is_fingerprint(path.stem):
                 continue
-            stats.append((info.st_mtime, info.st_size, fingerprint))
-        stats.sort()
-        return stats
+            parent = None
+            read = self._read_payload(path, verify="header", magic=DELTA_MAGIC)
+            if read is not None:
+                try:
+                    base = PreparedDataGraph.payload_header(read[0]).get("base")
+                except (ValueError, KeyError, TypeError):
+                    base = None
+                if isinstance(base, str) and is_fingerprint(base):
+                    parent = base
+            links[path.stem] = parent
+        return links
+
+    def _group_entries(self) -> list[tuple[float, int, str, list[str]]]:
+        """``(mtime, size, root, members)`` per chain group, oldest first.
+
+        A group is a base payload plus every delta record that replays
+        (transitively) against it — the GC's unit of eviction, since
+        deleting a base would orphan its records and deleting only
+        records would strand savings nobody asked for.  A record whose
+        ancestry never reaches a stored base roots its own (orphan)
+        group.  Group mtime is the *newest* member's (a chain actively
+        being extended is warm); size sums every member file.  Files
+        that vanish mid-scan are skipped (concurrent GC).
+        """
+        links = self._delta_links()
+        bases = {
+            path.stem
+            for path in self.store_dir.glob(f"*{STORE_SUFFIX}")
+            if is_fingerprint(path.stem)
+        }
+        roots: dict[str, str] = {}
+
+        def root_of(fingerprint: str) -> str:
+            trail: list[str] = []
+            current = fingerprint
+            while True:
+                cached = roots.get(current)
+                if cached is not None:
+                    root = cached
+                    break
+                if current in bases:
+                    root = current
+                    break
+                parent = links.get(current)
+                if parent is None or parent in trail:
+                    root = current  # orphan record (or a cycle): own group
+                    break
+                if parent not in bases and parent not in links:
+                    root = current  # ancestry dead-ends before any base
+                    break
+                trail.append(current)
+                current = parent
+            for member in trail:
+                roots[member] = root
+            roots[fingerprint] = root
+            return root
+
+        members: dict[str, list[str]] = {}
+        for fingerprint in set(links) | bases:
+            members.setdefault(root_of(fingerprint), []).append(fingerprint)
+        groups = []
+        for root, fingerprints in members.items():
+            mtime = None
+            size = 0
+            for fingerprint in fingerprints:
+                for path in (
+                    self.path_for(fingerprint),
+                    self.delta_path_for(fingerprint),
+                ):
+                    try:
+                        info = path.stat()
+                    except OSError:
+                        continue
+                    size += info.st_size
+                    mtime = (
+                        info.st_mtime if mtime is None else max(mtime, info.st_mtime)
+                    )
+            if mtime is None:
+                continue
+            groups.append((mtime, size, root, sorted(fingerprints)))
+        groups.sort(key=lambda group: (group[0], group[2]))
+        return groups
 
     def total_bytes(self) -> int:
-        """Total size of every stored index file."""
-        return sum(size for _, size, _ in self._stat_entries())
+        """Total size of every stored file (base payloads + delta records)."""
+        return sum(size for _, size, _, _ in self._group_entries())
 
     def remove_older_than(self, seconds: float, now: float | None = None) -> int:
-        """Delete indexes whose file mtime is more than ``seconds`` ago.
+        """Delete indexes whose chain group aged past ``seconds``.
 
-        Age is file *modification* time: a ``save()`` (even an idempotent
-        re-save of identical content) refreshes it, so warm-and-serve
-        loops keep their hot indexes alive.  Returns the removal count.
+        Age is a group's newest file *modification* time: a ``save()``
+        (even an idempotent re-save of identical content) or a freshly
+        chained delta record refreshes it, so warm-and-serve loops keep
+        their hot indexes — and the whole chain beneath them — alive.
+        Whole groups go at once (records first, base last), never a base
+        out from under its records.  Returns the removal count.
         """
         if seconds < 0:
             raise InputError(f"age must be nonnegative, got {seconds!r}")
         cutoff = (time.time() if now is None else now) - seconds
         removed = 0
-        for mtime, _, fingerprint in self._stat_entries():
-            if mtime < cutoff and self.remove(fingerprint):
+        for mtime, _, root, fingerprints in self._group_entries():
+            if mtime >= cutoff:
+                continue
+            for fingerprint in fingerprints:
+                if fingerprint != root and self._remove_own(fingerprint):
+                    removed += 1
+            if self._remove_own(root):
                 removed += 1
         return removed
 
     def gc_max_bytes(self, max_bytes: int) -> dict:
-        """Evict oldest-mtime-first until total size fits ``max_bytes``.
+        """Evict oldest-group-first until total size fits ``max_bytes``.
 
         The eviction order mirrors the serving cache's LRU intuition at
-        fleet granularity: the file least recently (re-)warmed goes
-        first.  Returns ``{"removed": n, "remaining": k,
+        fleet granularity: the chain group least recently (re-)warmed
+        goes first, as one unit — delta records before their base, so no
+        base payload is ever deleted while records still replay against
+        it.  Returns ``{"removed": n, "remaining": k,
         "remaining_bytes": b}`` — the CLI's ``index gc`` output.
         """
         if max_bytes < 0:
             raise InputError(f"byte budget must be nonnegative, got {max_bytes!r}")
-        entries = self._stat_entries()
-        total = sum(size for _, size, _ in entries)
+        entries = self._group_entries()
+        total = sum(size for _, size, _, _ in entries)
+        count = sum(len(fingerprints) for _, _, _, fingerprints in entries)
         removed = 0
         gone = 0
-        for _, size, fingerprint in entries:
+        for _, size, root, fingerprints in entries:
             if total <= max_bytes:
                 break
-            if self.remove(fingerprint):
+            for fingerprint in fingerprints:
+                if fingerprint != root and self._remove_own(fingerprint):
+                    removed += 1
+            if self._remove_own(root):
                 removed += 1
-            # A False remove() means a concurrent GC beat us to the file
-            # (stores are shared across fleet hosts): its bytes are gone
-            # either way, so the budget math must not keep charging them
-            # — or this loop would over-evict still-warm younger indexes.
-            gone += 1
+            # A no-op removal means a concurrent GC beat us to the files
+            # (stores are shared across fleet hosts): their bytes are
+            # gone either way, so the budget math must not keep charging
+            # them — or this loop would over-evict still-warm groups.
+            gone += len(fingerprints)
             total -= size
         return {
             "removed": removed,
-            "remaining": len(entries) - gone,
+            "remaining": count - gone,
             "remaining_bytes": total,
         }
 
@@ -477,12 +1076,22 @@ class PreparedIndexStore:
         payload size.  ``verify="full"`` forces the checksum.  Version-1
         files return ``None`` (their packed rows are not mappable; the
         caller falls back to the decode path), as does any defect.
+
+        A fingerprint stored as a delta chain whose records all keep the
+        base's node count returns the **base** file's region with a
+        :class:`ChainOverlay` of replayed rows attached — the mmap
+        backend maps the shared base pages and overlays the evolved rows
+        copy-on-write.  A chain that appended nodes is not
+        overlay-mappable and returns ``None`` (the decode path replays
+        it instead).
         """
         if verify not in ("full", "header"):
             raise InputError(f"verify must be 'full' or 'header', got {verify!r}")
         if not is_fingerprint(fingerprint):
             return None
         path = self.path_for(fingerprint)
+        if not path.is_file() and self.delta_path_for(fingerprint).is_file():
+            return self._chained_region(fingerprint, verify)
         try:
             with open(path, "rb") as handle:
                 head = handle.read(_ENVELOPE_LEN[STORE_VERSION])
@@ -517,6 +1126,44 @@ class PreparedIndexStore:
             file_size=info.st_size,
             mtime_ns=info.st_mtime_ns,
         )
+
+    def _chained_region(
+        self, fingerprint: str, verify: str
+    ) -> PayloadRegion | None:
+        """The base file's region plus a :class:`ChainOverlay` of this
+        fingerprint's replayed rows; ``None`` on any chain defect or a
+        chain that appended nodes (not overlay-mappable)."""
+        chain = self._chain_records(fingerprint, verify=verify)
+        if chain is None:
+            return None
+        base_fingerprint, records = chain
+        try:
+            leaf = records[0][0]
+            num_nodes = leaf["num_nodes"]
+            from_rows: dict[int, int] = {}
+            to_rows: dict[int, int] = {}
+            cycle_mask = 0
+            for header, delta_from, delta_to, delta_cycle in reversed(records):
+                if header["num_nodes"] != num_nodes or header["appended_reprs"]:
+                    return None  # grown chain: decode-path replay only
+                from_rows.update(delta_from)
+                to_rows.update(delta_to)
+                cycle_mask = delta_cycle
+            overlay = ChainOverlay(
+                fingerprint=fingerprint,
+                num_edges=int(leaf["num_edges"]),
+                prepare_seconds=float(leaf["prepare_seconds"]),
+                from_rows=from_rows,
+                to_rows=to_rows,
+                cycle_mask=cycle_mask,
+                depth=len(records),
+            )
+        except (ValueError, KeyError, TypeError):
+            return None
+        region = self.payload_region(base_fingerprint, verify=verify)
+        if region is None:
+            return None
+        return replace(region, fingerprint=fingerprint, overlay=overlay)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -559,8 +1206,25 @@ class PreparedIndexStore:
         except OSError:
             pass
 
+    def _write_blob(self, path: Path, blob: bytes) -> None:
+        """Atomic write: tmp file + ``os.replace``, cleaned up on error.
+
+        The tmp name must be unique per writer: pid alone is not enough
+        (two services in one process can save one fingerprint
+        concurrently), so the thread id and a counter disambiguate.
+        """
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}.{next(_tmp_counter)}"
+        )
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
     def _read_payload(
-        self, path: Path, verify: str = "full"
+        self, path: Path, verify: str = "full", magic: bytes = _MAGIC
     ) -> tuple[bytes, int] | None:
         """Read and validate one file; ``(payload, version)`` or ``None``.
 
@@ -573,7 +1237,7 @@ class PreparedIndexStore:
             blob = path.read_bytes()
         except OSError:
             return None
-        parsed = _parse_envelope(blob)
+        parsed = _parse_envelope(blob, magic=magic)
         if parsed is None:
             return None
         version, payload_offset, length, checksum = parsed

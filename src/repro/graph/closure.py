@@ -19,13 +19,19 @@ Section 3.2 and by the SCC-compression optimization of Appendix B.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Hashable
 
 from repro.graph.digraph import DiGraph
 from repro.graph.scc import Condensation
 from repro.utils.errors import GraphError
 
-__all__ = ["ReachabilityIndex", "component_member_masks", "transitive_closure_graph"]
+__all__ = [
+    "ReachabilityIndex",
+    "component_member_masks",
+    "decremental_reach_rows",
+    "transitive_closure_graph",
+]
 
 Node = Hashable
 
@@ -45,6 +51,150 @@ def component_member_masks(cond: Condensation, position_of: dict[Node, int]) -> 
             mask |= 1 << position_of[member]
         masks[cid] = mask
     return masks
+
+
+def decremental_reach_rows(
+    successors_of,
+    predecessors_of,
+    old_rows,
+    dirty: set[int],
+    seeds: set[int],
+    acyclic: bool = False,
+) -> tuple[dict[int, int], int]:
+    """Recompute reach rows after pure edge removals, support-checked.
+
+    ``successors_of(p)`` / ``predecessors_of(p)`` return the *new*
+    graph's successor / predecessor positions of position ``p``;
+    ``old_rows`` are the base index's reach rows (bit i = position i);
+    ``dirty`` is the set of positions whose rows may have changed;
+    ``seeds`` are the removed edges' tail positions.  The caller
+    guarantees ``dirty`` is read off the old index as "everything that
+    reached a seed" — removals only shrink reachability, so every SCC of
+    the new graph that meets ``dirty`` lies entirely inside it, and
+    every external successor's row is final.  ``acyclic`` asserts no
+    dirty position lay on an old cycle (removals never create one), so
+    the dirty-induced subgraph is a DAG.
+
+    Rows are recomputed only where the removed edges' support actually
+    drained: a recomputed row equal to the current one is *not* recorded
+    and the change wave stops there (Italiano-style support draining
+    without per-edge counters).  In the acyclic case a worklist
+    propagates shrinkage from the seeds to dirty predecessors — rows
+    only ever shrink toward the unique fixpoint, so the traversal is
+    bounded by the actually-affected region, not the dirty estimate.
+    The general case runs one Tarjan pass over the dirty-induced
+    subgraph, emitting SCCs in reverse topological order and recomputing
+    an SCC only when it contains a seed or reads a changed successor.
+    Returns ``(changed_rows, rows_recomputed)``: every position absent
+    from ``changed_rows`` provably kept its old row, so callers can
+    splice old rows through by reference.
+    """
+    changed: dict[int, int] = {}
+    recomputed = 0
+    adjacency: dict[int, list[int]] = {}
+
+    def succs(p: int) -> list[int]:
+        cached = adjacency.get(p)
+        if cached is None:
+            cached = adjacency[p] = list(successors_of(p))
+        return cached
+
+    if acyclic:
+        # Chaotic iteration from the old rows (an overapproximation):
+        # recomputes shrink monotonically, and with no cycle inside the
+        # dirty region the fixpoint is unique — the exact new closure.
+        queue = deque(sorted(seeds))
+        queued = set(queue)
+        while queue:
+            u = queue.popleft()
+            queued.discard(u)
+            mask = 0
+            for t in succs(u):
+                mask |= (1 << t) | changed.get(t, old_rows[t])
+            recomputed += 1
+            if mask != changed.get(u, old_rows[u]):
+                changed[u] = mask
+                for p in predecessors_of(u):
+                    if p in dirty and p not in queued:
+                        queue.append(p)
+                        queued.add(p)
+        return changed, recomputed
+
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = 0
+    for root in sorted(dirty):
+        if root in index_of:
+            continue
+        work: list[tuple[int, list[int], int]] = [(root, succs(root), 0)]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, targets, next_i = work.pop()
+            advanced = False
+            while next_i < len(targets):
+                succ = targets[next_i]
+                next_i += 1
+                if succ not in dirty:
+                    continue  # clean successor: its SCC cannot meet dirty
+                if succ not in index_of:
+                    work.append((node, targets, next_i))
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, succs(succ), 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                members: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    if member == node:
+                        break
+                member_set = set(members)
+                needs = any(m in seeds for m in members)
+                if not needs:
+                    needs = any(
+                        t in changed
+                        for m in members
+                        for t in succs(m)
+                        if t not in member_set
+                    )
+                if needs:
+                    mask = 0
+                    internal = len(members) > 1
+                    members_bits = 0
+                    for m in members:
+                        members_bits |= 1 << m
+                    for m in members:
+                        for t in succs(m):
+                            if t in member_set:
+                                internal = internal or t == m
+                                continue
+                            mask |= (1 << t) | changed.get(t, old_rows[t])
+                    if internal:
+                        mask |= members_bits
+                    recomputed += len(members)
+                    # Mutual reachability shrinks monotonically, so the
+                    # members shared one old SCC — and one old row.
+                    if mask != old_rows[members[0]]:
+                        for m in members:
+                            changed[m] = mask
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return changed, recomputed
 
 
 class ReachabilityIndex:

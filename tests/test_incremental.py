@@ -84,23 +84,41 @@ def assert_payload_identical(evolved: PreparedDataGraph, cold: PreparedDataGraph
     assert a[off_a + (-off_a % 8) :] == b[off_b + (-off_b % 8) :]
 
 
+#: The default op mix: every mutation class, mildly edge-biased.
+MIXED_OPS = (
+    "add_edge", "add_edge", "remove_edge", "remove_edge",
+    "add_node", "remove_node", "merge_scc", "split_scc",
+    "self_loop", "set_label", "set_weight", "readd_node",
+)
+
+#: Removal-heavy streaming: mostly edge removals (the decremental fast
+#: path), some node removals and SCC splits, a trickle of inserts so the
+#: graph never fully drains.
+REMOVAL_OPS = (
+    "remove_edge", "remove_edge", "remove_edge", "remove_edge",
+    "remove_edge", "remove_node", "split_scc", "add_edge",
+)
+
+#: Interleaved insert/remove churn: the strategy dispatch flips between
+#: additive, decremental and scc-delta from step to step.
+INTERLEAVED_OPS = (
+    "add_edge", "remove_edge", "add_edge", "remove_edge",
+    "add_node", "remove_node", "merge_scc", "split_scc",
+)
+
+
 class Mutator:
     """One randomized mutation step; returns a tag for failure messages."""
 
-    def __init__(self, rng: random.Random, fresh_base: int):
+    def __init__(self, rng: random.Random, fresh_base: int, ops=MIXED_OPS):
         self.rng = rng
         self.fresh = fresh_base
+        self.ops = ops
 
     def apply(self, graph: DiGraph) -> str:
         rng = self.rng
         nodes = list(graph.nodes())
-        op = rng.choice(
-            (
-                "add_edge", "add_edge", "remove_edge", "remove_edge",
-                "add_node", "remove_node", "merge_scc", "split_scc",
-                "self_loop", "set_label", "set_weight", "readd_node",
-            )
-        )
+        op = rng.choice(self.ops)
         if op == "add_edge" and len(nodes) >= 2:
             graph.add_edge(rng.choice(nodes), rng.choice(nodes))
         elif op == "remove_edge":
@@ -227,6 +245,115 @@ class TestDeltaEquivalenceFuzz:
             prepared = evolved
             log.rebase(prepared.fingerprint)
 
+    # Streaming schedules: 3 removal-heavy runs × 30 steps + 2
+    # interleaved runs × 30 steps + 2 chain runs × 25 rounds ≥ 200 more
+    # asserted applications, across seeds × cutoffs × every backend.
+    @pytest.mark.parametrize(
+        "seed,cutoff", [(51, 1.0), (52, 0.5), (53, 0.15)]
+    )
+    def test_removal_heavy_stream(self, seed, cutoff):
+        """Sustained removal bursts — the decremental path's home turf —
+        stay bit-identical at every cutoff (including one low enough to
+        force honest rebuild fallbacks mid-stream)."""
+        rng = random.Random(seed)
+        graph = seeded_graph(seed, nodes=26, edges=70)
+        prepared = PreparedDataGraph(graph)
+        log = DeltaLog(graph, base_fingerprint=prepared.fingerprint)
+        mutator = Mutator(rng, fresh_base=2000 * seed, ops=REMOVAL_OPS)
+        backends = [get_backend(name) for name in available_backends()]
+        strategies = set()
+        for step in range(30):
+            tag = mutator.apply(graph)
+            evolved = prepared.apply_delta(log, cutoff=cutoff)
+            cold = PreparedDataGraph(graph)
+            context = (seed, step, tag, evolved.delta_stats)
+            assert_bit_identical(evolved, cold)
+            assert_payload_identical(evolved, cold)
+            strategies.add((evolved.delta_stats or {}).get("strategy"))
+            for backend in backends:
+                got = evolved.backend_rows(backend)
+                want = backend.build_rows(
+                    cold.from_mask, cold.to_mask, len(cold.nodes2)
+                )
+                if backend.name in ("numpy", "mmap"):
+                    import numpy as np
+
+                    assert np.array_equal(got.from_rows, want.from_rows), context
+                    assert np.array_equal(got.to_rows, want.to_rows), context
+                else:
+                    assert list(got[0]) == list(want[0]), context
+                    assert list(got[1]) == list(want[1]), context
+            prepared = evolved
+            log.rebase(prepared.fingerprint)
+        if cutoff >= 1.0:
+            assert "decremental" in strategies, strategies
+
+    @pytest.mark.parametrize("seed,cutoff", [(61, 1.0), (62, 0.4)])
+    def test_interleaved_insert_remove_stream(self, seed, cutoff):
+        """Alternating insert/remove churn flips the strategy dispatch
+        between additive, decremental and scc-delta every few steps —
+        all of them bit-identical to the cold prepare."""
+        rng = random.Random(seed)
+        graph = seeded_graph(seed, nodes=24, edges=48)
+        prepared = PreparedDataGraph(graph)
+        log = DeltaLog(graph, base_fingerprint=prepared.fingerprint)
+        mutator = Mutator(rng, fresh_base=3000 * seed, ops=INTERLEAVED_OPS)
+        backends = [get_backend(name) for name in available_backends()]
+        for step in range(30):
+            tag = mutator.apply(graph)
+            evolved = prepared.apply_delta(log, cutoff=cutoff)
+            cold = PreparedDataGraph(graph)
+            context = (seed, step, tag, evolved.delta_stats)
+            assert_bit_identical(evolved, cold)
+            assert_payload_identical(evolved, cold)
+            for backend in backends:
+                got = evolved.backend_rows(backend)
+                want = backend.build_rows(
+                    cold.from_mask, cold.to_mask, len(cold.nodes2)
+                )
+                if backend.name in ("numpy", "mmap"):
+                    import numpy as np
+
+                    assert np.array_equal(got.from_rows, want.from_rows), context
+                    assert np.array_equal(got.to_rows, want.to_rows), context
+                else:
+                    assert list(got[0]) == list(want[0]), context
+                    assert list(got[1]) == list(want[1]), context
+            prepared = evolved
+            log.rebase(prepared.fingerprint)
+
+    @pytest.mark.parametrize("seed", [71, 72])
+    def test_chain_round_trip_through_store(self, seed, tmp_path):
+        """Chained persistence under a removal stream: every round writes
+        a delta record (or auto-compacts at the depth cap) and hydrates
+        bit-identically through the replay path."""
+        from repro.core.store import CHAIN_DEPTH_MAX
+
+        rng = random.Random(seed)
+        graph = seeded_graph(seed, nodes=24, edges=46)
+        store = PreparedIndexStore(tmp_path)
+        store.save(PreparedDataGraph(graph))
+        actions = []
+        for round_number in range(25):
+            old = graph.copy()
+            edges = list(graph.edges())
+            if not edges:
+                break
+            for edge in rng.sample(edges, min(len(edges), rng.randrange(1, 4))):
+                graph.remove_edge(*edge)
+            evolved, info = store.evolve(old, graph, cutoff=1.0, chain=True)
+            assert evolved is not None, info
+            cold = PreparedDataGraph(graph)
+            assert_bit_identical(evolved, cold)
+            loaded = store.load(evolved.fingerprint, graph)
+            assert loaded is not None, (round_number, info)
+            assert_bit_identical(loaded, cold)
+            depth = store.chain_depth(evolved.fingerprint)
+            assert depth is not None and depth <= CHAIN_DEPTH_MAX, info
+            actions.append(info["action"])
+        assert "chained" in actions, actions
+        assert "compacted" in actions, actions  # the depth cap fired
+
     def test_cutoff_zero_always_rebuilds_and_still_agrees(self):
         """The cutoff bounds the scc-delta frontier: at 0.0 any removal
         delta (the additive fast path never pays per-frontier costs)
@@ -323,13 +450,51 @@ class TestEvolutionStrategies:
         assert evolved.delta_stats["strategy"] == "scc-delta"
         assert_bit_identical(evolved, PreparedDataGraph(graph))
 
-    def test_removal_takes_scc_delta_path(self):
+    def test_edge_removal_takes_decremental_path(self):
         graph = seeded_graph(24)
         prepared = PreparedDataGraph(graph)
         log = DeltaLog(graph, base_fingerprint=prepared.fingerprint)
         graph.remove_edge(*next(iter(graph.edges())))
         evolved = prepared.apply_delta(log, cutoff=1.0)
+        assert evolved.delta_stats["strategy"] == "decremental"
+        assert_bit_identical(evolved, PreparedDataGraph(graph))
+
+    def test_node_removal_takes_scc_delta_path(self):
+        graph = seeded_graph(24)
+        prepared = PreparedDataGraph(graph)
+        log = DeltaLog(graph, base_fingerprint=prepared.fingerprint)
+        graph.remove_node(next(iter(graph.nodes())))
+        evolved = prepared.apply_delta(log, cutoff=1.0)
         assert evolved.delta_stats["strategy"] == "scc-delta"
+        assert_bit_identical(evolved, PreparedDataGraph(graph))
+
+    def test_mixed_insert_remove_takes_scc_delta_path(self):
+        graph = seeded_graph(24)
+        prepared = PreparedDataGraph(graph)
+        log = DeltaLog(graph, base_fingerprint=prepared.fingerprint)
+        graph.remove_edge(*next(iter(graph.edges())))
+        graph.add_edge(0, 27)
+        evolved = prepared.apply_delta(log, cutoff=1.0)
+        assert evolved.delta_stats["strategy"] == "scc-delta"
+        assert_bit_identical(evolved, PreparedDataGraph(graph))
+
+    def test_decremental_keeps_unchanged_rows_by_reference(self):
+        """A removed edge with alternative support changes nothing: every
+        row passes through by reference and the wave stops at the tail."""
+        graph = DiGraph()
+        for i in range(6):
+            graph.add_node(i)
+        for i in range(5):
+            graph.add_edge(i, i + 1)
+        graph.add_edge(0, 2)  # a shortcut 0→2 with support via 0→1→2
+        prepared = PreparedDataGraph(graph)
+        log = DeltaLog(graph, base_fingerprint=prepared.fingerprint)
+        graph.remove_edge(0, 2)
+        evolved = prepared.apply_delta(log, cutoff=1.0)
+        assert evolved.delta_stats["strategy"] == "decremental"
+        for i in range(6):
+            assert evolved.from_mask[i] is prepared.from_mask[i]
+            assert evolved.to_mask[i] is prepared.to_mask[i]
         assert_bit_identical(evolved, PreparedDataGraph(graph))
 
     def test_untouched_rows_are_shared_by_reference(self):

@@ -1,0 +1,109 @@
+"""The load harness as a benchmark: tail latency under phased load.
+
+Runs the repro-workload harness in-process (deterministic inline
+drivers, no multiprocessing jitter) over a ramp-then-steady schedule on
+the flat and sharded front-ends, with a mutate mix exercising the
+delta-evolution path, and records the merged latency distribution the
+service-layer ``latency_hook`` observed.  Under ``--json PATH`` it
+writes ``BENCH_workload.json`` with p50/p95/p99 per front-end plus the
+throughput and the evolution counters — the numbers the CI workload
+smoke gates on (the repo's first tail-latency gate, as opposed to the
+throughput/speedup gates of the other benches).
+
+The assertions are *sanity* floors (requests flowed, no errors, p99
+finite and ordered); the hard p99 budget lives in CI where the runner
+hardware is known.
+"""
+
+from __future__ import annotations
+
+from repro.workload import Schedule, ScenarioSpec, WorkloadConfig, run_workload
+
+#: One modest phased profile shared by both front-end runs: a short
+#: ramp into a steady plateau.  Inline drivers issue strictly by this
+#: clock, so the bench runs in ~2×(ramp+steady) wall seconds.
+RAMP_SECONDS = 1.0
+STEADY_SECONDS = 2.0
+STEADY_RATE = 120.0
+MUTATE_MIX = 0.15
+WORKERS = 2
+SHARDS = 2
+
+
+def _schedule() -> Schedule:
+    return Schedule.from_payload(
+        {
+            "phases": [
+                {"kind": "ramp", "seconds": RAMP_SECONDS, "rate": [20, STEADY_RATE]},
+                {"kind": "steady", "seconds": STEADY_SECONDS, "rate": STEADY_RATE},
+            ]
+        }
+    )
+
+
+def _run(frontend: str, tmp_path) -> dict:
+    config = WorkloadConfig(
+        schedule=_schedule(),
+        workers=WORKERS,
+        frontend=frontend,
+        shards=SHARDS,
+        store_dir=str(tmp_path / f"{frontend}-store"),
+        seed=11,
+        mutate_mix=MUTATE_MIX,
+        stats_interval=0.5,
+        processes=False,
+        scenario_spec=ScenarioSpec(sites=3, site_size=24, patterns_per_site=2),
+    )
+    return run_workload(config)
+
+
+def _latency_fields(report: dict) -> dict:
+    return {
+        "requests": report["requests"],
+        "errors": report["errors"],
+        "mutations": report["mutations"],
+        "throughput_rps": report["throughput_rps"],
+        "p50": report["p50"],
+        "p95": report["p95"],
+        "p99": report["p99"],
+    }
+
+
+def test_workload_tail_latency(tmp_path, bench_json):
+    flat = _run("flat", tmp_path)
+    sharded = _run("sharded", tmp_path)
+
+    for report in (flat, sharded):
+        assert report["requests"] > 0
+        assert report["errors"] == 0
+        assert report["p50"] <= report["p95"] <= report["p99"]
+        # The hook observed every request: the tail is measured on the
+        # full population, not a sample.
+        assert report["stats"]["hook_calls"] == report["requests"]
+        # The mutate mix really drove incremental evolution.
+        assert report["mutations"] > 0
+        assert report["stats"]["delta_hits"] > 0
+        # Warm store: the initial corpus came from disk, not a cold build.
+        assert report["stats"]["disk_hits"] >= 1
+    # Flat never cold-prepares at all; sharded may legitimately re-prepare
+    # the few components whose shard plan a mutation reshaped.
+    assert flat["stats"]["prepares"] == 0
+    assert sharded["stats"]["shard_evolves"] > 0
+
+    bench_json(
+        "workload",
+        {
+            "schedule": {
+                "ramp_seconds": RAMP_SECONDS,
+                "steady_seconds": STEADY_SECONDS,
+                "steady_rate": STEADY_RATE,
+            },
+            "workers": WORKERS,
+            "shards": SHARDS,
+            "mutate_mix": MUTATE_MIX,
+            "flat": _latency_fields(flat),
+            "sharded": _latency_fields(sharded),
+            "flat_delta_hits": flat["stats"]["delta_hits"],
+            "sharded_shard_evolves": sharded["stats"]["shard_evolves"],
+        },
+    )

@@ -45,10 +45,13 @@ STATS_COUNTERS = frozenset(
         "load_seconds",
         "store_seconds",
         "batch_seconds",
+        "batches",
         "pairs_pruned",
         "shards_skipped",
         "filter_bypasses",
         "filter_seconds",
+        "hook_calls",
+        "hook_seconds",
         "solved_by",
     }
 )

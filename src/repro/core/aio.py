@@ -35,13 +35,14 @@ import asyncio
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.api import MatchReport
 from repro.core.service import MatchingService, SimilaritySource
 from repro.core.sharding import ShardedMatchingService
 from repro.graph.digraph import DiGraph
 from repro.utils.errors import InputError
+from repro.utils.timing import Stopwatch
 
 __all__ = ["AsyncMatchingService"]
 
@@ -61,6 +62,7 @@ class AsyncMatchingService:
         service: "MatchingService | ShardedMatchingService | None" = None,
         max_concurrency: int = 8,
         executor: ThreadPoolExecutor | None = None,
+        latency_hook: "Callable[[str, float], None] | None" = None,
     ) -> None:
         if max_concurrency < 1:
             raise InputError(
@@ -68,6 +70,10 @@ class AsyncMatchingService:
             )
         self.service = service if service is not None else MatchingService()
         self.max_concurrency = max_concurrency
+        #: ``(op, seconds)`` callable observed per request with the
+        #: *client-perceived* wall-clock — semaphore queueing plus the
+        #: executor solve (op ``"async"``).  Exceptions are swallowed.
+        self.latency_hook = latency_hook
         self._executor = executor
         self._owns_executor = executor is None
         self._semaphores: dict[
@@ -75,6 +81,10 @@ class AsyncMatchingService:
         ] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: Requests currently inside (or committed to) the executor;
+        #: ``close()`` drains this to zero before shutting the pool down.
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -83,12 +93,16 @@ class AsyncMatchingService:
         with self._lock:
             if self._closed:
                 raise InputError("AsyncMatchingService is closed")
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self.max_concurrency,
-                    thread_name_prefix="repro-aio",
-                )
-            return self._executor
+            return self._ensure_pool()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """The executor, created lazily; caller holds :attr:`_lock`."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_concurrency,
+                thread_name_prefix="repro-aio",
+            )
+        return self._executor
 
     def _semaphore(self) -> asyncio.Semaphore:
         """The bound for the *running* loop (created on first use).
@@ -114,12 +128,51 @@ class AsyncMatchingService:
             return semaphore
 
     async def _run(self, fn, /, *args, **kwargs):
-        """Run one synchronous service call off-loop, under the bound."""
+        """Run one synchronous service call off-loop, under the bound.
+
+        The in-flight admission is atomic with the closed check: a
+        request either observes ``closed`` and is rejected with
+        :class:`~repro.utils.errors.InputError`, or registers itself in
+        ``_inflight`` *before* touching the executor — and ``close()``
+        waits for the in-flight count to drain before shutting the pool
+        down, so a submission can never race a pool shutdown into
+        ``RuntimeError``.  The count is released from the executor
+        thread (not the coroutine), so a ``close()`` issued from the
+        event-loop thread itself still drains.
+        """
         loop = asyncio.get_running_loop()
+        call = partial(fn, *args, **kwargs)
+
+        def tracked():
+            try:
+                return call()
+            finally:
+                with self._lock:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.notify_all()
+
         async with self._semaphore():
-            return await loop.run_in_executor(
-                self._pool(), partial(fn, *args, **kwargs)
-            )
+            with self._lock:
+                if self._closed:
+                    raise InputError("AsyncMatchingService is closed")
+                executor = self._ensure_pool()
+                self._inflight += 1
+            with Stopwatch() as watch:
+                # run_in_executor submits synchronously, so the tracked
+                # wrapper (and its in-flight release) is committed to the
+                # pool before this coroutine can be suspended/cancelled.
+                result = await loop.run_in_executor(executor, tracked)
+            self._observe("async", watch.elapsed)
+            return result
+
+    def _observe(self, op: str, seconds: float) -> None:
+        hook = self.latency_hook
+        if hook is not None:
+            try:
+                hook(op, seconds)
+            except Exception:
+                pass  # observability must never fail serving
 
     # ------------------------------------------------------------------
     # Request surface
@@ -186,16 +239,37 @@ class AsyncMatchingService:
             )
         return await self._run(runner, graph1, graph2, mat, xi, **options)
 
+    async def update_graph(self, graph2: DiGraph):
+        """Bring the wrapped service's view of a mutated graph up to
+        date, off-loop (see the wrapped service's ``update_graph``)."""
+        return await self._run(self.service.update_graph, graph2)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the owned thread pool (idempotent).
+        """Reject new requests, drain in-flight ones, then shut down.
 
-        An external ``executor`` passed at construction is left running.
+        Idempotent.  New requests fail fast with
+        :class:`~repro.utils.errors.InputError` the moment ``close()``
+        begins; requests already admitted keep their executor and run to
+        completion before the owned pool is shut down — closing mid-burst
+        can therefore never surface a ``RuntimeError`` from a pool that
+        vanished between admission and submission.  An external
+        ``executor`` passed at construction is left running (and not
+        drained — its lifecycle is the caller's).
+
+        Call from a thread that is not running the event loop (as
+        ``__aexit__`` does): the drain blocks until in-flight executor
+        work finishes.
         """
         with self._lock:
             self._closed = True
+            if self._owns_executor:
+                # Condition.wait releases the lock, so executor threads
+                # can take it to decrement the in-flight count.
+                while self._inflight:
+                    self._idle.wait()
             executor, self._executor = self._executor, None
             owns = self._owns_executor
         if owns and executor is not None:

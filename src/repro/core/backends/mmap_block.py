@@ -18,9 +18,11 @@ the first ``from_mask`` row to the cycle row.  This backend therefore
   exceeds RAM (the service LRU holds lightweight views, not payloads).
 * **Shared per fingerprint** — mappings are interned in a
   module-level :class:`weakref.WeakValueDictionary` keyed by
-  ``(path, size, mtime_ns)``, so shard workers (and any number of
-  services) sharing one store share one mapping — and therefore one OS
-  page cache — per fingerprint.
+  ``(path, size, mtime_ns, payload sha256)``, so shard workers (and any
+  number of services) sharing one store share one mapping — and
+  therefore one OS page cache — per fingerprint, while a same-length
+  in-place rewrite (the checksum differs) gets a fresh mapping instead
+  of the stale pages.
 
 Solving behaviour is entirely inherited from
 :class:`~repro.core.backends.numpy_block.BlockBackendBase` — the kernels
@@ -99,8 +101,14 @@ class _Mapping:
         self.buffer = buffer
 
 
-#: Interned mappings, keyed ``(str(path), size, mtime_ns)``.  Weak values:
-#: a mapping lives exactly as long as some hydrated index references it.
+#: Interned mappings, keyed ``(str(path), size, mtime_ns, payload
+#: sha256)``.  Weak values: a mapping lives exactly as long as some
+#: hydrated index references it.  The checksum (verified by
+#: ``payload_region``) is part of the identity on purpose: stat identity
+#: alone collides when a file is rewritten to the same byte length
+#: within the filesystem's mtime granularity — ``index compact``
+#: flattening a chain, a re-warm — and a stale mapping would keep
+#: serving the old pages.
 _mappings: "weakref.WeakValueDictionary[tuple, _Mapping]" = (
     weakref.WeakValueDictionary()
 )
@@ -109,7 +117,12 @@ _mappings_lock = threading.Lock()
 
 def _shared_mapping(region) -> _Mapping:
     """The process-wide mapping for ``region``'s exact file identity."""
-    key = (str(region.path), region.file_size, region.mtime_ns)
+    key = (
+        str(region.path),
+        region.file_size,
+        region.mtime_ns,
+        bytes(getattr(region, "payload_sha256", b"")),
+    )
     with _mappings_lock:
         mapping = _mappings.get(key)
         if mapping is None:

@@ -51,7 +51,6 @@ from repro.core.api import (
     MatchReport,
     _solve_prepared,
     closure_pattern,
-    match_prepared,
     validate_match_options,
 )
 from repro.core.backends import SolverBackend, get_backend
@@ -160,9 +159,15 @@ class ServiceStats:
     load_seconds: float = 0.0
     #: Seconds spent persisting freshly built indexes to the disk store.
     store_seconds: float = 0.0
-    #: Wall-clock seconds of ``match_many`` batches (pool time; with
-    #: thread fan-out this is less than the batch's ``solve_seconds``).
+    #: Wall-clock seconds of ``match_many`` batches, summed **per
+    #: batch** (pool time; with thread fan-out this is less than the
+    #: batch's ``solve_seconds``).  Concurrent batches overlap in real
+    #: time, so this sum can exceed wall-clock elapsed — normalize by
+    #: :attr:`batches` for a mean per-batch wall-clock, which can not.
     batch_seconds: float = 0.0
+    #: ``match_many`` batches completed — the normalizer that makes
+    #: ``batch_seconds`` meaningful under concurrent batch callers.
+    batches: int = 0
     #: Candidate (v, u) pairs the prefilter pipeline removed before any
     #: engine frame (strict sketch pruning; route-scoped sharded rows).
     pairs_pruned: int = 0
@@ -175,6 +180,13 @@ class ServiceStats:
     #: Seconds spent in prefilter work (gated row construction, sketch
     #: tests) — compare against the solve/resolve time it saved.
     filter_seconds: float = 0.0
+    #: Latency-hook invocations (services constructed with
+    #: ``latency_hook=`` — one per observed call).
+    hook_calls: int = 0
+    #: Seconds spent *inside* the latency hook.  Hook overhead runs
+    #: after every solve stopwatch has closed, so it lands here and
+    #: never inflates ``solve_seconds``/``batch_seconds``.
+    hook_seconds: float = 0.0
     #: The service's default solver backend name (``""`` until a service
     #: adopts these stats).
     backend: str = ""
@@ -225,10 +237,13 @@ class ServiceStats:
                 "load_seconds": self.load_seconds,
                 "store_seconds": self.store_seconds,
                 "batch_seconds": self.batch_seconds,
+                "batches": self.batches,
                 "pairs_pruned": self.pairs_pruned,
                 "shards_skipped": self.shards_skipped,
                 "filter_bypasses": self.filter_bypasses,
                 "filter_seconds": self.filter_seconds,
+                "hook_calls": self.hook_calls,
+                "hook_seconds": self.hook_seconds,
                 "backend": self.backend,
                 "solved_by": dict(self.solved_by),
             }
@@ -595,13 +610,34 @@ class MatchSession:
         partitioned: bool = False,
         symmetric: bool = False,
         pick: str = "similarity",
+        prefilter: str = "auto",
     ) -> MatchReport:
-        """Match one pattern; parameters as in :func:`repro.core.api.match`."""
+        """Match one pattern; parameters as in :func:`repro.core.api.match`.
+
+        A service-backed session charges prefilter work to the same
+        counters as :meth:`MatchingService.match`: gated row
+        construction lands in ``filter_seconds`` (outside the solve
+        stopwatch — it used to be silently folded into
+        ``solve_seconds``), a conservatively disengaged prefilter bumps
+        ``filter_bypasses``, and ``prefilter="off"`` touches no filter
+        counter at all.
+        """
+        validate_match_options(
+            metric, threshold, self.xi, partitioned, pick,
+            backend=self.backend, prefilter=prefilter,
+        )  # pre-flight
+        service = self.service
+        rows = None
+        if service is not None:
+            rows = service._gated_rows(
+                self.similarity, graph1, self.prepared, prefilter, metric,
+                partitioned, symmetric,
+            )
         with Stopwatch() as watch:
-            report = match_prepared(
+            report = _solve_prepared(
                 graph1,
                 self.prepared,
-                self.matrix_for(graph1),
+                self.similarity if rows is not None else self.matrix_for(graph1),
                 self.xi,
                 metric=metric,
                 injective=injective,
@@ -610,10 +646,16 @@ class MatchSession:
                 symmetric=symmetric,
                 pick=pick,
                 backend=self.backend,
+                prefilter=prefilter,
+                candidate_rows=rows,
             )
         self.patterns_matched += 1
-        if self.service is not None:
-            self.service._record_solves(1, watch.elapsed, backend=self.backend)
+        if service is not None:
+            service._record_solves(
+                1, watch.elapsed, backend=self.backend,
+                pairs_pruned=report.result.stats.get("pairs_pruned", 0),
+            )
+            service._observe("match", watch.elapsed)
         return report
 
 
@@ -628,6 +670,15 @@ class MatchingService:
     persists delta-evolved indexes as compact store delta records
     instead of full payload rewrites (high-churn streaming graphs; see
     :meth:`~repro.core.store.PreparedIndexStore.save_delta`).
+
+    ``latency_hook`` is an optional ``(op, seconds) -> None`` callable
+    observed after every completed request — ``op`` is ``"match"``,
+    ``"batch"`` or ``"update"`` and ``seconds`` the call's recorded
+    wall-clock.  It is how the load harness (:mod:`repro.workload`)
+    collects per-call latency without wrapping call sites.  The hook
+    runs *after* every timing stopwatch and stats update has completed,
+    so its own overhead is charged to ``hook_seconds`` only; a raising
+    hook is swallowed (observability must never fail serving).
     """
 
     def __init__(
@@ -637,6 +688,7 @@ class MatchingService:
         store_dir: str | None = None,
         backend: "str | SolverBackend | None" = None,
         chain: bool = False,
+        latency_hook: Callable[[str, float], None] | None = None,
     ) -> None:
         if store is not None and store_dir is not None:
             raise InputError("pass either store= or store_dir=, not both")
@@ -647,6 +699,7 @@ class MatchingService:
         #: misconfigured service fails at construction, not under load.
         self.backend: SolverBackend = get_backend(backend)
         self.stats = ServiceStats(backend=self.backend.name)
+        self.latency_hook = latency_hook
         self.cache = PreparedGraphCache(
             max_prepared, stats=self.stats, store=store, backend=self.backend,
             chain=chain,
@@ -682,7 +735,10 @@ class MatchingService:
         the evolved index (persisted to the disk tier, when one is
         attached, under the graph's new fingerprint).
         """
-        return self.cache.prepared_for(graph2)
+        with Stopwatch() as watch:
+            prepared = self.cache.prepared_for(graph2)
+        self._observe("update", watch.elapsed)
+        return prepared
 
     def _record_solves(
         self,
@@ -696,11 +752,37 @@ class MatchingService:
             self.stats.calls += count
             self.stats.solve_seconds += elapsed
             if batch_elapsed is not None:
+                # Summed per batch: concurrent match_many callers overlap
+                # in real time, so only batch_seconds / batches (the mean
+                # per-batch wall-clock) is comparable to elapsed time.
                 self.stats.batch_seconds += batch_elapsed
+                self.stats.batches += 1
             if backend is not None:
                 self.stats.record_backend(backend.name, count)
             if pairs_pruned:
                 self.stats.pairs_pruned += pairs_pruned
+
+    def _observe(self, op: str, seconds: float) -> None:
+        """Feed one completed call's wall-clock to the latency hook.
+
+        Called after the solve stopwatch closed and its stats landed, so
+        a slow hook can never inflate ``solve_seconds`` or
+        ``batch_seconds`` — its cost is accounted separately in
+        ``hook_calls``/``hook_seconds``.  The hook runs outside every
+        lock (it may itself snapshot stats) and its exceptions are
+        swallowed: observability must never fail serving.
+        """
+        hook = self.latency_hook
+        if hook is None:
+            return
+        with Stopwatch() as watch:
+            try:
+                hook(op, seconds)
+            except Exception:
+                pass
+        with self.stats.lock:
+            self.stats.hook_calls += 1
+            self.stats.hook_seconds += watch.elapsed
 
     def _gated_rows(
         self,
@@ -805,6 +887,7 @@ class MatchingService:
             backend=solver,
             pairs_pruned=report.result.stats.get("pairs_pruned", 0),
         )
+        self._observe("match", watch.elapsed)
         return report
 
     def match_many(
@@ -878,6 +961,9 @@ class MatchingService:
                 report.result.stats.get("pairs_pruned", 0) for report, _ in timed
             ),
         )
+        for _, elapsed in timed:
+            self._observe("match", elapsed)
+        self._observe("batch", watch.elapsed)
         return reports
 
 

@@ -59,7 +59,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Sequence
 
 from repro.core.api import (
     DEFAULT_MATCH_THRESHOLD,
@@ -551,6 +551,7 @@ class ShardedMatchingService:
         backends: "Sequence[str | SolverBackend] | None" = None,
         max_plans: int = 8,
         chain: bool = False,
+        latency_hook: "Callable[[str, float], None] | None" = None,
     ) -> None:
         if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
             raise InputError(f"a sharded service needs at least one shard, got {shards!r}")
@@ -584,6 +585,10 @@ class ShardedMatchingService:
         self.max_plans = max_plans
         self._plans: OrderedDict[str, ShardPlan] = OrderedDict()
         self._lock = threading.Lock()
+        #: Request-level latency hook, fed by the *router* (workers keep
+        #: no hook: one observation per request, not per component) —
+        #: semantics as in :class:`MatchingService`.
+        self.latency_hook = latency_hook
         self._counters = {
             "routed_calls": 0,
             "sharded_solves": 0,
@@ -593,11 +598,34 @@ class ShardedMatchingService:
             "plans_evolved": 0,
             "shards_replanned": 0,
             "batch_seconds": 0.0,
+            "batches": 0,
             "pairs_pruned": 0,
             "shards_skipped": 0,
             "filter_bypasses": 0,
             "filter_seconds": 0.0,
+            "hook_calls": 0,
+            "hook_seconds": 0.0,
         }
+
+    def _observe(self, op: str, seconds: float) -> None:
+        """Feed one completed request's wall-clock to the latency hook.
+
+        Mirrors :meth:`MatchingService._observe`: runs after every
+        timing stopwatch and counter update, outside the router lock,
+        with hook time accounted in ``hook_calls``/``hook_seconds`` and
+        hook exceptions swallowed.
+        """
+        hook = self.latency_hook
+        if hook is None:
+            return
+        with Stopwatch() as watch:
+            try:
+                hook(op, seconds)
+            except Exception:
+                pass
+        with self._lock:
+            self._counters["hook_calls"] += 1
+            self._counters["hook_seconds"] += watch.elapsed
 
     @property
     def store(self) -> PreparedIndexStore | None:
@@ -627,7 +655,10 @@ class ShardedMatchingService:
         worker = self.worker_for(graph2)
         with self._lock:
             self._counters["routed_calls"] += 1
-        return worker.match(graph1, graph2, mat, xi, **options)
+        with Stopwatch() as watch:
+            report = worker.match(graph1, graph2, mat, xi, **options)
+        self._observe("match", watch.elapsed)
+        return report
 
     def match_many(
         self,
@@ -642,7 +673,10 @@ class ShardedMatchingService:
         worker = self.worker_for(graph2)
         with self._lock:
             self._counters["routed_calls"] += len(patterns)
-        return worker.match_many(patterns, graph2, mat, xi, **options)
+        with Stopwatch() as watch:
+            reports = worker.match_many(patterns, graph2, mat, xi, **options)
+        self._observe("batch", watch.elapsed)
+        return reports
 
     # ------------------------------------------------------------------
     # Graph sharding: component fan-out
@@ -711,7 +745,10 @@ class ShardedMatchingService:
         *changed* shards rebuild lazily on the next request that routes
         to them.
         """
-        return self.plan_for(graph2)
+        with Stopwatch() as watch:
+            plan = self.plan_for(graph2)
+        self._observe("update", watch.elapsed)
+        return plan
 
     def match_sharded(
         self,
@@ -794,6 +831,7 @@ class ShardedMatchingService:
                 self._counters["pairs_pruned"] += filtered["pairs_pruned"]
                 self._counters["shards_skipped"] += filtered["shards_skipped"]
                 self._counters["filter_seconds"] += filtered["filter_seconds"]
+        self._observe("match_sharded", watch.elapsed)
         quality = result.qual_card
         return MatchReport(
             matched=quality >= threshold,
@@ -844,7 +882,11 @@ class ShardedMatchingService:
             else:
                 reports = [solve(graph1) for graph1 in patterns]
         with self._lock:
+            # Per-batch sum, normalized by "batches" — the same contract
+            # as ServiceStats.batch_seconds under concurrent callers.
             self._counters["batch_seconds"] += watch.elapsed
+            self._counters["batches"] += 1
+        self._observe("batch", watch.elapsed)
         return reports
 
     def _scope_shard_delta(

@@ -373,9 +373,16 @@ class PayloadRegion:
     8-byte aligned, are ever described by a region).  ``file_size`` /
     ``mtime_ns`` snapshot the stat identity the validation covered, so
     mapping caches can key sharing on it and a concurrent rewrite shows
-    up as a different region rather than a silently different file.  For
-    a delta-chained fingerprint the coordinates describe the *base*
-    file and ``overlay`` carries the replayed rows to layer over it.
+    up as a different region rather than a silently different file.
+    ``payload_sha256`` is the envelope's payload checksum — the content
+    identity mapping caches must *also* key on, because a rewrite to the
+    same byte length within the filesystem's mtime granularity (an
+    ``index compact`` flattening a chain, a re-warm with different
+    sketch options) leaves size and mtime_ns unchanged while the bytes
+    differ.  For a delta-chained fingerprint the coordinates describe
+    the *base* file and ``overlay`` carries the replayed rows to layer
+    over it (``payload_sha256`` stays the base file's — it names the
+    mapped bytes).
     """
 
     path: Path
@@ -385,6 +392,7 @@ class PayloadRegion:
     payload_length: int
     file_size: int
     mtime_ns: int
+    payload_sha256: bytes = b""
     overlay: ChainOverlay | None = None
 
 
@@ -1125,6 +1133,7 @@ class PreparedIndexStore:
             payload_length=length,
             file_size=info.st_size,
             mtime_ns=info.st_mtime_ns,
+            payload_sha256=checksum,
         )
 
     def _chained_region(

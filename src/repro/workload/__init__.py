@@ -1,0 +1,36 @@
+"""repro-workload: a load harness for the matching service.
+
+Drives realistic phased load (ramp/steady/pause schedules, Poisson
+arrivals, Zipf pattern popularity, a mutate mix that exercises the
+delta-evolution path) through the flat, sharded, or async front-end,
+measures per-request latency via the service layer's ``latency_hook``,
+and gates on the merged p99 — see ``python -m repro.workload --help``.
+
+The building blocks are importable for tests and benchmarks:
+
+* :class:`~repro.workload.histogram.LatencyHistogram` — log-bucketed
+  latency counts whose cross-process merge preserves quantiles exactly;
+* :class:`~repro.workload.schedule.Schedule` — phased target rates;
+* :class:`~repro.workload.pacing.TokenBucket` — the ``--max-rate`` cap;
+* :class:`~repro.workload.scenario.Scenario` — deterministic corpus,
+  patterns, and mutation pool from ``(spec, seed)``;
+* :func:`~repro.workload.runner.run_workload` — the programmatic
+  entry point returning the report dict the CLI prints and gates on.
+"""
+
+from repro.workload.histogram import LatencyHistogram
+from repro.workload.pacing import TokenBucket
+from repro.workload.runner import WorkloadConfig, run_workload
+from repro.workload.scenario import Scenario, ScenarioSpec
+from repro.workload.schedule import Phase, Schedule
+
+__all__ = [
+    "LatencyHistogram",
+    "TokenBucket",
+    "WorkloadConfig",
+    "run_workload",
+    "Scenario",
+    "ScenarioSpec",
+    "Phase",
+    "Schedule",
+]

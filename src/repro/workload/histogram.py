@@ -1,0 +1,170 @@
+"""Log-bucketed latency histograms with exact cross-process merge.
+
+The harness runs many driver processes, each recording thousands of
+per-call latencies; shipping raw samples back through a queue would make
+the report cost O(requests).  A :class:`LatencyHistogram` is the classic
+fix: geometric buckets (8 per octave above a 1 µs floor, ≤ ~9 % relative
+quantile error) hold plain counts, so a worker's whole latency stream is
+a small dict.
+
+The property the report leans on is **merge exactness**: bucketing
+commutes with concatenation, so for any quantile ``q``
+
+    merge(h1, h2).quantile(q) == bucketed(samples1 + samples2).quantile(q)
+
+*exactly* (not approximately) — merging is integer count addition, and
+the quantile of a bucketed distribution is a deterministic function of
+the counts.  The regression tests assert ``merge(p99) == p99(concat)``
+bit-for-bit.  Sum/min/max/count are exact as well; only the quantile's
+in-bucket position is quantized, and always toward the bucket's upper
+edge (a conservative p99 — the gate can only over-estimate, never
+excuse, a tail).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.utils.errors import InputError
+
+__all__ = ["LatencyHistogram"]
+
+#: Resolution floor: everything at or below one microsecond is bucket 0.
+_BASE = 1e-6
+#: Geometric growth per bucket — 2^(1/8): eight buckets per octave.
+_GROWTH = 2.0 ** 0.125
+_LOG_GROWTH = math.log(_GROWTH)
+
+
+def _bucket_of(seconds: float) -> int:
+    """The bucket index covering ``seconds`` (deterministic float math,
+    so every process buckets identically)."""
+    if seconds <= _BASE:
+        return 0
+    index = 1 + math.floor(math.log(seconds / _BASE) / _LOG_GROWTH)
+    # Float round-off can land a value exactly on its lower edge one
+    # bucket high; clamping to the edge keeps upper_edge(i) >= seconds.
+    while _BASE * _GROWTH ** (index - 1) >= seconds:  # pragma: no cover
+        index -= 1
+    return index
+
+
+class LatencyHistogram:
+    """Counts of latency samples in geometric buckets.
+
+    Thread-safety is the *caller's* concern (the harness records under
+    its recorder lock); instances themselves are plain data so they
+    pickle/JSON-round-trip across process boundaries.
+    """
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Count one latency sample (negative values are clamped to 0)."""
+        seconds = max(0.0, float(seconds))
+        bucket = _bucket_of(seconds)
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s counts into this histogram (returns self).
+
+        Pure integer addition per bucket — the merged quantiles equal
+        the quantiles of the concatenated sample streams exactly.
+        """
+        for bucket, n in other.counts.items():
+            self.counts[bucket] = self.counts.get(bucket, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    @staticmethod
+    def upper_edge(bucket: int) -> float:
+        """The inclusive upper latency edge of ``bucket`` (seconds)."""
+        return _BASE * _GROWTH ** bucket
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile's bucket upper edge; ``None`` when empty.
+
+        Deterministic nearest-rank over the bucket counts: the value
+        returned is the upper edge of the bucket holding the
+        ``ceil(q * count)``-th smallest sample, so it is always ≥ the
+        true sample quantile and < GROWTH × it.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InputError(f"quantile must be within [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen >= rank:
+                return self.upper_edge(bucket)
+        return self.upper_edge(max(self.counts))  # pragma: no cover
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> dict:
+        """The report-facing figures (p50/p95/p99 + exact aggregates)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    # -- process-boundary transport ------------------------------------
+    def to_payload(self) -> dict:
+        """A JSON/pickle-safe dict ``from_payload`` restores exactly."""
+        return {
+            "counts": {str(bucket): n for bucket, n in self.counts.items()},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LatencyHistogram":
+        histogram = cls()
+        counts = payload.get("counts", {})
+        if not isinstance(counts, dict):
+            raise InputError("histogram payload counts must be a dict")
+        for bucket, n in counts.items():
+            histogram.counts[int(bucket)] = int(n)
+        histogram.count = int(payload.get("count", 0))
+        histogram.total = float(payload.get("total", 0.0))
+        minimum = payload.get("min")
+        histogram.min = math.inf if minimum is None else float(minimum)
+        histogram.max = float(payload.get("max", 0.0))
+        return histogram
+
+    @classmethod
+    def merged(cls, histograms: Iterable["LatencyHistogram"]) -> "LatencyHistogram":
+        """A fresh histogram holding the fold of ``histograms``."""
+        out = cls()
+        for histogram in histograms:
+            out.merge(histogram)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LatencyHistogram n={self.count} p99={self.quantile(0.99)}>"

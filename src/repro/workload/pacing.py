@@ -1,0 +1,108 @@
+"""Rate limiting for load drivers: a thread-safe token bucket.
+
+``--max-rate`` is a *ceiling*, distinct from the schedule's *target*:
+Poisson arrivals aim at the schedule's instantaneous rate, and the
+bucket then clips bursts so the fleet never exceeds the cap even when
+the sampler clusters arrivals (the open-loop generator's overshoot).
+Each driver process holds its own bucket at ``max_rate / workers`` —
+no cross-process coordination, matching how dbworkload shards a global
+TPS cap across connections.
+
+The clock and sleep functions are injectable so tests drive the bucket
+with a fake clock and assert exact token arithmetic without real time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.utils.errors import InputError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``acquire`` blocks (via ``sleep``) until a token is available and
+    returns the seconds waited; ``try_acquire`` never blocks.  Both are
+    safe to call from multiple threads — refill and spend happen under
+    one lock, and the blocking path sleeps *outside* the lock so waiters
+    don't serialize each other's refills.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not rate > 0:
+            raise InputError(f"token bucket rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+        #: Default burst: a tenth of a second of rate, but never less
+        #: than one whole token (a bucket that cannot hold one token
+        #: never grants one).
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate / 10.0)
+        if self.burst < 1.0:
+            raise InputError(f"token bucket burst must hold ≥ 1 token, got {burst!r}")
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self, now: float) -> None:
+        """Credit tokens for elapsed time; caller holds the lock."""
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available right now; never blocks."""
+        if not tokens > 0:
+            raise InputError(f"must acquire a positive token count, got {tokens!r}")
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def acquire(self, tokens: float = 1.0) -> float:
+        """Block until ``tokens`` are granted; returns seconds slept.
+
+        The wait is computed from the exact deficit, so a lone caller
+        sleeps once; under contention the loop re-checks because another
+        thread may have spent the refill first.
+        """
+        if not tokens > 0:
+            raise InputError(f"must acquire a positive token count, got {tokens!r}")
+        if tokens > self.burst:
+            raise InputError(
+                f"cannot acquire {tokens!r} tokens from a burst-{self.burst} bucket"
+            )
+        waited = 0.0
+        while True:
+            with self._lock:
+                self._refill(self._clock())
+                if self._tokens >= tokens:
+                    self._tokens -= tokens
+                    return waited
+                deficit = (tokens - self._tokens) / self.rate
+            self._sleep(deficit)
+            waited += deficit
+
+    @property
+    def available(self) -> float:
+        """Current token balance (after a refill to now)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TokenBucket rate={self.rate} burst={self.burst}>"

@@ -1,0 +1,220 @@
+"""Run coordinator: warm the store, spawn drivers, merge, gate.
+
+``run_workload`` is the harness's programmatic surface (the CLI in
+``__main__`` is a thin argparse shell over it):
+
+1. **Warm** the shared store in the parent — prepare the corpus (flat /
+   async) or run each pattern through the sharded router once — so
+   driver processes start from disk hits and the measured distribution
+   is steady-state serving, not cold-prepare noise.
+2. **Spawn** ``workers`` driver processes (or run the single driver
+   in-process with ``processes=False`` — the deterministic mode tests
+   and benchmarks use), each rebuilding the scenario from
+   ``(spec, seed)`` and pushing a payload dict onto a result queue.
+3. **Merge** worker histograms exactly (integer bucket addition — the
+   merged p50/p95/p99 equal the quantiles of the concatenated sample
+   streams), sum the numeric service counters, and assemble the report.
+4. **Gate**: with ``p99_budget`` set, the report carries ``p99_ok`` and
+   the CLI exits non-zero on a breach — the repo's tail-latency gate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, asdict
+
+from repro.core.service import MatchingService
+from repro.core.sharding import ShardedMatchingService
+from repro.utils.errors import InputError
+from repro.workload.drivers import (
+    FRONTENDS,
+    PRIMARY_OPS,
+    worker_main,
+)
+from repro.workload.histogram import LatencyHistogram
+from repro.workload.scenario import Scenario, ScenarioSpec
+from repro.workload.schedule import Schedule
+
+__all__ = ["WorkloadConfig", "run_workload"]
+
+#: Ceiling on how long the parent waits for drivers beyond the
+#: schedule, before declaring a worker hung (generous: slow CI boxes).
+_GRACE_SECONDS = 60.0
+
+
+@dataclass
+class WorkloadConfig:
+    """Everything one load run needs; picklable, rides to every worker."""
+
+    schedule: Schedule
+    workers: int = 2
+    frontend: str = "flat"
+    shards: int = 2
+    backend: str | None = None
+    store_dir: str | None = None
+    seed: int = 0
+    max_rate: float | None = None
+    mutate_mix: float = 0.0
+    prefilter: str = "auto"
+    stats_interval: float = 1.0
+    async_concurrency: int = 4
+    p99_budget: float | None = None
+    processes: bool = True
+    scenario_spec: ScenarioSpec = field(default_factory=ScenarioSpec)
+
+    def __post_init__(self) -> None:
+        if self.frontend not in FRONTENDS:
+            raise InputError(
+                f"unknown frontend {self.frontend!r}; expected one of {FRONTENDS}"
+            )
+        if self.workers < 1:
+            raise InputError(f"need at least one worker, got {self.workers!r}")
+        if self.shards < 1:
+            raise InputError(f"need at least one shard, got {self.shards!r}")
+        if not 0.0 <= self.mutate_mix <= 1.0:
+            raise InputError(f"mutate_mix must be in [0, 1], got {self.mutate_mix!r}")
+        if self.max_rate is not None and not self.max_rate > 0:
+            raise InputError(f"max_rate must be positive, got {self.max_rate!r}")
+        if self.p99_budget is not None and not self.p99_budget > 0:
+            raise InputError(f"p99_budget must be positive, got {self.p99_budget!r}")
+
+    def describe(self) -> dict:
+        """The config as report-embeddable JSON."""
+        payload = asdict(self)
+        payload["schedule"] = self.schedule.to_payload()
+        return payload
+
+
+def warm_store(config: WorkloadConfig, scenario: Scenario) -> dict:
+    """Pre-populate the shared store so drivers start warm.
+
+    Returns the warming service's final counter snapshot (handy for
+    asserting the drivers then ran on disk hits).  A no-op shape-wise
+    when ``store_dir`` is unset — drivers each warm their own cache.
+    """
+    if config.frontend == "sharded":
+        service = ShardedMatchingService(
+            config.shards, store_dir=config.store_dir, backend=config.backend,
+            chain=True,
+        )
+        for pattern in scenario.patterns:
+            service.match_sharded(
+                pattern, scenario.corpus, scenario.similarity, scenario.xi,
+                prefilter=config.prefilter,
+            )
+        return service.stats_snapshot()["aggregate"]
+    service = MatchingService(store_dir=config.store_dir, backend=config.backend)
+    service.prepared_for(scenario.corpus)
+    return service.stats.snapshot()
+
+
+def _merge_payloads(payloads: list[dict]) -> dict:
+    """Fold worker payloads: exact histogram merge + counter addition."""
+    histograms: dict[str, LatencyHistogram] = {}
+    stats: dict[str, float] = {}
+    requests = errors = mutations = 0
+    samples: dict[int, list[dict]] = {}
+    for payload in payloads:
+        requests += payload["requests"]
+        errors += payload["errors"]
+        mutations += payload["mutations"]
+        for op, hist_payload in payload["histograms"].items():
+            incoming = LatencyHistogram.from_payload(hist_payload)
+            if op in histograms:
+                histograms[op].merge(incoming)
+            else:
+                histograms[op] = incoming
+        for key, value in payload["stats"].items():
+            stats[key] = stats.get(key, 0) + value
+        samples[payload["worker"]] = payload["samples"]
+    return {
+        "requests": requests,
+        "errors": errors,
+        "mutations": mutations,
+        "histograms": histograms,
+        "stats": stats,
+        "samples": samples,
+    }
+
+
+def run_workload(config: WorkloadConfig) -> dict:
+    """Execute one load run end to end; returns the report dict.
+
+    The report's top-level ``p50``/``p95``/``p99`` are the merged
+    quantiles of the front-end's *primary op* (``match`` flat,
+    ``match_sharded`` sharded, ``async`` async) — the client-perceived
+    request latency the budget gates on.
+    """
+    scenario = Scenario(config.scenario_spec, seed=config.seed)
+    warm_stats = warm_store(config, scenario) if config.store_dir else None
+
+    started = time.monotonic()
+    payloads: list[dict] = []
+    if config.processes:
+        ctx = multiprocessing.get_context()
+        queue: multiprocessing.Queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=worker_main, args=(config, worker_id, queue), daemon=True
+            )
+            for worker_id in range(config.workers)
+        ]
+        for proc in procs:
+            proc.start()
+        deadline = started + config.schedule.total_seconds + _GRACE_SECONDS
+        # Drain the queue *before* joining: a worker blocked on a full
+        # queue never exits, so join-first deadlocks on big payloads.
+        for _ in procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                payloads.append(queue.get(timeout=remaining))
+            except Exception:
+                break
+        for proc in procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - hung-worker safety net
+                proc.terminate()
+                proc.join()
+        if len(payloads) < len(procs):
+            raise InputError(
+                f"only {len(payloads)}/{len(procs)} workers reported; "
+                "a driver process died or hung"
+            )
+    else:
+        import queue as queue_module
+
+        inline_queue: queue_module.Queue = queue_module.Queue()
+        for worker_id in range(config.workers):
+            worker_main(config, worker_id, inline_queue)
+        while not inline_queue.empty():
+            payloads.append(inline_queue.get())
+    elapsed = time.monotonic() - started
+
+    merged = _merge_payloads(payloads)
+    histograms = merged.pop("histograms")
+    primary_op = PRIMARY_OPS[config.frontend]
+    primary = histograms.get(primary_op, LatencyHistogram())
+    p99 = primary.quantile(0.99)
+    p99_ok = True
+    if config.p99_budget is not None:
+        p99_ok = p99 is not None and p99 <= config.p99_budget
+
+    report = {
+        "schema": "repro-workload/1",
+        "config": config.describe(),
+        "elapsed_seconds": elapsed,
+        "throughput_rps": merged["requests"] / elapsed if elapsed > 0 else 0.0,
+        **{k: merged[k] for k in ("requests", "errors", "mutations")},
+        "latency": {op: hist.summary() for op, hist in histograms.items()},
+        "primary_op": primary_op,
+        "p50": primary.quantile(0.50),
+        "p95": primary.quantile(0.95),
+        "p99": p99,
+        "p99_budget": config.p99_budget,
+        "p99_ok": p99_ok,
+        "stats": merged["stats"],
+        "warm_stats": warm_stats,
+        "samples": merged["samples"],
+    }
+    return report

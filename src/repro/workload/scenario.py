@@ -1,0 +1,170 @@
+"""Workload scenarios: deterministic corpora, patterns, and mutations.
+
+A scenario is everything a driver needs to issue realistic requests:
+
+* a **site-clustered data corpus** — ``sites`` weakly connected
+  components of chain + shortcut edges with site-prefixed labels
+  (``"s3:L1"``), the same shape as the CI streaming smokes, so the one
+  corpus exercises the flat service, shard routing (components map to
+  shards), and the delta-evolution path;
+* a **pattern library** of small chain-segment subgraphs with a
+  **Zipf popularity** law over them (rank-``s`` weights via an inverse
+  CDF + bisect — a handful of hot patterns dominate, the realistic
+  skew that makes the prepared cache and gated prefilter earn their
+  keep);
+* a **mutation pool** of removable intra-site shortcut edges: a mutate
+  step removes a pooled edge or re-adds a previously removed one, so a
+  long run oscillates instead of draining the graph, and every
+  mutation is a legal :class:`~repro.graph.digraph.DiGraph` mutator
+  call (the delta log sees it, ``update_graph`` evolves instead of
+  re-preparing).
+
+Everything is a pure function of ``(spec, seed)``: a worker process
+rebuilds its scenario from those two values and gets a corpus whose
+fingerprint matches the parent's warm store exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+
+from repro.core.prefilter import LabelEqualitySimilarity
+from repro.graph.digraph import DiGraph
+from repro.utils.errors import InputError
+
+__all__ = ["ScenarioSpec", "Scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Shape parameters of a generated workload (picklable, hashable)."""
+
+    sites: int = 4
+    site_size: int = 30
+    label_kinds: int = 5
+    patterns_per_site: int = 2
+    pattern_size: int = 5
+    zipf_exponent: float = 1.1
+    xi: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sites < 1:
+            raise InputError(f"a scenario needs at least one site, got {self.sites!r}")
+        if self.site_size < self.pattern_size + 1:
+            raise InputError(
+                f"site_size {self.site_size} cannot host pattern_size {self.pattern_size}"
+            )
+        if self.pattern_size < 2:
+            raise InputError(f"patterns need at least two nodes, got {self.pattern_size!r}")
+        if self.label_kinds < 1 or self.patterns_per_site < 1:
+            raise InputError("label_kinds and patterns_per_site must be positive")
+        if not 0 < self.xi <= 1.0:
+            raise InputError(f"xi must be in (0, 1], got {self.xi!r}")
+        if self.zipf_exponent <= 0:
+            raise InputError(f"zipf_exponent must be positive, got {self.zipf_exponent!r}")
+
+
+class Scenario:
+    """A concrete workload: corpus + patterns + popularity + mutations.
+
+    The construction RNG is consumed entirely inside ``__init__`` —
+    request-time sampling uses the *caller's* RNG, so two drivers with
+    different per-worker seeds draw different request streams over the
+    byte-identical corpus.
+    """
+
+    def __init__(self, spec: ScenarioSpec | None = None, seed: int = 0) -> None:
+        self.spec = spec if spec is not None else ScenarioSpec()
+        self.seed = int(seed)
+        rng = random.Random(self.seed)
+        spec = self.spec
+
+        corpus = DiGraph(name=f"workload-corpus-{self.seed}")
+        #: Removable intra-site shortcut edges, per the mutation pool.
+        shortcuts: list[tuple[int, int]] = []
+        for site in range(spec.sites):
+            base = site * spec.site_size
+            for i in range(spec.site_size):
+                corpus.add_node(
+                    base + i, label=f"s{site}:L{rng.randrange(spec.label_kinds)}"
+                )
+            # The chain spine keeps the site one weakly connected
+            # component no matter which shortcuts mutations remove.
+            for i in range(spec.site_size - 1):
+                corpus.add_edge(base + i, base + i + 1)
+            for i in range(0, spec.site_size - 4, 5):
+                corpus.add_edge(base + i, base + i + 3)
+                shortcuts.append((base + i, base + i + 3))
+        self.corpus = corpus
+        self.similarity = LabelEqualitySimilarity()
+        self.xi = spec.xi
+
+        # Pattern library: chain segments (with any induced shortcuts),
+        # cut *before* mutations so patterns stay stable for the run.
+        patterns: list[DiGraph] = []
+        for site in range(spec.sites):
+            base = site * spec.site_size
+            for k in range(spec.patterns_per_site):
+                start = rng.randrange(spec.site_size - spec.pattern_size)
+                nodes = [base + start + i for i in range(spec.pattern_size)]
+                patterns.append(corpus.subgraph(nodes, name=f"s{site}q{k}"))
+        self.patterns = patterns
+
+        # Zipf popularity: weight 1/rank^s over a shuffled rank order,
+        # collapsed to a CDF for O(log n) inverse sampling.
+        order = list(range(len(patterns)))
+        rng.shuffle(order)
+        weights = [1.0 / (rank + 1) ** spec.zipf_exponent for rank in range(len(order))]
+        total = sum(weights)
+        cdf: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._order = order
+        self._cdf = cdf
+
+        # Mutation pool state: edges currently present / removed.
+        self._present: list[tuple[int, int]] = list(shortcuts)
+        self._removed: list[tuple[int, int]] = []
+
+    # -- request-time sampling (caller's RNG) ---------------------------
+    def sample_pattern(self, rng: random.Random) -> DiGraph:
+        """Draw one pattern by Zipf popularity."""
+        index = bisect.bisect_left(self._cdf, rng.random())
+        return self.patterns[self._order[min(index, len(self._order) - 1)]]
+
+    def mutate(self, rng: random.Random) -> tuple[str, int, int]:
+        """Apply one random mutation to the corpus; returns ``(op, tail, head)``.
+
+        Removes a pooled shortcut or re-adds a removed one (biased
+        toward whichever side has more entries, so the corpus hovers
+        near its initial density).  Every call goes through the DiGraph
+        mutators, so attached delta logs record it and the serving
+        layer's ``update_graph`` can evolve incrementally.
+        """
+        remove = bool(self._present) and (
+            not self._removed or rng.random() < len(self._present) / len(self._present + self._removed)
+        )
+        if remove:
+            edge = self._present.pop(rng.randrange(len(self._present)))
+            self.corpus.remove_edge(*edge)
+            self._removed.append(edge)
+            return ("remove_edge", *edge)
+        edge = self._removed.pop(rng.randrange(len(self._removed)))
+        self.corpus.add_edge(*edge)
+        self._present.append(edge)
+        return ("add_edge", *edge)
+
+    @property
+    def mutation_pool_size(self) -> int:
+        return len(self._present) + len(self._removed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Scenario sites={self.spec.sites} patterns={len(self.patterns)} "
+            f"seed={self.seed}>"
+        )

@@ -1,0 +1,194 @@
+"""Load schedules: phased target-rate profiles parsed from JSON.
+
+A schedule is a list of phases executed back to back, dbworkload-style::
+
+    {"phases": [
+        {"kind": "ramp",   "seconds": 5,  "rate": [5, 40]},
+        {"kind": "steady",  "seconds": 10, "rate": 40},
+        {"kind": "pause",  "seconds": 2}
+    ]}
+
+``rate_at(t)`` gives the target arrival rate (requests/second across the
+whole fleet) at offset ``t`` from the run start: a ``ramp`` interpolates
+linearly between its two endpoint rates, a ``steady`` phase holds one
+rate, and a ``pause`` is a zero-rate gap (drivers idle through it — the
+classic think-time window that lets tail latencies decay between
+bursts).  Offsets at or past the schedule's end rate 0; drivers stop.
+
+Schedules are plain frozen dataclasses: picklable (they ride to worker
+processes verbatim) and hashable-by-value, with all validation up front
+so a malformed schedule file fails before any process is spawned.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.utils.errors import InputError
+
+__all__ = ["Phase", "Schedule"]
+
+_KINDS = ("ramp", "steady", "pause")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One schedule segment: ``kind`` over ``seconds`` at a target rate.
+
+    ``rate_start``/``rate_end`` are equal for ``steady``, both zero for
+    ``pause``, and the ramp endpoints for ``ramp``.
+    """
+
+    kind: str
+    seconds: float
+    rate_start: float = 0.0
+    rate_end: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise InputError(
+                f"unknown phase kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if not self.seconds > 0:
+            raise InputError(f"phase seconds must be positive, got {self.seconds!r}")
+        if self.rate_start < 0 or self.rate_end < 0:
+            raise InputError("phase rates must be non-negative")
+        if self.kind == "pause" and (self.rate_start or self.rate_end):
+            raise InputError("a pause phase cannot carry a rate")
+
+    def rate_at(self, offset: float) -> float:
+        """The target rate ``offset`` seconds into this phase."""
+        if self.kind == "pause":
+            return 0.0
+        if self.kind == "steady":
+            return self.rate_start
+        fraction = min(1.0, max(0.0, offset / self.seconds))
+        return self.rate_start + (self.rate_end - self.rate_start) * fraction
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Phase":
+        if not isinstance(payload, dict):
+            raise InputError(f"each phase must be an object, got {type(payload).__name__}")
+        kind = payload.get("kind")
+        seconds = payload.get("seconds")
+        if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+            raise InputError(f"phase seconds must be a number, got {seconds!r}")
+        rate = payload.get("rate", 0)
+        if kind == "ramp":
+            if (
+                not isinstance(rate, (list, tuple))
+                or len(rate) != 2
+                or not all(isinstance(r, (int, float)) for r in rate)
+            ):
+                raise InputError(
+                    f"a ramp phase needs \"rate\": [start, end], got {rate!r}"
+                )
+            start, end = float(rate[0]), float(rate[1])
+        elif kind == "steady":
+            if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+                raise InputError(f"a steady phase needs a numeric rate, got {rate!r}")
+            start = end = float(rate)
+        else:
+            start = end = 0.0
+        return cls(kind=str(kind), seconds=float(seconds), rate_start=start, rate_end=end)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An immutable sequence of phases with offset arithmetic."""
+
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise InputError("a schedule needs at least one phase")
+        if all(phase.kind == "pause" for phase in self.phases):
+            raise InputError("a schedule of only pauses would issue no load")
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(phase.seconds for phase in self.phases)
+
+    @property
+    def peak_rate(self) -> float:
+        """The highest instantaneous target rate anywhere in the run."""
+        return max(max(p.rate_start, p.rate_end) for p in self.phases)
+
+    def phase_at(self, t: float) -> tuple[Phase, float] | None:
+        """The phase covering offset ``t`` and the offset within it."""
+        if t < 0:
+            raise InputError(f"schedule offset must be non-negative, got {t!r}")
+        start = 0.0
+        for phase in self.phases:
+            if t < start + phase.seconds:
+                return phase, t - start
+            start += phase.seconds
+        return None
+
+    def rate_at(self, t: float) -> float:
+        """Target fleet-wide rate at offset ``t`` (0 past the end)."""
+        located = self.phase_at(t)
+        if located is None:
+            return 0.0
+        phase, offset = located
+        return phase.rate_at(offset)
+
+    def next_active(self, t: float) -> float | None:
+        """The earliest offset ≥ ``t`` with a non-zero target rate.
+
+        How drivers skip pauses without busy-waiting: during a pause
+        they sleep straight to the next phase boundary.  ``None`` when
+        the rest of the schedule is silent.
+        """
+        start = 0.0
+        for phase in self.phases:
+            end = start + phase.seconds
+            if end > t and phase.kind != "pause":
+                candidate = max(t, start)
+                # A ramp from zero is "active" from its start: the rate
+                # becomes non-zero immediately after.
+                if phase.rate_at(candidate - start) > 0 or phase.kind == "ramp":
+                    return candidate
+            start = end
+        return None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Schedule":
+        if not isinstance(payload, dict) or "phases" not in payload:
+            raise InputError('a schedule file is an object with a "phases" list')
+        phases = payload["phases"]
+        if not isinstance(phases, list):
+            raise InputError(f'"phases" must be a list, got {type(phases).__name__}')
+        return cls(phases=tuple(Phase.from_payload(p) for p in phases))
+
+    @classmethod
+    def from_file(cls, path: "str | Path") -> "Schedule":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise InputError(f"cannot read schedule file {path}: {exc}") from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InputError(f"schedule file {path} is not valid JSON: {exc}") from exc
+        return cls.from_payload(payload)
+
+    @classmethod
+    def steady(cls, rate: float, seconds: float) -> "Schedule":
+        """A single steady phase — the CLI's ``--rate/--duration`` shorthand."""
+        return cls(phases=(Phase("steady", float(seconds), float(rate), float(rate)),))
+
+    def to_payload(self) -> dict:
+        phases = []
+        for phase in self.phases:
+            entry: dict = {"kind": phase.kind, "seconds": phase.seconds}
+            if phase.kind == "ramp":
+                entry["rate"] = [phase.rate_start, phase.rate_end]
+            elif phase.kind == "steady":
+                entry["rate"] = phase.rate_start
+            phases.append(entry)
+        return {"phases": phases}

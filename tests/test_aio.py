@@ -269,3 +269,91 @@ class TestLockDiscipline:
         )
         assert report.findings == [], "\n".join(f.render() for f in report.findings)
         assert len(report.files) == 2
+
+
+class TestCloseDrainsInflight:
+    def test_close_waits_for_admitted_requests(self):
+        """An admitted request must never hit a shut-down executor.
+
+        The race this pins: a request passes the closed check and is
+        committed to the pool, but ``close()`` runs before the actual
+        executor submission.  Pre-fix, ``close()`` had nothing to wait
+        on — it shut the pool down immediately and the delegated submit
+        exploded with ``RuntimeError: cannot schedule new futures after
+        shutdown``.  Post-fix the in-flight count makes ``close()``
+        block until the admitted request completes.
+        """
+        data, patterns, source = build_workload(patterns=2)
+        service = AsyncMatchingService(max_concurrency=2)
+        close_started = threading.Event()
+        close_done = threading.Event()
+
+        def closer():
+            close_started.set()
+            service.close()
+            close_done.set()
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            real = loop.run_in_executor
+            fired = False
+
+            def racing(executor, fn, *args):
+                nonlocal fired
+                if not fired:
+                    fired = True
+                    threading.Thread(target=closer, daemon=True).start()
+                    assert close_started.wait(5)
+                    # Give close() every chance to finish tearing the
+                    # pool down.  It must NOT manage to: this request is
+                    # already admitted, so the drain blocks.
+                    assert not close_done.wait(0.3), (
+                        "close() completed with a request admitted but "
+                        "not yet submitted"
+                    )
+                return real(executor, fn, *args)
+
+            loop.run_in_executor = racing  # instance patch; loop dies with run()
+            return await service.match(patterns[0], data, source, XI)
+
+        report = asyncio.run(run())
+        assert report.result is not None
+        # With the request finished, the drain releases and close lands.
+        assert close_done.wait(5)
+
+        async def rejected():
+            await service.match(patterns[0], data, source, XI)
+
+        with pytest.raises(InputError):
+            asyncio.run(rejected())
+
+    def test_close_mid_burst_rejects_or_completes_never_breaks(self):
+        """Every request of a burst interrupted by ``close()`` either
+        completes normally or is rejected with InputError — no request
+        may surface RuntimeError from the executor teardown."""
+        data, patterns, source = build_workload(patterns=4)
+
+        async def run():
+            service = AsyncMatchingService(max_concurrency=2)
+
+            async def one(pattern):
+                try:
+                    return await service.match(pattern, data, source, XI)
+                except InputError:
+                    return "rejected"
+
+            tasks = [
+                asyncio.ensure_future(one(p)) for p in (patterns * 4)[:12]
+            ]
+            await asyncio.sleep(0.005)  # let some requests get admitted
+            closer = threading.Thread(target=service.close)
+            closer.start()
+            results = await asyncio.gather(*tasks)
+            closer.join(10)
+            assert not closer.is_alive()
+            return results
+
+        results = asyncio.run(run())
+        completed = [r for r in results if r != "rejected"]
+        for report in completed:
+            assert report.result is not None

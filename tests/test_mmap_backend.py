@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import random
 
 import pytest
@@ -448,3 +449,101 @@ class TestServiceIntegration:
         assert (masks == prepared.from_mask[:-1]) is False
         with pytest.raises(TypeError):
             hash(masks)
+
+
+# ----------------------------------------------------------------------
+# Mapping interning identity: checksum in the key, not just stat identity
+# ----------------------------------------------------------------------
+class TestMappingInterningIdentity:
+    def test_same_size_same_mtime_rewrite_gets_a_fresh_mapping(self, tmp_path):
+        """A rewrite that preserves size *and* mtime must not serve the
+        stale interned mapping.
+
+        ``payload_region`` trusts (size, mtime) plus the envelope
+        checksum; the interned-mapping key used to trust only the stat
+        identity, so a same-length in-place rewrite landing within the
+        filesystem's mtime granularity (or restored via utime, as
+        backup/sync tools do) kept handing out the *old* bytes to new
+        opens while any pinned mapping was alive.  The checksum now in
+        the key makes the rewritten content a distinct identity.
+        """
+        graph = build_graph(seed=23, nodes=60, edges=180)
+        store, prepared = warm_store(tmp_path, graph)
+        path = store.path_for(prepared.fingerprint)
+        _, pinned, region_a = open_mapped(store, graph, prepared, verify="full")
+        assert pinned is not None  # keeps the weak-interned mapping alive
+
+        stat_before = path.stat()
+        blob = bytearray(path.read_bytes())
+        offset = region_a.payload_offset
+        blob[-1] ^= 0xFF  # flip one payload byte (tail of the mask/sketch section)
+        # Re-seal the envelope: checksum bytes sit at [24:56] for v2/v3.
+        blob[24:56] = hashlib.sha256(bytes(blob[offset:])).digest()
+        # Rewrite the way writers do: tmp + rename (a new inode), then
+        # an mtime landing on the old stamp (coarse-granularity
+        # filesystems; sync/backup tools restoring times).  The pinned
+        # mapping still holds the *old* inode's bytes.
+        tmp = path.with_name(path.name + ".rewrite")
+        tmp.write_bytes(bytes(blob))
+        os.replace(tmp, path)
+        os.utime(path, ns=(stat_before.st_atime_ns, stat_before.st_mtime_ns))
+        after = path.stat()
+        assert (after.st_size, after.st_mtime_ns) == (
+            stat_before.st_size, stat_before.st_mtime_ns,
+        )
+
+        region_b = store.payload_region(prepared.fingerprint, verify="full")
+        assert region_b is not None
+        assert region_b.payload_sha256 != region_a.payload_sha256
+        fresh = get_backend("mmap").open_payload(region_b)
+        assert fresh.rows.mapping is not pinned.rows.mapping
+        assert fresh.rows.mapping.buffer[-1] != pinned.rows.mapping.buffer[-1]
+
+    def test_unchanged_file_still_shares_one_mapping(self, tmp_path):
+        """The checksum key must not break sharing for unchanged files."""
+        graph = build_graph(seed=29, nodes=60, edges=180)
+        store, prepared = warm_store(tmp_path, graph)
+        _, payload_a, _ = open_mapped(store, graph, prepared, verify="full")
+        _, payload_b, _ = open_mapped(store, graph, prepared, verify="header")
+        assert payload_a.rows.mapping is payload_b.rows.mapping
+
+    def test_compact_then_reopen_serves_fresh_replayed_bytes(self, tmp_path):
+        """Chain → compact → reopen: the mapped view equals a cold build.
+
+        The flow the warm store runs under streaming load: an index
+        served as a delta chain off its base is compacted into a fresh
+        full payload; a reopen right after (with the old base mapping
+        still pinned) must map the compacted file, not any stale
+        identity, and its masks must equal a from-scratch prepare.
+        """
+        graph = build_graph(seed=31, nodes=60, edges=180)
+        store, prepared = warm_store(tmp_path, graph)
+        nodes = sorted(graph.nodes())
+        evolved_graph = graph.copy(name="evolved")
+        added = 0
+        for a, b in zip(nodes, nodes[5:]):
+            if not evolved_graph.has_edge(a, b):
+                evolved_graph.add_edge(a, b)
+                added += 1
+            if added == 3:
+                break
+        evolved, info = store.evolve(graph, evolved_graph, chain=True)
+        assert evolved is not None
+        fp = graph_fingerprint(evolved_graph)
+
+        chained = store.payload_region(fp, verify="full")
+        assert chained is not None and chained.overlay is not None
+        pinned = get_backend("mmap").open_payload(chained)  # pin the base mapping
+
+        assert store.compact(fp, evolved_graph)["action"] == "compacted"
+        region = store.payload_region(fp, verify="full")
+        assert region is not None and region.overlay is None
+        payload = get_backend("mmap").open_payload(region)
+        assert payload.rows.mapping is not pinned.rows.mapping
+        mapped = PreparedDataGraph.from_mapped(
+            evolved_graph, payload, fingerprint=fp
+        )
+        cold = prepare_data_graph(evolved_graph)
+        assert list(mapped.from_mask) == list(cold.from_mask)
+        assert list(mapped.to_mask) == list(cold.to_mask)
+        assert mapped.cycle_mask == cold.cycle_mask

@@ -1,0 +1,295 @@
+"""Timing/accounting regressions: batches, prefilter charges, hooks.
+
+Each test class pins one accounting bug fixed in the load-harness PR:
+
+* ``batch_seconds`` documented as a per-batch *sum* with a ``batches``
+  divisor — two overlapping ``match_many`` calls used to make the field
+  read like impossible wall-clock with no way to normalize it;
+* prefilter charging is *exact* per mode — ``off`` touches no filter
+  counter, the gated path's row construction lands in
+  ``filter_seconds`` (not ``solve_seconds``), bypasses count once per
+  bypassed call, and ``pairs_pruned`` equals the per-report sum;
+* :class:`~repro.core.service.MatchSession.match` takes ``prefilter``
+  and charges it like the service surface — it used to reject the
+  keyword outright and fold gated work silently into the solve time;
+* the ``latency_hook`` observes every request without its own overhead
+  leaking into ``solve_seconds`` (it is charged to ``hook_seconds``),
+  and a raising hook never fails the request.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.prefilter import LabelEqualitySimilarity
+from repro.core.service import MatchingService
+from repro.core.sharding import ShardedMatchingService
+from repro.graph.digraph import DiGraph
+from repro.similarity.labels import label_equality_matrix
+from repro.utils.timing import Stopwatch
+
+XI = 0.5
+
+
+def build_corpus(sites: int = 2, site_size: int = 20, seed: int = 17):
+    """Site-clustered chain corpus with label-equality-matchable patterns."""
+    rng = random.Random(seed)
+    corpus = DiGraph(name="accounting-corpus")
+    for s in range(sites):
+        base = s * site_size
+        for i in range(site_size):
+            corpus.add_node(base + i, label=f"s{s}:L{rng.randrange(4)}")
+        for i in range(site_size - 1):
+            corpus.add_edge(base + i, base + i + 1)
+        for i in range(0, site_size - 4, 5):
+            corpus.add_edge(base + i, base + i + 3)
+    patterns = [
+        corpus.subgraph(range(s * site_size + 2, s * site_size + 7), name=f"q{s}")
+        for s in range(sites)
+    ]
+    return corpus, patterns
+
+
+def counter_delta(before: dict, after: dict, *names: str) -> dict:
+    return {name: after[name] - before[name] for name in names}
+
+
+# ----------------------------------------------------------------------
+# batch_seconds: a per-batch sum, countable via `batches`
+# ----------------------------------------------------------------------
+class TestBatchAccounting:
+    def test_batches_counts_concurrent_match_many(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService()
+        gate = LabelEqualitySimilarity()
+        barrier = threading.Barrier(2)
+        failures: list[BaseException] = []
+
+        def one_batch():
+            try:
+                barrier.wait(timeout=5)
+                service.match_many(patterns, corpus, gate, XI)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                failures.append(exc)
+
+        threads = [threading.Thread(target=one_batch) for _ in range(2)]
+        with Stopwatch() as watch:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not failures
+        snap = service.stats.snapshot()
+        # The divisor the docstring promises: one bump per match_many.
+        assert snap["batches"] == 2
+        # Overlapping batches may *sum* past wall-clock; the normalized
+        # mean per batch cannot exceed the section's wall time.
+        assert snap["batch_seconds"] / snap["batches"] <= watch.elapsed + 0.05
+        assert snap["calls"] == 2 * len(patterns)
+
+    def test_single_batch_normalizes_to_its_own_wall(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService()
+        with Stopwatch() as watch:
+            service.match_many(patterns, corpus, LabelEqualitySimilarity(), XI)
+        snap = service.stats.snapshot()
+        assert snap["batches"] == 1
+        assert 0 < snap["batch_seconds"] <= watch.elapsed + 0.05
+
+
+# ----------------------------------------------------------------------
+# Prefilter charging: exact per mode
+# ----------------------------------------------------------------------
+FILTER_FIELDS = ("filter_seconds", "filter_bypasses", "pairs_pruned")
+
+
+class TestPrefilterAccountingExactness:
+    def test_off_touches_no_filter_counter(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService()
+        before = service.stats.snapshot()
+        for pattern in patterns:
+            service.match(
+                pattern, corpus, LabelEqualitySimilarity(), XI,
+                partitioned=True, prefilter="off",
+            )
+        delta = counter_delta(before, service.stats.snapshot(), *FILTER_FIELDS)
+        assert delta == {"filter_seconds": 0, "filter_bypasses": 0, "pairs_pruned": 0}
+
+    def test_gated_path_charges_filter_seconds_and_exact_pruning(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService()
+        before = service.stats.snapshot()
+        pruned_per_report = 0
+        for pattern in patterns:
+            report = service.match(
+                pattern, corpus, LabelEqualitySimilarity(), XI,
+                partitioned=True, prefilter="auto",
+            )
+            pruned_per_report += report.result.stats.get("pairs_pruned", 0)
+        after = service.stats.snapshot()
+        delta = counter_delta(before, after, *FILTER_FIELDS)
+        assert delta["filter_seconds"] > 0  # row construction was charged
+        assert delta["filter_bypasses"] == 0  # the gate engaged every call
+        # Exactness: the service counter is the sum of per-report stats.
+        assert delta["pairs_pruned"] == pruned_per_report
+
+    def test_bypass_counts_once_per_disengaged_call(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService()
+        gate = LabelEqualitySimilarity()
+        before = service.stats.snapshot()
+        # Non-partitioned gated call: conservative bypass.
+        service.match(patterns[0], corpus, gate, XI, prefilter="auto")
+        # Opaque pre-built matrix: bypass even when partitioned.
+        mat = label_equality_matrix(patterns[0], corpus)
+        service.match(patterns[0], corpus, mat, XI, partitioned=True, prefilter="auto")
+        delta = counter_delta(before, service.stats.snapshot(), *FILTER_FIELDS)
+        assert delta["filter_bypasses"] == 2
+        assert delta["filter_seconds"] == 0
+
+    def test_modes_agree_bit_identically(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService()
+        gate = LabelEqualitySimilarity()
+        for pattern in patterns:
+            reports = {
+                mode: service.match(
+                    pattern, corpus, gate, XI, partitioned=True, prefilter=mode
+                )
+                for mode in ("off", "auto")
+            }
+            assert (
+                reports["off"].result.mapping == reports["auto"].result.mapping
+            )
+            assert reports["off"].result.qual_card == reports["auto"].result.qual_card
+            assert reports["off"].result.qual_sim == reports["auto"].result.qual_sim
+
+    def test_sharded_modes_agree_and_off_never_prunes(self):
+        corpus, patterns = build_corpus()
+        for mode, expect_zero in (("off", True), ("auto", False)):
+            service = ShardedMatchingService(2)
+            for pattern in patterns:
+                service.match_sharded(pattern, corpus, LabelEqualitySimilarity(), XI,
+                                      prefilter=mode)
+            agg = service.stats_snapshot()["aggregate"]
+            if expect_zero:
+                assert agg["pairs_pruned"] == 0
+                assert agg["filter_seconds"] == 0
+        reference = ShardedMatchingService(2)
+        gated = ShardedMatchingService(2)
+        for pattern in patterns:
+            off = reference.match_sharded(
+                pattern, corpus, LabelEqualitySimilarity(), XI, prefilter="off"
+            )
+            auto = gated.match_sharded(
+                pattern, corpus, LabelEqualitySimilarity(), XI, prefilter="auto"
+            )
+            assert off.result.mapping == auto.result.mapping
+            assert off.result.qual_card == auto.result.qual_card
+
+
+# ----------------------------------------------------------------------
+# MatchSession: the prefilter-aware surface (used to reject the kwarg)
+# ----------------------------------------------------------------------
+class TestSessionPrefilterAccounting:
+    def test_session_match_accepts_prefilter_modes(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService()
+        session = service.session(corpus, LabelEqualitySimilarity(), XI)
+        # The regression: session.match() had no prefilter parameter at
+        # all — this call raised TypeError before the fix.
+        off = session.match(patterns[0], partitioned=True, prefilter="off")
+        auto = session.match(patterns[0], partitioned=True, prefilter="auto")
+        assert off.result.mapping == auto.result.mapping
+        assert off.result.qual_card == auto.result.qual_card
+        direct = service.match(
+            patterns[0], corpus, LabelEqualitySimilarity(), XI, partitioned=True
+        )
+        assert auto.result.mapping == direct.result.mapping
+
+    def test_session_gated_work_lands_in_filter_seconds(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService()
+        session = service.session(corpus, LabelEqualitySimilarity(), XI)
+        before = service.stats.snapshot()
+        for pattern in patterns:
+            session.match(pattern, partitioned=True)
+        delta = counter_delta(before, service.stats.snapshot(), *FILTER_FIELDS)
+        # Pre-fix the session resolved the matrix eagerly: the gate
+        # never engaged and filter_seconds stayed 0 forever.
+        assert delta["filter_seconds"] > 0
+        assert delta["filter_bypasses"] == 0
+
+    def test_session_off_mode_touches_no_filter_counter(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService()
+        session = service.session(corpus, LabelEqualitySimilarity(), XI)
+        before = service.stats.snapshot()
+        session.match(patterns[0], partitioned=True, prefilter="off")
+        delta = counter_delta(before, service.stats.snapshot(), *FILTER_FIELDS)
+        assert delta == {"filter_seconds": 0, "filter_bypasses": 0, "pairs_pruned": 0}
+
+
+# ----------------------------------------------------------------------
+# Latency hook: full coverage, zero leakage
+# ----------------------------------------------------------------------
+class TestLatencyHook:
+    def test_hook_sees_every_op_with_recorded_wall_clock(self):
+        corpus, patterns = build_corpus()
+        seen: list[tuple[str, float]] = []
+        service = MatchingService(latency_hook=lambda op, s: seen.append((op, s)))
+        service.match(patterns[0], corpus, LabelEqualitySimilarity(), XI)
+        service.match_many(patterns, corpus, LabelEqualitySimilarity(), XI)
+        corpus.add_edge(0, 5)
+        service.update_graph(corpus)
+        ops = [op for op, _ in seen]
+        # match, then per-pattern match observations plus one batch, then update.
+        assert ops == ["match"] + ["match"] * len(patterns) + ["batch", "update"]
+        assert all(seconds >= 0 for _, seconds in seen)
+        snap = service.stats.snapshot()
+        assert snap["hook_calls"] == len(seen)
+
+    def test_hook_overhead_lands_in_hook_seconds_not_solve_seconds(self):
+        corpus, patterns = build_corpus()
+        service = MatchingService(latency_hook=lambda op, s: time.sleep(0.02))
+        for _ in range(3):
+            service.match(patterns[0], corpus, LabelEqualitySimilarity(), XI)
+        snap = service.stats.snapshot()
+        assert snap["hook_calls"] == 3
+        assert snap["hook_seconds"] >= 0.05  # ~3 × 20ms of hook sleeping
+        # The slow hook never contaminated the solve timing: these tiny
+        # solves are orders of magnitude below the hook's sleeping.
+        assert snap["solve_seconds"] < snap["hook_seconds"]
+
+    def test_raising_hook_never_fails_the_request(self):
+        corpus, patterns = build_corpus()
+
+        def bad_hook(op: str, seconds: float) -> None:
+            raise RuntimeError("observability outage")
+
+        service = MatchingService(latency_hook=bad_hook)
+        report = service.match(patterns[0], corpus, LabelEqualitySimilarity(), XI)
+        assert report.result is not None
+        assert service.stats.snapshot()["hook_calls"] == 1
+
+    def test_sharded_router_observes_once_per_request(self):
+        corpus, patterns = build_corpus()
+        seen: list[str] = []
+        service = ShardedMatchingService(
+            2, latency_hook=lambda op, s: seen.append(op)
+        )
+        service.match_sharded(patterns[0], corpus, LabelEqualitySimilarity(), XI)
+        service.match(patterns[0], corpus, LabelEqualitySimilarity(), XI)
+        corpus.add_edge(0, 5)
+        service.update_graph(corpus)
+        # One observation per *request* — the per-shard component solves
+        # inside match_sharded are not separately observed.
+        assert seen == ["match_sharded", "match", "update"]
+        snap = service.stats_snapshot()
+        assert snap["hook_calls"] == 3
+        assert snap["hook_seconds"] >= 0

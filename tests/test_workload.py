@@ -1,0 +1,477 @@
+"""The load harness: histograms, schedules, pacing, scenarios, runs.
+
+The load-bearing claims, each tested here:
+
+* histogram merges are *exact* — the merged p50/p95/p99 equal the
+  quantiles of the concatenated sample streams, bit for bit;
+* the token bucket's arithmetic is deterministic under a fake clock;
+* schedules parse/validate and interpolate ramps correctly;
+* scenarios rebuild byte-identically from ``(spec, seed)`` — the
+  property that lets worker processes share the parent's warm store;
+* the ``latency_hook`` path observes every request without charging
+  its own overhead to ``solve_seconds``;
+* a mutate mix really drives ``delta_hits`` (flat) and
+  ``shard_evolves`` (sharded) during a run;
+* ``run_workload`` reports coherent figures in-process and across
+  real worker processes, and the p99 budget gates the exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+
+import pytest
+
+from repro.graph.fingerprint import graph_fingerprint
+from repro.utils.errors import InputError
+from repro.workload import (
+    LatencyHistogram,
+    Scenario,
+    ScenarioSpec,
+    Schedule,
+    TokenBucket,
+    WorkloadConfig,
+    run_workload,
+)
+from repro.workload.__main__ import main as workload_main
+from repro.workload.drivers import Recorder, StatsPublisher
+from repro.workload.schedule import Phase
+
+
+# ----------------------------------------------------------------------
+# Histograms: exact quantile merge
+# ----------------------------------------------------------------------
+class TestLatencyHistogram:
+    def test_basic_recording(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004, 0.1):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.min == 0.001
+        assert histogram.max == 0.1
+        assert histogram.total == pytest.approx(0.107)
+        # The quantile is the bucket's upper edge: ≥ the sample, within
+        # one growth factor of it.
+        p99 = histogram.quantile(0.99)
+        assert 0.1 <= p99 < 0.1 * 2 ** 0.125 + 1e-12
+
+    def test_empty_and_validation(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.99) is None
+        assert histogram.mean is None
+        with pytest.raises(InputError):
+            histogram.quantile(1.5)
+
+    def test_merge_is_exact_for_every_quantile(self):
+        """merge(parts).quantile(q) == bucketed(concat).quantile(q)."""
+        rng = random.Random(4242)
+        streams = [
+            [rng.lognormvariate(-7, 2) for _ in range(rng.randrange(50, 400))]
+            for _ in range(5)
+        ]
+        parts = []
+        for stream in streams:
+            histogram = LatencyHistogram()
+            for value in stream:
+                histogram.record(value)
+            parts.append(histogram)
+        whole = LatencyHistogram()
+        for value in (v for stream in streams for v in stream):
+            whole.record(value)
+
+        merged = LatencyHistogram.merged(parts)
+        assert merged.counts == whole.counts
+        assert merged.count == whole.count
+        for q in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0):
+            assert merged.quantile(q) == whole.quantile(q)
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.min == whole.min and merged.max == whole.max
+
+    def test_payload_round_trip_preserves_quantiles(self):
+        histogram = LatencyHistogram()
+        rng = random.Random(7)
+        for _ in range(500):
+            histogram.record(rng.expovariate(100))
+        # JSON round trip: what rides the worker queue into the report.
+        restored = LatencyHistogram.from_payload(
+            json.loads(json.dumps(histogram.to_payload()))
+        )
+        assert restored.counts == histogram.counts
+        for q in (0.5, 0.95, 0.99):
+            assert restored.quantile(q) == histogram.quantile(q)
+        assert restored.min == histogram.min
+
+    def test_merge_matches_multiprocess_semantics(self):
+        """Splitting one stream across N histograms loses nothing."""
+        rng = random.Random(99)
+        samples = [rng.expovariate(50) for _ in range(1000)]
+        parts = [LatencyHistogram() for _ in range(4)]
+        for i, value in enumerate(samples):
+            parts[i % 4].record(value)
+        whole = LatencyHistogram()
+        for value in samples:
+            whole.record(value)
+        via_payloads = LatencyHistogram.merged(
+            LatencyHistogram.from_payload(p.to_payload()) for p in parts
+        )
+        assert via_payloads.quantile(0.99) == whole.quantile(0.99)
+        assert via_payloads.quantile(0.50) == whole.quantile(0.50)
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+class TestSchedule:
+    def payload(self):
+        return {
+            "phases": [
+                {"kind": "ramp", "seconds": 4, "rate": [10, 50]},
+                {"kind": "steady", "seconds": 6, "rate": 50},
+                {"kind": "pause", "seconds": 2},
+                {"kind": "steady", "seconds": 3, "rate": 20},
+            ]
+        }
+
+    def test_parse_and_rate_interpolation(self):
+        schedule = Schedule.from_payload(self.payload())
+        assert schedule.total_seconds == 15
+        assert schedule.peak_rate == 50
+        assert schedule.rate_at(0.0) == 10
+        assert schedule.rate_at(2.0) == pytest.approx(30)  # mid-ramp
+        assert schedule.rate_at(4.0) == 50
+        assert schedule.rate_at(9.9) == 50
+        assert schedule.rate_at(11.0) == 0  # inside the pause
+        assert schedule.rate_at(12.5) == 20
+        assert schedule.rate_at(15.0) == 0  # past the end
+        assert schedule.rate_at(999.0) == 0
+
+    def test_next_active_skips_pauses(self):
+        schedule = Schedule.from_payload(self.payload())
+        assert schedule.next_active(0.0) == 0.0
+        assert schedule.next_active(10.5) == 12.0  # pause → next steady
+        assert schedule.next_active(14.0) == 14.0
+        assert schedule.next_active(15.0) is None
+
+    def test_round_trip_and_file_io(self, tmp_path):
+        schedule = Schedule.from_payload(self.payload())
+        path = tmp_path / "sched.json"
+        path.write_text(json.dumps(schedule.to_payload()))
+        assert Schedule.from_file(path) == schedule
+        with pytest.raises(InputError):
+            Schedule.from_file(tmp_path / "missing.json")
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(InputError):
+            Schedule.from_file(tmp_path / "bad.json")
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            Phase("warp", 5)
+        with pytest.raises(InputError):
+            Phase("steady", 0, 10, 10)
+        with pytest.raises(InputError):
+            Phase("pause", 5, 10, 10)
+        with pytest.raises(InputError):
+            Schedule(phases=())
+        with pytest.raises(InputError):  # all-pause schedule issues no load
+            Schedule(phases=(Phase("pause", 5), Phase("pause", 1)))
+        with pytest.raises(InputError):
+            Schedule.from_payload({"phases": [{"kind": "ramp", "seconds": 2, "rate": 7}]})
+        with pytest.raises(InputError):
+            Schedule.from_payload({})
+
+    def test_steady_shorthand(self):
+        schedule = Schedule.steady(40, 10)
+        assert schedule.total_seconds == 10
+        assert schedule.rate_at(5) == 40
+
+
+# ----------------------------------------------------------------------
+# Token bucket (fake clock: exact arithmetic, no real sleeping)
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+        self.slept: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        # Powers of two keep every refill exactly representable.
+        bucket = TokenBucket(rate=8, burst=4, clock=clock, sleep=clock.sleep)
+        assert all(bucket.try_acquire() for _ in range(4))
+        assert not bucket.try_acquire()  # bucket drained
+        clock.now += 0.125  # exactly one token accrues
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_acquire_blocks_exactly_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4, burst=1, clock=clock, sleep=clock.sleep)
+        assert bucket.acquire() == 0.0  # the initial burst token
+        waited = bucket.acquire()
+        assert waited == pytest.approx(0.25)  # 1 token / 4 per second
+        assert clock.slept == [pytest.approx(0.25)]
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100, burst=3, clock=clock, sleep=clock.sleep)
+        clock.now += 60  # a minute idle must not bank 6000 tokens
+        assert bucket.available == pytest.approx(3)
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            TokenBucket(rate=0)
+        with pytest.raises(InputError):
+            TokenBucket(rate=10, burst=0.5)
+        bucket = TokenBucket(rate=10)
+        with pytest.raises(InputError):
+            bucket.try_acquire(0)
+        with pytest.raises(InputError):
+            bucket.acquire(bucket.burst + 1)  # can never be satisfied
+
+
+# ----------------------------------------------------------------------
+# Scenarios: determinism, popularity, mutation pool
+# ----------------------------------------------------------------------
+class TestScenario:
+    def test_rebuild_is_fingerprint_identical(self):
+        """The property worker processes rely on to share the warm store."""
+        a = Scenario(seed=5)
+        b = Scenario(seed=5)
+        assert graph_fingerprint(a.corpus) == graph_fingerprint(b.corpus)
+        assert [p.name for p in a.patterns] == [p.name for p in b.patterns]
+        assert [graph_fingerprint(p) for p in a.patterns] == [
+            graph_fingerprint(p) for p in b.patterns
+        ]
+        assert graph_fingerprint(Scenario(seed=6).corpus) != graph_fingerprint(a.corpus)
+
+    def test_sampling_is_zipf_skewed_and_rng_driven(self):
+        scenario = Scenario(seed=1)
+        rng = random.Random(2)
+        draws = [scenario.sample_pattern(rng).name for _ in range(800)]
+        counts = sorted(
+            (draws.count(p.name) for p in scenario.patterns), reverse=True
+        )
+        # Zipf head: the hottest pattern clearly dominates the coldest.
+        assert counts[0] > counts[-1] * 2
+        # Same caller RNG → same request stream, different seed → different.
+        replay = [scenario.sample_pattern(random.Random(2)).name for _ in range(1)]
+        assert replay[0] == draws[0]
+
+    def test_mutations_oscillate_through_digraph_mutators(self):
+        scenario = Scenario(seed=3)
+        nodes_before = sorted(scenario.corpus.nodes())
+        edges_before = scenario.corpus.num_edges()
+        rng = random.Random(11)
+        ops = [scenario.mutate(rng)[0] for _ in range(200)]
+        assert "remove_edge" in ops and "add_edge" in ops
+        # The pool is closed: node set intact, edge count hovers within
+        # the pool's size of the initial density.
+        assert sorted(scenario.corpus.nodes()) == nodes_before
+        assert abs(scenario.corpus.num_edges() - edges_before) <= scenario.mutation_pool_size
+
+    def test_spec_validation(self):
+        with pytest.raises(InputError):
+            ScenarioSpec(sites=0)
+        with pytest.raises(InputError):
+            ScenarioSpec(site_size=4, pattern_size=5)
+        with pytest.raises(InputError):
+            ScenarioSpec(xi=0.0)
+
+
+# ----------------------------------------------------------------------
+# Recorder + StatsPublisher
+# ----------------------------------------------------------------------
+class TestRecorderAndPublisher:
+    def test_recorder_buckets_by_op(self):
+        recorder = Recorder()
+        recorder("match", 0.001)
+        recorder("match", 0.002)
+        recorder("update", 0.5)
+        payloads = recorder.payloads()
+        assert payloads["match"]["count"] == 2
+        assert payloads["update"]["count"] == 1
+
+    def test_publisher_samples_and_final_cut(self):
+        calls = []
+
+        def snapshot():
+            calls.append(1)
+            return {"calls": len(calls)}
+
+        publisher = StatsPublisher(snapshot, interval=0.02)
+        publisher.start()
+        time.sleep(0.09)
+        samples = publisher.stop()
+        # At least the final sample, plus some periodic ones; offsets
+        # are monotonic and every sample carries the counter.
+        assert len(samples) >= 2
+        assert all(s["calls"] >= 1 for s in samples)
+        assert [s["t"] for s in samples] == sorted(s["t"] for s in samples)
+        with pytest.raises(InputError):
+            StatsPublisher(snapshot, interval=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end runs
+# ----------------------------------------------------------------------
+def quick_config(**overrides) -> WorkloadConfig:
+    defaults = dict(
+        schedule=Schedule.steady(150, 1.2),
+        workers=2,
+        processes=False,
+        seed=3,
+        stats_interval=0.2,
+        scenario_spec=ScenarioSpec(sites=2, site_size=16, patterns_per_site=2),
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestRunWorkload:
+    def test_flat_inline_report_shape(self, tmp_path):
+        report = run_workload(quick_config(store_dir=str(tmp_path / "store")))
+        assert report["schema"] == "repro-workload/1"
+        assert report["requests"] > 0 and report["errors"] == 0
+        assert report["primary_op"] == "match"
+        assert report["p50"] <= report["p95"] <= report["p99"]
+        # Latency histograms observed exactly the issued requests.
+        assert report["latency"]["match"]["count"] == report["requests"]
+        assert report["stats"]["hook_calls"] == report["requests"]
+        # The parent warmed the store: drivers never cold-prepared.
+        assert report["stats"]["prepares"] == 0
+        assert report["stats"]["disk_hits"] >= 1
+        assert report["throughput_rps"] > 0
+        # Publisher produced at least a final consistent cut per worker.
+        assert set(report["samples"]) == {0, 1}
+        assert all(samples for samples in report["samples"].values())
+
+    def test_mutate_mix_drives_delta_evolution_flat(self):
+        report = run_workload(quick_config(mutate_mix=0.4))
+        assert report["mutations"] > 0
+        assert report["stats"]["delta_hits"] > 0
+        assert (
+            report["latency"]["match"]["count"]
+            + report["latency"]["update"]["count"]
+            == report["requests"]
+        )
+
+    def test_mutate_mix_drives_shard_evolution_sharded(self):
+        report = run_workload(
+            quick_config(frontend="sharded", shards=2, mutate_mix=0.4)
+        )
+        assert report["primary_op"] == "match_sharded"
+        assert report["errors"] == 0
+        assert report["stats"]["shard_evolves"] > 0
+        assert report["stats"]["delta_hits"] > 0
+
+    def test_async_frontend_records_client_perceived_latency(self):
+        report = run_workload(
+            quick_config(frontend="async", workers=1, async_concurrency=3)
+        )
+        assert report["primary_op"] == "async"
+        assert report["errors"] == 0
+        assert report["latency"]["async"]["count"] == report["requests"]
+        # The inner service's solve-path op is observed too.
+        assert report["latency"]["match"]["count"] == report["requests"]
+
+    def test_max_rate_caps_throughput(self):
+        # Schedule wants 150 rps; the bucket caps the fleet at 30.
+        report = run_workload(
+            quick_config(schedule=Schedule.steady(150, 1.5), max_rate=30)
+        )
+        assert report["throughput_rps"] <= 30 * 1.6  # burst + timing slack
+
+    def test_p99_budget_gates(self):
+        report = run_workload(quick_config(p99_budget=1e-9))
+        assert report["p99_ok"] is False
+        report = run_workload(quick_config(p99_budget=60.0))
+        assert report["p99_ok"] is True
+
+    def test_multiprocess_workers_merge_exactly(self, tmp_path):
+        config = quick_config(
+            processes=True,
+            workers=2,
+            store_dir=str(tmp_path / "store"),
+            schedule=Schedule.steady(80, 1.5),
+        )
+        report = run_workload(config)
+        assert report["requests"] > 0 and report["errors"] == 0
+        assert report["latency"]["match"]["count"] == report["requests"]
+        assert report["stats"]["hook_calls"] == report["requests"]
+        assert report["stats"]["prepares"] == 0  # warm store, both workers
+        assert report["p99"] is not None and report["p99"] > 0
+        assert set(report["samples"]) == {0, 1}
+
+    def test_config_validation(self):
+        with pytest.raises(InputError):
+            quick_config(frontend="teleport")
+        with pytest.raises(InputError):
+            quick_config(workers=0)
+        with pytest.raises(InputError):
+            quick_config(mutate_mix=1.5)
+        with pytest.raises(InputError):
+            quick_config(max_rate=0)
+        with pytest.raises(InputError):
+            quick_config(p99_budget=-1)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestWorkloadCli:
+    def test_rate_shorthand_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = workload_main(
+            [
+                "--rate", "120", "--duration", "1.0", "--inline",
+                "--workers", "1", "--seed", "4",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["requests"] > 0
+        out = capsys.readouterr().out
+        assert "p99=" in out and "workload:" in out
+
+    def test_schedule_file_and_budget_breach_exits_1(self, tmp_path, capsys):
+        sched = tmp_path / "sched.json"
+        sched.write_text(
+            json.dumps(
+                {
+                    "phases": [
+                        {"kind": "ramp", "seconds": 0.5, "rate": [20, 120]},
+                        {"kind": "steady", "seconds": 0.7, "rate": 120},
+                    ]
+                }
+            )
+        )
+        code = workload_main(
+            [
+                "--schedule", str(sched), "--inline", "--workers", "1",
+                "--p99-budget", "1e-9",
+            ]
+        )
+        assert code == 1
+        assert "OVER" in capsys.readouterr().out
+
+    def test_invalid_inputs(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            workload_main([])  # neither --schedule nor --rate
+        with pytest.raises(SystemExit):
+            workload_main(["--rate", "10", "--schedule", "x.json"])
+        code = workload_main(["--schedule", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "workload error" in capsys.readouterr().err
